@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one figure of the paper or one of the
+quantitative experiments listed in DESIGN.md §4.  Each benchmark
+
+* computes its experiment data once (workload generation, parameter sweep,
+  baseline comparison),
+* prints the resulting table and writes it to ``benchmarks/results/<id>.txt``
+  so the series survive pytest's output capturing,
+* asserts the qualitative shape the paper claims (who wins, what fails,
+  where the crossover lies), and
+* wraps a representative unit of work with ``pytest-benchmark`` so timing
+  regressions are visible too.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory where benchmark tables are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Write a named experiment table to disk and echo it to stdout."""
+
+    def _record(experiment_id: str, text: str) -> None:
+        path = results_dir / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{experiment_id}]\n{text}")
+
+    return _record

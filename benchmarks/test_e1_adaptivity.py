@@ -1,0 +1,117 @@
+"""E1 — adaptivity: convergence speed tracks the resources the environment offers.
+
+The paper's headline qualitative claim (§1.1, §5): self-similar algorithms
+"speed up or slow down depending on the resources available" while staying
+correct.  This experiment sweeps the per-round edge availability of a
+random-churn environment (and, separately, the per-round edge budget of a
+metering adversary) and reports the convergence rounds of the minimum
+algorithm.  Expected shape: monotone — more availability, fewer rounds;
+correctness (the computed minimum) is unaffected throughout.
+"""
+
+from __future__ import annotations
+
+from repro import Simulator, minimum_algorithm
+from repro.environment import EdgeBudgetAdversary, RandomChurnEnvironment, complete_graph
+from repro.simulation import format_table, sweep
+
+NUM_AGENTS = 12
+VALUES = [37, 4, 91, 16, 55, 70, 8, 23, 62, 49, 12, 84]
+PROBABILITIES = [0.05, 0.1, 0.2, 0.4, 0.7, 1.0]
+BUDGETS = [1, 2, 4, 8, 16]
+REPETITIONS = 5
+
+
+def run_experiment() -> dict:
+    availability_points = sweep(
+        minimum_algorithm(),
+        parameter_values=PROBABILITIES,
+        environment_factory=lambda p, seed: RandomChurnEnvironment(
+            complete_graph(NUM_AGENTS), edge_up_probability=p
+        ),
+        initial_values=VALUES,
+        repetitions=REPETITIONS,
+        max_rounds=3000,
+    )
+    budget_points = sweep(
+        minimum_algorithm(),
+        parameter_values=BUDGETS,
+        environment_factory=lambda budget, seed: EdgeBudgetAdversary(
+            complete_graph(NUM_AGENTS), budget=budget
+        ),
+        initial_values=VALUES,
+        repetitions=REPETITIONS,
+        max_rounds=3000,
+    )
+    return {"availability": availability_points, "budget": budget_points}
+
+
+def render_report(data: dict) -> str:
+    availability_rows = [
+        [
+            point.parameter,
+            f"{point.statistics.convergence_rate:.2f}",
+            point.statistics.median_rounds,
+            point.statistics.mean_rounds,
+            f"{point.statistics.correctness_rate:.2f}",
+        ]
+        for point in data["availability"]
+    ]
+    budget_rows = [
+        [
+            point.parameter,
+            f"{point.statistics.convergence_rate:.2f}",
+            point.statistics.median_rounds,
+            point.statistics.mean_rounds,
+        ]
+        for point in data["budget"]
+    ]
+    return "\n".join(
+        [
+            "E1  Adaptivity of the minimum algorithm to available resources",
+            f"    ({NUM_AGENTS} agents, {REPETITIONS} seeds per point)",
+            "",
+            format_table(
+                ["edge up-probability", "conv. rate", "median rounds", "mean rounds", "correct"],
+                availability_rows,
+                title="Random churn: availability vs convergence rounds",
+            ),
+            "",
+            format_table(
+                ["edges per round", "conv. rate", "median rounds", "mean rounds"],
+                budget_rows,
+                title="Metering adversary: per-round edge budget vs convergence rounds",
+            ),
+        ]
+    )
+
+
+def test_e1_adaptivity(benchmark, record_table):
+    data = run_experiment()
+    availability = data["availability"]
+    budget = data["budget"]
+
+    # Every configuration converges and computes the right minimum.
+    assert all(point.statistics.convergence_rate == 1.0 for point in availability)
+    assert all(point.statistics.correctness_rate == 1.0 for point in availability)
+    assert all(point.statistics.convergence_rate == 1.0 for point in budget)
+
+    # Shape: scarce resources are slower than abundant ones (compare the
+    # extremes; intermediate points may jitter with only a few seeds).
+    assert availability[0].statistics.median_rounds > availability[-1].statistics.median_rounds
+    assert budget[0].statistics.median_rounds > budget[-1].statistics.median_rounds
+    # Full availability converges essentially immediately.
+    assert availability[-1].statistics.median_rounds <= 2
+
+    record_table("E1", render_report(data))
+
+    # Timed unit: one full run at 40% availability.
+    def run_once():
+        environment = RandomChurnEnvironment(
+            complete_graph(NUM_AGENTS), edge_up_probability=0.4
+        )
+        return Simulator(minimum_algorithm(), environment, VALUES, seed=0).run(
+            max_rounds=1000
+        )
+
+    benchmark(run_once)

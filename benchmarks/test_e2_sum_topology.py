@@ -1,0 +1,126 @@
+"""E2 — the sum problem needs richer connectivity than the minimum (§4.2).
+
+The paper argues that for the sum, "zero agents do not have any meaningful
+interaction and cannot be used as intermediates", so the weakest
+value-independent environment assumption is a complete communication graph
+— whereas the minimum (a consensus) only needs any connected graph.  This
+experiment runs both algorithms over line, ring, star, random-connected and
+complete topologies under identical churn and reports convergence rates and
+rounds.  Expected shape: the minimum converges everywhere; the sum is
+reliable on the complete graph (and on hub-like topologies where non-zero
+agents keep meeting) but degrades or stalls on sparse path-like topologies.
+"""
+
+from __future__ import annotations
+
+from repro import Simulator, minimum_algorithm, summation_algorithm
+from repro.environment import (
+    RandomChurnEnvironment,
+    complete_graph,
+    line_graph,
+    random_connected_graph,
+    ring_graph,
+    star_graph,
+)
+from repro.simulation import aggregate, format_table
+
+NUM_AGENTS = 8
+VALUES = [5, 0, 11, 3, 0, 7, 2, 9]
+EDGE_UP_PROBABILITY = 0.35
+REPETITIONS = 6
+MAX_ROUNDS = 400
+
+TOPOLOGIES = [
+    ("line", line_graph),
+    ("ring", ring_graph),
+    ("random connected", lambda n: random_connected_graph(n, 0.15, seed=5)),
+    ("star", star_graph),
+    ("complete", complete_graph),
+]
+
+
+def run_experiment() -> dict:
+    table = {}
+    for name, factory in TOPOLOGIES:
+        for algorithm_name, algorithm_factory in (
+            ("minimum", minimum_algorithm),
+            ("sum", summation_algorithm),
+        ):
+            results = []
+            for seed in range(REPETITIONS):
+                environment = RandomChurnEnvironment(
+                    factory(NUM_AGENTS), edge_up_probability=EDGE_UP_PROBABILITY
+                )
+                simulator = Simulator(
+                    algorithm_factory(), environment, VALUES, seed=seed
+                )
+                results.append(simulator.run(max_rounds=MAX_ROUNDS))
+            table[(name, algorithm_name)] = aggregate(results)
+    return table
+
+
+def render_report(table: dict) -> str:
+    rows = []
+    for name, _ in TOPOLOGIES:
+        minimum_stats = table[(name, "minimum")]
+        sum_stats = table[(name, "sum")]
+        rows.append(
+            [
+                name,
+                f"{minimum_stats.convergence_rate:.2f}",
+                minimum_stats.median_rounds,
+                f"{sum_stats.convergence_rate:.2f}",
+                sum_stats.median_rounds,
+            ]
+        )
+    return "\n".join(
+        [
+            "E2  Topology requirements: minimum (consensus) vs sum (non-consensus)",
+            f"    ({NUM_AGENTS} agents, churn p={EDGE_UP_PROBABILITY}, "
+            f"{REPETITIONS} seeds, cap {MAX_ROUNDS} rounds)",
+            "",
+            format_table(
+                [
+                    "topology",
+                    "min conv. rate",
+                    "min median rounds",
+                    "sum conv. rate",
+                    "sum median rounds",
+                ],
+                rows,
+            ),
+        ]
+    )
+
+
+def test_e2_sum_topology(benchmark, record_table):
+    table = run_experiment()
+
+    # The minimum converges on every connected topology.
+    for name, _ in TOPOLOGIES:
+        assert table[(name, "minimum")].convergence_rate == 1.0, name
+
+    # The sum is reliable on the complete graph ...
+    assert table[("complete", "sum")].convergence_rate == 1.0
+    # ... and strictly less reliable (or much slower) on the line: either
+    # some runs fail outright, or the median is at least 3x the complete
+    # graph's within the same round budget.
+    line_stats = table[("line", "sum")]
+    complete_stats = table[("complete", "sum")]
+    assert (
+        line_stats.convergence_rate < 1.0
+        or line_stats.median_rounds >= 3 * complete_stats.median_rounds
+    )
+
+    record_table("E2", render_report(table))
+
+    # Timed unit: one sum run on the complete graph.
+    def run_once():
+        environment = RandomChurnEnvironment(
+            complete_graph(NUM_AGENTS), edge_up_probability=EDGE_UP_PROBABILITY
+        )
+        return Simulator(summation_algorithm(), environment, VALUES, seed=0).run(
+            max_rounds=MAX_ROUNDS
+        )
+
+    benchmark(run_once)

@@ -1,0 +1,160 @@
+"""E7 — mobile sensors with limited radio range and battery outages (§1.2).
+
+The paper motivates dynamic distributed systems with mobile agents that
+"go in and out of communication range as they travel" and "cease
+functioning after they run out of battery power and resume operation when
+they gain access to other sources of power".  This experiment instantiates
+exactly that scenario with the random-waypoint environment: agents move in
+a square arena, communicate within a radio radius, and (in the battery
+variant) periodically go dark to recharge.  Three computations from the
+paper run on top of it: minimum (consensus), k-th smallest (order
+statistics) and convex hull (geometric).
+
+Expected shape: convergence rounds fall as the radio range grows (more
+resources → faster), rise when batteries force duty-cycling, and the
+computed answers stay exactly correct in every configuration.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Simulator, convex_hull_algorithm, kth_smallest_algorithm, minimum_algorithm
+from repro.environment import RandomWaypointEnvironment
+from repro.simulation import aggregate, format_table
+
+NUM_AGENTS = 10
+ARENA = 100.0
+RANGES = [15.0, 25.0, 40.0, 70.0]
+REPETITIONS = 5
+MAX_ROUNDS = 3000
+
+VALUES = [52, 17, 88, 5, 34, 71, 23, 9, 60, 46]
+
+
+def make_environment(range_radius: float, seed: int, battery: bool = False):
+    return RandomWaypointEnvironment(
+        NUM_AGENTS,
+        arena_size=ARENA,
+        range_radius=range_radius,
+        speed=8.0,
+        battery_capacity=6.0 if battery else None,
+        drain_per_round=1.0,
+        recharge_per_round=2.0,
+        seed=seed,
+    )
+
+
+def run_experiment() -> dict:
+    by_range = []
+    for range_radius in RANGES:
+        results = [
+            Simulator(
+                minimum_algorithm(), make_environment(range_radius, seed), VALUES, seed=seed
+            ).run(max_rounds=MAX_ROUNDS)
+            for seed in range(REPETITIONS)
+        ]
+        by_range.append((range_radius, aggregate(results)))
+
+    battery_comparison = []
+    for battery in (False, True):
+        results = [
+            Simulator(
+                minimum_algorithm(),
+                make_environment(30.0, seed, battery=battery),
+                VALUES,
+                seed=seed,
+            ).run(max_rounds=MAX_ROUNDS)
+            for seed in range(REPETITIONS)
+        ]
+        battery_comparison.append((battery, aggregate(results)))
+
+    # Other computations on the mobile swarm at a moderate radio range.
+    rng = random.Random(0)
+    positions = [(rng.uniform(0, ARENA), rng.uniform(0, ARENA)) for _ in range(NUM_AGENTS)]
+    kth_results = [
+        Simulator(
+            kth_smallest_algorithm(3), make_environment(30.0, seed), VALUES, seed=seed
+        ).run(max_rounds=MAX_ROUNDS)
+        for seed in range(REPETITIONS)
+    ]
+    hull_results = [
+        Simulator(
+            convex_hull_algorithm(positions), make_environment(30.0, seed), positions, seed=seed
+        ).run(max_rounds=MAX_ROUNDS)
+        for seed in range(REPETITIONS)
+    ]
+
+    return {
+        "by_range": by_range,
+        "battery": battery_comparison,
+        "kth": aggregate(kth_results),
+        "hull": aggregate(hull_results),
+    }
+
+
+def render_report(data: dict) -> str:
+    range_rows = [
+        [radius, f"{stats.convergence_rate:.2f}", stats.median_rounds, f"{stats.correctness_rate:.2f}"]
+        for radius, stats in data["by_range"]
+    ]
+    battery_rows = [
+        ["with battery outages" if battery else "always powered",
+         f"{stats.convergence_rate:.2f}", stats.median_rounds]
+        for battery, stats in data["battery"]
+    ]
+    other_rows = [
+        ["3rd smallest", f"{data['kth'].convergence_rate:.2f}", data["kth"].median_rounds],
+        ["convex hull", f"{data['hull'].convergence_rate:.2f}", data["hull"].median_rounds],
+    ]
+    return "\n".join(
+        [
+            "E7  Mobile sensor swarm (random waypoint, disk radio model)",
+            f"    ({NUM_AGENTS} agents, arena {ARENA:.0f}x{ARENA:.0f}, {REPETITIONS} seeds)",
+            "",
+            format_table(
+                ["radio range", "conv. rate", "median rounds", "correct"],
+                range_rows,
+                title="Minimum consensus: radio range vs convergence rounds",
+            ),
+            "",
+            format_table(
+                ["power model", "conv. rate", "median rounds"],
+                battery_rows,
+                title="Radio range 30: effect of battery outages (duty cycling)",
+            ),
+            "",
+            format_table(
+                ["computation", "conv. rate", "median rounds"],
+                other_rows,
+                title="Other §4 computations on the mobile swarm (range 30)",
+            ),
+        ]
+    )
+
+
+def test_e7_mobility(benchmark, record_table):
+    data = run_experiment()
+
+    # Everything converges to the exactly correct answer.
+    assert all(stats.convergence_rate == 1.0 for _, stats in data["by_range"])
+    assert all(stats.correctness_rate == 1.0 for _, stats in data["by_range"])
+    assert all(stats.convergence_rate == 1.0 for _, stats in data["battery"])
+    assert data["kth"].convergence_rate == 1.0
+    assert data["hull"].convergence_rate == 1.0
+
+    # Shape: the shortest radio range is slower than the longest one, and
+    # battery outages do not make the system faster.
+    medians = [stats.median_rounds for _, stats in data["by_range"]]
+    assert medians[0] > medians[-1]
+    powered, battery = data["battery"]
+    assert battery[1].median_rounds >= powered[1].median_rounds
+
+    record_table("E7", render_report(data))
+
+    # Timed unit: one minimum run on the mobile swarm at range 30.
+    benchmark(
+        lambda: Simulator(
+            minimum_algorithm(), make_environment(30.0, 0), VALUES, seed=0
+        ).run(max_rounds=MAX_ROUNDS)
+    )

@@ -1,0 +1,124 @@
+"""FIG-2 — the circumscribing-circle function is not super-idempotent.
+
+Reproduces Figure 2 of the paper (§4.5): a group of three agents replaces
+its members' circle estimates by their joint circumscribing circle; merging
+that circle with a fourth, distant point yields a strictly larger circle
+than the circumscribing circle of the four points computed directly.  The
+benchmark reports the concrete geometry, the radius over-approximation, the
+rate at which randomized search finds such counterexamples, and the effect
+on an actual partitioned execution of the direct algorithm.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms import (
+    circumscribing_circle_algorithm,
+    circumscribing_circle_function,
+    figure2_counterexample,
+)
+from repro.core import Multiset
+from repro.simulation import format_table
+from repro.verification import audit_super_idempotence
+
+
+def reproduce_figure2() -> dict:
+    data = figure2_counterexample()
+
+    # Randomized counterexample search over zero-radius (point) states.
+    algorithm = circumscribing_circle_algorithm(data["all_points"])
+
+    def random_state(rng: random.Random):
+        return algorithm.make_initial_state((rng.randint(-10, 10), rng.randint(-10, 10)))
+
+    audit = audit_super_idempotence(
+        circumscribing_circle_function(),
+        state_generator=random_state,
+        trials=400,
+        max_size=4,
+        seed=0,
+    )
+
+    # Partitioned execution of the direct algorithm on the figure's points:
+    # group B = {1,2,3} first, then everyone.
+    rng = random.Random(0)
+    states = algorithm.initial_states(data["all_points"])
+    group_b_states, _ = algorithm.apply_group_step(states[:3], rng)
+    merged_states, _ = algorithm.apply_group_step(group_b_states + states[3:], rng)
+    partitioned_circle = algorithm.result(Multiset(merged_states))
+
+    return {
+        "figure": data,
+        "audit": audit,
+        "partitioned_radius": partitioned_circle.radius,
+        "true_radius": algorithm.true_circle.radius,
+    }
+
+
+def render_report(data: dict) -> str:
+    figure = data["figure"]
+    rows = [
+        [
+            "direct f(S_B ∪ S_C)",
+            f"({figure['direct_circle'].center.x:.3f}, {figure['direct_circle'].center.y:.3f})",
+            f"{figure['radius_direct']:.3f}",
+        ],
+        [
+            "two-stage f(f(S_B) ∪ S_C)",
+            f"({figure['two_stage_circle'].center.x:.3f}, {figure['two_stage_circle'].center.y:.3f})",
+            f"{figure['radius_two_stage']:.3f}",
+        ],
+    ]
+    execution_rows = [
+        ["single group (correct)", f"{data['true_radius']:.3f}"],
+        ["B first, then union (partitioned)", f"{data['partitioned_radius']:.3f}"],
+    ]
+    return "\n".join(
+        [
+            "FIG-2  Circumscribing-circle function is idempotent but not super-idempotent",
+            "",
+            f"Group B points: {[p.as_tuple() for p in figure['group_b_points']]}",
+            f"Outside point C: {figure['point_c'].as_tuple()}",
+            "",
+            format_table(
+                ["computation", "center", "radius"],
+                rows,
+                title="f(X ∪ Y) versus f(f(X) ∪ Y) on the Figure-2 configuration",
+            ),
+            "",
+            format_table(
+                ["execution", "final circle radius"],
+                execution_rows,
+                title="Direct algorithm under partitioned execution (over-approximation)",
+            ),
+            "",
+            f"Randomized audit ({data['audit'].trials} trials): idempotent = "
+            f"{data['audit'].is_idempotent}, super-idempotent = "
+            f"{data['audit'].is_super_idempotent}.",
+            data["audit"].explain(),
+        ]
+    )
+
+
+def test_fig2_circumscribing_circle(benchmark, record_table):
+    data = reproduce_figure2()
+    figure = data["figure"]
+
+    # Qualitative shape: the two-stage circle is strictly larger (the bulge
+    # must be covered), the randomized audit finds the violation, and the
+    # partitioned execution over-approximates the true circle.
+    assert figure["radius_two_stage"] > figure["radius_direct"] + 0.5
+    assert figure["direct_circle"].contains_point(figure["point_c"])
+    assert data["audit"].is_idempotent
+    assert not data["audit"].is_super_idempotent
+    assert data["partitioned_radius"] > data["true_radius"] + 0.5
+
+    record_table("FIG2", render_report(data))
+
+    # Timed unit: one super-idempotence check on the figure's configuration.
+    f = circumscribing_circle_function()
+    algorithm = circumscribing_circle_algorithm(figure["all_points"])
+    group_b = Multiset(algorithm.initial_states(figure["group_b_points"]))
+    group_c = Multiset(algorithm.initial_states([figure["point_c"]]))
+    benchmark(lambda: f(group_b | group_c) != f(f(group_b) | group_c))

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Distributed in-place sorting under churn and adversarial metering (§4.4).
+
+A distributed array: each of 16 agents owns one array slot (an index) and
+currently stores one value.  The goal is to sort the values in place —
+no agent ever holds more than one value — while links between adjacent
+slots come and go.
+
+Two executions are shown:
+
+* pairwise gossip on a static line (classic neighbour exchanges),
+* maximal groups on a line whose every edge is only up 30% of the time,
+  plus an adversary that additionally meters communication down to two
+  line edges per round.
+
+Both converge to the same sorted array; only the number of rounds changes.
+
+Run with::
+
+    python examples/distributed_sorting.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Simulator, sorting_algorithm
+from repro.agents import RandomPairScheduler
+from repro.algorithms import out_of_order_pairs
+from repro.environment import EdgeBudgetAdversary, RandomChurnEnvironment, StaticEnvironment, line_graph
+from repro.simulation import format_table
+
+
+SIZE = 16
+
+
+def render_array(cells) -> str:
+    values = [value for _, value in sorted(cells)]
+    return " ".join(f"{value:3d}" for value in values)
+
+
+def main() -> None:
+    rng = random.Random(11)
+    values = rng.sample(range(10, 100), SIZE)
+    algorithm = sorting_algorithm(values)
+    cells = algorithm.instance_cells
+
+    print("Initial array (by slot):")
+    print(" ", render_array(cells))
+    print(f"  out-of-order pairs: {out_of_order_pairs(cells)}")
+    print()
+
+    configurations = [
+        (
+            "static line, pairwise gossip",
+            StaticEnvironment(line_graph(SIZE)),
+            RandomPairScheduler(),
+        ),
+        (
+            "line with 30% edge availability, maximal groups",
+            RandomChurnEnvironment(line_graph(SIZE), edge_up_probability=0.3),
+            None,
+        ),
+        (
+            "adversary: two line edges per round",
+            EdgeBudgetAdversary(line_graph(SIZE), budget=2),
+            None,
+        ),
+    ]
+
+    rows = []
+    final = None
+    for name, environment, scheduler in configurations:
+        result = Simulator(
+            sorting_algorithm(values),
+            environment,
+            cells,
+            scheduler=scheduler,
+            seed=5,
+        ).run(max_rounds=20000)
+        rows.append(
+            [
+                name,
+                "yes" if result.converged else "no",
+                result.convergence_round,
+                result.group_steps,
+            ]
+        )
+        final = result
+
+    print(
+        format_table(
+            ["execution", "sorted", "rounds", "group steps"],
+            rows,
+            title="Same array, same step rule, three environments",
+        )
+    )
+    print()
+    print("Final array (by slot):")
+    print(" ", render_array(zip(range(SIZE), final.output)))
+
+    assert final.converged and final.output == sorted(values)
+
+
+if __name__ == "__main__":
+    main()

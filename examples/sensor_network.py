@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Duty-cycled sensor network computing minimum, average and 3rd-smallest.
+
+The scenario from the paper's problem statement (§3.1): a sensor network
+must compute functions of the sensors' initial readings.  Here twelve
+sensors are arranged in a 3x4 grid; to save energy each sensor sleeps for
+part of every period (a periodic duty cycle), so the set of awake sensors
+— and hence the communication groups — changes every round.  Three
+computations run on the same network:
+
+* **minimum** reading (e.g. lowest battery voltage in the field),
+* **exact average** reading (the paper's motivating example),
+* **3rd smallest** reading (an order statistic, via the §4.3 generalisation).
+
+Run with::
+
+    python examples/sensor_network.py
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro import (
+    Simulator,
+    average_algorithm,
+    kth_smallest_algorithm,
+    minimum_algorithm,
+)
+from repro.environment import PeriodicDutyCycleEnvironment, grid_graph
+from repro.simulation import format_table
+
+
+READINGS = [31, 48, 12, 67, 25, 53, 9, 41, 74, 36, 19, 58]
+ROWS, COLS = 3, 4
+
+
+def run_computation(name, algorithm, duty_cycle, seed=7):
+    environment = PeriodicDutyCycleEnvironment(
+        grid_graph(ROWS, COLS), period=8, duty_cycle=duty_cycle, seed=seed
+    )
+    simulator = Simulator(algorithm, environment, READINGS, seed=seed)
+    result = simulator.run(max_rounds=2000)
+    return {
+        "name": name,
+        "duty_cycle": duty_cycle,
+        "converged": result.converged,
+        "rounds": result.convergence_round,
+        "output": result.output,
+    }
+
+
+def main() -> None:
+    print(f"Grid: {ROWS}x{COLS} sensors, readings {READINGS}")
+    print(f"Expected: min={min(READINGS)}, "
+          f"avg={Fraction(sum(READINGS), len(READINGS))}, "
+          f"3rd smallest={sorted(set(READINGS))[2]}")
+    print()
+
+    rows = []
+    for duty_cycle in (0.9, 0.6):
+        for name, algorithm in (
+            ("minimum", minimum_algorithm()),
+            ("average", average_algorithm()),
+            ("3rd smallest", kth_smallest_algorithm(3)),
+        ):
+            outcome = run_computation(name, algorithm, duty_cycle)
+            rows.append(
+                [
+                    f"{outcome['duty_cycle']:.0%}",
+                    outcome["name"],
+                    "yes" if outcome["converged"] else "not yet",
+                    outcome["rounds"] if outcome["converged"] else "-",
+                    str(outcome["output"]) if outcome["converged"] else "-",
+                ]
+            )
+
+    print(
+        format_table(
+            ["duty cycle", "computation", "converged", "rounds", "result"],
+            rows,
+            title="Duty-cycled sensor grid: same network, three computations",
+        )
+    )
+    print()
+    print("Lower duty cycles leave fewer sensors awake per round, so groups are")
+    print("smaller and convergence takes longer; minimum and 3rd-smallest still")
+    print("finish exactly (the paper's adaptivity claim).  The exact average is")
+    print("stricter: its final step needs one group that spans every sensor still")
+    print("disagreeing with the mean, so under aggressive duty-cycling it keeps")
+    print("making progress without terminating — the same phenomenon that forces")
+    print("the sum example (§4.2) to assume a complete communication graph.")
+
+
+if __name__ == "__main__":
+    main()

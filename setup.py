@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` keeps working on offline machines whose pip/setuptools
+combination cannot build PEP 660 editable wheels (no ``wheel`` package and
+no network to fetch one).  In that configuration pip falls back to the
+legacy ``setup.py develop`` code path, which needs this shim.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,103 @@
+"""repro — self-similar algorithms for dynamic distributed systems.
+
+A reproduction of K. Mani Chandy and Michel Charpentier, *Self-Similar
+Algorithms for Dynamic Distributed Systems* (ICDCS 2007).
+
+The library has five layers:
+
+* :mod:`repro.core` — the mathematical machinery: multisets, distributed
+  functions ``f`` (idempotence, super-idempotence), objective functions
+  ``h``, the constrained-optimization relation ``D`` and the
+  :class:`SelfSimilarAlgorithm` bundle;
+* :mod:`repro.environment` / :mod:`repro.agents` — the system model:
+  topologies, dynamic/adversarial/mobile environments, agents, groups and
+  group schedulers;
+* :mod:`repro.simulation` — the round-based simulator (and an asynchronous
+  message-passing runtime) that executes the paper's transition relation
+  and records traces;
+* :mod:`repro.algorithms` — the paper's worked examples: minimum, sum,
+  average, second smallest, k-th smallest, sorting, convex hull and the
+  (unsound) direct circumscribing circle;
+* :mod:`repro.verification` / :mod:`repro.baselines` — executable checks
+  of the paper's proof obligations, and the classical baselines
+  (snapshots, gossip, spanning trees) the paper contrasts itself with.
+
+Quickstart::
+
+    from repro import Simulator, minimum_algorithm
+    from repro.environment import RandomChurnEnvironment, complete_graph
+
+    algorithm = minimum_algorithm()
+    environment = RandomChurnEnvironment(complete_graph(8), edge_up_probability=0.3)
+    simulator = Simulator(algorithm, environment,
+                          initial_values=[5, 3, 9, 1, 7, 2, 8, 4], seed=42)
+    result = simulator.run(max_rounds=500)
+    assert result.converged and result.output == 1
+"""
+
+from .core import (
+    ConservationViolation,
+    DistributedFunction,
+    ImprovementViolation,
+    Multiset,
+    ObjectiveFunction,
+    OptimizationRelation,
+    ReproError,
+    SelfSimilarAlgorithm,
+    SpecificationError,
+    StepJudgement,
+    StepKind,
+    SummationObjective,
+)
+from .algorithms import (
+    average_algorithm,
+    circumscribing_circle_algorithm,
+    convex_hull_algorithm,
+    kth_smallest_algorithm,
+    maximum_algorithm,
+    minimum_algorithm,
+    second_smallest_algorithm,
+    sorting_algorithm,
+    summation_algorithm,
+)
+from .simulation import (
+    MergeMessagePassingSimulator,
+    SimulationResult,
+    Simulator,
+    aggregate,
+    run_repeated,
+    sweep,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConservationViolation",
+    "DistributedFunction",
+    "ImprovementViolation",
+    "Multiset",
+    "ObjectiveFunction",
+    "OptimizationRelation",
+    "ReproError",
+    "SelfSimilarAlgorithm",
+    "SpecificationError",
+    "StepJudgement",
+    "StepKind",
+    "SummationObjective",
+    "average_algorithm",
+    "circumscribing_circle_algorithm",
+    "convex_hull_algorithm",
+    "kth_smallest_algorithm",
+    "maximum_algorithm",
+    "minimum_algorithm",
+    "second_smallest_algorithm",
+    "sorting_algorithm",
+    "summation_algorithm",
+    "MergeMessagePassingSimulator",
+    "SimulationResult",
+    "Simulator",
+    "aggregate",
+    "run_repeated",
+    "sweep",
+    "__version__",
+]

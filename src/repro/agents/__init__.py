@@ -1,0 +1,21 @@
+"""Agents, groups and the schedulers that decide which groups act."""
+
+from .agent import Agent
+from .group import Group
+from .scheduler import (
+    MaximalGroupsScheduler,
+    RandomPairScheduler,
+    RandomSubgroupScheduler,
+    Scheduler,
+    SingleGroupScheduler,
+)
+
+__all__ = [
+    "Agent",
+    "Group",
+    "MaximalGroupsScheduler",
+    "RandomPairScheduler",
+    "RandomSubgroupScheduler",
+    "Scheduler",
+    "SingleGroupScheduler",
+]

@@ -1,0 +1,66 @@
+"""Agents.
+
+An agent in the paper is nothing more than an identifier with a state drawn
+from the algorithm's state space; the environment decides when it may act.
+:class:`Agent` therefore stays deliberately small: it carries an id, the
+current state, and bookkeeping counters that the simulator and the metrics
+layer use (how many group steps the agent participated in, how many of
+those actually changed its state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+__all__ = ["Agent"]
+
+
+@dataclass
+class Agent:
+    """One agent of a dynamic distributed system.
+
+    Attributes
+    ----------
+    agent_id:
+        The agent's identifier, ``0 .. num_agents - 1``.
+    state:
+        The agent's current state (hashable — it is stored in multisets).
+    initial_state:
+        The state the agent started the computation with; kept so that the
+        conservation-law invariant ``f(S) = f(S(0))`` can be checked at any
+        time without replaying the trace.
+    steps_participated:
+        Number of group steps in which this agent was a member of the
+        acting group.
+    steps_changed:
+        Number of those steps that actually changed this agent's state.
+    """
+
+    agent_id: int
+    state: Hashable
+    initial_state: Hashable = None
+    steps_participated: int = 0
+    steps_changed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.initial_state is None:
+            self.initial_state = self.state
+
+    def update(self, new_state: Hashable) -> bool:
+        """Install a new state; return True when the state actually changed."""
+        self.steps_participated += 1
+        if new_state != self.state:
+            self.state = new_state
+            self.steps_changed += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Restore the initial state and clear the counters."""
+        self.state = self.initial_state
+        self.steps_participated = 0
+        self.steps_changed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Agent(id={self.agent_id}, state={self.state!r})"

@@ -1,0 +1,67 @@
+"""Groups of communicating agents.
+
+In each environment state the enabled agents split into *groups* — the
+connected components of the available communication graph.  A group is the
+unit of computation: the paper's transition relation lets every group of a
+partition take one collaborative step, and self-similarity means the same
+step rule serves groups of every size (including singletons, whose only
+``f``-conserving, ``h``-decreasing option is usually to stutter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from ..core.multiset import Multiset
+from .agent import Agent
+
+__all__ = ["Group"]
+
+
+@dataclass(frozen=True)
+class Group:
+    """An ordered group of agent ids (order fixes how step rules see states)."""
+
+    members: tuple[int, ...]
+
+    @classmethod
+    def of(cls, members: Iterable[int]) -> "Group":
+        """Build a group from any iterable of agent ids (sorted for determinism)."""
+        return cls(tuple(sorted(members)))
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __contains__(self, agent_id: int) -> bool:
+        return agent_id in self.members
+
+    @property
+    def is_singleton(self) -> bool:
+        """True when the group contains exactly one agent."""
+        return len(self.members) == 1
+
+    def states_of(self, agents: Sequence[Agent]) -> list[Hashable]:
+        """Return the member agents' states, in member order."""
+        return [agents[agent_id].state for agent_id in self.members]
+
+    def state_multiset(self, agents: Sequence[Agent]) -> Multiset:
+        """Return the group state ``S_B`` as a multiset."""
+        return Multiset(self.states_of(agents))
+
+    def install(self, agents: Sequence[Agent], new_states: Sequence[Hashable]) -> int:
+        """Write new states back to the member agents.
+
+        Returns the number of agents whose state actually changed.
+        """
+        changed = 0
+        for agent_id, new_state in zip(self.members, new_states):
+            if agents[agent_id].update(new_state):
+                changed += 1
+        return changed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Group({list(self.members)})"

@@ -1,0 +1,101 @@
+"""The paper's worked examples (§4) plus the natural extensions it sketches."""
+
+from .average import average_algorithm, average_function, average_objective
+from .block_sorting import (
+    block_displacement_objective,
+    block_sorting_algorithm,
+    block_sorting_function,
+    partition_into_blocks,
+)
+from .circumscribing_circle import (
+    CircleState,
+    circumscribing_circle_algorithm,
+    circumscribing_circle_function,
+    figure2_counterexample,
+)
+from .convex_hull import (
+    HullState,
+    circle_from_states,
+    convex_hull_algorithm,
+    convex_hull_function,
+    convex_hull_objective,
+    hull_merge,
+)
+from .kth_smallest import (
+    kth_smallest_algorithm,
+    kth_smallest_function,
+    kth_smallest_objective,
+    kth_smallest_of,
+)
+from .maximum import maximum_algorithm, maximum_function, maximum_merge, maximum_objective
+from .minimum import minimum_algorithm, minimum_function, minimum_merge, minimum_objective
+from .second_smallest import (
+    DEFAULT_VALUE_BOUND,
+    paper_pair_objective,
+    second_smallest_algorithm,
+    second_smallest_direct_algorithm,
+    second_smallest_direct_function,
+    second_smallest_of,
+    second_smallest_pair_function,
+    second_smallest_pair_objective,
+)
+from .sorting import (
+    displacement_objective,
+    figure1_counterexample,
+    local_to_global_counterexample,
+    out_of_order_objective,
+    out_of_order_pairs,
+    sorting_algorithm,
+    sorting_function,
+)
+from .summation import sum_function, sum_objective, summation_algorithm
+
+__all__ = [
+    "average_algorithm",
+    "average_function",
+    "average_objective",
+    "block_displacement_objective",
+    "block_sorting_algorithm",
+    "block_sorting_function",
+    "partition_into_blocks",
+    "CircleState",
+    "circumscribing_circle_algorithm",
+    "circumscribing_circle_function",
+    "figure2_counterexample",
+    "HullState",
+    "circle_from_states",
+    "convex_hull_algorithm",
+    "convex_hull_function",
+    "convex_hull_objective",
+    "hull_merge",
+    "kth_smallest_algorithm",
+    "kth_smallest_function",
+    "kth_smallest_objective",
+    "kth_smallest_of",
+    "maximum_algorithm",
+    "maximum_function",
+    "maximum_merge",
+    "maximum_objective",
+    "minimum_algorithm",
+    "minimum_function",
+    "minimum_merge",
+    "minimum_objective",
+    "DEFAULT_VALUE_BOUND",
+    "paper_pair_objective",
+    "second_smallest_algorithm",
+    "second_smallest_direct_algorithm",
+    "second_smallest_direct_function",
+    "second_smallest_of",
+    "second_smallest_pair_function",
+    "second_smallest_pair_objective",
+    "displacement_objective",
+    "figure1_counterexample",
+    "local_to_global_counterexample",
+    "out_of_order_objective",
+    "out_of_order_pairs",
+    "sorting_algorithm",
+    "sorting_function",
+    "sum_function",
+    "sum_objective",
+    "summation_algorithm",
+]

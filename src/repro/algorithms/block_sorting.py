@@ -1,0 +1,177 @@
+"""Distributed sorting with per-agent blocks of array slots (§4.4 extension).
+
+The paper notes that its sorting solution "can easily be generalized to the
+case where each agent holds one or more contiguous ranges of the array
+instead of a single value".  This module implements that generalisation:
+
+* **Agent state**: a tuple of ``(index, value)`` cells — the slots the agent
+  owns (its block) together with the values currently stored in them.  The
+  slot sets of different agents are disjoint and never change; only the
+  values move.
+* **Distributed function** ``f``: collect every cell of every agent, assign
+  the multiset of values to the multiset of indexes in sorted order, and
+  hand each agent back the cells for the slots it owns.  Exactly the §4.4
+  function lifted to blocks, and super-idempotent for the same reason
+  (sorting after a permutation of values equals sorting directly).
+* **Objective**: the squared displacement ``Σ (i − ord(x))²`` summed over
+  every cell of every agent — still summation form, because an agent's
+  contribution depends only on its own cells.
+* **Step rule** ``R``: a group pools the cells of its members and sorts the
+  pooled values onto the pooled slots.  Every such rearrangement is a
+  composition of out-of-order swaps, so it strictly decreases the
+  objective whenever it changes anything.
+* **Environment assumption**: as in §4.4, it suffices that agents owning
+  adjacent ranges can communicate infinitely often (a line over the agents
+  in block order).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Mapping, Sequence
+
+from ..core.algorithm import SelfSimilarAlgorithm
+from ..core.errors import SpecificationError
+from ..core.functions import DistributedFunction
+from ..core.multiset import Multiset
+from ..core.objective import SummationObjective
+
+__all__ = [
+    "BlockState",
+    "block_sorting_function",
+    "block_displacement_objective",
+    "block_sorting_algorithm",
+    "partition_into_blocks",
+]
+
+Cell = tuple[int, int]
+#: Agent state: the cells (index, value) of the slots the agent owns,
+#: stored sorted by index so equal blocks compare equal.
+BlockState = tuple[Cell, ...]
+
+
+def partition_into_blocks(values: Sequence[int], num_agents: int) -> list[list[Cell]]:
+    """Split an array into ``num_agents`` contiguous blocks of near-equal size.
+
+    Returns one list of ``(index, value)`` cells per agent; indexes are the
+    positions ``0 .. len(values) - 1``.
+    """
+    if num_agents < 1:
+        raise SpecificationError("need at least one agent")
+    if len(values) < num_agents:
+        raise SpecificationError(
+            f"cannot split {len(values)} slots across {num_agents} agents"
+        )
+    blocks: list[list[Cell]] = []
+    base, extra = divmod(len(values), num_agents)
+    position = 0
+    for agent in range(num_agents):
+        size = base + (1 if agent < extra else 0)
+        block = [(position + offset, values[position + offset]) for offset in range(size)]
+        blocks.append(block)
+        position += size
+    return blocks
+
+
+def _sorted_assignment(cells: Sequence[Cell]) -> dict[int, int]:
+    """Map each index to the value it receives when the cells are sorted."""
+    indexes = sorted(index for index, _ in cells)
+    values = sorted(value for _, value in cells)
+    return dict(zip(indexes, values))
+
+
+def block_sorting_function() -> DistributedFunction:
+    """Sort all values onto all slots, preserving each agent's slot ownership."""
+
+    def transform(states: Multiset) -> Multiset:
+        blocks = list(states)
+        if not blocks:
+            return Multiset.empty()
+        all_cells = [cell for block in blocks for cell in block]
+        assignment = _sorted_assignment(all_cells)
+        return Multiset(
+            tuple(sorted((index, assignment[index]) for index, _ in block))
+            for block in blocks
+        )
+
+    return DistributedFunction(
+        name="block sort",
+        transform=transform,
+        description="sort every value onto every slot, keeping slot ownership fixed",
+    )
+
+
+def block_displacement_objective(order: Mapping[int, int]) -> SummationObjective:
+    """Squared displacement summed over all of an agent's cells."""
+
+    def per_agent(block: BlockState) -> float:
+        return float(sum((index - order[value]) ** 2 for index, value in block))
+
+    return SummationObjective(
+        name="block squared displacement",
+        per_agent=per_agent,
+        lower_bound=0.0,
+        description="sum over owned cells of (slot - target slot)^2",
+    )
+
+
+def block_sorting_algorithm(
+    values: Sequence[int], num_agents: int
+) -> SelfSimilarAlgorithm:
+    """Build the block-sorting algorithm for a concrete array instance.
+
+    Parameters
+    ----------
+    values:
+        The array to sort (pairwise distinct, as in §4.4).
+    num_agents:
+        How many agents share the array; each receives a contiguous block.
+        The returned algorithm exposes ``instance_blocks`` — the per-agent
+        initial states to pass to a :class:`~repro.simulation.Simulator`.
+    """
+    if len(set(values)) != len(values):
+        raise SpecificationError(
+            "the squared-displacement objective assumes pairwise distinct values"
+        )
+    blocks = partition_into_blocks(values, num_agents)
+    all_cells = [cell for block in blocks for cell in block]
+    order = {value: index for index, value in _sorted_assignment(all_cells).items()}
+
+    def make_initial_state(block: Sequence[Cell]) -> BlockState:
+        cells = tuple(sorted((int(index), int(value)) for index, value in block))
+        for _, value in cells:
+            if value not in order:
+                raise SpecificationError(
+                    f"value {value} is not part of this sorting instance"
+                )
+        return cells
+
+    def group_step(
+        states: Sequence[Hashable], rng: random.Random
+    ) -> Sequence[Hashable]:
+        if len(states) <= 1 and sum(len(block) for block in states) <= 1:
+            return list(states)
+        pooled = [cell for block in states for cell in block]
+        assignment = _sorted_assignment(pooled)
+        return [
+            tuple(sorted((index, assignment[index]) for index, _ in block))
+            for block in states
+        ]
+
+    def read_output(states: Multiset) -> list[int]:
+        cells = [cell for block in states for cell in block]
+        return [value for _, value in sorted(cells)]
+
+    algorithm = SelfSimilarAlgorithm(
+        name=f"block sorting ({num_agents} agents)",
+        function=block_sorting_function(),
+        objective=block_displacement_objective(order),
+        group_step=group_step,
+        make_initial_state=make_initial_state,
+        read_output=read_output,
+        super_idempotent=True,
+        environment_requirement="line",
+        description="sort a distributed array whose slots are owned in blocks (§4.4 extension)",
+    )
+    algorithm.instance_blocks = blocks  # type: ignore[attr-defined]
+    return algorithm

@@ -1,0 +1,199 @@
+"""Circumscribing circle — the direct formulation of §4.5 (Figure 2).
+
+Each agent sits at a fixed point and maintains an estimate of the
+circumscribing circle of *all* the agents' points, initially the
+zero-radius circle at its own position.  The direct distributed function
+replaces every estimate by the smallest circle containing all the
+estimates of the multiset.
+
+That function is idempotent but **not** super-idempotent: once a group has
+replaced its members' points by their joint circle, merging with an
+outside point must cover the whole intermediate circle — including arcs
+no original point reaches — so the result can be strictly larger than the
+circumscribing circle of the original points.  Figure 2 of the paper
+illustrates this; :func:`figure2_counterexample` provides a concrete
+instance with the paper's geometry (three points whose joint circle bulges
+away from a fourth, distant point), and the verification layer rediscovers
+such instances by random search.
+
+Because the self-similar strategy cannot be applied to this ``f``, the
+paper generalises the problem to convex hulls
+(:mod:`repro.algorithms.convex_hull`).  The direct algorithm is still
+provided here (with enforcement off) so experiments can demonstrate how
+group-local circle merging over-approximates the true circumscribing
+circle under partitioned execution.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from ..core.algorithm import SelfSimilarAlgorithm
+from ..core.errors import SpecificationError
+from ..core.functions import DistributedFunction
+from ..core.multiset import Multiset
+from ..core.objective import ObjectiveFunction
+from ..geometry.enclosing_circle import (
+    Circle,
+    smallest_circle_of_circles,
+    smallest_enclosing_circle,
+)
+from ..geometry.point import Point, as_points
+
+__all__ = [
+    "CircleState",
+    "circumscribing_circle_function",
+    "circumscribing_circle_algorithm",
+    "figure2_counterexample",
+]
+
+
+#: Agent state: (own position, current circle estimate).
+#: The circle is stored as a (center_x, center_y, radius) tuple rounded to a
+#: fixed number of decimals so that states are hashable and states produced
+#: by identical geometric computations compare equal.
+CircleState = tuple[Point, tuple[float, float, float]]
+
+_ROUND = 9
+
+
+def _circle_key(circle: Circle) -> tuple[float, float, float]:
+    return (
+        round(circle.center.x, _ROUND),
+        round(circle.center.y, _ROUND),
+        round(circle.radius, _ROUND),
+    )
+
+
+def _circle_from_key(key: tuple[float, float, float]) -> Circle:
+    x, y, radius = key
+    return Circle(Point(x, y), radius)
+
+
+def circumscribing_circle_function() -> DistributedFunction:
+    """The direct ``f``: every estimate becomes the smallest circle
+    containing all the estimates (NOT super-idempotent — Figure 2)."""
+
+    def transform(states: Multiset) -> Multiset:
+        if not states:
+            return Multiset.empty()
+        circles = [_circle_from_key(key) for _, key in states]
+        merged = smallest_circle_of_circles(circles)
+        key = _circle_key(merged)
+        return Multiset((position, key) for position, _ in states)
+
+    return DistributedFunction(
+        name="circumscribing circle (direct)",
+        transform=transform,
+        description="every circle estimate becomes the smallest circle "
+        "containing all the estimates",
+    )
+
+
+def circumscribing_circle_algorithm(
+    points: Sequence[Point | tuple],
+) -> SelfSimilarAlgorithm:
+    """Build the direct circumscribing-circle algorithm (for study only).
+
+    The algorithm applies the direct ``f`` group-locally.  Because ``f`` is
+    not super-idempotent the group steps do not preserve the global answer;
+    enforcement is therefore off, and the benchmarks use the resulting
+    over-approximation to quantify why the paper switches to convex hulls.
+    """
+    instance_points = as_points(list(points))
+    if not instance_points:
+        raise SpecificationError("the circumscribing-circle problem needs points")
+    true_circle = smallest_enclosing_circle(instance_points)
+
+    def evaluate(states: Multiset) -> float:
+        # Total radius slack relative to the true circumscribing circle;
+        # can go negative for the direct algorithm (over-approximation),
+        # which is precisely the failure the benchmarks measure.
+        return sum(true_circle.radius - key[2] for _, key in states)
+
+    objective = ObjectiveFunction(
+        name="total radius slack",
+        evaluate=evaluate,
+        lower_bound=float("-inf"),
+        summation_form=True,
+    )
+
+    def make_initial_state(value) -> CircleState:
+        if isinstance(value, Point):
+            position = value
+        else:
+            x, y = value
+            position = Point(float(x), float(y))
+        return (position, (position.x, position.y, 0.0))
+
+    def group_step(
+        states: Sequence[Hashable], rng: random.Random
+    ) -> Sequence[Hashable]:
+        if len(states) <= 1:
+            return list(states)
+        circles = [_circle_from_key(key) for _, key in states]
+        merged = smallest_circle_of_circles(circles)
+        key = _circle_key(merged)
+        return [(position, key) for position, _ in states]
+
+    def read_output(states: Multiset) -> Circle:
+        circles = [_circle_from_key(key) for _, key in states]
+        return smallest_circle_of_circles(circles)
+
+    algorithm = SelfSimilarAlgorithm(
+        name="circumscribing circle (direct, unsound)",
+        function=circumscribing_circle_function(),
+        objective=objective,
+        group_step=group_step,
+        make_initial_state=make_initial_state,
+        read_output=read_output,
+        super_idempotent=False,
+        environment_requirement="connected",
+        enforce=False,
+        description="direct circle merging; over-approximates under partitions (§4.5)",
+    )
+    algorithm.instance_points = instance_points  # type: ignore[attr-defined]
+    algorithm.true_circle = true_circle  # type: ignore[attr-defined]
+    return algorithm
+
+
+def figure2_counterexample() -> dict:
+    """A concrete instance of the paper's Figure-2 configuration.
+
+    Agents 1–3 sit close together near the top of the scene; agent 4 sits
+    far below them.  Group ``B`` = {1, 2, 3} first replaces its members'
+    estimates by their joint circumscribing circle; merging that circle
+    with agent 4's point then yields a circle strictly larger than the
+    circumscribing circle of the four points computed directly, i.e.
+    ``f(f(S_B) ∪ S_C) ≠ f(S_B ∪ S_C)``.
+
+    Returns the points, both circles and their radii so the FIG-2
+    benchmark can print the comparison and tests can assert the gap.
+    """
+    # Agents 1-3: a shallow triangle whose joint circle bulges upward well
+    # beyond any of the three points; agent 4: a point far below.  The
+    # two-stage circle must cover the bulge (topmost point (0, 3) of the
+    # group circle), the direct circle only the actual points.
+    group_b_points = [Point(-3.0, 0.0), Point(3.0, 0.0), Point(0.0, 1.0)]
+    point_c = Point(0.0, -10.0)
+    all_points = group_b_points + [point_c]
+
+    direct_circle = smallest_enclosing_circle(all_points)
+
+    group_b_circle = smallest_enclosing_circle(group_b_points)
+    two_stage_circle = smallest_circle_of_circles(
+        [group_b_circle, Circle(point_c, 0.0)]
+    )
+
+    return {
+        "group_b_points": group_b_points,
+        "point_c": point_c,
+        "all_points": all_points,
+        "group_b_circle": group_b_circle,
+        "direct_circle": direct_circle,
+        "two_stage_circle": two_stage_circle,
+        "radius_direct": direct_circle.radius,
+        "radius_two_stage": two_stage_circle.radius,
+        "radius_gap": two_stage_circle.radius - direct_circle.radius,
+    }

@@ -1,0 +1,163 @@
+"""Convex hull consensus (§4.5) — the generalised circumscribing-circle problem.
+
+The paper's last example asks agents placed at points in the plane to
+agree on the circumscribing circle of all the points.  The direct
+formulation (every agent keeps a circle estimate, groups replace their
+circles by the smallest circle containing them) is **not**
+super-idempotent — Figure 2 — so the problem is generalised: agents agree
+on the **convex hull** of all the points, from which the circumscribing
+circle is obtained locally.
+
+* **Agent state**: the agent's own (constant) coordinates plus its current
+  hull estimate ``V_a``, initially the single point it sits at.
+* **Distributed function** ``f``: every agent's hull becomes the convex
+  hull of the union of all the agents' hull points (Figure 3 — this *is*
+  super-idempotent: the hull of hull-vertices plus more points is the hull
+  of all the points).
+* **Objective** ``h(S) = |A|·P − Σ_a perimeter(V_a)`` where ``P`` is the
+  perimeter of the global hull — summation form with the per-instance
+  constant ``P``.  Merging hulls can only grow each agent's perimeter and
+  the range of reachable values is finite (hull vertex sets are subsets of
+  the initial points), so ``h`` is well-founded.
+* **Step rule** ``R``: every member of a group adopts the hull of the
+  union of the member hulls.  The paper notes that one-sided updates
+  (an agent absorbing a received hull without the sender changing) are
+  also valid — :func:`hull_merge` provides that merge for the
+  asynchronous message-passing runtime.
+* **Environment assumption** ``Q``: any connected graph suffices.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from ..core.algorithm import SelfSimilarAlgorithm
+from ..core.errors import SpecificationError
+from ..core.functions import DistributedFunction
+from ..core.multiset import Multiset
+from ..core.objective import SummationObjective
+from ..geometry.enclosing_circle import Circle, smallest_enclosing_circle
+from ..geometry.hull import convex_hull, hull_perimeter, merge_hulls
+from ..geometry.point import Point, as_points
+
+__all__ = [
+    "HullState",
+    "convex_hull_function",
+    "convex_hull_objective",
+    "convex_hull_algorithm",
+    "hull_merge",
+    "circle_from_states",
+]
+
+
+#: Agent state for the hull problem: (own position, current hull vertices).
+HullState = tuple[Point, tuple[Point, ...]]
+
+
+def convex_hull_function() -> DistributedFunction:
+    """The generalised ``f``: every hull becomes the hull of all hull points."""
+
+    def transform(states: Multiset) -> Multiset:
+        if not states:
+            return Multiset.empty()
+        all_points: list[Point] = []
+        for _, hull in states:
+            all_points.extend(hull)
+        merged = convex_hull(all_points)
+        return Multiset((position, merged) for position, _ in states)
+
+    return DistributedFunction(
+        name="convex hull",
+        transform=transform,
+        description="every agent's hull becomes the hull of the union of all hulls",
+    )
+
+
+def convex_hull_objective(points: Sequence[Point | tuple]) -> SummationObjective:
+    """The paper's ``h(S) = |A|·P − Σ_a perimeter(V_a)`` objective."""
+    global_perimeter = hull_perimeter(convex_hull(as_points(list(points))))
+
+    def per_agent(state: HullState) -> float:
+        _, hull = state
+        slack = global_perimeter - hull_perimeter(hull)
+        # Guard against floating-point jitter making the slack very slightly
+        # negative when an agent already holds the global hull.
+        return max(0.0, slack)
+
+    return SummationObjective(
+        name="perimeter slack",
+        per_agent=per_agent,
+        lower_bound=0.0,
+        description="total perimeter still missing relative to the global hull",
+    )
+
+
+def convex_hull_algorithm(points: Sequence[Point | tuple]) -> SelfSimilarAlgorithm:
+    """Build the convex-hull consensus algorithm for a set of agent positions.
+
+    Parameters
+    ----------
+    points:
+        The agents' positions (the problem instance), needed up front
+        because the paper's objective uses the global hull perimeter ``P``
+        as a constant.  The simulator's initial values should be the same
+        points (or ``(x, y)`` pairs), one per agent.
+    """
+    instance_points = as_points(list(points))
+    if not instance_points:
+        raise SpecificationError("the convex-hull problem needs at least one point")
+
+    def make_initial_state(value) -> HullState:
+        if isinstance(value, Point):
+            position = value
+        else:
+            x, y = value
+            position = Point(float(x), float(y))
+        return (position, (position,))
+
+    def group_step(
+        states: Sequence[Hashable], rng: random.Random
+    ) -> Sequence[Hashable]:
+        if len(states) <= 1:
+            return list(states)
+        merged = merge_hulls(*(hull for _, hull in states))
+        return [(position, merged) for position, _ in states]
+
+    def read_output(states: Multiset) -> tuple[Point, ...]:
+        return merge_hulls(*(hull for _, hull in states))
+
+    algorithm = SelfSimilarAlgorithm(
+        name="convex hull",
+        function=convex_hull_function(),
+        objective=convex_hull_objective(instance_points),
+        group_step=group_step,
+        make_initial_state=make_initial_state,
+        read_output=read_output,
+        super_idempotent=True,
+        environment_requirement="connected",
+        description="consensus on the convex hull of the agents' positions (§4.5)",
+    )
+    algorithm.instance_points = instance_points  # type: ignore[attr-defined]
+    return algorithm
+
+
+def hull_merge(receiver: HullState, received: HullState) -> HullState:
+    """One-sided merge for asynchronous message passing (paper's remark in §4.5):
+    the receiver absorbs the sender's hull, the sender is unchanged."""
+    position, own_hull = receiver
+    _, other_hull = received
+    return (position, merge_hulls(own_hull, other_hull))
+
+
+def circle_from_states(states: Multiset | Sequence[HullState]) -> Circle:
+    """Extract the circumscribing circle from (converged) hull states.
+
+    The circle of the merged hull equals the circumscribing circle of all
+    the agents' positions once every position has propagated into the
+    hulls — this is how the original §4.5 answer is recovered from the
+    generalised problem.
+    """
+    bag = states if isinstance(states, Multiset) else Multiset(states)
+    merged = merge_hulls(*(hull for _, hull in bag))
+    return smallest_enclosing_circle(merged)

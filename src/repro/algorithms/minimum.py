@@ -1,0 +1,118 @@
+"""Minimum of a set (§4.1) — the paper's introductory consensus example.
+
+Every agent ``a`` holds a single non-negative integer ``x_a``; the goal is
+for every agent to end up holding the minimum of the initial values.
+
+* **Distributed function** ``f``: replace every element of the multiset by
+  the multiset's minimum, e.g. ``f({3, 5, 3, 7}) = {3, 3, 3, 3}``.  It is
+  of the form ``◦X`` for the commutative, associative "both take the min"
+  operator, hence super-idempotent.
+* **Objective** ``h(S) = Σ_a x_a`` — summation form, integer valued,
+  non-negative (the paper assumes ``x_a ≥ 0``), hence well-founded.
+* **Step rule** ``R``: all agents of a group adopt the group's minimum
+  (the paper allows adopting any value between the current value and the
+  group minimum; :func:`minimum_algorithm` exposes that laxer rule through
+  the ``partial`` flag).
+* **Environment assumption** ``Q``: any connected graph ``E`` suffices.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from ..core.algorithm import SelfSimilarAlgorithm
+from ..core.errors import SpecificationError
+from ..core.functions import DistributedFunction
+from ..core.multiset import Multiset
+from ..core.objective import SummationObjective
+
+__all__ = ["minimum_function", "minimum_objective", "minimum_algorithm", "minimum_merge"]
+
+
+def minimum_function() -> DistributedFunction:
+    """The paper's ``f`` for the minimum problem."""
+
+    def transform(states: Multiset) -> Multiset:
+        if not states:
+            return Multiset.empty()
+        smallest = states.min()
+        return Multiset({smallest: len(states)})
+
+    return DistributedFunction(
+        name="minimum",
+        transform=transform,
+        description="replace every value by the multiset minimum",
+    )
+
+
+def minimum_objective() -> SummationObjective:
+    """The paper's ``h(S) = Σ_a x_a`` objective (summation form)."""
+    return SummationObjective(
+        name="sum of values",
+        per_agent=lambda value: value,
+        lower_bound=0.0,
+        description="h(S) = sum of agent values; minimized when all hold the minimum",
+    )
+
+
+def _check_non_negative(value: int) -> int:
+    if value < 0:
+        raise SpecificationError(
+            "the minimum example assumes non-negative initial values "
+            f"(got {value}); shift the inputs or use a different objective"
+        )
+    return value
+
+
+def minimum_algorithm(partial: bool = False) -> SelfSimilarAlgorithm:
+    """Build the self-similar minimum-consensus algorithm.
+
+    Parameters
+    ----------
+    partial:
+        When False (default), every group step makes all members adopt the
+        group minimum — the fastest refinement of ``D``.  When True, each
+        member adopts a uniformly random value between the group minimum
+        and its current value — a slower but equally correct refinement,
+        used in tests to demonstrate that the whole class of refinements
+        converges.
+    """
+
+    def group_step(
+        states: Sequence[Hashable], rng: random.Random
+    ) -> Sequence[Hashable]:
+        if len(states) <= 1:
+            return list(states)
+        group_minimum = min(states)
+        if partial:
+            new_states = []
+            for value in states:
+                if value == group_minimum:
+                    new_states.append(value)
+                else:
+                    new_states.append(rng.randint(group_minimum, value))
+            # Guarantee progress: at least one non-minimal member must move,
+            # otherwise the step would change nothing while work remains.
+            if new_states == list(states) and any(v != group_minimum for v in states):
+                index = max(range(len(states)), key=lambda i: states[i])
+                new_states[index] = group_minimum
+            return new_states
+        return [group_minimum] * len(states)
+
+    return SelfSimilarAlgorithm(
+        name="minimum (partial updates)" if partial else "minimum",
+        function=minimum_function(),
+        objective=minimum_objective(),
+        group_step=group_step,
+        make_initial_state=_check_non_negative,
+        read_output=lambda states: states.min(),
+        super_idempotent=True,
+        environment_requirement="connected",
+        description="consensus on the minimum of the initial values (§4.1)",
+    )
+
+
+def minimum_merge(receiver: int, received: int) -> int:
+    """One-sided merge for asynchronous message passing: keep the smaller value."""
+    return received if received < receiver else receiver

@@ -1,0 +1,268 @@
+"""Second smallest value (§4.3).
+
+The paper defines the second smallest value of a multiset as the smallest
+value *different from* the minimum (or the common value when all values
+are equal).  Two formulations are implemented:
+
+**Direct formulation** (:func:`second_smallest_direct_function`,
+:func:`second_smallest_direct_algorithm`).  Every agent holds one value
+and consensus is sought on the second smallest.  The function is
+idempotent but **not** super-idempotent — the paper's own counterexample
+is ``X = {1, 3}``, ``Y = {2}``: ``f(f(X) ∪ Y) = {3, 3, 3}`` while
+``f(X ∪ Y) = {2, 2, 2}``.  Because super-idempotence fails, groups that
+compute "their" second smallest can destroy information the global answer
+needs; the direct algorithm is provided (with enforcement off) so that
+experiment E3 can demonstrate the mis-convergence.
+
+**Pair generalisation** (:func:`second_smallest_pair_function`,
+:func:`second_smallest_algorithm`).  Every agent holds a pair
+``(x_a, y_a)``, initially ``(x⁰_a, x⁰_a)``; the goal is for every pair to
+become the two smallest distinct values of the whole system (or to stay
+unchanged when only one distinct value exists).  This function *is*
+super-idempotent, so the self-similar strategy applies.
+
+**A note on the objective.**  The paper proposes
+``h(S) = Σ_a (x_a + y_a)``.  That quantity does not strictly decrease on
+every required transition: for the two-agent instance
+``{(2,2), (3,3)} → {(2,3), (2,3)}`` it is unchanged (10 → 10), so no
+refinement of ``D`` built on it can ever reach the goal state of that
+instance.  The library therefore uses a corrected summation-form
+objective
+
+    ``h_a(x, y) = x + y + P·[x = y]``
+
+where ``P`` is any constant larger than the value range.  Leaving the
+"degenerate" diagonal (``x = y``) now pays for the forced increase of
+``y`` from the minimum to the second smallest, and every state-changing
+group step strictly decreases the sum (see the module tests for the
+case analysis).  The paper's original objective remains available as
+:func:`paper_pair_objective` so the discrepancy can be measured —
+benchmark E3 reports it, and EXPERIMENTS.md records it as a reproduction
+note.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from ..core.algorithm import SelfSimilarAlgorithm
+from ..core.errors import SpecificationError
+from ..core.functions import DistributedFunction
+from ..core.multiset import Multiset
+from ..core.objective import SummationObjective
+
+__all__ = [
+    "second_smallest_of",
+    "second_smallest_direct_function",
+    "second_smallest_direct_algorithm",
+    "second_smallest_pair_function",
+    "second_smallest_pair_objective",
+    "paper_pair_objective",
+    "second_smallest_algorithm",
+    "DEFAULT_VALUE_BOUND",
+]
+
+#: Default bound on input values used to size the diagonal penalty ``P``.
+#: Inputs larger than this are rejected at initialisation.
+DEFAULT_VALUE_BOUND = 10**6
+
+
+def second_smallest_of(values: Multiset | Sequence[int]) -> int:
+    """The paper's definition: smallest value different from the minimum,
+    or the common value when all values are equal."""
+    distinct = sorted(set(values))
+    if not distinct:
+        raise SpecificationError("second smallest of an empty collection")
+    if len(distinct) == 1:
+        return distinct[0]
+    return distinct[1]
+
+
+# ---------------------------------------------------------------------------
+# Direct (non-super-idempotent) formulation
+# ---------------------------------------------------------------------------
+
+
+def second_smallest_direct_function() -> DistributedFunction:
+    """Consensus on the second smallest value — idempotent but not
+    super-idempotent (the paper's §4.3 counterexample)."""
+
+    def transform(states: Multiset) -> Multiset:
+        if not states:
+            return Multiset.empty()
+        target = second_smallest_of(states)
+        return Multiset({target: len(states)})
+
+    return DistributedFunction(
+        name="second smallest (direct)",
+        transform=transform,
+        description="replace every value by the second smallest distinct value",
+    )
+
+
+def second_smallest_direct_algorithm() -> SelfSimilarAlgorithm:
+    """The naive algorithm that applies the direct ``f`` group-locally.
+
+    Because the direct ``f`` is not super-idempotent, group-local
+    applications are **not** guaranteed to preserve the global answer;
+    this algorithm exists to demonstrate that failure (experiment E3), so
+    step validation is disabled (the steps are not valid ``D`` steps —
+    they may even increase the objective).
+    """
+
+    def group_step(
+        states: Sequence[Hashable], rng: random.Random
+    ) -> Sequence[Hashable]:
+        if len(states) <= 1:
+            return list(states)
+        return [second_smallest_of(states)] * len(states)
+
+    return SelfSimilarAlgorithm(
+        name="second smallest (direct, unsound)",
+        function=second_smallest_direct_function(),
+        objective=SummationObjective(
+            name="sum of values",
+            per_agent=lambda value: value,
+            lower_bound=0.0,
+        ),
+        group_step=group_step,
+        make_initial_state=_check_value,
+        read_output=lambda states: second_smallest_of(states) if len(states) else None,
+        super_idempotent=False,
+        environment_requirement="connected",
+        enforce=False,
+        description="naive group-local second-smallest consensus; mis-converges (§4.3)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pair generalisation (super-idempotent)
+# ---------------------------------------------------------------------------
+
+
+def _pair_target(states: Multiset) -> tuple[int, int] | None:
+    """The pair every agent should adopt, or None when all values are equal."""
+    values: set[int] = set()
+    for x, y in states:
+        values.add(x)
+        values.add(y)
+    distinct = sorted(values)
+    if len(distinct) <= 1:
+        return None
+    return (distinct[0], distinct[1])
+
+
+def second_smallest_pair_function() -> DistributedFunction:
+    """The generalised ``f``: every pair becomes the two smallest distinct
+    values appearing anywhere in the multiset (first or second component);
+    a multiset whose pairs mention a single value is left unchanged."""
+
+    def transform(states: Multiset) -> Multiset:
+        if not states:
+            return Multiset.empty()
+        target = _pair_target(states)
+        if target is None:
+            return states
+        return Multiset({target: len(states)})
+
+    return DistributedFunction(
+        name="second smallest (pair generalisation)",
+        transform=transform,
+        description="every pair becomes the two smallest distinct values overall",
+    )
+
+
+def second_smallest_pair_objective(value_bound: int = DEFAULT_VALUE_BOUND) -> SummationObjective:
+    """Corrected summation-form objective ``h_a(x, y) = x + y + P·[x = y]``."""
+    penalty = value_bound + 1
+
+    def per_agent(state: tuple[int, int]) -> int:
+        x, y = state
+        return x + y + (penalty if x == y else 0)
+
+    return SummationObjective(
+        name="sum of pair values with diagonal penalty",
+        per_agent=per_agent,
+        lower_bound=0.0,
+        description=(
+            "h_a = x + y + P·[x = y]; the penalty makes leaving the diagonal an "
+            "improvement even though y must rise from the minimum to the second "
+            "smallest"
+        ),
+    )
+
+
+def paper_pair_objective() -> SummationObjective:
+    """The paper's original objective ``h(S) = Σ_a (x_a + y_a)``.
+
+    Kept for study: it fails to decrease strictly on transitions such as
+    ``{(2,2), (3,3)} → {(2,3), (2,3)}`` (both sides sum to 10), so it is
+    not used by :func:`second_smallest_algorithm`.
+    """
+    return SummationObjective(
+        name="sum of pair values (paper)",
+        per_agent=lambda state: state[0] + state[1],
+        lower_bound=0.0,
+    )
+
+
+def _check_value(value: int) -> int:
+    if value < 0:
+        raise SpecificationError(
+            f"the second-smallest example assumes non-negative values (got {value})"
+        )
+    return value
+
+
+def second_smallest_algorithm(
+    value_bound: int = DEFAULT_VALUE_BOUND,
+) -> SelfSimilarAlgorithm:
+    """Build the (correct) pair-generalised second-smallest algorithm.
+
+    Parameters
+    ----------
+    value_bound:
+        Upper bound on the input values, used to size the diagonal penalty
+        of the objective.  Inputs above the bound are rejected.
+    """
+
+    def make_initial_state(value: int) -> tuple[int, int]:
+        value = _check_value(value)
+        if value > value_bound:
+            raise SpecificationError(
+                f"initial value {value} exceeds the declared bound {value_bound}; "
+                "pass a larger value_bound to second_smallest_algorithm()"
+            )
+        return (value, value)
+
+    def group_step(
+        states: Sequence[Hashable], rng: random.Random
+    ) -> Sequence[Hashable]:
+        if len(states) <= 1:
+            return list(states)
+        target = _pair_target(Multiset(states))
+        if target is None:
+            return list(states)
+        return [target] * len(states)
+
+    def read_output(states: Multiset):
+        target = _pair_target(states)
+        if target is None:
+            # All pairs mention one value: that value is also the answer.
+            for x, _ in states:
+                return x
+            return None
+        return target[1]
+
+    return SelfSimilarAlgorithm(
+        name="second smallest (pair generalisation)",
+        function=second_smallest_pair_function(),
+        objective=second_smallest_pair_objective(value_bound),
+        group_step=group_step,
+        make_initial_state=make_initial_state,
+        read_output=read_output,
+        super_idempotent=True,
+        environment_requirement="connected",
+        description="compute both smallest values so the second smallest is known (§4.3)",
+    )

@@ -1,0 +1,286 @@
+"""Distributed sorting (§4.4).
+
+Each agent holds one cell of a distributed array: a pair ``(i_a, x_a)`` of
+a (unique) index and a value.  The goal is the state in which values are
+arranged in non-decreasing order of index — i.e. the array is sorted in
+place, with no extra memory per agent.
+
+* **Distributed function** ``f``: keep the same index set and the same
+  value multiset, but assign values to indexes in sorted order.  It is
+  super-idempotent: sorting after some values have been permuted yields
+  the same sorted array as sorting directly.
+* **Objectives.**  The classic "number of out-of-order pairs" objective is
+  well-founded but does **not** have the local-to-global property — the
+  paper's Figure 1 exhibits a 7-agent counterexample, reproduced verbatim
+  by :func:`figure1_counterexample` and benchmark FIG-1.  The objective
+  the paper adopts instead is the squared displacement
+  ``h(S) = Σ_a (i_a − ord(x_a))²`` where ``ord(x)`` is the index at which
+  value ``x`` belongs in the sorted array; it has summation form (``ord``
+  is a per-instance constant map, like the hull example's global
+  perimeter ``P``).
+* **Step rule** ``R``: a group sorts its own cells — it reassigns the
+  values held by its members to the members' indexes in sorted order.
+  Any such rearrangement is a sequence of swaps of out-of-order pairs,
+  each of which strictly decreases the squared displacement.
+* **Environment assumption** ``Q``: a line graph joining adjacent indexes
+  suffices (a complete graph is not needed even though this is not a
+  consensus).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Mapping, Sequence
+
+from ..core.algorithm import SelfSimilarAlgorithm
+from ..core.errors import SpecificationError
+from ..core.functions import DistributedFunction
+from ..core.multiset import Multiset
+from ..core.objective import ObjectiveFunction, SummationObjective
+
+__all__ = [
+    "sorting_function",
+    "out_of_order_pairs",
+    "out_of_order_objective",
+    "displacement_objective",
+    "sorting_algorithm",
+    "figure1_counterexample",
+    "local_to_global_counterexample",
+]
+
+
+Cell = tuple[int, int]
+
+
+def sorting_function() -> DistributedFunction:
+    """The paper's ``f``: same indexes, same values, values sorted by index."""
+
+    def transform(states: Multiset) -> Multiset:
+        cells = list(states)
+        if not cells:
+            return Multiset.empty()
+        indexes = sorted(index for index, _ in cells)
+        values = sorted(value for _, value in cells)
+        return Multiset(zip(indexes, values))
+
+    return DistributedFunction(
+        name="sort",
+        transform=transform,
+        description="assign the value multiset to the index set in sorted order",
+    )
+
+
+def out_of_order_pairs(states: Multiset | Sequence[Cell]) -> int:
+    """Number of pairs of cells whose indexes and values are out of order.
+
+    This is the objective the paper *rejects*: Figure 1 shows it lacks the
+    local-to-global improvement property.
+    """
+    cells = list(states)
+    count = 0
+    for position, (index_a, value_a) in enumerate(cells):
+        for index_b, value_b in cells[position + 1 :]:
+            if (index_a < index_b and value_b < value_a) or (
+                index_b < index_a and value_a < value_b
+            ):
+                count += 1
+    return count
+
+
+def out_of_order_objective() -> ObjectiveFunction:
+    """The rejected objective, packaged for the Figure-1 benchmark."""
+    return ObjectiveFunction(
+        name="out-of-order pairs",
+        evaluate=lambda states: float(out_of_order_pairs(states)),
+        lower_bound=0.0,
+        summation_form=False,
+        description="counts inversions; violates the local-to-global property (Fig. 1)",
+    )
+
+
+def displacement_objective(order: Mapping[int, int]) -> SummationObjective:
+    """The paper's corrected objective ``h(S) = Σ (i_a − ord(x_a))²``.
+
+    Parameters
+    ----------
+    order:
+        The per-instance map from value to its target index (``ord``).
+    """
+
+    def per_agent(cell: Cell) -> float:
+        index, value = cell
+        return float((index - order[value]) ** 2)
+
+    return SummationObjective(
+        name="squared displacement",
+        per_agent=per_agent,
+        lower_bound=0.0,
+        description="sum over agents of (current index - target index)^2",
+    )
+
+
+def _build_order(cells: Sequence[Cell]) -> dict[int, int]:
+    """Compute ``ord``: the index each value must end up at."""
+    indexes = sorted(index for index, _ in cells)
+    values = sorted(value for _, value in cells)
+    return {value: index for index, value in zip(indexes, values)}
+
+
+def sorting_algorithm(
+    values: Sequence[int], indexes: Sequence[int] | None = None
+) -> SelfSimilarAlgorithm:
+    """Build the distributed sorting algorithm for a concrete instance.
+
+    The instance (the values and, optionally, their indexes) must be given
+    up front because the paper's objective uses the per-instance map
+    ``ord`` from value to target position.  Initial values passed to the
+    simulator must be the ``(index, value)`` cells; use
+    :meth:`instance_cells` on the returned algorithm (attached attribute)
+    or ``list(zip(indexes, values))``.
+
+    Parameters
+    ----------
+    values:
+        The values to sort.  They must be pairwise distinct (the paper
+        makes the same simplifying assumption for this objective).
+    indexes:
+        The array positions; defaults to ``0 .. len(values) - 1``.
+    """
+    if indexes is None:
+        indexes = list(range(len(values)))
+    if len(indexes) != len(values):
+        raise SpecificationError("need exactly one index per value")
+    if len(set(indexes)) != len(indexes):
+        raise SpecificationError("indexes must be pairwise distinct")
+    if len(set(values)) != len(values):
+        raise SpecificationError(
+            "the squared-displacement objective assumes pairwise distinct values"
+        )
+    cells = list(zip(indexes, values))
+    order = _build_order(cells)
+
+    def make_initial_state(cell: Cell) -> Cell:
+        index, value = cell
+        if value not in order:
+            raise SpecificationError(
+                f"cell {cell} holds a value that is not part of this instance"
+            )
+        return (index, value)
+
+    def group_step(
+        states: Sequence[Hashable], rng: random.Random
+    ) -> Sequence[Hashable]:
+        if len(states) <= 1:
+            return list(states)
+        group_indexes = sorted(index for index, _ in states)
+        group_values = sorted(value for _, value in states)
+        assignment = dict(zip(group_indexes, group_values))
+        return [(index, assignment[index]) for index, _ in states]
+
+    def read_output(states: Multiset) -> list[int]:
+        return [value for _, value in sorted(states, key=lambda cell: cell[0])]
+
+    algorithm = SelfSimilarAlgorithm(
+        name="sorting",
+        function=sorting_function(),
+        objective=displacement_objective(order),
+        group_step=group_step,
+        make_initial_state=make_initial_state,
+        read_output=read_output,
+        super_idempotent=True,
+        environment_requirement="line",
+        description="sort a distributed array in place (§4.4)",
+    )
+    # Convenience: the cells of this instance, in index order, ready to be
+    # passed to a Simulator as initial values.
+    algorithm.instance_cells = cells  # type: ignore[attr-defined]
+    return algorithm
+
+
+def figure1_counterexample() -> dict:
+    """Return the paper's exact Figure-1 scenario as concrete data.
+
+    Seven agents hold values ``[7, 5, 6, 4, 3, 2, 1]`` at indexes
+    ``1..7``.  Group ``B`` (all agents except the one at index 2) permutes
+    its values to ``[6, 7, 3, 4, 1, 2]`` while group ``C`` (the index-2
+    agent) does nothing.  The paper reports the out-of-order-pair counts
+    as 10 → 9 for ``B`` and 14 → 15 for the whole array.
+
+    Reproduction note: under the literal definition of ``h`` given in the
+    paper (number of pairs ``(a, b)`` with ``i_a < i_b`` and
+    ``x_b ≺ x_a``), the counts of these four states are 15 → 12 and
+    20 → 17 — the global count *also decreases*, so this particular
+    transition does not witness the violation.  The paper's qualitative
+    claim is nevertheless correct; :func:`local_to_global_counterexample`
+    returns a verified witness.  Both the paper's reported numbers and
+    the recomputed ones are included so that benchmark FIG-1 can print
+    the comparison, and EXPERIMENTS.md records the discrepancy.
+
+    Returns a dictionary with the states, the paper's reported values and
+    the recomputed objective values.
+    """
+    indexes = [1, 2, 3, 4, 5, 6, 7]
+    before_values = [7, 5, 6, 4, 3, 2, 1]
+    after_values = [6, 5, 7, 3, 4, 1, 2]
+    group_b_indexes = [1, 3, 4, 5, 6, 7]
+
+    before = list(zip(indexes, before_values))
+    after = list(zip(indexes, after_values))
+    before_b = [cell for cell in before if cell[0] in group_b_indexes]
+    after_b = [cell for cell in after if cell[0] in group_b_indexes]
+    before_c = [cell for cell in before if cell[0] == 2]
+    after_c = [cell for cell in after if cell[0] == 2]
+
+    return {
+        "before": before,
+        "after": after,
+        "before_b": before_b,
+        "after_b": after_b,
+        "before_c": before_c,
+        "after_c": after_c,
+        "h_before_b": out_of_order_pairs(before_b),
+        "h_after_b": out_of_order_pairs(after_b),
+        "h_before_all": out_of_order_pairs(before),
+        "h_after_all": out_of_order_pairs(after),
+        "paper_h_before_b": 10,
+        "paper_h_after_b": 9,
+        "paper_h_before_all": 14,
+        "paper_h_after_all": 15,
+    }
+
+
+def local_to_global_counterexample() -> dict:
+    """A verified witness that the out-of-order-pairs objective violates
+    the local-to-global improvement property (the claim behind Figure 1).
+
+    Five agents hold values ``[4, 5, 9, 8, 3]`` at indexes ``1..5``.
+    Group ``B`` (indexes 1, 3, 4, 5) rearranges its values from
+    ``(4, 9, 8, 3)`` to ``(8, 4, 3, 9)``: ``B``'s out-of-order count drops
+    from 4 to 3 and the singleton group ``C`` (index 2, value 5) is
+    unchanged, yet the whole array's count rises from 5 to 6.  The
+    rearrangement conserves ``f`` for ``B`` (same indexes, same values),
+    so both group transitions are valid ``B``-relation steps for the
+    rejected objective while their union is not.
+    """
+    indexes = [1, 2, 3, 4, 5]
+    before_values = [4, 5, 9, 8, 3]
+    after_values = [8, 5, 4, 3, 9]
+    group_b_indexes = [1, 3, 4, 5]
+
+    before = list(zip(indexes, before_values))
+    after = list(zip(indexes, after_values))
+    before_b = [cell for cell in before if cell[0] in group_b_indexes]
+    after_b = [cell for cell in after if cell[0] in group_b_indexes]
+
+    return {
+        "before": before,
+        "after": after,
+        "before_b": before_b,
+        "after_b": after_b,
+        "before_c": [cell for cell in before if cell[0] == 2],
+        "after_c": [cell for cell in after if cell[0] == 2],
+        "h_before_b": out_of_order_pairs(before_b),
+        "h_after_b": out_of_order_pairs(after_b),
+        "h_before_all": out_of_order_pairs(before),
+        "h_after_all": out_of_order_pairs(after),
+    }

@@ -1,0 +1,14 @@
+"""Classical baselines the paper contrasts self-similar algorithms with."""
+
+from .base import Baseline, BaselineResult
+from .gossip import GossipFloodingBaseline
+from .snapshot import SnapshotAggregationBaseline
+from .tree_aggregation import SpanningTreeAggregationBaseline
+
+__all__ = [
+    "Baseline",
+    "BaselineResult",
+    "GossipFloodingBaseline",
+    "SnapshotAggregationBaseline",
+    "SpanningTreeAggregationBaseline",
+]

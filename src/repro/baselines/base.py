@@ -1,0 +1,59 @@
+"""Common interface of the baseline algorithms.
+
+The paper's related-work section contrasts self-similar algorithms with
+classical approaches: repeated global snapshots / group communication
+(efficient in static systems, inefficient in dynamic ones), flooding the
+full value set, and fixed coordination structures such as spanning trees.
+Experiment E5 runs those baselines under exactly the same environments as
+the self-similar algorithms; this module defines the small interface they
+share.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..environment.base import Environment
+
+__all__ = ["BaselineResult", "Baseline"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline run, aligned with :class:`SimulationResult`
+    where it makes sense (convergence flag and round, message accounting)."""
+
+    converged: bool
+    convergence_round: int | None
+    rounds_executed: int
+    output: Any
+    messages_sent: int = 0
+    metadata: dict = field(default_factory=dict)
+
+
+class Baseline(ABC):
+    """A non-self-similar algorithm run for comparison purposes."""
+
+    name: str = "baseline"
+
+    @abstractmethod
+    def run(
+        self,
+        environment: Environment,
+        initial_values: Sequence[Any],
+        max_rounds: int = 1000,
+        seed: int | None = None,
+    ) -> BaselineResult:
+        """Execute the baseline under ``environment`` and return its result."""
+
+    def describe(self) -> str:
+        """One-line description for benchmark reports."""
+        return self.name
+
+
+def reduce_values(values: Sequence[Any], reduce_fn: Callable[[Sequence[Any]], Any]) -> Any:
+    """Helper used by baselines to compute the global answer from all values."""
+    return reduce_fn(list(values))

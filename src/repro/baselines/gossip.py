@@ -1,0 +1,95 @@
+"""Full-information gossip (flooding) baseline.
+
+Every agent remembers every ``(agent id, value)`` pair it has heard about
+and forwards its whole knowledge set to every neighbour whenever a link is
+available.  An agent can compute the answer locally once it has heard from
+all ``N`` agents; the run converges when every agent has.
+
+Gossip tolerates dynamism as well as the self-similar algorithms do — the
+knowledge sets are themselves a super-idempotent merge — but it pays for
+it: per-agent memory and per-message payload grow linearly with the system
+size, whereas the paper's algorithms carry constant-size state (one value,
+one pair, one hull).  Experiment E5 reports both the convergence rounds
+and the payload volume so the trade-off is visible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Sequence
+
+from ..environment.base import Environment
+from .base import Baseline, BaselineResult
+
+__all__ = ["GossipFloodingBaseline"]
+
+
+class GossipFloodingBaseline(Baseline):
+    """Flood (agent, value) pairs until everyone knows every value."""
+
+    def __init__(self, reduce_fn: Callable[[Sequence[Any]], Any]):
+        self.reduce_fn = reduce_fn
+        self.name = "full-information gossip"
+
+    def run(
+        self,
+        environment: Environment,
+        initial_values: Sequence[Any],
+        max_rounds: int = 1000,
+        seed: int | None = None,
+    ) -> BaselineResult:
+        rng = random.Random(seed)
+        num_agents = environment.num_agents
+        environment.reset()
+
+        knowledge: list[dict[int, Any]] = [
+            {agent: initial_values[agent]} for agent in range(num_agents)
+        ]
+        messages = 0
+        payload_entries = 0
+        convergence_round: int | None = None
+        rounds = 0
+
+        def everyone_knows_everything() -> bool:
+            return all(len(known) == num_agents for known in knowledge)
+
+        if everyone_knows_everything():
+            convergence_round = 0
+
+        for round_index in range(max_rounds):
+            if convergence_round is not None:
+                break
+            rounds += 1
+            state = environment.advance(round_index, rng)
+
+            # Exchange on every available edge between enabled agents; both
+            # directions, full knowledge sets (snapshotted before merging so
+            # the round is symmetric).
+            snapshots = [dict(known) for known in knowledge]
+            for a, b in state.effective_edges():
+                for sender, receiver in ((a, b), (b, a)):
+                    messages += 1
+                    payload_entries += len(snapshots[sender])
+                    knowledge[receiver].update(snapshots[sender])
+
+            if everyone_knows_everything():
+                convergence_round = round_index + 1
+
+        converged = convergence_round is not None
+        outputs = [
+            self.reduce_fn([known[agent] for agent in sorted(known)])
+            for known in knowledge
+        ]
+        return BaselineResult(
+            converged=converged,
+            convergence_round=convergence_round,
+            rounds_executed=rounds,
+            output=outputs[0] if converged else None,
+            messages_sent=messages,
+            metadata={
+                "baseline": self.name,
+                "payload_entries": payload_entries,
+                "environment": environment.describe(),
+                "per_agent_memory": num_agents,
+            },
+        )

@@ -1,0 +1,138 @@
+"""Spanning-tree aggregation baseline.
+
+A classical static-network aggregation scheme: build a spanning tree of
+the communication topology once, aggregate values from the leaves to the
+root along tree edges, then broadcast the result from the root back down.
+Each tree edge can carry its (single) message in a round only when the
+edge is available and both endpoints are enabled.
+
+The structure is fixed up front — the scheme does not adapt when the
+environment withholds precisely the edges the tree depends on.  On a
+static network it completes in ``O(depth)`` rounds with ``O(N)`` messages,
+beating both gossip and the self-similar algorithms on communication; as
+churn rises its completion time degrades faster than the self-similar
+algorithms' (every tree edge is a potential bottleneck, and no alternative
+path is ever used), which is the comparison experiment E5 draws out.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Callable, Sequence
+
+from ..core.errors import EnvironmentError_
+from ..environment.base import Environment
+from .base import Baseline, BaselineResult
+
+__all__ = ["SpanningTreeAggregationBaseline"]
+
+
+class SpanningTreeAggregationBaseline(Baseline):
+    """Aggregate up a fixed spanning tree, then broadcast down."""
+
+    def __init__(self, reduce_fn: Callable[[Sequence[Any]], Any], root: int = 0):
+        self.reduce_fn = reduce_fn
+        self.root = root
+        self.name = "spanning-tree aggregation"
+
+    def _build_tree(self, environment: Environment) -> dict[int, int]:
+        """BFS spanning tree of the full topology: child -> parent map."""
+        topology = environment.topology
+        if not topology.is_connected():
+            raise EnvironmentError_(
+                "spanning-tree aggregation needs a connected base topology"
+            )
+        parent: dict[int, int] = {self.root: self.root}
+        queue = deque([self.root])
+        while queue:
+            node = queue.popleft()
+            for neighbour in sorted(topology.neighbors(node)):
+                if neighbour not in parent:
+                    parent[neighbour] = node
+                    queue.append(neighbour)
+        return parent
+
+    def run(
+        self,
+        environment: Environment,
+        initial_values: Sequence[Any],
+        max_rounds: int = 1000,
+        seed: int | None = None,
+    ) -> BaselineResult:
+        rng = random.Random(seed)
+        num_agents = environment.num_agents
+        environment.reset()
+        parent = self._build_tree(environment)
+        children: dict[int, set[int]] = {agent: set() for agent in range(num_agents)}
+        for child, par in parent.items():
+            if child != par:
+                children[par].add(child)
+
+        # Aggregation state: the partial reductions each node still has to
+        # combine (its own value plus one contribution per child), and
+        # whether it has already sent its contribution up.
+        pending_children: dict[int, set[int]] = {
+            agent: set(children[agent]) for agent in range(num_agents)
+        }
+        contributions: dict[int, list[Any]] = {
+            agent: [initial_values[agent]] for agent in range(num_agents)
+        }
+        sent_up: set[int] = set()
+        has_result: set[int] = set()
+        result_value: Any = None
+        messages = 0
+        convergence_round: int | None = None
+        rounds = 0
+
+        for round_index in range(max_rounds):
+            if convergence_round is not None:
+                break
+            rounds += 1
+            state = environment.advance(round_index, rng)
+
+            # Phase 1: convergecast — a node whose children have all reported
+            # sends its partial aggregate to its parent when the tree edge is up.
+            for agent in range(num_agents):
+                if agent == self.root or agent in sent_up:
+                    continue
+                if pending_children[agent]:
+                    continue
+                par = parent[agent]
+                if not state.can_communicate(agent, par):
+                    continue
+                messages += 1
+                contributions[par].append(self.reduce_fn(contributions[agent]))
+                pending_children[par].discard(agent)
+                sent_up.add(agent)
+
+            # Root completes the aggregate once every child has reported.
+            if result_value is None and not pending_children[self.root]:
+                result_value = self.reduce_fn(contributions[self.root])
+                has_result.add(self.root)
+
+            # Phase 2: broadcast — nodes holding the result push it to
+            # children whose tree edge is up this round.
+            if result_value is not None:
+                for agent in sorted(has_result):
+                    for child in sorted(children[agent] - has_result):
+                        if state.can_communicate(agent, child):
+                            messages += 1
+                            has_result.add(child)
+
+            if len(has_result) == num_agents:
+                convergence_round = round_index + 1
+
+        return BaselineResult(
+            converged=convergence_round is not None,
+            convergence_round=convergence_round,
+            rounds_executed=rounds,
+            output=result_value if convergence_round is not None else None,
+            messages_sent=messages,
+            metadata={
+                "baseline": self.name,
+                "root": self.root,
+                "tree_edges": num_agents - 1,
+                "environment": environment.describe(),
+            },
+        )

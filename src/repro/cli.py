@@ -1,0 +1,195 @@
+"""Command-line interface: run one self-similar computation from a shell.
+
+The CLI exists so that the library can be exercised without writing a
+script — handy for quick demonstrations and for embedding the simulator in
+shell-driven experiment pipelines::
+
+    python -m repro --list
+    python -m repro minimum  --agents 10 --churn 0.3 --seed 7
+    python -m repro sum      --values 3,5,3,7
+    python -m repro sorting  --values 9,2,7,1 --environment line
+    python -m repro hull     --agents 8 --environment mobility --verbose
+
+Input values default to a seeded random instance of the requested size;
+pass ``--values`` for explicit inputs.  The exit status is 0 when the run
+converged to the correct answer and 1 otherwise, so the CLI can be used in
+smoke-test scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Sequence
+
+from . import (
+    Simulator,
+    average_algorithm,
+    convex_hull_algorithm,
+    kth_smallest_algorithm,
+    maximum_algorithm,
+    minimum_algorithm,
+    second_smallest_algorithm,
+    sorting_algorithm,
+    summation_algorithm,
+)
+from .environment import (
+    BlackoutAdversary,
+    RandomChurnEnvironment,
+    RandomWaypointEnvironment,
+    RotatingPartitionAdversary,
+    StaticEnvironment,
+    complete_graph,
+    line_graph,
+)
+from .verification import check_specification
+
+__all__ = ["main", "build_parser", "ALGORITHMS", "ENVIRONMENTS"]
+
+#: Algorithms the CLI can run, keyed by the name used on the command line.
+ALGORITHMS = (
+    "minimum",
+    "maximum",
+    "sum",
+    "average",
+    "second-smallest",
+    "kth-smallest",
+    "sorting",
+    "hull",
+)
+
+#: Environment presets, keyed by the name used on the command line.
+ENVIRONMENTS = ("static", "churn", "line", "partition", "blackout", "mobility")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run a self-similar algorithm in a simulated dynamic distributed system.",
+    )
+    parser.add_argument("algorithm", nargs="?", choices=ALGORITHMS, help="computation to run")
+    parser.add_argument("--list", action="store_true", help="list algorithms and environments")
+    parser.add_argument("--agents", type=int, default=8, help="number of agents (default 8)")
+    parser.add_argument(
+        "--values",
+        type=str,
+        default=None,
+        help="comma-separated input values (default: seeded random instance)",
+    )
+    parser.add_argument(
+        "--environment",
+        choices=ENVIRONMENTS,
+        default="churn",
+        help="environment preset (default: churn)",
+    )
+    parser.add_argument(
+        "--churn", type=float, default=0.3, help="edge up-probability for the churn preset"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--max-rounds", type=int, default=2000, help="round cap")
+    parser.add_argument("--k", type=int, default=3, help="k for kth-smallest")
+    parser.add_argument(
+        "--verbose", action="store_true", help="also print the trace-level specification check"
+    )
+    return parser
+
+
+def _parse_values(text: str) -> list[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip() != ""]
+    except ValueError as error:
+        raise SystemExit(f"--values must be a comma-separated list of integers: {error}")
+
+
+def _default_values(num_agents: int, seed: int) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.randint(0, 99) for _ in range(num_agents)]
+
+
+def _make_environment(name: str, num_agents: int, churn: float, seed: int):
+    if name == "static":
+        return StaticEnvironment(complete_graph(num_agents))
+    if name == "churn":
+        return RandomChurnEnvironment(complete_graph(num_agents), edge_up_probability=churn)
+    if name == "line":
+        return RandomChurnEnvironment(line_graph(num_agents), edge_up_probability=churn)
+    if name == "partition":
+        return RotatingPartitionAdversary(
+            complete_graph(num_agents), num_blocks=2, rotate_every=3, seed=seed
+        )
+    if name == "blackout":
+        return BlackoutAdversary(complete_graph(num_agents), period=10, blackout_rounds=6)
+    if name == "mobility":
+        return RandomWaypointEnvironment(
+            num_agents, arena_size=100.0, range_radius=35.0, speed=8.0, seed=seed
+        )
+    raise SystemExit(f"unknown environment {name!r}")
+
+
+def _make_algorithm(name: str, values: Sequence[int], k: int, seed: int):
+    """Return (algorithm, simulator_inputs) for the requested computation."""
+    if name == "minimum":
+        return minimum_algorithm(), list(values)
+    if name == "maximum":
+        return maximum_algorithm(upper_bound=max(values)), list(values)
+    if name == "sum":
+        return summation_algorithm(), list(values)
+    if name == "average":
+        return average_algorithm(), list(values)
+    if name == "second-smallest":
+        return second_smallest_algorithm(), list(values)
+    if name == "kth-smallest":
+        return kth_smallest_algorithm(k), list(values)
+    if name == "sorting":
+        distinct = list(dict.fromkeys(values))
+        algorithm = sorting_algorithm(distinct)
+        return algorithm, algorithm.instance_cells
+    if name == "hull":
+        rng = random.Random(seed)
+        points = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in values]
+        return convex_hull_algorithm(points), points
+    raise SystemExit(f"unknown algorithm {name!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or args.algorithm is None:
+        print("algorithms:   " + ", ".join(ALGORITHMS))
+        print("environments: " + ", ".join(ENVIRONMENTS))
+        return 0
+
+    values = _parse_values(args.values) if args.values else _default_values(args.agents, args.seed)
+    if args.values:
+        args.agents = len(values)
+    if args.agents < 1:
+        raise SystemExit("--agents must be at least 1")
+
+    algorithm, inputs = _make_algorithm(args.algorithm, values, args.k, args.seed)
+    if len(inputs) != args.agents:
+        args.agents = len(inputs)
+    environment = _make_environment(args.environment, args.agents, args.churn, args.seed)
+
+    simulator = Simulator(algorithm, environment, inputs, seed=args.seed)
+    result = simulator.run(max_rounds=args.max_rounds)
+
+    print(f"algorithm:    {algorithm.name}")
+    print(f"environment:  {environment.describe()}")
+    print(f"inputs:       {list(values)}")
+    print(f"converged:    {result.converged} "
+          f"(round {result.convergence_round}, {result.group_steps} group steps)")
+    print(f"output:       {result.output}")
+    print(f"expected:     {result.expected_output}")
+    if args.verbose:
+        report = check_specification(algorithm, result.trace)
+        print(f"specification: {report.explain()}")
+
+    return 0 if result.converged and result.correct else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,200 @@
+"""The self-similar algorithm abstraction.
+
+A *self-similar algorithm* is described once and executed by every group of
+communicating agents, regardless of the group's size or the identities of
+its members.  In the paper an algorithm is specified by:
+
+* the distributed function ``f`` it computes (which every group step must
+  conserve — the *group conservation law*);
+* a well-founded objective ``h`` that every state-changing group step must
+  strictly decrease;
+* a concrete group step rule ``R`` refining the optimization relation ``D``.
+
+:class:`SelfSimilarAlgorithm` bundles these together with the glue a
+simulator needs: how to build an agent's initial state from an input value,
+and how to read the computed answer back out of final states.  When
+``enforce`` is on (the default) every group step is checked against ``D``
+and violations raise immediately, so a buggy step rule cannot silently
+corrupt an experiment — this mirrors the paper's proof obligation PO-1 as a
+run-time contract.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Sequence
+
+from .errors import ConservationViolation, ImprovementViolation, SpecificationError
+from .functions import DistributedFunction
+from .multiset import Multiset
+from .objective import ObjectiveFunction
+from .relation import OptimizationRelation, StepJudgement, StepKind
+
+__all__ = ["GroupStepRule", "SelfSimilarAlgorithm"]
+
+
+#: A group step rule receives the ordered list of states of the agents in a
+#: group together with a random generator, and returns the new list of
+#: states (same length, same order).  Returning the input unchanged is the
+#: always-allowed stutter step.
+GroupStepRule = Callable[[Sequence[Hashable], random.Random], Sequence[Hashable]]
+
+
+@dataclass
+class SelfSimilarAlgorithm:
+    """A complete self-similar algorithm: ``f``, ``h`` and a step rule ``R``.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name (used by benchmarks and error messages).
+    function:
+        The distributed function ``f`` the agents must compute.
+    objective:
+        The variant function ``h`` decreased by every state-changing step.
+    group_step:
+        The concrete step rule ``R``.  It is invoked on the states of the
+        agents of one group (a list, preserving agent order within the
+        group) and must return the group's new states.
+    make_initial_state:
+        Maps a problem input value (e.g. a sensor reading, an ``(index,
+        value)`` pair, a coordinate) to the corresponding initial agent
+        state.
+    read_output:
+        Maps a final multiset of agent states to the answer the problem
+        asks for (e.g. the common minimum, the sum, the sorted array, the
+        hull).  Used by tests, examples and benchmarks.
+    super_idempotent:
+        Whether ``f`` is (declared) super-idempotent.  Algorithms built on
+        a non-super-idempotent ``f`` (the paper's "direct" second-smallest
+        and circumscribing-circle formulations) set this to False; the
+        verification layer and benchmarks use the flag to know that the
+        local-to-global obligation is expected to fail.
+    environment_requirement:
+        A short machine-readable tag describing the weakest environment
+        assumption ``Q`` under which the paper proves progress:
+        ``"connected"`` (any connected graph suffices — minimum, hull),
+        ``"complete"`` (every pair must meet infinitely often — sum) or
+        ``"line"`` (adjacent ranks must meet — sorting).
+    enforce:
+        When True (default), every group step is validated against ``D``
+        and violations raise :class:`ConservationViolation` or
+        :class:`ImprovementViolation`.  Benchmarks that intentionally run
+        broken algorithms (Figure 1, Figure 2, §4.3's direct formulation)
+        switch this off and observe the judgements instead.
+    """
+
+    name: str
+    function: DistributedFunction
+    objective: ObjectiveFunction
+    group_step: GroupStepRule
+    make_initial_state: Callable[[Any], Hashable] = lambda value: value
+    read_output: Callable[[Multiset], Any] | None = None
+    super_idempotent: bool = True
+    environment_requirement: str = "connected"
+    enforce: bool = True
+    description: str = ""
+    relation: OptimizationRelation = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.relation = OptimizationRelation(self.function, self.objective)
+
+    # -- setup ----------------------------------------------------------------
+
+    def initial_states(self, values: Sequence[Any]) -> list[Hashable]:
+        """Build the initial agent states from a sequence of input values."""
+        return [self.make_initial_state(value) for value in values]
+
+    def target(self, initial_states: Sequence[Hashable]) -> Multiset:
+        """Return ``S* = f(S(0))`` — the multiset the system must reach and keep."""
+        return self.function(Multiset(initial_states))
+
+    # -- execution ------------------------------------------------------------
+
+    def apply_group_step(
+        self,
+        states: Sequence[Hashable],
+        rng: random.Random,
+    ) -> tuple[list[Hashable], StepJudgement]:
+        """Run the step rule on one group and validate the result against ``D``.
+
+        Returns the (possibly unchanged) new states together with the
+        :class:`StepJudgement` explaining how the step was classified.
+
+        Raises
+        ------
+        ConservationViolation
+            If enforcement is on and the step changed ``f`` of the group.
+        ImprovementViolation
+            If enforcement is on and the step changed the state without
+            decreasing ``h``.
+        SpecificationError
+            If the step rule returned a different number of states.
+        """
+        before = list(states)
+        after = list(self.group_step(before, rng))
+        if len(after) != len(before):
+            raise SpecificationError(
+                f"group step of {self.name!r} returned {len(after)} states "
+                f"for a group of {len(before)} agents"
+            )
+        judgement = self.relation.judge(Multiset(before), Multiset(after))
+        if self.enforce:
+            if judgement.kind is StepKind.BREAKS_CONSERVATION:
+                raise ConservationViolation(
+                    f"group step of {self.name!r} violated the conservation law",
+                    before=before,
+                    after=after,
+                )
+            if judgement.kind is StepKind.NOT_AN_IMPROVEMENT:
+                raise ImprovementViolation(
+                    f"group step of {self.name!r} changed the state without "
+                    f"decreasing the objective "
+                    f"({judgement.h_before} -> {judgement.h_after})",
+                    before=before,
+                    after=after,
+                )
+        return after, judgement
+
+    # -- convergence ----------------------------------------------------------
+
+    def is_fixpoint(self, states: Sequence[Hashable] | Multiset) -> bool:
+        """Return True when ``S = f(S)`` — no further improvement is possible."""
+        return self.function.is_fixpoint(
+            states if isinstance(states, Multiset) else Multiset(states)
+        )
+
+    def has_converged(
+        self,
+        states: Sequence[Hashable] | Multiset,
+        initial_states: Sequence[Hashable] | Multiset,
+    ) -> bool:
+        """Return True when the agents have reached ``S* = f(S(0))``."""
+        current = states if isinstance(states, Multiset) else Multiset(states)
+        initial = (
+            initial_states
+            if isinstance(initial_states, Multiset)
+            else Multiset(initial_states)
+        )
+        return current == self.function(initial)
+
+    def result(self, states: Sequence[Hashable] | Multiset) -> Any:
+        """Extract the problem's answer from a multiset of agent states."""
+        bag = states if isinstance(states, Multiset) else Multiset(states)
+        if self.read_output is None:
+            return bag
+        return self.read_output(bag)
+
+    def expected_result(self, values: Sequence[Any]) -> Any:
+        """Return the answer the algorithm should produce for ``values``.
+
+        Computed by applying ``f`` to the initial states and reading the
+        output from the resulting target multiset, which is exactly what a
+        converged run yields.
+        """
+        initial = Multiset(self.initial_states(values))
+        return self.result(self.function(initial))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SelfSimilarAlgorithm({self.name!r})"

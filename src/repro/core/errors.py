@@ -1,0 +1,81 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch library failures with a single ``except`` clause while
+still distinguishing misuse (programming errors) from violated algorithmic
+guarantees (e.g. a step that breaks the conservation law).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class SpecificationError(ReproError):
+    """A problem specification is malformed.
+
+    Raised, for instance, when a distributed function changes the
+    cardinality of the multiset it is applied to, or when an objective
+    function returns a negative value even though it declared a
+    well-founded non-negative range.
+    """
+
+
+class ConservationViolation(ReproError):
+    """A group transition failed to conserve the distributed function ``f``.
+
+    The paper's *group conservation law* requires ``f(S_B) == f(S'_B)`` for
+    every transition of a group ``B``.  The simulator raises this exception
+    (rather than silently continuing) so that incorrect step rules are
+    detected at the moment they violate the invariant.
+    """
+
+    def __init__(self, message: str, before=None, after=None):
+        super().__init__(message)
+        self.before = before
+        self.after = after
+
+
+class ImprovementViolation(ReproError):
+    """A group transition changed the state without decreasing the objective.
+
+    The methodology requires every state-changing step of a group to be an
+    *improvement*: ``h(S'_B) < h(S_B)`` whenever ``S'_B != S_B``.
+    """
+
+    def __init__(self, message: str, before=None, after=None):
+        super().__init__(message)
+        self.before = before
+        self.after = after
+
+
+class NotSuperIdempotentError(ReproError):
+    """The distributed function is not super-idempotent.
+
+    Self-similar algorithms require super-idempotence of ``f`` for the
+    local-to-global proof obligation; algorithms constructed from a
+    non-super-idempotent ``f`` raise this error unless the check is
+    explicitly disabled (e.g. to reproduce the paper's counterexamples).
+    """
+
+    def __init__(self, message: str, counterexample=None):
+        super().__init__(message)
+        self.counterexample = counterexample
+
+
+class EnvironmentError_(ReproError):
+    """An environment was configured inconsistently.
+
+    The trailing underscore avoids shadowing the (deprecated) built-in
+    ``EnvironmentError`` alias of :class:`OSError`.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid configuration."""
+
+
+class VerificationError(ReproError):
+    """A verification routine was asked to check an ill-posed property."""

@@ -1,0 +1,276 @@
+"""Distributed functions on multisets of agent states.
+
+The problems the paper considers are specified by a function ``f`` from
+multisets of agent states to multisets of agent states (of the same
+cardinality).  The methodology hinges on two structural properties of
+``f``:
+
+* **idempotence** — ``f(f(X)) = f(X)``; required for the problem statement
+  "reach and remain at ``f(S(0))``" to be meaningful; and
+* **super-idempotence** — ``f(X ∪ Y) = f(f(X) ∪ Y)`` for all bags ``X`` and
+  ``Y``; the paper proves this is *exactly* the class of idempotent
+  functions for which local conservation implies global conservation, i.e.
+  the class for which the self-similar strategy applies directly.
+
+This module provides
+
+* :class:`DistributedFunction` — a named wrapper around a multiset
+  transformer, with cardinality checking;
+* :func:`from_commutative_operator` — the paper's sufficient condition: any
+  ``f`` of the form ``f(X) = ◦X`` for a commutative, associative operator
+  ``◦`` on multisets is super-idempotent;
+* randomized and exhaustive property checks
+  (:func:`check_idempotent`, :func:`check_super_idempotent`,
+  :func:`find_super_idempotence_counterexample`) used by the verification
+  layer, the test-suite and the Figure-2/Figure-3 benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Sequence
+
+from .errors import SpecificationError
+from .multiset import Multiset
+
+__all__ = [
+    "DistributedFunction",
+    "from_commutative_operator",
+    "check_idempotent",
+    "check_super_idempotent",
+    "check_single_element_super_idempotence",
+    "find_idempotence_counterexample",
+    "find_super_idempotence_counterexample",
+    "random_multisets",
+]
+
+
+MultisetTransformer = Callable[[Multiset], Multiset]
+
+
+@dataclass
+class DistributedFunction:
+    """A function from multisets of agent states to multisets of agent states.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name used in error messages, logs and benchmarks.
+    transform:
+        The underlying function.  It must return a multiset of the *same
+        cardinality* as its argument (the paper's functions never create or
+        destroy agents); this is enforced on every call unless
+        ``check_cardinality`` is False.
+    preserves_cardinality:
+        Set to False for experimental functions that intentionally change
+        cardinality (none of the paper's examples do).
+    description:
+        Optional longer description, surfaced by ``repr``.
+    """
+
+    name: str
+    transform: MultisetTransformer
+    preserves_cardinality: bool = True
+    description: str = ""
+
+    def __call__(self, states: Multiset | Iterable) -> Multiset:
+        bag = states if isinstance(states, Multiset) else Multiset(states)
+        result = self.transform(bag)
+        if not isinstance(result, Multiset):
+            result = Multiset(result)
+        if self.preserves_cardinality and len(result) != len(bag):
+            raise SpecificationError(
+                f"distributed function {self.name!r} changed cardinality: "
+                f"{len(bag)} -> {len(result)}"
+            )
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistributedFunction({self.name!r})"
+
+    # -- structural properties ------------------------------------------------
+
+    def is_fixpoint(self, states: Multiset | Iterable) -> bool:
+        """Return True when ``f(states) == states`` (the goal condition ``S = f(S)``)."""
+        bag = states if isinstance(states, Multiset) else Multiset(states)
+        return self(bag) == bag
+
+    def conserves(self, before: Multiset | Iterable, after: Multiset | Iterable) -> bool:
+        """Return True when ``f(before) == f(after)`` (the conservation law)."""
+        return self(before) == self(after)
+
+
+def from_commutative_operator(
+    name: str,
+    operator: Callable[[Multiset, Multiset], Multiset],
+    description: str = "",
+) -> DistributedFunction:
+    """Build a distributed function from a commutative, associative operator.
+
+    The paper's sufficient condition (§3.4, final lemma): if
+    ``f(∅) = ∅`` and ``f(X) = {x0} ◦ {x1} ◦ … ◦ {xJ}`` for a binary,
+    associative, commutative operator ``◦`` on multisets, then ``f`` is
+    super-idempotent.
+
+    The returned function folds ``operator`` over the singletons of its
+    argument (in an arbitrary but fixed order — associativity and
+    commutativity make the order irrelevant for a well-formed operator).
+    """
+
+    def transform(states: Multiset) -> Multiset:
+        if not states:
+            return Multiset.empty()
+        singletons = [Multiset.singleton(value) for value in states]
+        accumulator = singletons[0]
+        for singleton in singletons[1:]:
+            accumulator = operator(accumulator, singleton)
+        return accumulator
+
+    return DistributedFunction(name=name, transform=transform, description=description)
+
+
+# ---------------------------------------------------------------------------
+# Property checking
+# ---------------------------------------------------------------------------
+
+
+def random_multisets(
+    value_domain: Sequence[Hashable],
+    max_size: int,
+    trials: int,
+    rng: random.Random,
+    min_size: int = 0,
+) -> Iterable[Multiset]:
+    """Yield ``trials`` random multisets drawn from ``value_domain``."""
+    for _ in range(trials):
+        size = rng.randint(min_size, max_size)
+        yield Multiset(rng.choice(value_domain) for _ in range(size))
+
+
+def check_idempotent(
+    function: DistributedFunction,
+    samples: Iterable[Multiset],
+) -> bool:
+    """Return True when ``f(f(X)) == f(X)`` for every sample ``X``."""
+    return find_idempotence_counterexample(function, samples) is None
+
+
+def find_idempotence_counterexample(
+    function: DistributedFunction,
+    samples: Iterable[Multiset],
+) -> Multiset | None:
+    """Return a sample violating idempotence, or None when all pass."""
+    for sample in samples:
+        image = function(sample)
+        if function(image) != image:
+            return sample
+    return None
+
+
+def check_super_idempotent(
+    function: DistributedFunction,
+    samples: Iterable[tuple[Multiset, Multiset]],
+) -> bool:
+    """Return True when ``f(X ∪ Y) == f(f(X) ∪ Y)`` for every sample pair."""
+    return find_super_idempotence_counterexample_in(function, samples) is None
+
+
+def find_super_idempotence_counterexample_in(
+    function: DistributedFunction,
+    samples: Iterable[tuple[Multiset, Multiset]],
+) -> tuple[Multiset, Multiset] | None:
+    """Return a sample pair violating super-idempotence, or None."""
+    for x, y in samples:
+        if function(x | y) != function(function(x) | y):
+            return (x, y)
+    return None
+
+
+def check_single_element_super_idempotence(
+    function: DistributedFunction,
+    samples: Iterable[tuple[Multiset, Hashable]],
+) -> bool:
+    """Check the paper's single-element criterion (equation (6)).
+
+    A function is super-idempotent iff it is idempotent and
+    ``f(X ∪ {v}) = f(f(X) ∪ {v})`` for every multiset ``X`` and value ``v``.
+    This check only exercises the single-element condition; combine with
+    :func:`check_idempotent` for the full criterion.
+    """
+    for x, value in samples:
+        singleton = Multiset.singleton(value)
+        if function(x | singleton) != function(function(x) | singleton):
+            return False
+    return True
+
+
+def find_super_idempotence_counterexample(
+    function: DistributedFunction,
+    value_domain: Sequence[Hashable],
+    max_size: int = 4,
+    trials: int = 500,
+    seed: int | None = 0,
+    exhaustive_size: int | None = None,
+) -> tuple[Multiset, Multiset] | None:
+    """Search for a pair ``(X, Y)`` with ``f(X ∪ Y) != f(f(X) ∪ Y)``.
+
+    Parameters
+    ----------
+    function:
+        The distributed function under test.
+    value_domain:
+        Values to draw multiset elements from.
+    max_size:
+        Maximum size of each randomly drawn multiset.
+    trials:
+        Number of random pairs to try.
+    seed:
+        Seed for reproducible searches.
+    exhaustive_size:
+        When given, additionally enumerate *all* pairs of multisets over
+        ``value_domain`` with combined size up to this bound.  Exhaustive
+        search over a small domain is how the paper's Figure-2
+        counterexample can be rediscovered automatically.
+
+    Returns
+    -------
+    A counterexample pair, or ``None`` when no violation was found.
+    """
+    rng = random.Random(seed)
+
+    if exhaustive_size is not None:
+        for counterexample in _exhaustive_pairs(function, value_domain, exhaustive_size):
+            return counterexample
+
+    for _ in range(trials):
+        x = Multiset(
+            rng.choice(value_domain)
+            for _ in range(rng.randint(0, max_size))
+        )
+        y = Multiset(
+            rng.choice(value_domain)
+            for _ in range(rng.randint(0, max_size))
+        )
+        if function(x | y) != function(function(x) | y):
+            return (x, y)
+    return None
+
+
+def _exhaustive_pairs(
+    function: DistributedFunction,
+    value_domain: Sequence[Hashable],
+    combined_size: int,
+) -> Iterable[tuple[Multiset, Multiset]]:
+    """Yield violating pairs among all multiset pairs up to ``combined_size``."""
+    all_bags: list[Multiset] = [Multiset.empty()]
+    for size in range(1, combined_size + 1):
+        for combo in itertools.combinations_with_replacement(value_domain, size):
+            all_bags.append(Multiset(combo))
+    for x in all_bags:
+        for y in all_bags:
+            if len(x) + len(y) > combined_size:
+                continue
+            if function(x | y) != function(function(x) | y):
+                yield (x, y)

@@ -1,0 +1,142 @@
+"""Objective (variant) functions.
+
+The methodology pairs the distributed function ``f`` with a *variant
+function* ``h`` over agent states whose range is well-founded and which
+every state-changing group step strictly decreases.  The combination —
+conserve ``f``, decrease ``h`` — is the constrained-optimization relation
+``D`` of §3.6.
+
+Two properties of ``h`` matter:
+
+* **well-foundedness** — there is no infinite strictly-decreasing chain, so
+  agents cannot improve forever; in this library objective values are
+  numbers bounded below (non-negative by default), which suffices for the
+  integer-valued objectives of the paper's examples and is checked at run
+  time for the real-valued hull objective via a minimum-decrease quantum;
+* **local-to-global improvement** (property (7)) — improvements by disjoint
+  groups compose into an improvement of the union.  The paper's Lemma (8)
+  gives a simple sufficient condition: ``h`` has *summation form*,
+  ``h(S_B) = Σ_{a ∈ B} h_a(S_a)``.  :class:`SummationObjective` implements
+  exactly that form; :class:`ObjectiveFunction` is the general interface
+  used by the verification layer to exhibit Figure 1's counterexample (an
+  objective *without* summation form that violates (7)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+from .errors import SpecificationError
+from .multiset import Multiset
+
+__all__ = ["ObjectiveFunction", "SummationObjective"]
+
+
+@dataclass
+class ObjectiveFunction:
+    """A variant function ``h`` from multisets of agent states to numbers.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name for logs and benchmark output.
+    evaluate:
+        The underlying function from a multiset of agent states to a number.
+    lower_bound:
+        A value that ``h`` can never go below.  Used as a cheap run-time
+        guard for well-foundedness; the paper's integer objectives use 0.
+    minimum_decrease:
+        The smallest decrease that counts as an improvement.  Integer
+        objectives use 1 (any strict decrease is at least 1); real-valued
+        objectives (the hull perimeter objective) use a small positive
+        quantum so that infinite chains of vanishing improvements — which
+        would defeat well-foundedness — are rejected.
+    summation_form:
+        True when ``h`` is known to have the paper's summation form (8),
+        hence satisfies the local-to-global improvement property.
+    """
+
+    name: str
+    evaluate: Callable[[Multiset], float]
+    lower_bound: float = 0.0
+    minimum_decrease: float = 0.0
+    summation_form: bool = False
+    description: str = ""
+
+    def __call__(self, states: Multiset | Iterable) -> float:
+        bag = states if isinstance(states, Multiset) else Multiset(states)
+        value = self.evaluate(bag)
+        if value < self.lower_bound - 1e-12:
+            raise SpecificationError(
+                f"objective {self.name!r} returned {value}, below its declared "
+                f"lower bound {self.lower_bound}"
+            )
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ObjectiveFunction({self.name!r})"
+
+    def is_improvement(
+        self, before: Multiset | Iterable, after: Multiset | Iterable
+    ) -> bool:
+        """Return True when moving from ``before`` to ``after`` strictly
+        decreases the objective (by at least ``minimum_decrease``)."""
+        h_before = self(before)
+        h_after = self(after)
+        if self.minimum_decrease > 0:
+            return h_after <= h_before - self.minimum_decrease
+        return h_after < h_before
+
+
+class SummationObjective(ObjectiveFunction):
+    """An objective of the paper's summation form ``h(S_B) = Σ h_a(S_a)``.
+
+    Because the per-agent contributions add, improvements by disjoint groups
+    always compose: this is the paper's Lemma (8) sufficient condition for
+    the local-to-global improvement property, and the form used by every
+    example in §4 (minimum, sum, second-smallest, sorting, convex hull).
+
+    Parameters
+    ----------
+    name:
+        Human-readable name.
+    per_agent:
+        The per-agent contribution ``h_a``.  It receives one agent state.
+    offset:
+        A constant added to the sum.  The hull objective
+        ``|A|·P − Σ perimeter(V_a)`` is expressed with ``per_agent`` equal to
+        ``P − perimeter(V_a)`` and offset 0, but an explicit offset is also
+        supported for objectives stated with a global constant.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        per_agent: Callable[[Hashable], float],
+        lower_bound: float = 0.0,
+        minimum_decrease: float = 0.0,
+        offset=0,
+        description: str = "",
+    ):
+        self.per_agent = per_agent
+        self.offset = offset
+
+        def evaluate(states: Multiset) -> float:
+            # Start the sum from the integer 0 (not 0.0) so that exact
+            # per-agent contributions — e.g. the averaging algorithm's
+            # Fraction squares — are not silently coerced to floats, which
+            # would make tiny-but-real improvements look like ties.
+            return sum((per_agent(state) for state in states), offset)
+
+        super().__init__(
+            name=name,
+            evaluate=evaluate,
+            lower_bound=lower_bound,
+            minimum_decrease=minimum_decrease,
+            summation_form=True,
+            description=description,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SummationObjective({self.name!r})"

@@ -1,0 +1,118 @@
+"""The constrained-optimization relations ``B`` and ``D`` of §3.6.
+
+The paper casts the design of ``R`` as constrained optimization: every
+state-changing step of a group must conserve the distributed function ``f``
+*for that group* and strictly decrease the objective ``h`` *for that
+group*.  Formally::
+
+    S_B  B  S'_B   ≡   f(S_B) = f(S'_B)  ∧  h(S_B) > h(S'_B)
+    S_B  D  S'_B   ≡   (S_B B S'_B)  ∨  (S_B = S'_B)
+
+A concrete algorithm ``R`` is correct when it *implements* ``D`` (proof
+obligation 1), non-optimal states can escape (proof obligation 2) and the
+local-to-global property holds (proof obligation 3, automatic when ``f`` is
+super-idempotent and ``h`` has summation form).
+
+:class:`OptimizationRelation` packages ``f`` and ``h`` and provides the
+membership tests used by the algorithm wrapper, the verification layer and
+the benchmarks; :class:`StepJudgement` explains *why* a step was rejected,
+which makes failed assertions in tests and simulations actionable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from .functions import DistributedFunction
+from .multiset import Multiset
+from .objective import ObjectiveFunction
+
+__all__ = ["StepKind", "StepJudgement", "OptimizationRelation"]
+
+
+class StepKind(Enum):
+    """Classification of a candidate group transition."""
+
+    #: The group state did not change (always allowed: ``R`` is reflexive).
+    STUTTER = "stutter"
+    #: The state changed, ``f`` is conserved and ``h`` strictly decreased.
+    IMPROVEMENT = "improvement"
+    #: The state changed but ``f`` was not conserved.
+    BREAKS_CONSERVATION = "breaks_conservation"
+    #: The state changed, ``f`` is conserved, but ``h`` did not decrease.
+    NOT_AN_IMPROVEMENT = "not_an_improvement"
+
+
+@dataclass(frozen=True)
+class StepJudgement:
+    """The verdict on one candidate group transition."""
+
+    kind: StepKind
+    h_before: float | None = None
+    h_after: float | None = None
+
+    @property
+    def is_valid_d_step(self) -> bool:
+        """True when the transition is in the relation ``D``."""
+        return self.kind in (StepKind.STUTTER, StepKind.IMPROVEMENT)
+
+    @property
+    def is_strict(self) -> bool:
+        """True when the transition is in the strict relation ``B``."""
+        return self.kind is StepKind.IMPROVEMENT
+
+    def explain(self) -> str:
+        """Return a one-line human-readable explanation of the verdict."""
+        if self.kind is StepKind.STUTTER:
+            return "stutter step (state unchanged)"
+        if self.kind is StepKind.IMPROVEMENT:
+            return f"improvement: h {self.h_before} -> {self.h_after}"
+        if self.kind is StepKind.BREAKS_CONSERVATION:
+            return "invalid: f(S_B) changed (conservation law violated)"
+        return (
+            f"invalid: state changed but h did not decrease "
+            f"({self.h_before} -> {self.h_after})"
+        )
+
+
+class OptimizationRelation:
+    """The relation ``D`` induced by a distributed function and an objective."""
+
+    def __init__(self, function: DistributedFunction, objective: ObjectiveFunction):
+        self.function = function
+        self.objective = objective
+
+    def judge(
+        self, before: Multiset | Iterable, after: Multiset | Iterable
+    ) -> StepJudgement:
+        """Classify the candidate transition from ``before`` to ``after``."""
+        before_bag = before if isinstance(before, Multiset) else Multiset(before)
+        after_bag = after if isinstance(after, Multiset) else Multiset(after)
+
+        if before_bag == after_bag:
+            return StepJudgement(StepKind.STUTTER)
+        if not self.function.conserves(before_bag, after_bag):
+            return StepJudgement(StepKind.BREAKS_CONSERVATION)
+        h_before = self.objective(before_bag)
+        h_after = self.objective(after_bag)
+        if self.objective.is_improvement(before_bag, after_bag):
+            return StepJudgement(StepKind.IMPROVEMENT, h_before, h_after)
+        return StepJudgement(StepKind.NOT_AN_IMPROVEMENT, h_before, h_after)
+
+    def holds(self, before: Multiset | Iterable, after: Multiset | Iterable) -> bool:
+        """Membership test for ``D`` (stutter or valid improvement)."""
+        return self.judge(before, after).is_valid_d_step
+
+    def holds_strict(
+        self, before: Multiset | Iterable, after: Multiset | Iterable
+    ) -> bool:
+        """Membership test for the strict relation ``B``."""
+        return self.judge(before, after).is_strict
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OptimizationRelation(f={self.function.name!r}, "
+            f"h={self.objective.name!r})"
+        )

@@ -1,0 +1,232 @@
+"""The environment half of the paper's system model.
+
+A system state is a pair ``(G, S)``: the environment state ``G`` and the
+multiset ``S`` of agent states.  The environment decides, at every moment,
+which agents are *enabled* (able to change state) and which communication
+links are *available*; it never reads or writes agent state.  Designers
+cannot choose the environment's behaviour — they can only assume a set
+``Q`` of predicates each of which holds infinitely often (assumption (2)).
+
+This module defines:
+
+* :class:`Topology` — the fixed communication graph ``E`` over which the
+  paper's predicate sets ``Q_E`` are defined (``Q_e`` = "edge *e* is
+  available");
+* :class:`EnvironmentState` — one concrete ``G``: the set of enabled agents
+  and the set of currently available edges, together with the group
+  structure (connected components) it induces;
+* :class:`Environment` — the abstract driver that produces a (possibly
+  adversarial, possibly random) sequence of environment states.
+
+Concrete environments live in :mod:`repro.environment.dynamics`,
+:mod:`repro.environment.adversary` and :mod:`repro.environment.mobility`.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.errors import EnvironmentError_
+
+__all__ = ["Topology", "EnvironmentState", "Environment"]
+
+Edge = tuple[int, int]
+
+
+def _normalize_edge(a: int, b: int) -> Edge:
+    """Store undirected edges with the smaller endpoint first."""
+    if a == b:
+        raise EnvironmentError_(f"self-loop edge ({a}, {b}) is not allowed")
+    return (a, b) if a < b else (b, a)
+
+
+class Topology:
+    """The fixed communication graph ``(A, E)`` of a system.
+
+    The vertex set is ``range(num_agents)``; edges are undirected pairs of
+    distinct agents.  The paper's environment assumption ``Q_E`` says every
+    edge of ``E`` is available infinitely often; which ``E`` suffices
+    depends on the problem (connected for minimum/hull, complete for sum,
+    a line in index order for sorting).
+    """
+
+    def __init__(self, num_agents: int, edges: Iterable[tuple[int, int]]):
+        if num_agents <= 0:
+            raise EnvironmentError_("a topology needs at least one agent")
+        self.num_agents = num_agents
+        normalized = set()
+        for a, b in edges:
+            if not (0 <= a < num_agents and 0 <= b < num_agents):
+                raise EnvironmentError_(
+                    f"edge ({a}, {b}) references an agent outside 0..{num_agents - 1}"
+                )
+            normalized.add(_normalize_edge(a, b))
+        self.edges: frozenset[Edge] = frozenset(normalized)
+        self._adjacency: dict[int, frozenset[int]] | None = None
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def agent_ids(self) -> range:
+        """The agent identifiers ``0 .. num_agents - 1``."""
+        return range(self.num_agents)
+
+    def adjacency(self) -> dict[int, frozenset[int]]:
+        """Return the adjacency map (computed once and cached)."""
+        if self._adjacency is None:
+            neighbors: dict[int, set[int]] = {a: set() for a in self.agent_ids}
+            for a, b in self.edges:
+                neighbors[a].add(b)
+                neighbors[b].add(a)
+            self._adjacency = {a: frozenset(ns) for a, ns in neighbors.items()}
+        return self._adjacency
+
+    def neighbors(self, agent: int) -> frozenset[int]:
+        """Return the neighbours of ``agent`` in the fixed graph."""
+        return self.adjacency()[agent]
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """Return True when the undirected edge ``{a, b}`` is in the graph."""
+        if a == b:
+            return False
+        return _normalize_edge(a, b) in self.edges
+
+    def is_connected(self) -> bool:
+        """Return True when the fixed graph is connected."""
+        components = connected_components(set(self.agent_ids), self.edges)
+        return len(components) <= 1
+
+    def is_complete(self) -> bool:
+        """Return True when every pair of agents is joined by an edge."""
+        expected = self.num_agents * (self.num_agents - 1) // 2
+        return len(self.edges) == expected
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Topology(num_agents={self.num_agents}, edges={len(self.edges)})"
+
+
+def connected_components(
+    agents: Iterable[int], edges: Iterable[Edge]
+) -> list[frozenset[int]]:
+    """Return the connected components of the graph restricted to ``agents``.
+
+    Edges whose endpoints are not both in ``agents`` are ignored.  The
+    result is sorted by smallest member so that the group structure of an
+    environment state is deterministic.
+    """
+    agent_set = set(agents)
+    parent: dict[int, int] = {a: a for a in agent_set}
+
+    def find(a: int) -> int:
+        root = a
+        while parent[root] != root:
+            root = parent[root]
+        while parent[a] != root:
+            parent[a], a = root, parent[a]
+        return root
+
+    def union(a: int, b: int) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    for a, b in edges:
+        if a in agent_set and b in agent_set:
+            union(a, b)
+
+    groups: dict[int, set[int]] = {}
+    for a in agent_set:
+        groups.setdefault(find(a), set()).add(a)
+    return sorted((frozenset(members) for members in groups.values()), key=min)
+
+
+@dataclass(frozen=True)
+class EnvironmentState:
+    """One environment state ``G``: who is enabled and who can talk to whom."""
+
+    enabled_agents: frozenset[int]
+    available_edges: frozenset[Edge]
+    round_index: int = 0
+
+    def effective_edges(self) -> frozenset[Edge]:
+        """Edges whose both endpoints are enabled (only these support steps)."""
+        return frozenset(
+            edge
+            for edge in self.available_edges
+            if edge[0] in self.enabled_agents and edge[1] in self.enabled_agents
+        )
+
+    def communication_groups(self) -> list[frozenset[int]]:
+        """Connected components of enabled agents under available edges.
+
+        Disabled agents are excluded entirely: a disabled agent executes no
+        actions and does not change state, so it belongs to no acting
+        group this round.
+        """
+        return connected_components(self.enabled_agents, self.effective_edges())
+
+    def can_communicate(self, a: int, b: int) -> bool:
+        """Return True when agents ``a`` and ``b`` are enabled and share an
+        available edge."""
+        if a == b:
+            return a in self.enabled_agents
+        if a not in self.enabled_agents or b not in self.enabled_agents:
+            return False
+        return _normalize_edge(a, b) in self.available_edges
+
+    def is_edge_available(self, a: int, b: int) -> bool:
+        """Return True when the edge ``{a, b}`` is available this round
+        (regardless of whether the endpoints are enabled)."""
+        return _normalize_edge(a, b) in self.available_edges
+
+
+class Environment(ABC):
+    """Abstract producer of environment states.
+
+    Subclasses model concrete dynamics: random churn, adversaries,
+    mobility, and so on.  The simulator calls :meth:`advance` once per
+    round; an environment may be deterministic or may use the supplied
+    random generator.
+
+    The fixed :class:`Topology` is the graph ``E`` over which the
+    environment assumption ``Q_E`` is stated — in every environment
+    implemented here the set of available edges is a subset of the
+    topology's edges.
+    """
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+
+    @property
+    def num_agents(self) -> int:
+        """Number of agents in the system."""
+        return self.topology.num_agents
+
+    @abstractmethod
+    def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
+        """Produce the environment state for round ``round_index``."""
+
+    def reset(self) -> None:
+        """Reset any internal state before a new simulation run.
+
+        The default implementation does nothing; stateful environments
+        (mobility, adversaries with epochs) override it.
+        """
+
+    def describe(self) -> str:
+        """One-line description used in benchmark reports."""
+        return type(self).__name__
+
+    # -- fairness -------------------------------------------------------------
+
+    def fairness_predicates(self) -> Sequence[str]:
+        """Human-readable list of the ``Q`` predicates this environment
+        guarantees to satisfy infinitely often.
+
+        Concrete environments override this to document (and allow tests to
+        assert) which of the paper's assumptions they meet.
+        """
+        return ()

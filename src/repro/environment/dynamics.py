@@ -1,0 +1,261 @@
+"""Stochastic environment dynamics.
+
+These environments model the benign-but-unreliable settings the paper's
+introduction motivates: links and agents go up and down because of noise,
+power loss, interference or mobility.  None of them is adversarial (see
+:mod:`repro.environment.adversary` for that); their randomness guarantees
+— with probability one — that every edge of the underlying topology is
+available infinitely often, i.e. the paper's assumption ``Q_E`` holds, so
+the self-similar algorithms converge with probability one and merely take
+longer when availability is scarce ("speed up or slow down depending on
+the resources available").
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.errors import EnvironmentError_
+from .base import Environment, EnvironmentState, Topology
+
+__all__ = [
+    "StaticEnvironment",
+    "RandomChurnEnvironment",
+    "MarkovChurnEnvironment",
+    "PeriodicDutyCycleEnvironment",
+]
+
+
+class StaticEnvironment(Environment):
+    """A benign environment: every agent enabled, every edge always available.
+
+    This is the degenerate case in which a dynamic distributed system
+    behaves like a classical static one; baselines such as the repeated
+    global snapshot are at their best here.
+    """
+
+    def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
+        return EnvironmentState(
+            enabled_agents=frozenset(self.topology.agent_ids),
+            available_edges=self.topology.edges,
+            round_index=round_index,
+        )
+
+    def fairness_predicates(self):
+        return tuple(f"edge {edge} available" for edge in sorted(self.topology.edges))
+
+    def describe(self) -> str:
+        return "static (all agents and edges always available)"
+
+
+class RandomChurnEnvironment(Environment):
+    """Independent per-round availability of edges and agents.
+
+    Each round, every topology edge is available independently with
+    probability ``edge_up_probability`` and every agent is enabled
+    independently with probability ``agent_up_probability``.  With both
+    probabilities positive, every edge is available (with both endpoints
+    enabled) infinitely often with probability one, so ``Q_E`` holds.
+
+    Parameters
+    ----------
+    topology:
+        The underlying communication graph ``E``.
+    edge_up_probability:
+        Probability that an edge is available in a given round.
+    agent_up_probability:
+        Probability that an agent is enabled in a given round.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        edge_up_probability: float = 0.5,
+        agent_up_probability: float = 1.0,
+    ):
+        super().__init__(topology)
+        for name, value in (
+            ("edge_up_probability", edge_up_probability),
+            ("agent_up_probability", agent_up_probability),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise EnvironmentError_(f"{name} must be in [0, 1], got {value}")
+        self.edge_up_probability = edge_up_probability
+        self.agent_up_probability = agent_up_probability
+
+    def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
+        enabled = frozenset(
+            agent
+            for agent in self.topology.agent_ids
+            if rng.random() < self.agent_up_probability
+        )
+        edges = frozenset(
+            edge for edge in self.topology.edges if rng.random() < self.edge_up_probability
+        )
+        return EnvironmentState(enabled, edges, round_index)
+
+    def fairness_predicates(self):
+        if self.edge_up_probability > 0 and self.agent_up_probability > 0:
+            return tuple(
+                f"edge {edge} available (w.p. {self.edge_up_probability} per round)"
+                for edge in sorted(self.topology.edges)
+            )
+        return ()
+
+    def describe(self) -> str:
+        return (
+            f"random churn (edge up {self.edge_up_probability}, "
+            f"agent up {self.agent_up_probability})"
+        )
+
+
+class MarkovChurnEnvironment(Environment):
+    """Edges and agents fail and recover with per-round transition rates.
+
+    Unlike :class:`RandomChurnEnvironment`, availability is correlated in
+    time: an edge that is down stays down for a geometrically distributed
+    number of rounds (mean ``1 / recovery_probability``).  This models
+    longer outages — a link stays broken until repaired, an agent stays
+    dark until it finds power — while still satisfying ``Q_E`` with
+    probability one as long as the recovery probability is positive.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        edge_failure_probability: float = 0.1,
+        edge_recovery_probability: float = 0.3,
+        agent_failure_probability: float = 0.0,
+        agent_recovery_probability: float = 1.0,
+    ):
+        super().__init__(topology)
+        for name, value in (
+            ("edge_failure_probability", edge_failure_probability),
+            ("edge_recovery_probability", edge_recovery_probability),
+            ("agent_failure_probability", agent_failure_probability),
+            ("agent_recovery_probability", agent_recovery_probability),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise EnvironmentError_(f"{name} must be in [0, 1], got {value}")
+        self.edge_failure_probability = edge_failure_probability
+        self.edge_recovery_probability = edge_recovery_probability
+        self.agent_failure_probability = agent_failure_probability
+        self.agent_recovery_probability = agent_recovery_probability
+        self._edge_up: dict = {}
+        self._agent_up: dict = {}
+        self.reset()
+
+    def reset(self) -> None:
+        self._edge_up = {edge: True for edge in self.topology.edges}
+        self._agent_up = {agent: True for agent in self.topology.agent_ids}
+
+    def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
+        for edge, up in self._edge_up.items():
+            if up:
+                if rng.random() < self.edge_failure_probability:
+                    self._edge_up[edge] = False
+            else:
+                if rng.random() < self.edge_recovery_probability:
+                    self._edge_up[edge] = True
+        for agent, up in self._agent_up.items():
+            if up:
+                if rng.random() < self.agent_failure_probability:
+                    self._agent_up[agent] = False
+            else:
+                if rng.random() < self.agent_recovery_probability:
+                    self._agent_up[agent] = True
+        return EnvironmentState(
+            enabled_agents=frozenset(a for a, up in self._agent_up.items() if up),
+            available_edges=frozenset(e for e, up in self._edge_up.items() if up),
+            round_index=round_index,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"markov churn (edge fail {self.edge_failure_probability}/"
+            f"recover {self.edge_recovery_probability}, "
+            f"agent fail {self.agent_failure_probability}/"
+            f"recover {self.agent_recovery_probability})"
+        )
+
+    def fairness_predicates(self):
+        if self.edge_recovery_probability > 0 and self.agent_recovery_probability > 0:
+            return tuple(
+                f"edge {edge} eventually recovers" for edge in sorted(self.topology.edges)
+            )
+        return ()
+
+
+class PeriodicDutyCycleEnvironment(Environment):
+    """Agents follow a periodic duty cycle (sleep/wake), edges always up.
+
+    Models sensor nodes that power down to save energy: agent ``a`` is
+    awake during a contiguous window of ``ceil(duty_cycle * period)``
+    rounds within each period, with a per-agent phase offset.  Two agents
+    can communicate only in rounds where both are awake; staggered phases
+    therefore produce changing, often disconnected communication groups,
+    while over a full period every edge whose endpoints' windows overlap is
+    available at least once.
+
+    With ``duty_cycle >= 0.5 + 1/period`` every pair of adjacent agents is
+    guaranteed overlapping wake windows regardless of phases, which keeps
+    the assumption ``Q_E`` satisfied deterministically.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        period: int = 10,
+        duty_cycle: float = 0.6,
+        phases: list[int] | None = None,
+        seed: int | None = None,
+    ):
+        super().__init__(topology)
+        if period <= 0:
+            raise EnvironmentError_("period must be positive")
+        if not 0.0 < duty_cycle <= 1.0:
+            raise EnvironmentError_("duty_cycle must be in (0, 1]")
+        self.period = period
+        self.duty_cycle = duty_cycle
+        self.wake_rounds = max(1, round(duty_cycle * period))
+        if phases is None:
+            rng = random.Random(seed)
+            phases = [rng.randrange(period) for _ in topology.agent_ids]
+        if len(phases) != topology.num_agents:
+            raise EnvironmentError_("one phase per agent is required")
+        self.phases = list(phases)
+
+    def _is_awake(self, agent: int, round_index: int) -> bool:
+        position = (round_index - self.phases[agent]) % self.period
+        return position < self.wake_rounds
+
+    def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
+        enabled = frozenset(
+            agent
+            for agent in self.topology.agent_ids
+            if self._is_awake(agent, round_index)
+        )
+        return EnvironmentState(
+            enabled_agents=enabled,
+            available_edges=self.topology.edges,
+            round_index=round_index,
+        )
+
+    def describe(self) -> str:
+        return f"periodic duty cycle (period {self.period}, duty {self.duty_cycle})"
+
+    def fairness_predicates(self):
+        return tuple(
+            f"agents {a} and {b} awake together once per period"
+            for a, b in sorted(self.topology.edges)
+            if self._windows_overlap(a, b)
+        )
+
+    def _windows_overlap(self, a: int, b: int) -> bool:
+        rounds_a = {
+            (self.phases[a] + offset) % self.period for offset in range(self.wake_rounds)
+        }
+        rounds_b = {
+            (self.phases[b] + offset) % self.period for offset in range(self.wake_rounds)
+        }
+        return bool(rounds_a & rounds_b)

@@ -1,0 +1,33 @@
+"""Planar geometry substrate for the circumscribing-circle example (§4.5)."""
+
+from .enclosing_circle import (
+    Circle,
+    smallest_circle_of_circles,
+    smallest_enclosing_circle,
+)
+from .hull import (
+    convex_hull,
+    hull_area,
+    hull_perimeter,
+    is_convex_polygon,
+    merge_hulls,
+    point_in_hull,
+)
+from .point import Point, centroid, collinear, distance, orientation
+
+__all__ = [
+    "Circle",
+    "smallest_circle_of_circles",
+    "smallest_enclosing_circle",
+    "convex_hull",
+    "hull_area",
+    "hull_perimeter",
+    "is_convex_polygon",
+    "merge_hulls",
+    "point_in_hull",
+    "Point",
+    "centroid",
+    "collinear",
+    "distance",
+    "orientation",
+]

@@ -1,0 +1,147 @@
+"""Convex hulls in the plane.
+
+The paper generalises the (non-super-idempotent) circumscribing-circle
+function into the convex-hull function, which *is* super-idempotent: the
+hull of a point set equals the hull of (the hull's vertices plus any extra
+points).  Agents therefore exchange and merge hulls.
+
+This module implements Andrew's monotone-chain algorithm, hull perimeter
+(the paper's objective ``h`` for the example is ``|A|·P − Σ perimeter(V_a)``)
+and point-in-hull testing.  Hulls are returned as tuples of
+:class:`~repro.geometry.point.Point` in counter-clockwise order, starting
+from the lexicographically smallest vertex, so that equal hulls compare
+equal structurally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .point import EPSILON, Point, as_points, orientation
+
+__all__ = [
+    "convex_hull",
+    "hull_perimeter",
+    "hull_area",
+    "point_in_hull",
+    "merge_hulls",
+    "is_convex_polygon",
+]
+
+
+def convex_hull(points: Iterable[Point | tuple]) -> tuple[Point, ...]:
+    """Return the convex hull of ``points`` as a CCW tuple of vertices.
+
+    Duplicate and interior points are removed.  Collinear points on the
+    boundary are *not* kept (only extreme vertices are returned), which
+    gives a canonical representation: two point sets with the same hull
+    produce identical tuples.
+
+    Degenerate inputs are handled naturally: the hull of a single point is
+    that point; the hull of collinear points is the pair of extreme points.
+    """
+    pts = sorted(set(as_points(list(points))))
+    if len(pts) <= 2:
+        return tuple(pts)
+
+    def half_hull(ordered: Sequence[Point]) -> list[Point]:
+        chain: list[Point] = []
+        for point in ordered:
+            while len(chain) >= 2 and orientation(chain[-2], chain[-1], point) <= EPSILON:
+                chain.pop()
+            chain.append(point)
+        return chain
+
+    lower = half_hull(pts)
+    upper = half_hull(list(reversed(pts)))
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 2:
+        # All points coincide after deduplication.
+        return (pts[0],)
+    if len(hull) == 2 and hull[0] == hull[1]:
+        return (hull[0],)
+    return _canonical(hull)
+
+
+def _canonical(vertices: Sequence[Point]) -> tuple[Point, ...]:
+    """Rotate a CCW vertex list so it starts at the smallest vertex."""
+    start = min(range(len(vertices)), key=lambda index: vertices[index])
+    return tuple(vertices[start:]) + tuple(vertices[:start])
+
+
+def hull_perimeter(hull: Sequence[Point]) -> float:
+    """Return the perimeter of a hull (0 for a single point).
+
+    For a two-point "hull" (collinear degenerate case) the perimeter is
+    twice the segment length, i.e. the boundary traversed out and back,
+    which keeps the perimeter monotone under hull growth.
+    """
+    vertices = list(hull)
+    if len(vertices) <= 1:
+        return 0.0
+    total = 0.0
+    for index, vertex in enumerate(vertices):
+        nxt = vertices[(index + 1) % len(vertices)]
+        total += vertex.distance_to(nxt)
+    return total
+
+
+def hull_area(hull: Sequence[Point]) -> float:
+    """Return the area enclosed by a hull (shoelace formula)."""
+    vertices = list(hull)
+    if len(vertices) < 3:
+        return 0.0
+    twice_area = 0.0
+    for index, vertex in enumerate(vertices):
+        nxt = vertices[(index + 1) % len(vertices)]
+        twice_area += vertex.x * nxt.y - nxt.x * vertex.y
+    return abs(twice_area) / 2.0
+
+
+def point_in_hull(point: Point, hull: Sequence[Point], tolerance: float = EPSILON) -> bool:
+    """Return True when ``point`` lies inside or on the boundary of ``hull``."""
+    vertices = list(hull)
+    if not vertices:
+        return False
+    if len(vertices) == 1:
+        return point.almost_equal(vertices[0], tolerance)
+    if len(vertices) == 2:
+        a, b = vertices
+        cross = orientation(a, b, point)
+        if abs(cross) > max(tolerance, tolerance * a.distance_to(b)):
+            return False
+        dot = (point.x - a.x) * (b.x - a.x) + (point.y - a.y) * (b.y - a.y)
+        return -tolerance <= dot <= a.distance_to(b) ** 2 + tolerance
+    for index, vertex in enumerate(vertices):
+        nxt = vertices[(index + 1) % len(vertices)]
+        if orientation(vertex, nxt, point) < -tolerance:
+            return False
+    return True
+
+
+def merge_hulls(*hulls: Sequence[Point]) -> tuple[Point, ...]:
+    """Return the convex hull of the union of several hulls.
+
+    This is the group step of the paper's convex-hull algorithm: a group of
+    agents replaces each member's hull with the hull of the union of all
+    the member hulls.  Super-idempotence of the hull function makes this
+    step conserve the global hull.
+    """
+    points: list[Point] = []
+    for hull in hulls:
+        points.extend(hull)
+    return convex_hull(points)
+
+
+def is_convex_polygon(vertices: Sequence[Point], tolerance: float = EPSILON) -> bool:
+    """Return True when the CCW vertex sequence forms a convex polygon."""
+    pts = list(vertices)
+    if len(pts) <= 2:
+        return True
+    for index in range(len(pts)):
+        a = pts[index]
+        b = pts[(index + 1) % len(pts)]
+        c = pts[(index + 2) % len(pts)]
+        if orientation(a, b, c) < -tolerance:
+            return False
+    return True

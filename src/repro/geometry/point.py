@@ -1,0 +1,99 @@
+"""Planar points and elementary predicates.
+
+The circumscribing-circle example of the paper (§4.5) places every agent at
+a point in the plane.  This module provides a small, dependency-free point
+type plus the orientation / distance predicates that the convex-hull and
+smallest-enclosing-circle routines are built on.
+
+Points are immutable and hashable so they can be stored in the multisets
+and frozensets used throughout the library.  Coordinates are ordinary
+floats; predicates that are sensitive to rounding (collinearity, circle
+membership) take an explicit tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["Point", "orientation", "distance", "collinear", "centroid"]
+
+#: Default absolute tolerance for geometric predicates.
+EPSILON = 1e-9
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the Euclidean plane."""
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to another point."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return the point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Return the midpoint of the segment joining this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def almost_equal(self, other: "Point", tolerance: float = EPSILON) -> bool:
+        """Return True when both coordinates agree within ``tolerance``."""
+        return (
+            abs(self.x - other.x) <= tolerance and abs(self.y - other.y) <= tolerance
+        )
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return the ``(x, y)`` coordinate tuple."""
+        return (self.x, self.y)
+
+
+def orientation(a: Point, b: Point, c: Point) -> float:
+    """Signed double area of triangle ``abc``.
+
+    Positive when the points make a counter-clockwise turn, negative when
+    clockwise and (near) zero when collinear.
+    """
+    return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+
+
+def collinear(a: Point, b: Point, c: Point, tolerance: float = EPSILON) -> bool:
+    """Return True when the three points are collinear within ``tolerance``."""
+    return abs(orientation(a, b, c)) <= tolerance
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return a.distance_to(b)
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Return the centroid (mean point) of a non-empty collection of points."""
+    points = list(points)
+    if not points:
+        raise ValueError("centroid() of an empty collection of points")
+    return Point(
+        sum(p.x for p in points) / len(points),
+        sum(p.y for p in points) / len(points),
+    )
+
+
+def as_points(coordinates: Sequence) -> list[Point]:
+    """Coerce a sequence of ``Point`` or ``(x, y)`` pairs to a list of points."""
+    result = []
+    for item in coordinates:
+        if isinstance(item, Point):
+            result.append(item)
+        else:
+            x, y = item
+            result.append(Point(float(x), float(y)))
+    return result

@@ -1,0 +1,19 @@
+"""Simulation of self-similar algorithms under dynamic environments."""
+
+from .engine import Simulator
+from .messaging import MergeMessagePassingSimulator
+from .metrics import RunStatistics, aggregate, format_table
+from .result import SimulationResult
+from .runner import SweepPoint, run_repeated, sweep
+
+__all__ = [
+    "Simulator",
+    "MergeMessagePassingSimulator",
+    "RunStatistics",
+    "aggregate",
+    "format_table",
+    "SimulationResult",
+    "SweepPoint",
+    "run_repeated",
+    "sweep",
+]

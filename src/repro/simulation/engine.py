@@ -1,0 +1,241 @@
+"""The round-based simulation engine.
+
+The engine executes the paper's transition relation directly:
+
+* at the start of every round the **environment** takes a transition — the
+  concrete :class:`~repro.environment.base.Environment` produces the next
+  environment state ``G`` (which agents are enabled, which links are
+  available);
+* then the **agents** take a transition — a
+  :class:`~repro.agents.scheduler.Scheduler` picks a partition of the
+  enabled agents into groups compatible with ``G``, and every scheduled
+  group executes the algorithm's group step.  Unscheduled agents and
+  disabled agents stutter, which the reflexivity of ``R`` always allows.
+
+Every group step is validated against the optimization relation ``D``
+(conserve ``f``, decrease ``h``), so the conservation law
+``f(S) = f(S(0))`` is an enforced run-time invariant, not an assumption.
+The engine records a full trace of agent-state multisets so that the
+temporal-logic specifications (3)–(5) can be checked after the fact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+from ..agents.agent import Agent
+from ..agents.group import Group
+from ..agents.scheduler import MaximalGroupsScheduler, Scheduler
+from ..core.algorithm import SelfSimilarAlgorithm
+from ..core.errors import SimulationError
+from ..core.multiset import Multiset
+from ..core.relation import StepKind
+from ..environment.base import Environment
+from ..temporal.trace import Trace
+from .result import SimulationResult
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Simulate one self-similar algorithm under one environment.
+
+    Parameters
+    ----------
+    algorithm:
+        The :class:`SelfSimilarAlgorithm` to execute.
+    environment:
+        The environment model producing per-round availability.
+    initial_values:
+        The problem inputs, one per agent (sensor readings, array entries,
+        coordinates, ...).  The number of agents is taken from the
+        environment's topology and must match.
+    scheduler:
+        How groups are formed each round; defaults to
+        :class:`MaximalGroupsScheduler`.
+    seed:
+        Seed of the run's random generator (drives the environment, the
+        scheduler and any randomness in the group step rule).
+    record_trace:
+        When False, only the latest state is kept; long benchmark runs use
+        this to keep memory flat.
+    """
+
+    def __init__(
+        self,
+        algorithm: SelfSimilarAlgorithm,
+        environment: Environment,
+        initial_values: Sequence[Any],
+        scheduler: Scheduler | None = None,
+        seed: int | None = None,
+        record_trace: bool = True,
+    ):
+        if len(initial_values) != environment.num_agents:
+            raise SimulationError(
+                f"{len(initial_values)} initial values supplied for "
+                f"{environment.num_agents} agents"
+            )
+        self.algorithm = algorithm
+        self.environment = environment
+        self.scheduler = scheduler or MaximalGroupsScheduler()
+        self.seed = seed
+        self.record_trace = record_trace
+        self.initial_values = list(initial_values)
+
+        self._rng = random.Random(seed)
+        initial_states = algorithm.initial_states(self.initial_values)
+        self.agents: list[Agent] = [
+            Agent(agent_id=index, state=state)
+            for index, state in enumerate(initial_states)
+        ]
+        self._initial_multiset = Multiset(initial_states)
+        self._target = algorithm.target(initial_states)
+
+    # -- state access ----------------------------------------------------------
+
+    def current_states(self) -> list:
+        """Return the current agent states, indexed by agent id."""
+        return [agent.state for agent in self.agents]
+
+    def current_multiset(self) -> Multiset:
+        """Return the current agent states as a multiset."""
+        return Multiset(self.current_states())
+
+    @property
+    def target(self) -> Multiset:
+        """The multiset ``S* = f(S(0))`` the agents must reach and keep."""
+        return self._target
+
+    def has_converged(self) -> bool:
+        """Return True when the agents are currently at ``S*``."""
+        return self.current_multiset() == self._target
+
+    # -- execution --------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore the initial configuration (same seed, same initial values)."""
+        self._rng = random.Random(self.seed)
+        for agent in self.agents:
+            agent.reset()
+        self.environment.reset()
+
+    def run(
+        self,
+        max_rounds: int = 1000,
+        stop_at_convergence: bool = True,
+        extra_rounds_after_convergence: int = 0,
+    ) -> SimulationResult:
+        """Run the simulation and return a :class:`SimulationResult`.
+
+        Parameters
+        ----------
+        max_rounds:
+            Upper bound on the number of rounds simulated.
+        stop_at_convergence:
+            When True (default), the run stops as soon as the agents reach
+            the target multiset ``S*`` (plus ``extra_rounds_after_convergence``
+            additional rounds, useful to confirm stability of the goal
+            state in tests).
+        extra_rounds_after_convergence:
+            Rounds to keep simulating after convergence when
+            ``stop_at_convergence`` is set.
+        """
+        trace: Trace[Multiset] = Trace([self.current_multiset()])
+        objective_trajectory = [self.algorithm.objective(self.current_multiset())]
+
+        group_steps = 0
+        improving_steps = 0
+        stutter_steps = 0
+        invalid_steps = 0
+        largest_group = 0
+        convergence_round: int | None = 0 if self.has_converged() else None
+        rounds_after_convergence = 0
+        rounds_executed = 0
+
+        for round_index in range(max_rounds):
+            if convergence_round is not None and stop_at_convergence:
+                if rounds_after_convergence >= extra_rounds_after_convergence:
+                    break
+                rounds_after_convergence += 1
+
+            rounds_executed += 1
+            environment_state = self.environment.advance(round_index, self._rng)
+            groups = self.scheduler.schedule(environment_state, self._rng)
+            _validate_partition(groups, self.environment.num_agents)
+
+            for group in groups:
+                if len(group) == 0:
+                    continue
+                largest_group = max(largest_group, len(group))
+                states_before = group.states_of(self.agents)
+                states_after, judgement = self.algorithm.apply_group_step(
+                    states_before, self._rng
+                )
+                group_steps += 1
+                if judgement.kind is StepKind.IMPROVEMENT:
+                    improving_steps += 1
+                    group.install(self.agents, states_after)
+                elif judgement.kind is StepKind.STUTTER:
+                    stutter_steps += 1
+                else:
+                    # Only reachable when the algorithm's enforcement is off:
+                    # record the invalid step and apply it anyway, so that
+                    # benchmarks can observe the consequences of violating
+                    # the methodology (Figure 1 / direct second-smallest).
+                    invalid_steps += 1
+                    group.install(self.agents, states_after)
+
+            if self.record_trace:
+                trace.append(self.current_multiset())
+            objective_trajectory.append(self.algorithm.objective(self.current_multiset()))
+
+            if convergence_round is None and self.has_converged():
+                convergence_round = round_index + 1
+
+        converged = convergence_round is not None
+        if converged and self.algorithm.enforce:
+            # Once at S* = f(S*), every further step is a stutter, so the
+            # observed prefix determines the whole computation.
+            trace.mark_complete()
+
+        final_states = self.current_states()
+        return SimulationResult(
+            converged=converged,
+            convergence_round=convergence_round,
+            rounds_executed=rounds_executed,
+            final_states=final_states,
+            output=self.algorithm.result(Multiset(final_states)),
+            expected_output=self.algorithm.result(self._target),
+            trace=trace if self.record_trace else Trace([Multiset(final_states)]),
+            objective_trajectory=objective_trajectory,
+            group_steps=group_steps,
+            improving_steps=improving_steps,
+            stutter_steps=stutter_steps,
+            invalid_steps=invalid_steps,
+            largest_group=largest_group,
+            metadata={
+                "algorithm": self.algorithm.name,
+                "environment": self.environment.describe(),
+                "scheduler": self.scheduler.describe(),
+                "num_agents": self.environment.num_agents,
+                "seed": self.seed,
+            },
+        )
+
+
+def _validate_partition(groups: Sequence[Group], num_agents: int) -> None:
+    """Ensure scheduled groups are pairwise disjoint and reference real agents."""
+    seen: set[int] = set()
+    for group in groups:
+        for agent_id in group:
+            if not 0 <= agent_id < num_agents:
+                raise SimulationError(
+                    f"scheduler produced agent id {agent_id} outside "
+                    f"0..{num_agents - 1}"
+                )
+            if agent_id in seen:
+                raise SimulationError(
+                    f"scheduler produced overlapping groups (agent {agent_id} twice)"
+                )
+            seen.add(agent_id)

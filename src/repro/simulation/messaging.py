@@ -1,0 +1,186 @@
+"""Asynchronous message-passing execution.
+
+The paper notes (for the convex-hull example) that the group step relation
+``R`` "can be easily implemented by asynchronous message passing: an agent
+``a`` can update ``V_a`` upon receiving a message without requiring that
+the sender of the message changes its own estimate of the hull".
+
+This module provides that execution style for *merge-style* algorithms —
+algorithms whose group step amounts to every member absorbing information
+from the others (minimum, maximum, convex hull, and in general any
+``f(X) = ◦X`` consensus built from an idempotent merge).  Each round:
+
+1. the environment produces the available edges;
+2. every enabled agent sends its current state over each available
+   incident edge (messages may additionally be dropped with a configurable
+   probability, modelling lossy radio);
+3. every enabled agent folds the received states into its own state with a
+   two-state merge function.
+
+A one-sided update of agent ``a`` with the state of agent ``b`` is the
+group step of the pair ``{a, b}`` in which only ``a`` changes, so the
+resulting computation is a legitimate computation of the paper's model —
+it simply never uses groups larger than two and never requires sender and
+receiver to move in lock step.
+
+Not every algorithm can be run this way: the sum and sorting examples need
+two-sided exchanges (value mass or array slots must move *between* agents
+atomically).  The :class:`Simulator` covers those; this runtime exists to
+reproduce the asynchronous claim for the algorithms it applies to.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Sequence
+
+from ..core.errors import SimulationError
+from ..core.multiset import Multiset
+from ..core.algorithm import SelfSimilarAlgorithm
+from ..environment.base import Environment
+from ..temporal.trace import Trace
+from .result import SimulationResult
+
+__all__ = ["MergeMessagePassingSimulator"]
+
+
+#: A two-state merge: returns the state ``receiver`` adopts after absorbing
+#: ``received``.  It must conserve ``f`` of the pair and never increase the
+#: receiver's objective contribution (idempotent merges like min or hull
+#: union satisfy this by construction).
+MergeFunction = Callable[[Hashable, Hashable], Hashable]
+
+
+class MergeMessagePassingSimulator:
+    """Asynchronous (one-sided) execution of a merge-style algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        The algorithm being executed; used for initial states, the target
+        multiset, objective tracking and output extraction.
+    merge:
+        The two-state merge applied on message receipt.
+    environment:
+        Environment model supplying per-round edge availability.
+    initial_values:
+        Problem inputs, one per agent.
+    loss_probability:
+        Probability that an individual message is lost in transit.
+    seed:
+        Seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        algorithm: SelfSimilarAlgorithm,
+        merge: MergeFunction,
+        environment: Environment,
+        initial_values: Sequence[Any],
+        loss_probability: float = 0.0,
+        seed: int | None = None,
+    ):
+        if len(initial_values) != environment.num_agents:
+            raise SimulationError(
+                f"{len(initial_values)} initial values supplied for "
+                f"{environment.num_agents} agents"
+            )
+        if not 0.0 <= loss_probability < 1.0:
+            raise SimulationError("loss_probability must be in [0, 1)")
+        self.algorithm = algorithm
+        self.merge = merge
+        self.environment = environment
+        self.loss_probability = loss_probability
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.states: list[Hashable] = algorithm.initial_states(list(initial_values))
+        self._initial_states = list(self.states)
+        self._target = algorithm.target(self.states)
+        self.messages_sent = 0
+        self.messages_delivered = 0
+
+    def has_converged(self) -> bool:
+        """True when the agents' states form the target multiset ``S*``."""
+        return Multiset(self.states) == self._target
+
+    def run(self, max_rounds: int = 1000) -> SimulationResult:
+        """Run the asynchronous computation for up to ``max_rounds`` rounds."""
+        trace: Trace[Multiset] = Trace([Multiset(self.states)])
+        objective_trajectory = [self.algorithm.objective(Multiset(self.states))]
+        convergence_round: int | None = 0 if self.has_converged() else None
+        rounds_executed = 0
+        improving_steps = 0
+
+        for round_index in range(max_rounds):
+            if convergence_round is not None:
+                break
+            rounds_executed += 1
+            environment_state = self.environment.advance(round_index, self._rng)
+
+            # Collect messages first (all sends see the same snapshot), then
+            # deliver: the classic synchronous-round abstraction of an
+            # asynchronous message-passing system.
+            inboxes: dict[int, list[Hashable]] = {
+                agent: [] for agent in range(self.environment.num_agents)
+            }
+            for a, b in environment_state.effective_edges():
+                for sender, receiver in ((a, b), (b, a)):
+                    self.messages_sent += 1
+                    if self._rng.random() < self.loss_probability:
+                        continue
+                    self.messages_delivered += 1
+                    inboxes[receiver].append(self.states[sender])
+
+            for agent, received in inboxes.items():
+                if agent not in environment_state.enabled_agents or not received:
+                    continue
+                for message in received:
+                    merged = self.merge(self.states[agent], message)
+                    if merged == self.states[agent]:
+                        continue
+                    # One-sided pair step: receiver changes, sender does not.
+                    before = Multiset([self.states[agent], message])
+                    after = Multiset([merged, message])
+                    if self.algorithm.enforce and not self.algorithm.function.conserves(
+                        before, after
+                    ):
+                        raise SimulationError(
+                            f"merge for {self.algorithm.name!r} broke the pairwise "
+                            f"conservation law"
+                        )
+                    self.states[agent] = merged
+                    improving_steps += 1
+
+            trace.append(Multiset(self.states))
+            objective_trajectory.append(self.algorithm.objective(Multiset(self.states)))
+            if convergence_round is None and self.has_converged():
+                convergence_round = round_index + 1
+
+        converged = convergence_round is not None
+        if converged:
+            trace.mark_complete()
+        final = Multiset(self.states)
+        return SimulationResult(
+            converged=converged,
+            convergence_round=convergence_round,
+            rounds_executed=rounds_executed,
+            final_states=list(self.states),
+            output=self.algorithm.result(final),
+            expected_output=self.algorithm.result(self._target),
+            trace=trace,
+            objective_trajectory=objective_trajectory,
+            group_steps=improving_steps,
+            improving_steps=improving_steps,
+            stutter_steps=0,
+            invalid_steps=0,
+            largest_group=2,
+            metadata={
+                "algorithm": self.algorithm.name,
+                "environment": self.environment.describe(),
+                "scheduler": "asynchronous message passing (one-sided merges)",
+                "messages_sent": self.messages_sent,
+                "messages_delivered": self.messages_delivered,
+                "seed": self.seed,
+            },
+        )

@@ -1,0 +1,111 @@
+"""Aggregate metrics over repeated simulation runs.
+
+Benchmarks repeat every configuration over several seeds; this module
+provides the small statistics toolkit used to summarise those repetitions
+(mean / median / percentiles of convergence rounds, convergence rate) and
+to format sweep results as the aligned text tables the benchmark harness
+prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .result import SimulationResult
+
+__all__ = ["RunStatistics", "aggregate", "format_table"]
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Summary statistics of a batch of simulation runs."""
+
+    runs: int
+    converged_runs: int
+    mean_rounds: float
+    median_rounds: float
+    p90_rounds: float
+    max_rounds: float
+    mean_group_steps: float
+    mean_improving_steps: float
+    correctness_rate: float
+
+    @property
+    def convergence_rate(self) -> float:
+        """Fraction of runs that converged."""
+        if self.runs == 0:
+            return 0.0
+        return self.converged_runs / self.runs
+
+
+def aggregate(results: Iterable[SimulationResult]) -> RunStatistics:
+    """Summarise a batch of runs.
+
+    Convergence-round statistics are computed over the converged runs only
+    (a non-converged run has no convergence round); when no run converged
+    they are reported as ``inf`` so that comparisons in benchmark tables
+    stay meaningful.
+    """
+    results = list(results)
+    converged = [r for r in results if r.converged]
+    rounds = sorted(r.convergence_round for r in converged)
+
+    def percentile(values: Sequence[float], fraction: float) -> float:
+        if not values:
+            return math.inf
+        index = min(len(values) - 1, max(0, math.ceil(fraction * len(values)) - 1))
+        return float(values[index])
+
+    return RunStatistics(
+        runs=len(results),
+        converged_runs=len(converged),
+        mean_rounds=(sum(rounds) / len(rounds)) if rounds else math.inf,
+        median_rounds=percentile(rounds, 0.5),
+        p90_rounds=percentile(rounds, 0.9),
+        max_rounds=float(rounds[-1]) if rounds else math.inf,
+        mean_group_steps=(
+            sum(r.group_steps for r in results) / len(results) if results else 0.0
+        ),
+        mean_improving_steps=(
+            sum(r.improving_steps for r in results) / len(results) if results else 0.0
+        ),
+        correctness_rate=(
+            sum(1 for r in results if r.correct) / len(results) if results else 0.0
+        ),
+    )
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Format rows as an aligned, monospace text table.
+
+    Benchmarks print these tables so that the series the paper's
+    evaluation would show (who wins, how convergence scales) are visible
+    directly in the benchmark output file.
+    """
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in text_rows))
+        if text_rows
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if math.isinf(cell):
+            return "inf"
+        return f"{cell:.2f}"
+    return str(cell)

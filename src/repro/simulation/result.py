@@ -1,0 +1,100 @@
+"""Results of simulation runs.
+
+A :class:`SimulationResult` packages everything a test, example or
+benchmark needs to know about one run: whether and when the computation
+converged, the final agent states, the full trace of agent-state multisets
+(for temporal-logic checking), the trajectory of the objective function,
+and counters describing how much communication the environment actually
+allowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Sequence
+
+from ..core.multiset import Multiset
+from ..temporal.trace import Trace
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    Attributes
+    ----------
+    converged:
+        True when the agents reached the target multiset ``S* = f(S(0))``
+        within the allotted rounds.
+    convergence_round:
+        The first round at the end of which the agents were at ``S*``
+        (None when the run did not converge).
+    rounds_executed:
+        Total number of rounds simulated.
+    final_states:
+        The agent states at the end of the run, indexed by agent id.
+    output:
+        The algorithm's answer extracted from the final states (e.g. the
+        minimum value, the sum, the sorted array, the hull).
+    expected_output:
+        The answer the algorithm *should* produce, computed directly from
+        the initial values via ``f``; equal to ``output`` whenever the run
+        converged.
+    trace:
+        Trace of agent-state multisets, one entry per round boundary
+        (including the initial state), for temporal-logic checks.
+    objective_trajectory:
+        Value of the objective ``h`` at each round boundary.
+    group_steps:
+        Total number of group steps scheduled.
+    improving_steps:
+        How many of those steps strictly decreased the objective.
+    stutter_steps:
+        How many left the group state unchanged (no useful work possible).
+    invalid_steps:
+        Steps rejected because they broke conservation or failed to
+        improve (only possible when enforcement is off).
+    largest_group:
+        The largest group size ever scheduled (a measure of how much
+        collaboration the environment permitted).
+    """
+
+    converged: bool
+    convergence_round: int | None
+    rounds_executed: int
+    final_states: list[Hashable]
+    output: Any
+    expected_output: Any
+    trace: Trace[Multiset]
+    objective_trajectory: list[float]
+    group_steps: int = 0
+    improving_steps: int = 0
+    stutter_steps: int = 0
+    invalid_steps: int = 0
+    largest_group: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def final_multiset(self) -> Multiset:
+        """The final agent states as a multiset."""
+        return Multiset(self.final_states)
+
+    @property
+    def correct(self) -> bool:
+        """True when the extracted output matches the expected output."""
+        return self.output == self.expected_output
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary of the run."""
+        status = (
+            f"converged at round {self.convergence_round}"
+            if self.converged
+            else f"did not converge in {self.rounds_executed} rounds"
+        )
+        return (
+            f"{status}; {self.group_steps} group steps "
+            f"({self.improving_steps} improving, {self.stutter_steps} stutters, "
+            f"{self.invalid_steps} invalid); largest group {self.largest_group}"
+        )

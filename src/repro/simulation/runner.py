@@ -1,0 +1,97 @@
+"""Experiment runner: repeated runs and parameter sweeps.
+
+The benchmark harness (and the examples) repeatedly need the same loop:
+build an environment, run the algorithm over several seeds, aggregate the
+convergence statistics, and move on to the next parameter value.  This
+module centralises that loop so every benchmark stays a short declarative
+description of *what* to sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..agents.scheduler import Scheduler
+from ..core.algorithm import SelfSimilarAlgorithm
+from ..environment.base import Environment
+from .engine import Simulator
+from .metrics import RunStatistics, aggregate
+from .result import SimulationResult
+
+__all__ = ["SweepPoint", "run_repeated", "sweep"]
+
+EnvironmentFactory = Callable[[int], Environment]
+SchedulerFactory = Callable[[], Scheduler] | None
+
+
+@dataclass
+class SweepPoint:
+    """One point of a parameter sweep: the parameter value, its statistics
+    and the individual run results (kept for deeper inspection in tests)."""
+
+    parameter: Any
+    statistics: RunStatistics
+    results: list[SimulationResult]
+
+
+def run_repeated(
+    algorithm: SelfSimilarAlgorithm,
+    environment_factory: EnvironmentFactory,
+    initial_values: Sequence[Any],
+    repetitions: int = 5,
+    max_rounds: int = 2000,
+    scheduler_factory: SchedulerFactory = None,
+    base_seed: int = 0,
+) -> list[SimulationResult]:
+    """Run ``algorithm`` ``repetitions`` times with different seeds.
+
+    ``environment_factory`` receives the seed so that stochastic
+    environments differ between repetitions while remaining reproducible.
+    """
+    results = []
+    for repetition in range(repetitions):
+        seed = base_seed + repetition
+        environment = environment_factory(seed)
+        scheduler = scheduler_factory() if scheduler_factory else None
+        simulator = Simulator(
+            algorithm=algorithm,
+            environment=environment,
+            initial_values=initial_values,
+            scheduler=scheduler,
+            seed=seed,
+        )
+        results.append(simulator.run(max_rounds=max_rounds))
+    return results
+
+
+def sweep(
+    algorithm: SelfSimilarAlgorithm,
+    parameter_values: Iterable[Any],
+    environment_factory: Callable[[Any, int], Environment],
+    initial_values: Sequence[Any],
+    repetitions: int = 5,
+    max_rounds: int = 2000,
+    scheduler_factory: SchedulerFactory = None,
+    base_seed: int = 0,
+) -> list[SweepPoint]:
+    """Sweep a parameter, aggregating repeated runs at each value.
+
+    ``environment_factory`` receives ``(parameter_value, seed)`` and builds
+    the environment for that configuration.
+    """
+    points = []
+    for parameter in parameter_values:
+        results = run_repeated(
+            algorithm=algorithm,
+            environment_factory=lambda seed, p=parameter: environment_factory(p, seed),
+            initial_values=initial_values,
+            repetitions=repetitions,
+            max_rounds=max_rounds,
+            scheduler_factory=scheduler_factory,
+            base_seed=base_seed,
+        )
+        points.append(
+            SweepPoint(parameter=parameter, statistics=aggregate(results), results=results)
+        )
+    return points

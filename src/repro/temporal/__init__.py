@@ -1,0 +1,29 @@
+"""Finite-trace temporal logic used to check the paper's specifications."""
+
+from .formulas import (
+    always,
+    eventually,
+    eventually_always,
+    holds_at_end,
+    infinitely_often,
+    invariant,
+    leads_to,
+    never,
+    stable,
+    until,
+)
+from .trace import Trace
+
+__all__ = [
+    "Trace",
+    "always",
+    "eventually",
+    "eventually_always",
+    "holds_at_end",
+    "infinitely_often",
+    "invariant",
+    "leads_to",
+    "never",
+    "stable",
+    "until",
+]

@@ -1,0 +1,160 @@
+"""Finite-trace evaluation of the temporal operators used in the paper.
+
+The paper states its specifications with linear-time temporal logic
+(Manna & Pnueli):
+
+* ``□P`` (*henceforth* / *always*): ``P`` holds in every state;
+* ``◇P`` (*eventually*): ``P`` holds in some state;
+* ``□◇P`` (*infinitely often*): ``P`` holds infinitely often;
+* ``stable P``: once ``P`` holds, it holds forever  (``P ⇒ □P``);
+* ``P ↝ Q`` (*leads-to*): whenever ``P`` holds, ``Q`` holds then or later.
+
+Simulations yield finite prefixes of infinite computations, so this module
+evaluates the *finite-trace* versions of these operators.  Safety operators
+(``always``, ``stable``, ``invariant``) are conclusive on any prefix: a
+violation in the prefix is a violation of the infinite computation.
+Liveness operators (``eventually``, ``leads_to``, ``infinitely_often``) are
+conclusive only when the trace is marked *complete* — i.e. the simulator
+established that the final state is a fixpoint that would repeat forever.
+On an incomplete prefix they are evaluated optimistically on the observed
+states, which is the standard finite-trace (LTLf) reading.
+
+Every function takes a :class:`~repro.temporal.trace.Trace` and a predicate
+(callable from state to bool) and returns a plain ``bool``, so they compose
+naturally with ``pytest`` assertions and with the verification helpers in
+:mod:`repro.verification`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from .trace import Trace
+
+State = TypeVar("State")
+Predicate = Callable[[State], bool]
+
+__all__ = [
+    "always",
+    "eventually",
+    "never",
+    "stable",
+    "invariant",
+    "leads_to",
+    "infinitely_often",
+    "eventually_always",
+    "holds_at_end",
+    "until",
+]
+
+
+def always(trace: Trace[State], predicate: Predicate) -> bool:
+    """``□P``: the predicate holds in every state of the trace."""
+    return all(predicate(state) for state in trace)
+
+
+def invariant(trace: Trace[State], predicate: Predicate) -> bool:
+    """Alias of :func:`always`, matching the paper's use of *invariant*."""
+    return always(trace, predicate)
+
+
+def never(trace: Trace[State], predicate: Predicate) -> bool:
+    """``□¬P``: the predicate holds in no state of the trace."""
+    return all(not predicate(state) for state in trace)
+
+
+def eventually(trace: Trace[State], predicate: Predicate) -> bool:
+    """``◇P``: the predicate holds in some state of the trace."""
+    return any(predicate(state) for state in trace)
+
+
+def stable(trace: Trace[State], predicate: Predicate) -> bool:
+    """``stable P``: once the predicate holds it continues to hold.
+
+    Equivalent to: there is no pair of positions ``i < j`` with ``P`` true
+    at ``i`` and false at ``j``.
+    """
+    seen = False
+    for state in trace:
+        holds = predicate(state)
+        if seen and not holds:
+            return False
+        seen = seen or holds
+    return True
+
+
+def leads_to(trace: Trace[State], premise: Predicate, conclusion: Predicate) -> bool:
+    """``P ↝ Q``: every state satisfying ``P`` is followed (or accompanied)
+    by a state satisfying ``Q``.
+
+    On an incomplete trace, a pending obligation at the very end (``P`` held
+    but ``Q`` has not been observed yet) is treated as satisfied only when
+    the trace is not marked complete — the computation might still fulfil
+    it.  On a complete trace the obligation must be discharged within the
+    trace.
+    """
+    states = list(trace)
+    pending = False
+    for state in states:
+        if conclusion(state):
+            pending = False
+        if premise(state) and not conclusion(state):
+            pending = True
+    if not pending:
+        return True
+    return not trace.complete
+
+
+def until(trace: Trace[State], hold: Predicate, release: Predicate) -> bool:
+    """``P U Q``: ``P`` holds at every position strictly before the first
+    position where ``Q`` holds, and ``Q`` does hold somewhere.
+
+    On incomplete traces where ``Q`` never holds, the property is regarded
+    as still possible provided ``P`` held throughout the prefix.
+    """
+    for state in trace:
+        if release(state):
+            return True
+        if not hold(state):
+            return False
+    return not trace.complete
+
+
+def infinitely_often(trace: Trace[State], predicate: Predicate) -> bool:
+    """``□◇P`` evaluated on a finite trace.
+
+    On a complete trace (whose final state repeats forever) this means the
+    final state satisfies ``P``.  On an incomplete prefix, we report whether
+    the predicate held at least once — the best finite evidence available.
+    """
+    if len(trace) == 0:
+        return False
+    if trace.complete:
+        return predicate(trace.final)
+    return eventually(trace, predicate)
+
+
+def eventually_always(trace: Trace[State], predicate: Predicate) -> bool:
+    """``◇□P``: from some point onward, the predicate holds in every state.
+
+    On a finite trace this means there is a suffix on which the predicate
+    always holds; for a complete trace this is also what holds of the
+    infinite extension, because the final state repeats.
+    """
+    states = list(trace)
+    if not states:
+        return False
+    holds_from_here = True
+    # Scan from the end: find the longest suffix where predicate always holds.
+    for index in range(len(states) - 1, -1, -1):
+        if not predicate(states[index]):
+            holds_from_here = index < len(states) - 1
+            return holds_from_here
+    return True
+
+
+def holds_at_end(trace: Trace[State], predicate: Predicate) -> bool:
+    """Return True when the final observed state satisfies the predicate."""
+    if len(trace) == 0:
+        return False
+    return predicate(trace.final)

@@ -1,0 +1,98 @@
+"""Trace-level checks of the paper's specification and conservation law.
+
+Given a simulation trace (a sequence of agent-state multisets), these
+routines check the properties §3.2 derives from the specification:
+
+* the **conservation law** ``f(S) = S*`` holds in every reachable state;
+* the goal condition ``S = f(S)`` is **stable** once reached;
+* the computation **converges**: it eventually reaches (and keeps) the
+  target ``S* = f(S(0))``;
+* the objective ``h`` is **non-increasing** along the computation and
+  strictly decreasing across every state change (the run-time footprint
+  of proof obligation PO-1).
+
+All checks work on finite traces produced by the simulator; see
+:mod:`repro.temporal.formulas` for the finite-trace reading of the
+liveness properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.algorithm import SelfSimilarAlgorithm
+from ..core.multiset import Multiset
+from ..temporal import always, eventually_always, stable
+from ..temporal.trace import Trace
+
+__all__ = ["SpecificationReport", "check_specification"]
+
+
+@dataclass
+class SpecificationReport:
+    """Outcome of checking one trace against the paper's specification."""
+
+    algorithm_name: str
+    conservation_law_holds: bool
+    goal_is_stable: bool
+    converges: bool
+    objective_monotone: bool
+    trace_length: int
+
+    @property
+    def all_hold(self) -> bool:
+        """True when every checked property holds on the trace."""
+        return (
+            self.conservation_law_holds
+            and self.goal_is_stable
+            and self.converges
+            and self.objective_monotone
+        )
+
+    def explain(self) -> str:
+        verdict = "PASS" if self.all_hold else "FAIL"
+        return (
+            f"[{verdict}] {self.algorithm_name}: conservation="
+            f"{self.conservation_law_holds}, stable-goal={self.goal_is_stable}, "
+            f"converges={self.converges}, monotone-h={self.objective_monotone} "
+            f"({self.trace_length} states)"
+        )
+
+
+def check_specification(
+    algorithm: SelfSimilarAlgorithm, trace: Trace[Multiset]
+) -> SpecificationReport:
+    """Check the conservation law, stability, convergence and monotonicity
+    of the objective on one recorded trace."""
+    if len(trace) == 0:
+        raise ValueError("cannot check an empty trace")
+
+    target = algorithm.function(trace.initial)
+
+    conservation = always(trace, lambda states: algorithm.function(states) == target)
+    goal_stable = stable(trace, lambda states: algorithm.function(states) == states)
+    converges = eventually_always(trace, lambda states: states == target) and (
+        trace.final == target
+    )
+
+    objective_values = [algorithm.objective(states) for states in trace]
+    monotone = True
+    for (before, after), (h_before, h_after) in zip(
+        trace.pairs(), zip(objective_values, objective_values[1:])
+    ):
+        if before == after:
+            if h_after != h_before:
+                monotone = False
+                break
+        elif not h_after < h_before:
+            monotone = False
+            break
+
+    return SpecificationReport(
+        algorithm_name=algorithm.name,
+        conservation_law_holds=conservation,
+        goal_is_stable=goal_stable,
+        converges=converges,
+        objective_monotone=monotone,
+        trace_length=len(trace),
+    )

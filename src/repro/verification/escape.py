@@ -1,0 +1,105 @@
+"""The escape relation ``#`` and proof obligation PO-2.
+
+``S # G`` ("S escapes G") holds when the environment state ``G`` allows
+the agents to move from ``S`` to some different state.  Proof obligation
+PO-2 requires every non-optimal agent state to be escapable under at
+least one of the environment predicates assumed to hold infinitely often;
+combined with the escape postulate, this yields progress.
+
+For the simulated systems of this library, an agent state ``S`` escapes an
+environment state ``G`` when some communication group of ``G`` can take a
+state-changing step of the algorithm.  These routines make that check
+executable on concrete states and audit it over the states visited by a
+simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.algorithm import SelfSimilarAlgorithm
+from ..core.multiset import Multiset
+from ..environment.base import EnvironmentState
+
+__all__ = ["can_escape", "EscapeAuditReport", "audit_escape_obligation"]
+
+
+def can_escape(
+    algorithm: SelfSimilarAlgorithm,
+    agent_states: Sequence,
+    environment_state: EnvironmentState,
+    rng: random.Random | None = None,
+) -> bool:
+    """Return True when ``agent_states # environment_state``.
+
+    The check runs the algorithm's group step on every communication group
+    of the environment state and reports whether any of them changes the
+    group's state.  (The step rules of this library are deterministic up
+    to the supplied generator, so this slightly under-approximates the
+    relation ``#`` for exotic randomized rules — which is the safe
+    direction: if the check says "escapes", it really does.)
+    """
+    rng = rng or random.Random(0)
+    states = list(agent_states)
+    for group in environment_state.communication_groups():
+        members = sorted(group)
+        group_states = [states[agent] for agent in members]
+        new_states, judgement = algorithm.apply_group_step(group_states, rng)
+        if judgement.is_strict:
+            return True
+        if Multiset(new_states) != Multiset(group_states):
+            return True
+    return False
+
+
+@dataclass
+class EscapeAuditReport:
+    """Outcome of auditing PO-2 over the non-optimal states of a run."""
+
+    algorithm_name: str
+    states_checked: int
+    non_optimal_states: int
+    escapable_states: int
+
+    @property
+    def obligation_holds(self) -> bool:
+        """True when every non-optimal state checked was escapable."""
+        return self.non_optimal_states == self.escapable_states
+
+    def explain(self) -> str:
+        verdict = "PASS" if self.obligation_holds else "FAIL"
+        return (
+            f"[{verdict}] {self.algorithm_name}: {self.escapable_states}/"
+            f"{self.non_optimal_states} non-optimal states escapable under the "
+            f"full topology ({self.states_checked} states checked)"
+        )
+
+
+def audit_escape_obligation(
+    algorithm: SelfSimilarAlgorithm,
+    visited_states: Sequence[Sequence],
+    favourable_environment: EnvironmentState,
+) -> EscapeAuditReport:
+    """Audit PO-2 over a collection of visited agent-state vectors.
+
+    ``favourable_environment`` should be an environment state in which the
+    assumed predicates ``Q`` all hold (typically: every topology edge
+    available and every agent enabled); the obligation says non-optimal
+    states must escape *that* kind of state.
+    """
+    non_optimal = 0
+    escapable = 0
+    for states in visited_states:
+        if algorithm.is_fixpoint(Multiset(list(states))):
+            continue
+        non_optimal += 1
+        if can_escape(algorithm, list(states), favourable_environment):
+            escapable += 1
+    return EscapeAuditReport(
+        algorithm_name=algorithm.name,
+        states_checked=len(list(visited_states)),
+        non_optimal_states=non_optimal,
+        escapable_states=escapable,
+    )

@@ -1,0 +1,160 @@
+"""Local-to-global property checks (proof obligation PO-3).
+
+The composition theorem of the methodology: if two disjoint groups take
+steps that each conserve ``f`` and decrease ``h``, their union's step must
+also conserve ``f`` and decrease ``h``.  Conservation composes exactly
+when ``f`` is super-idempotent; improvement composes when ``h`` has the
+summation form (8) — but not in general, which is the point of the
+paper's Figure 1.
+
+This module checks the property on concrete transition pairs and by
+randomized search, so both the positive results (squared displacement,
+all §4 objectives) and the negative one (out-of-order pairs) are
+demonstrated by executable evidence rather than by assertion.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+from ..core.functions import DistributedFunction
+from ..core.multiset import Multiset
+from ..core.objective import ObjectiveFunction
+
+__all__ = [
+    "GroupTransition",
+    "LocalToGlobalViolation",
+    "check_composition",
+    "search_local_to_global_violation",
+]
+
+
+@dataclass(frozen=True)
+class GroupTransition:
+    """A candidate transition of one group: its states before and after."""
+
+    before: Multiset
+    after: Multiset
+
+    @classmethod
+    def of(cls, before, after) -> "GroupTransition":
+        return cls(
+            before if isinstance(before, Multiset) else Multiset(before),
+            after if isinstance(after, Multiset) else Multiset(after),
+        )
+
+
+@dataclass(frozen=True)
+class LocalToGlobalViolation:
+    """A witness that two valid group steps do not compose."""
+
+    transition_b: GroupTransition
+    transition_c: GroupTransition
+    conserves_f: bool
+    h_before_union: float
+    h_after_union: float
+
+    def explain(self) -> str:
+        if not self.conserves_f:
+            return (
+                "union step breaks conservation: f(S_B∪C) != f(S'_B∪C) even though "
+                "both group steps conserve f (f is not super-idempotent)"
+            )
+        return (
+            "union step is not an improvement: "
+            f"h(S_B∪C) = {self.h_before_union} <= h(S'_B∪C) = {self.h_after_union} "
+            "even though both group steps strictly improve their groups"
+        )
+
+
+def _is_valid_group_step(
+    function: DistributedFunction,
+    objective: ObjectiveFunction,
+    transition: GroupTransition,
+) -> bool:
+    """A valid D-step: stutter, or conserve ``f`` and strictly decrease ``h``."""
+    if transition.before == transition.after:
+        return True
+    return function.conserves(transition.before, transition.after) and objective.is_improvement(
+        transition.before, transition.after
+    )
+
+
+def check_composition(
+    function: DistributedFunction,
+    objective: ObjectiveFunction,
+    transition_b: GroupTransition,
+    transition_c: GroupTransition,
+) -> LocalToGlobalViolation | None:
+    """Check PO-3 on one concrete pair of disjoint-group transitions.
+
+    Both transitions must individually be valid ``D`` steps (the caller's
+    responsibility — a :class:`ValueError` is raised otherwise, because a
+    "violation" built from invalid steps would be meaningless).  Returns a
+    violation witness, or None when the union step is valid.
+    """
+    for name, transition in (("B", transition_b), ("C", transition_c)):
+        if not _is_valid_group_step(function, objective, transition):
+            raise ValueError(
+                f"transition of group {name} is not itself a valid D step; "
+                "the local-to-global property only quantifies over valid steps"
+            )
+
+    union_before = transition_b.before | transition_c.before
+    union_after = transition_b.after | transition_c.after
+    if union_before == union_after:
+        return None
+
+    conserves = function.conserves(union_before, union_after)
+    h_before = objective(union_before)
+    h_after = objective(union_after)
+    improves = objective.is_improvement(union_before, union_after)
+
+    if conserves and improves:
+        return None
+    return LocalToGlobalViolation(
+        transition_b=transition_b,
+        transition_c=transition_c,
+        conserves_f=conserves,
+        h_before_union=h_before,
+        h_after_union=h_after,
+    )
+
+
+def search_local_to_global_violation(
+    function: DistributedFunction,
+    objective: ObjectiveFunction,
+    state_generator: Callable[[random.Random], Hashable],
+    step_generator: Callable[[Sequence[Hashable], random.Random], Sequence[Hashable]],
+    trials: int = 500,
+    max_group_size: int = 5,
+    seed: int = 0,
+) -> LocalToGlobalViolation | None:
+    """Randomized search for a PO-3 violation.
+
+    Random disjoint groups ``B`` and ``C`` are drawn, ``step_generator``
+    proposes a transition for each, invalid proposals are discarded, and
+    the surviving pairs are checked for composition.  Returns the first
+    violation found, or None.
+    """
+    rng = random.Random(seed)
+    for _ in range(trials):
+        size_b = rng.randint(1, max_group_size)
+        size_c = rng.randint(1, max_group_size)
+        before_b = [state_generator(rng) for _ in range(size_b)]
+        before_c = [state_generator(rng) for _ in range(size_c)]
+        after_b = list(step_generator(before_b, rng))
+        after_c = list(step_generator(before_c, rng))
+
+        transition_b = GroupTransition.of(before_b, after_b)
+        transition_c = GroupTransition.of(before_c, after_c)
+        if not _is_valid_group_step(function, objective, transition_b):
+            continue
+        if not _is_valid_group_step(function, objective, transition_c):
+            continue
+        violation = check_composition(function, objective, transition_b, transition_c)
+        if violation is not None:
+            return violation
+    return None

@@ -1,0 +1,167 @@
+"""Small-scope exhaustive model checking.
+
+For small systems the paper's correctness argument can be checked
+exhaustively rather than statistically: enumerate every state reachable
+from the initial state by letting *any* group of agents (any subset, any
+partition — the environment may allow anything) take the algorithm's
+step, and verify on the whole reachable graph that
+
+* the conservation law ``f(S) = f(S(0))`` is an invariant,
+* the objective strictly decreases across every state-changing step
+  (hence the system cannot cycle),
+* every terminal state — one from which no group step changes the state —
+  equals the target ``S* = f(S(0))`` (no deadlock short of the goal), and
+* the goal state is a fixpoint (stability).
+
+Together these are exactly the ingredients of the paper's correctness
+theorem, specialised to the deterministic step rules this library ships.
+The state space is finite for every §4 example whose inputs are fixed
+(values never leave a finite set), so exhaustive exploration terminates;
+a safety cap on the number of explored states keeps accidental misuse
+from running away.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from ..core.algorithm import SelfSimilarAlgorithm
+from ..core.errors import VerificationError
+from ..core.multiset import Multiset
+
+__all__ = ["ModelCheckReport", "explore_reachable_states"]
+
+
+@dataclass
+class ModelCheckReport:
+    """Outcome of exhaustively exploring the reachable state graph."""
+
+    algorithm_name: str
+    num_agents: int
+    reachable_states: int
+    transitions: int
+    conservation_violations: list = field(default_factory=list)
+    objective_violations: list = field(default_factory=list)
+    deadlock_states: list = field(default_factory=list)
+    goal_reachable: bool = False
+    goal_is_fixpoint: bool = False
+    truncated: bool = False
+
+    @property
+    def all_hold(self) -> bool:
+        """True when every checked property holds on the explored graph."""
+        return (
+            not self.conservation_violations
+            and not self.objective_violations
+            and not self.deadlock_states
+            and self.goal_reachable
+            and self.goal_is_fixpoint
+            and not self.truncated
+        )
+
+    def explain(self) -> str:
+        verdict = "PASS" if self.all_hold else "FAIL"
+        notes = []
+        if self.truncated:
+            notes.append("exploration truncated by state cap")
+        if self.conservation_violations:
+            notes.append(f"{len(self.conservation_violations)} conservation violations")
+        if self.objective_violations:
+            notes.append(f"{len(self.objective_violations)} objective violations")
+        if self.deadlock_states:
+            notes.append(f"{len(self.deadlock_states)} premature deadlocks")
+        summary = "; ".join(notes) if notes else "all properties hold"
+        return (
+            f"[{verdict}] {self.algorithm_name} with {self.num_agents} agents: "
+            f"{self.reachable_states} states, {self.transitions} transitions — {summary}"
+        )
+
+
+def explore_reachable_states(
+    algorithm: SelfSimilarAlgorithm,
+    initial_values: Sequence,
+    max_states: int = 20000,
+    max_group_size: int | None = None,
+    seed: int = 0,
+) -> ModelCheckReport:
+    """Exhaustively explore the reachable state graph of a small instance.
+
+    Parameters
+    ----------
+    algorithm:
+        The algorithm under check.  Its step rule must be deterministic for
+        the exploration to cover the real behaviour (all §4 step rules are;
+        randomized refinements such as ``minimum_algorithm(partial=True)``
+        are explored for one fixed seed only, which still checks the safety
+        properties on everything that seed can reach).
+    initial_values:
+        Problem inputs; the number of agents is their count.
+    max_states:
+        Safety cap on the number of distinct states explored.
+    max_group_size:
+        Optionally restrict the group sizes explored (e.g. 2 to model a
+        gossip-only environment).  Defaults to the full system size.
+    """
+    initial_states = tuple(algorithm.initial_states(list(initial_values)))
+    num_agents = len(initial_states)
+    if num_agents == 0:
+        raise VerificationError("model checking needs at least one agent")
+    if max_group_size is None:
+        max_group_size = num_agents
+    target = algorithm.function(Multiset(initial_states))
+    rng = random.Random(seed)
+
+    groups: list[tuple[int, ...]] = []
+    for size in range(2, max_group_size + 1):
+        groups.extend(itertools.combinations(range(num_agents), size))
+
+    report = ModelCheckReport(
+        algorithm_name=algorithm.name,
+        num_agents=num_agents,
+        reachable_states=0,
+        transitions=0,
+        goal_is_fixpoint=algorithm.is_fixpoint(target),
+    )
+
+    seen: set[tuple] = set()
+    frontier: list[tuple] = [initial_states]
+    seen.add(initial_states)
+
+    while frontier:
+        state_vector = frontier.pop()
+        report.reachable_states += 1
+        bag = Multiset(state_vector)
+
+        if algorithm.function(bag) != target:
+            report.conservation_violations.append(state_vector)
+        if bag == target:
+            report.goal_reachable = True
+
+        has_changing_step = False
+        for group in groups:
+            group_states = [state_vector[agent] for agent in group]
+            new_group_states, judgement = algorithm.apply_group_step(group_states, rng)
+            if Multiset(new_group_states) == Multiset(group_states):
+                continue
+            has_changing_step = True
+            report.transitions += 1
+            if not judgement.is_strict and algorithm.enforce:
+                report.objective_violations.append((state_vector, group))
+            successor = list(state_vector)
+            for agent, new_state in zip(group, new_group_states):
+                successor[agent] = new_state
+            successor_vector = tuple(successor)
+            if successor_vector not in seen:
+                if len(seen) >= max_states:
+                    report.truncated = True
+                    continue
+                seen.add(successor_vector)
+                frontier.append(successor_vector)
+
+        if not has_changing_step and bag != target:
+            report.deadlock_states.append(state_vector)
+
+    return report

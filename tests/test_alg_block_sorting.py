@@ -1,0 +1,178 @@
+"""Tests for the block-sorting generalisation (§4.4 extension)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Simulator
+from repro.algorithms import (
+    block_sorting_algorithm,
+    block_sorting_function,
+    partition_into_blocks,
+)
+from repro.core import Multiset, SpecificationError
+from repro.environment import (
+    RandomChurnEnvironment,
+    StaticEnvironment,
+    complete_graph,
+    line_graph,
+)
+from repro.verification import check_specification
+
+distinct_values = st.lists(
+    st.integers(min_value=0, max_value=100), min_size=4, max_size=12, unique=True
+)
+
+
+class TestPartitioning:
+    def test_even_split(self):
+        blocks = partition_into_blocks([10, 20, 30, 40], 2)
+        assert blocks == [[(0, 10), (1, 20)], [(2, 30), (3, 40)]]
+
+    def test_uneven_split_gives_earlier_agents_extra_slots(self):
+        blocks = partition_into_blocks([1, 2, 3, 4, 5], 2)
+        assert [len(block) for block in blocks] == [3, 2]
+
+    def test_one_agent_gets_everything(self):
+        blocks = partition_into_blocks([7, 8], 1)
+        assert blocks == [[(0, 7), (1, 8)]]
+
+    def test_more_agents_than_slots_rejected(self):
+        with pytest.raises(SpecificationError):
+            partition_into_blocks([1, 2], 3)
+        with pytest.raises(SpecificationError):
+            partition_into_blocks([1, 2], 0)
+
+    def test_slot_indexes_cover_the_array(self):
+        blocks = partition_into_blocks(list(range(10, 21)), 4)
+        indexes = sorted(index for block in blocks for index, _ in block)
+        assert indexes == list(range(11))
+
+
+class TestBlockSortingFunction:
+    def test_sorts_values_across_blocks_preserving_ownership(self):
+        f = block_sorting_function()
+        states = [((0, 9), (1, 7)), ((2, 1), (3, 3))]
+        image = f(states)
+        assert image == Multiset([((0, 1), (1, 3)), ((2, 7), (3, 9))])
+
+    def test_idempotent(self):
+        f = block_sorting_function()
+        states = [((0, 9), (1, 7)), ((2, 1), (3, 3))]
+        assert f(f(states)) == f(states)
+
+    @given(distinct_values, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_super_idempotent_over_random_block_splits(self, values, num_agents):
+        if len(values) < num_agents:
+            return
+        f = block_sorting_function()
+        blocks = [tuple(block) for block in partition_into_blocks(values, num_agents)]
+        split = max(1, len(blocks) // 2)
+        x = Multiset(blocks[:split])
+        y = Multiset(blocks[split:])
+        assert f(x | y) == f(f(x) | y)
+
+
+class TestBlockSortingAlgorithm:
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(SpecificationError):
+            block_sorting_algorithm([1, 1, 2, 3], 2)
+
+    def test_foreign_values_rejected(self):
+        algorithm = block_sorting_algorithm([4, 3, 2, 1], 2)
+        with pytest.raises(SpecificationError):
+            algorithm.initial_states([[(0, 99)]])
+
+    def test_single_agent_sorts_its_own_block(self):
+        algorithm = block_sorting_algorithm([4, 3, 2, 1], 1)
+        new_states, judgement = algorithm.apply_group_step(
+            algorithm.initial_states(algorithm.instance_blocks), random.Random(0)
+        )
+        assert judgement.is_strict
+        assert new_states == [((0, 1), (1, 2), (2, 3), (3, 4))]
+
+    def test_group_step_pools_cells_across_members(self):
+        algorithm = block_sorting_algorithm([9, 7, 1, 3], 2)
+        states = algorithm.initial_states(algorithm.instance_blocks)
+        new_states, judgement = algorithm.apply_group_step(states, random.Random(0))
+        assert judgement.is_strict
+        assert new_states == [((0, 1), (1, 3)), ((2, 7), (3, 9))]
+
+    def test_end_to_end_static_line(self):
+        values = [13, 2, 11, 5, 3, 17, 7, 9]
+        algorithm = block_sorting_algorithm(values, 4)
+        environment = StaticEnvironment(line_graph(4))
+        result = Simulator(
+            algorithm, environment, algorithm.instance_blocks, seed=0
+        ).run(max_rounds=200)
+        assert result.converged
+        assert result.output == sorted(values)
+
+    def test_end_to_end_under_churn(self):
+        values = [31, 8, 24, 2, 19, 44, 5, 16, 37, 11]
+        algorithm = block_sorting_algorithm(values, 5)
+        environment = RandomChurnEnvironment(line_graph(5), edge_up_probability=0.4)
+        result = Simulator(
+            algorithm, environment, algorithm.instance_blocks, seed=3
+        ).run(max_rounds=2000)
+        assert result.converged
+        assert result.output == sorted(values)
+        report = check_specification(algorithm, result.trace)
+        assert report.all_hold, report.explain()
+
+    def test_uneven_blocks(self):
+        values = [6, 5, 4, 3, 2, 1, 0]
+        algorithm = block_sorting_algorithm(values, 3)
+        environment = StaticEnvironment(complete_graph(3))
+        result = Simulator(
+            algorithm, environment, algorithm.instance_blocks, seed=1
+        ).run(max_rounds=100)
+        assert result.converged
+        assert result.output == list(range(7))
+
+    def test_already_sorted_converges_immediately(self):
+        values = [1, 2, 3, 4, 5, 6]
+        algorithm = block_sorting_algorithm(values, 3)
+        environment = StaticEnvironment(line_graph(3))
+        result = Simulator(
+            algorithm, environment, algorithm.instance_blocks, seed=0
+        ).run(max_rounds=10)
+        assert result.converged
+        # Each agent may still need to tidy its own block, but a sorted
+        # array means no work at all.
+        assert result.convergence_round == 0
+
+    def test_objective_monotone_under_pairwise_execution(self):
+        from repro.agents import RandomPairScheduler
+
+        values = [15, 3, 12, 9, 1, 18, 6, 21]
+        algorithm = block_sorting_algorithm(values, 4)
+        environment = StaticEnvironment(line_graph(4))
+        result = Simulator(
+            algorithm,
+            environment,
+            algorithm.instance_blocks,
+            scheduler=RandomPairScheduler(),
+            seed=2,
+        ).run(max_rounds=500)
+        assert result.converged
+        trajectory = result.objective_trajectory
+        assert all(later <= earlier for earlier, later in zip(trajectory, trajectory[1:]))
+
+    @given(distinct_values, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_random_instances(self, values, num_agents):
+        if len(values) < num_agents:
+            return
+        algorithm = block_sorting_algorithm(values, num_agents)
+        environment = StaticEnvironment(complete_graph(num_agents))
+        result = Simulator(
+            algorithm, environment, algorithm.instance_blocks, seed=5
+        ).run(max_rounds=500)
+        assert result.converged
+        assert result.output == sorted(values)

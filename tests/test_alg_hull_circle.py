@@ -1,0 +1,194 @@
+"""Tests for the convex-hull algorithm and the circumscribing-circle example (§4.5)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Simulator, circumscribing_circle_algorithm, convex_hull_algorithm
+from repro.algorithms import (
+    circle_from_states,
+    circumscribing_circle_function,
+    convex_hull_function,
+    convex_hull_objective,
+    figure2_counterexample,
+    hull_merge,
+)
+from repro.core import Multiset, SpecificationError
+from repro.environment import (
+    RandomChurnEnvironment,
+    RotatingPartitionAdversary,
+    StaticEnvironment,
+    complete_graph,
+    line_graph,
+)
+from repro.geometry import Point, convex_hull, point_in_hull, smallest_enclosing_circle
+
+coordinates = st.integers(min_value=-15, max_value=15)
+point_lists = st.lists(
+    st.tuples(coordinates, coordinates), min_size=2, max_size=8, unique=True
+)
+
+
+def hull_states(points):
+    algorithm = convex_hull_algorithm(points)
+    return algorithm.initial_states(points)
+
+
+class TestConvexHullFunction:
+    def test_every_agent_gets_hull_of_all_points(self):
+        points = [(0, 0), (4, 0), (4, 3), (0, 3), (2, 1)]
+        states = hull_states(points)
+        image = convex_hull_function()(states)
+        hulls = {hull for _, hull in image}
+        assert len(hulls) == 1
+        assert set(next(iter(hulls))) == {
+            Point(0, 0),
+            Point(4, 0),
+            Point(4, 3),
+            Point(0, 3),
+        }
+
+    def test_positions_are_preserved(self):
+        points = [(0, 0), (1, 1)]
+        image = convex_hull_function()(hull_states(points))
+        assert {position for position, _ in image} == {Point(0, 0), Point(1, 1)}
+
+    @given(point_lists, point_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_super_idempotence(self, points_x, points_y):
+        f = convex_hull_function()
+        x = Multiset(hull_states(points_x))
+        y = Multiset(hull_states(points_y))
+        assert f(x | y) == f(f(x) | y)
+
+
+class TestConvexHullObjective:
+    def test_zero_exactly_when_every_agent_has_global_hull(self):
+        points = [(0, 0), (4, 0), (0, 3)]
+        algorithm = convex_hull_algorithm(points)
+        h = algorithm.objective
+        initial = algorithm.initial_states(points)
+        converged = list(algorithm.function(Multiset(initial)))
+        assert h(Multiset(converged)) == pytest.approx(0.0)
+        assert h(Multiset(initial)) > 0
+
+    def test_merging_decreases_objective(self):
+        points = [(0, 0), (4, 0), (0, 3)]
+        algorithm = convex_hull_algorithm(points)
+        initial = algorithm.initial_states(points)
+        merged, judgement = algorithm.apply_group_step(initial, random.Random(0))
+        assert judgement.is_strict
+
+    def test_empty_instance_rejected(self):
+        with pytest.raises(SpecificationError):
+            convex_hull_algorithm([])
+
+
+class TestConvexHullAlgorithm:
+    def test_end_to_end_static(self):
+        points = [(0, 0), (4, 0), (4, 3), (0, 3), (2, 1), (1, 2)]
+        algorithm = convex_hull_algorithm(points)
+        env = StaticEnvironment(complete_graph(6))
+        result = Simulator(algorithm, env, points, seed=0).run(100)
+        assert result.converged
+        assert set(result.output) == {Point(0, 0), Point(4, 0), Point(4, 3), Point(0, 3)}
+
+    def test_end_to_end_line_graph_under_churn(self):
+        points = [(0, 0), (5, 1), (2, 6), (7, 7), (1, 3), (6, 2)]
+        algorithm = convex_hull_algorithm(points)
+        env = RandomChurnEnvironment(line_graph(6), edge_up_probability=0.4)
+        result = Simulator(algorithm, env, points, seed=1).run(1000)
+        assert result.converged
+        assert set(result.output) == set(convex_hull(points))
+
+    def test_end_to_end_under_partitions(self):
+        points = [(0, 0), (5, 1), (2, 6), (7, 7), (1, 3), (6, 2), (3, 3), (4, 5)]
+        algorithm = convex_hull_algorithm(points)
+        env = RotatingPartitionAdversary(complete_graph(8), num_blocks=2, rotate_every=2)
+        result = Simulator(algorithm, env, points, seed=2).run(1000)
+        assert result.converged
+
+    def test_collinear_points(self):
+        points = [(0, 0), (1, 1), (2, 2), (3, 3)]
+        algorithm = convex_hull_algorithm(points)
+        env = StaticEnvironment(complete_graph(4))
+        result = Simulator(algorithm, env, points, seed=0).run(50)
+        assert result.converged
+        assert set(result.output) == {Point(0, 0), Point(3, 3)}
+
+    def test_circle_from_states_matches_direct_computation(self):
+        points = [(0, 0), (4, 0), (4, 3), (0, 3)]
+        algorithm = convex_hull_algorithm(points)
+        env = StaticEnvironment(complete_graph(4))
+        result = Simulator(algorithm, env, points, seed=0).run(50)
+        circle = circle_from_states(result.final_multiset)
+        expected = smallest_enclosing_circle(points)
+        assert circle.radius == pytest.approx(expected.radius, rel=1e-6)
+        assert circle.center.almost_equal(expected.center, tolerance=1e-6)
+
+    def test_hull_merge_is_one_sided(self):
+        points = [(0, 0), (4, 0), (0, 4)]
+        a, b, _ = hull_states(points)
+        merged = hull_merge(a, b)
+        assert merged[0] == a[0]  # position unchanged
+        assert set(merged[1]) == {Point(0, 0), Point(4, 0)}
+        assert b == (Point(4, 0), (Point(4, 0),))  # sender untouched
+
+    @given(point_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_random_instances_hull_correct(self, points):
+        algorithm = convex_hull_algorithm(points)
+        env = StaticEnvironment(complete_graph(len(points)))
+        result = Simulator(algorithm, env, points, seed=3).run(100)
+        assert result.converged
+        assert set(result.output) == set(convex_hull(points))
+        assert all(point_in_hull(Point(float(x), float(y)), result.output) for x, y in points)
+
+
+class TestCircumscribingCircle:
+    def test_direct_function_is_idempotent(self):
+        points = [(0, 0), (4, 0), (0, 3)]
+        algorithm = circumscribing_circle_algorithm(points)
+        states = algorithm.initial_states(points)
+        f = circumscribing_circle_function()
+        assert f(f(states)) == f(states)
+
+    def test_figure2_counterexample_shows_non_super_idempotence(self):
+        data = figure2_counterexample()
+        assert data["radius_two_stage"] > data["radius_direct"] + 0.5
+        assert data["radius_direct"] == pytest.approx(5.5, rel=1e-6)
+        assert data["radius_two_stage"] == pytest.approx(6.5, rel=1e-6)
+
+    def test_figure2_counterexample_via_distributed_function(self):
+        data = figure2_counterexample()
+        algorithm = circumscribing_circle_algorithm(data["all_points"])
+        f = circumscribing_circle_function()
+        group_b = Multiset(algorithm.initial_states(data["group_b_points"]))
+        group_c = Multiset(algorithm.initial_states([data["point_c"]]))
+        assert f(group_b | group_c) != f(f(group_b) | group_c)
+
+    def test_direct_algorithm_overapproximates_under_partitioned_execution(self):
+        data = figure2_counterexample()
+        points = data["all_points"]
+        algorithm = circumscribing_circle_algorithm(points)
+        # Force the bad schedule: first group B alone, then everyone.
+        rng = random.Random(0)
+        states = algorithm.initial_states(points)
+        group_b_states, _ = algorithm.apply_group_step(states[:3], rng)
+        merged_states, _ = algorithm.apply_group_step(group_b_states + states[3:], rng)
+        final_circle = algorithm.result(Multiset(merged_states))
+        true_circle = algorithm.true_circle
+        assert final_circle.radius > true_circle.radius + 0.5
+
+    def test_direct_algorithm_exact_when_single_group(self):
+        points = [(0, 0), (4, 0), (0, 3), (5, 5)]
+        algorithm = circumscribing_circle_algorithm(points)
+        env = StaticEnvironment(complete_graph(4))
+        result = Simulator(algorithm, env, points, seed=0).run(50)
+        circle = result.output
+        expected = smallest_enclosing_circle(points)
+        assert circle.radius == pytest.approx(expected.radius, rel=1e-6)

@@ -1,0 +1,144 @@
+"""Tests for the minimum (§4.1) and maximum consensus algorithms."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Simulator, minimum_algorithm, maximum_algorithm
+from repro.algorithms import minimum_function, minimum_objective, maximum_function
+from repro.core import Multiset, SpecificationError
+from repro.environment import (
+    RandomChurnEnvironment,
+    RotatingPartitionAdversary,
+    StaticEnvironment,
+    complete_graph,
+    line_graph,
+    random_connected_graph,
+    ring_graph,
+)
+
+value_lists = st.lists(st.integers(min_value=0, max_value=100), min_size=2, max_size=8)
+
+
+class TestMinimumFunctionAndObjective:
+    def test_function_matches_paper_example(self):
+        assert minimum_function()([3, 5, 3, 7]) == Multiset([3, 3, 3, 3])
+
+    def test_objective_is_sum(self):
+        assert minimum_objective()([3, 5, 3, 7]) == 18
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(SpecificationError):
+            minimum_algorithm().initial_states([3, -1])
+
+
+class TestMinimumGroupStep:
+    def test_full_adoption_step(self):
+        algorithm = minimum_algorithm()
+        new_states, judgement = algorithm.apply_group_step([5, 3, 9], random.Random(0))
+        assert new_states == [3, 3, 3]
+        assert judgement.is_strict
+
+    def test_partial_step_is_valid_and_makes_progress(self):
+        algorithm = minimum_algorithm(partial=True)
+        rng = random.Random(1)
+        states = [9, 5, 7]
+        for _ in range(50):
+            new_states, judgement = algorithm.apply_group_step(states, rng)
+            assert judgement.is_valid_d_step
+            if new_states == states:
+                break
+            states = new_states
+        assert states == [5, 5, 5]
+
+    def test_singleton_and_uniform_groups_stutter(self):
+        algorithm = minimum_algorithm()
+        rng = random.Random(0)
+        assert algorithm.apply_group_step([4], rng)[0] == [4]
+        assert algorithm.apply_group_step([4, 4], rng)[0] == [4, 4]
+
+
+class TestMinimumEndToEnd:
+    @pytest.mark.parametrize(
+        "topology_factory",
+        [complete_graph, line_graph, ring_graph, lambda n: random_connected_graph(n, seed=1)],
+    )
+    def test_converges_on_any_connected_topology(self, topology_factory):
+        values = [9, 4, 7, 1, 8, 5]
+        env = StaticEnvironment(topology_factory(len(values)))
+        result = Simulator(minimum_algorithm(), env, values, seed=0).run(max_rounds=100)
+        assert result.converged
+        assert result.output == 1
+
+    def test_converges_under_rotating_partitions(self):
+        values = [9, 4, 7, 1, 8, 5, 6, 2]
+        env = RotatingPartitionAdversary(complete_graph(8), num_blocks=3, rotate_every=2)
+        result = Simulator(minimum_algorithm(), env, values, seed=2).run(max_rounds=500)
+        assert result.converged
+        assert result.output == 1
+
+    def test_duplicate_minimum_values(self):
+        env = StaticEnvironment(complete_graph(4))
+        result = Simulator(minimum_algorithm(), env, [2, 2, 5, 9], seed=0).run(50)
+        assert result.converged
+        assert result.final_states == [2, 2, 2, 2]
+
+    def test_single_agent_trivially_converged(self):
+        env = StaticEnvironment(complete_graph(1))
+        result = Simulator(minimum_algorithm(), env, [7], seed=0).run(5)
+        assert result.converged
+        assert result.convergence_round == 0
+
+    @given(value_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_random_instances_converge_to_true_minimum(self, values):
+        env = RandomChurnEnvironment(complete_graph(len(values)), edge_up_probability=0.6)
+        result = Simulator(minimum_algorithm(), env, values, seed=7).run(max_rounds=500)
+        assert result.converged
+        assert result.output == min(values)
+
+    def test_partial_variant_converges(self):
+        values = [9, 4, 7, 1, 8, 5]
+        env = StaticEnvironment(complete_graph(6))
+        result = Simulator(minimum_algorithm(partial=True), env, values, seed=3).run(500)
+        assert result.converged
+        assert result.output == 1
+
+
+class TestMaximum:
+    def test_function(self):
+        assert maximum_function()([3, 5, 3, 7]) == Multiset([7, 7, 7, 7])
+
+    def test_upper_bound_enforced(self):
+        with pytest.raises(SpecificationError):
+            maximum_algorithm(upper_bound=10).initial_states([11])
+
+    def test_end_to_end(self):
+        values = [3, 9, 1, 7, 5]
+        env = RandomChurnEnvironment(complete_graph(5), edge_up_probability=0.5)
+        result = Simulator(maximum_algorithm(upper_bound=100), env, values, seed=0).run(200)
+        assert result.converged
+        assert result.output == 9
+
+    def test_objective_never_negative_during_run(self):
+        values = [3, 9, 1, 7, 5]
+        env = StaticEnvironment(line_graph(5))
+        result = Simulator(maximum_algorithm(upper_bound=9), env, values, seed=0).run(100)
+        assert result.converged
+        assert all(h >= 0 for h in result.objective_trajectory)
+
+    @given(value_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_min_and_max_duality(self, values):
+        env_min = StaticEnvironment(complete_graph(len(values)))
+        env_max = StaticEnvironment(complete_graph(len(values)))
+        result_min = Simulator(minimum_algorithm(), env_min, values, seed=1).run(50)
+        result_max = Simulator(
+            maximum_algorithm(upper_bound=max(values)), env_max, values, seed=1
+        ).run(50)
+        assert result_min.output == min(values)
+        assert result_max.output == max(values)

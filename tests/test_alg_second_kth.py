@@ -1,0 +1,193 @@
+"""Tests for the second-smallest (§4.3) and k-th-smallest algorithms."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Simulator, kth_smallest_algorithm, second_smallest_algorithm
+from repro.algorithms import (
+    kth_smallest_of,
+    second_smallest_direct_algorithm,
+    second_smallest_direct_function,
+    second_smallest_of,
+    second_smallest_pair_function,
+    second_smallest_pair_objective,
+)
+from repro.core import Multiset, SpecificationError
+from repro.environment import (
+    RandomChurnEnvironment,
+    RotatingPartitionAdversary,
+    StaticEnvironment,
+    complete_graph,
+)
+
+value_lists = st.lists(st.integers(min_value=0, max_value=30), min_size=2, max_size=7)
+
+
+class TestSecondSmallestOf:
+    def test_normal_case(self):
+        assert second_smallest_of([3, 5, 3, 7]) == 5
+        assert second_smallest_of([1, 2, 3]) == 2
+
+    def test_all_equal(self):
+        assert second_smallest_of([4, 4, 4]) == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(SpecificationError):
+            second_smallest_of([])
+
+
+class TestDirectFormulation:
+    def test_function_is_not_super_idempotent(self):
+        f = second_smallest_direct_function()
+        x, y = Multiset([1, 3]), Multiset([2])
+        assert f(x | y) != f(f(x) | y)
+
+    def test_direct_algorithm_can_misconverge_under_partitions(self):
+        # Values 1..6 split into rotating partitions: group-local second
+        # smallest destroys the global minimum, so at least some runs end
+        # at the wrong answer.  (The correct answer is 2.)
+        values = [1, 2, 3, 4, 5, 6]
+        wrong_runs = 0
+        for seed in range(10):
+            env = RotatingPartitionAdversary(
+                complete_graph(6), num_blocks=3, rotate_every=1, seed=seed
+            )
+            result = Simulator(
+                second_smallest_direct_algorithm(), env, values, seed=seed
+            ).run(max_rounds=100)
+            final_answer = second_smallest_of(result.final_states)
+            if final_answer != 2:
+                wrong_runs += 1
+        assert wrong_runs > 0
+
+    def test_direct_algorithm_fine_when_groups_are_whole_system(self):
+        values = [1, 2, 3, 4, 5, 6]
+        env = StaticEnvironment(complete_graph(6))
+        result = Simulator(second_smallest_direct_algorithm(), env, values, seed=0).run(50)
+        assert second_smallest_of(result.final_states) == 2
+
+
+class TestPairFormulation:
+    def test_function_matches_paper_example(self):
+        f = second_smallest_pair_function()
+        assert f([(2, 5), (3, 4), (2, 7)]) == Multiset({(2, 3): 3})
+
+    def test_function_leaves_uniform_multiset_unchanged(self):
+        f = second_smallest_pair_function()
+        assert f([(2, 2), (2, 2)]) == Multiset([(2, 2), (2, 2)])
+
+    def test_function_is_super_idempotent_on_papers_counterexample(self):
+        f = second_smallest_pair_function()
+        x = Multiset([(1, 1), (3, 3)])
+        y = Multiset([(2, 2)])
+        assert f(x | y) == f(f(x) | y)
+
+    def test_corrected_objective_decreases_on_tie_transition(self):
+        h = second_smallest_pair_objective(value_bound=10)
+        assert h.is_improvement([(2, 2), (3, 3)], [(2, 3), (2, 3)])
+
+    def test_initial_state_is_duplicated_pair(self):
+        algorithm = second_smallest_algorithm()
+        assert algorithm.initial_states([4, 7]) == [(4, 4), (7, 7)]
+
+    def test_value_bound_enforced(self):
+        with pytest.raises(SpecificationError):
+            second_smallest_algorithm(value_bound=5).initial_states([6])
+        with pytest.raises(SpecificationError):
+            second_smallest_algorithm().initial_states([-1])
+
+    def test_end_to_end_static(self):
+        values = [3, 5, 3, 7, 1]
+        env = StaticEnvironment(complete_graph(5))
+        result = Simulator(second_smallest_algorithm(), env, values, seed=0).run(100)
+        assert result.converged
+        assert result.output == 3
+        assert set(result.final_states) == {(1, 3)}
+
+    def test_end_to_end_under_partitions(self):
+        values = [1, 2, 3, 4, 5, 6]
+        env = RotatingPartitionAdversary(complete_graph(6), num_blocks=3, rotate_every=1)
+        result = Simulator(second_smallest_algorithm(), env, values, seed=1).run(500)
+        assert result.converged
+        assert result.output == 2
+
+    def test_two_agent_tie_instance_converges_with_corrected_objective(self):
+        # The instance on which the paper's original objective cannot make
+        # the final move.
+        env = StaticEnvironment(complete_graph(2))
+        result = Simulator(second_smallest_algorithm(), env, [2, 3], seed=0).run(20)
+        assert result.converged
+        assert result.final_states == [(2, 3), (2, 3)]
+
+    def test_all_equal_values(self):
+        env = StaticEnvironment(complete_graph(3))
+        result = Simulator(second_smallest_algorithm(), env, [5, 5, 5], seed=0).run(20)
+        assert result.converged
+        assert result.output == 5
+
+    @given(value_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_random_instances(self, values):
+        env = RandomChurnEnvironment(complete_graph(len(values)), edge_up_probability=0.6)
+        result = Simulator(second_smallest_algorithm(), env, values, seed=3).run(500)
+        assert result.converged
+        assert result.output == second_smallest_of(values)
+
+
+class TestKthSmallest:
+    def test_kth_smallest_of(self):
+        assert kth_smallest_of([5, 1, 3, 3, 7], 1) == 1
+        assert kth_smallest_of([5, 1, 3, 3, 7], 2) == 3
+        assert kth_smallest_of([5, 1, 3, 3, 7], 3) == 5
+        assert kth_smallest_of([5, 5], 3) == 5  # fewer distinct values than k
+        with pytest.raises(SpecificationError):
+            kth_smallest_of([], 1)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(SpecificationError):
+            kth_smallest_algorithm(0)
+
+    def test_k1_matches_minimum(self):
+        values = [4, 9, 2, 7]
+        env = StaticEnvironment(complete_graph(4))
+        result = Simulator(kth_smallest_algorithm(1), env, values, seed=0).run(50)
+        assert result.converged
+        assert result.output == 2
+
+    def test_k2_matches_second_smallest(self):
+        values = [3, 5, 3, 7, 1]
+        env = StaticEnvironment(complete_graph(5))
+        result = Simulator(kth_smallest_algorithm(2), env, values, seed=0).run(50)
+        assert result.converged
+        assert result.output == 3
+
+    def test_k3_under_churn(self):
+        values = [9, 5, 3, 7, 1, 2, 8]
+        env = RandomChurnEnvironment(complete_graph(7), edge_up_probability=0.4)
+        result = Simulator(kth_smallest_algorithm(3), env, values, seed=5).run(500)
+        assert result.converged
+        assert result.output == 3
+
+    def test_value_range_enforced(self):
+        with pytest.raises(SpecificationError):
+            kth_smallest_algorithm(2, value_bound=10).initial_states([11])
+
+    def test_states_are_bounded_tuples(self):
+        values = [9, 5, 3, 7, 1, 2, 8, 4]
+        env = RandomChurnEnvironment(complete_graph(8), edge_up_probability=0.5)
+        result = Simulator(kth_smallest_algorithm(3), env, values, seed=1).run(500)
+        assert result.converged
+        assert all(len(state) <= 3 for state in result.final_states)
+
+    @given(value_lists, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_random_instances(self, values, k):
+        env = StaticEnvironment(complete_graph(len(values)))
+        result = Simulator(kth_smallest_algorithm(k), env, values, seed=2).run(100)
+        assert result.converged
+        assert result.output == kth_smallest_of(values, k)

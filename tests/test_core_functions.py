@@ -1,0 +1,217 @@
+"""Tests for distributed functions and the super-idempotence machinery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DistributedFunction,
+    Multiset,
+    SpecificationError,
+    check_idempotent,
+    check_single_element_super_idempotence,
+    check_super_idempotent,
+    find_idempotence_counterexample,
+    find_super_idempotence_counterexample,
+    from_commutative_operator,
+    random_multisets,
+)
+from repro.algorithms import (
+    minimum_function,
+    second_smallest_direct_function,
+    sorting_function,
+    sum_function,
+)
+
+small_values = st.lists(st.integers(min_value=0, max_value=9), max_size=6)
+
+
+def sample_pairs(domain, trials=120, max_size=4, seed=0):
+    rng = random.Random(seed)
+    xs = list(random_multisets(domain, max_size, trials, rng))
+    ys = list(random_multisets(domain, max_size, trials, rng))
+    return list(zip(xs, ys))
+
+
+class TestDistributedFunction:
+    def test_call_coerces_iterables(self):
+        f = minimum_function()
+        assert f([3, 5, 3, 7]) == Multiset([3, 3, 3, 3])
+
+    def test_cardinality_enforced(self):
+        bad = DistributedFunction("drops", lambda bag: Multiset([0]))
+        with pytest.raises(SpecificationError):
+            bad([1, 2, 3])
+
+    def test_cardinality_check_can_be_disabled(self):
+        shrink = DistributedFunction(
+            "drops", lambda bag: Multiset([0]), preserves_cardinality=False
+        )
+        assert shrink([1, 2, 3]) == Multiset([0])
+
+    def test_is_fixpoint(self):
+        f = minimum_function()
+        assert f.is_fixpoint([2, 2, 2])
+        assert not f.is_fixpoint([2, 3])
+
+    def test_conserves(self):
+        f = minimum_function()
+        assert f.conserves([3, 5, 7], [3, 3, 4])
+        assert not f.conserves([3, 5], [4, 5])
+
+    def test_empty_multiset_passthrough(self):
+        assert minimum_function()(Multiset()) == Multiset()
+        assert sum_function()(Multiset()) == Multiset()
+
+
+class TestPaperExamples:
+    """The paper's claims about which example functions are (super-)idempotent."""
+
+    def test_minimum_example_from_paper(self):
+        assert minimum_function()([3, 5, 3, 7]) == Multiset([3, 3, 3, 3])
+
+    def test_sum_example_from_paper(self):
+        assert sum_function()([3, 5, 3, 7]) == Multiset([18, 0, 0, 0])
+
+    def test_minimum_is_super_idempotent(self):
+        domain = list(range(6))
+        assert check_super_idempotent(minimum_function(), sample_pairs(domain))
+
+    def test_sum_is_super_idempotent(self):
+        domain = list(range(6))
+        assert check_super_idempotent(sum_function(), sample_pairs(domain))
+
+    def test_sorting_is_super_idempotent(self):
+        cells = [(i, v) for i in range(4) for v in range(4)]
+        assert check_super_idempotent(sorting_function(), sample_pairs(cells, trials=80))
+
+    def test_second_smallest_direct_is_idempotent(self):
+        domain = list(range(6))
+        rng = random.Random(1)
+        samples = list(random_multisets(domain, 5, 200, rng, min_size=1))
+        assert check_idempotent(second_smallest_direct_function(), samples)
+
+    def test_second_smallest_direct_not_super_idempotent_papers_counterexample(self):
+        f = second_smallest_direct_function()
+        x, y = Multiset([1, 3]), Multiset([2])
+        assert f(x | y) == Multiset([2, 2, 2])
+        assert f(f(x) | y) == Multiset([3, 3, 3])
+        assert f(x | y) != f(f(x) | y)
+
+    def test_second_smallest_direct_counterexample_found_by_search(self):
+        counterexample = find_super_idempotence_counterexample(
+            second_smallest_direct_function(),
+            value_domain=list(range(5)),
+            trials=300,
+            seed=3,
+        )
+        assert counterexample is not None
+        x, y = counterexample
+        f = second_smallest_direct_function()
+        assert f(x | y) != f(f(x) | y)
+
+    def test_minimum_no_counterexample_even_exhaustively(self):
+        assert (
+            find_super_idempotence_counterexample(
+                minimum_function(),
+                value_domain=list(range(4)),
+                trials=50,
+                exhaustive_size=4,
+            )
+            is None
+        )
+
+
+class TestFromCommutativeOperator:
+    def test_min_operator_reproduces_minimum_function(self):
+        def both_min(x: Multiset, y: Multiset) -> Multiset:
+            smallest = min(x.min(), y.min())
+            return Multiset({smallest: len(x) + len(y)})
+
+        f = from_commutative_operator("min", both_min)
+        assert f([4, 2, 9]) == Multiset([2, 2, 2])
+
+    def test_sum_operator_reproduces_sum_function(self):
+        def pour(x: Multiset, y: Multiset) -> Multiset:
+            total = x.sum() + y.sum()
+            return Multiset([total] + [0] * (len(x) + len(y) - 1))
+
+        f = from_commutative_operator("sum", pour)
+        assert f([3, 5, 3, 7]) == Multiset([18, 0, 0, 0])
+
+    def test_empty_maps_to_empty(self):
+        f = from_commutative_operator("min", lambda x, y: x | y)
+        assert f(Multiset()) == Multiset()
+
+    def test_operator_built_function_is_super_idempotent(self):
+        def both_min(x: Multiset, y: Multiset) -> Multiset:
+            smallest = min(x.min(), y.min())
+            return Multiset({smallest: len(x) + len(y)})
+
+        f = from_commutative_operator("min", both_min)
+        assert check_super_idempotent(f, sample_pairs(list(range(5)), trials=150))
+
+
+class TestCheckers:
+    def test_find_idempotence_counterexample(self):
+        # "Add one to every value" is not idempotent.
+        add_one = DistributedFunction("inc", lambda bag: bag.map(lambda v: v + 1))
+        rng = random.Random(0)
+        samples = list(random_multisets(list(range(5)), 4, 50, rng, min_size=1))
+        assert find_idempotence_counterexample(add_one, samples) is not None
+
+    def test_single_element_criterion_matches_full_criterion_for_direct_second_smallest(self):
+        f = second_smallest_direct_function()
+        samples = [(Multiset([1, 3]), 2)]
+        assert not check_single_element_super_idempotence(f, samples)
+
+    def test_single_element_criterion_passes_for_minimum(self):
+        f = minimum_function()
+        rng = random.Random(2)
+        samples = [
+            (Multiset(rng.choices(range(5), k=rng.randint(0, 4))), rng.randrange(5))
+            for _ in range(100)
+        ]
+        assert check_single_element_super_idempotence(f, samples)
+
+    def test_random_multisets_respects_bounds(self):
+        rng = random.Random(0)
+        bags = list(random_multisets([1, 2, 3], max_size=3, trials=50, rng=rng, min_size=1))
+        assert len(bags) == 50
+        assert all(1 <= len(bag) <= 3 for bag in bags)
+        assert all(set(bag.distinct()) <= {1, 2, 3} for bag in bags)
+
+
+class TestSuperIdempotenceProperties:
+    @given(small_values, small_values)
+    @settings(max_examples=80)
+    def test_minimum_super_idempotence_property(self, xs, ys):
+        f = minimum_function()
+        x, y = Multiset(xs), Multiset(ys)
+        assert f(x | y) == f(f(x) | y)
+
+    @given(small_values, small_values)
+    @settings(max_examples=80)
+    def test_sum_super_idempotence_property(self, xs, ys):
+        f = sum_function()
+        x, y = Multiset(xs), Multiset(ys)
+        assert f(x | y) == f(f(x) | y)
+
+    @given(small_values)
+    @settings(max_examples=80)
+    def test_super_idempotent_implies_idempotent_for_minimum(self, xs):
+        f = minimum_function()
+        bag = Multiset(xs)
+        assert f(f(bag)) == f(bag)
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=6),
+           st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=6))
+    @settings(max_examples=80)
+    def test_sorting_super_idempotence_property(self, xs, ys):
+        f = sorting_function()
+        x, y = Multiset(xs), Multiset(ys)
+        assert f(x | y) == f(f(x) | y)

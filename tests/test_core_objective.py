@@ -1,0 +1,115 @@
+"""Tests for objective (variant) functions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Multiset, ObjectiveFunction, SpecificationError, SummationObjective
+from repro.algorithms import (
+    minimum_objective,
+    out_of_order_objective,
+    second_smallest_pair_objective,
+    sum_objective,
+)
+
+values = st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8)
+
+
+class TestObjectiveFunction:
+    def test_call_coerces_iterables(self):
+        h = minimum_objective()
+        assert h([1, 2, 3]) == 6
+
+    def test_lower_bound_guard(self):
+        h = ObjectiveFunction("neg", evaluate=lambda bag: -1.0, lower_bound=0.0)
+        with pytest.raises(SpecificationError):
+            h([1])
+
+    def test_is_improvement_strict_decrease(self):
+        h = minimum_objective()
+        assert h.is_improvement([5, 5], [5, 3])
+        assert not h.is_improvement([5, 3], [5, 3])
+        assert not h.is_improvement([5, 3], [5, 4])
+
+    def test_is_improvement_with_minimum_decrease(self):
+        h = ObjectiveFunction(
+            "coarse", evaluate=lambda bag: float(bag.sum()), minimum_decrease=2.0
+        )
+        assert h.is_improvement([10], [8])
+        assert not h.is_improvement([10], [9])
+
+    def test_repr_contains_name(self):
+        assert "sum of values" in repr(minimum_objective())
+
+
+class TestSummationObjective:
+    def test_sums_per_agent_contributions(self):
+        h = SummationObjective("double", per_agent=lambda v: 2 * v)
+        assert h([1, 2, 3]) == 12
+
+    def test_offset(self):
+        h = SummationObjective("shifted", per_agent=lambda v: v, offset=100)
+        assert h([1]) == 101
+
+    def test_summation_form_flag(self):
+        assert SummationObjective("s", per_agent=lambda v: v).summation_form
+        assert not ObjectiveFunction("o", evaluate=lambda bag: 0.0).summation_form
+
+    def test_disjoint_additivity(self):
+        # The structural property behind Lemma (8): h(B ∪ C) = h(B) + h(C).
+        h = SummationObjective("s", per_agent=lambda v: v * v)
+        b, c = Multiset([1, 2]), Multiset([3])
+        assert h(b | c) == h(b) + h(c)
+
+    @given(values, values)
+    @settings(max_examples=60)
+    def test_local_improvement_composes_for_summation_form(self, xs, ys):
+        # If h(B') < h(B) and C is unchanged then h(B'∪C) < h(B∪C): the
+        # paper's local-to-global improvement property, which summation
+        # form guarantees.
+        h = SummationObjective("s", per_agent=lambda v: v)
+        b = Multiset(xs)
+        b_improved = Multiset([max(0, x - 1) for x in xs])
+        c = Multiset(ys)
+        if h(b_improved) < h(b):
+            assert h(b_improved | c) < h(b | c)
+
+
+class TestPaperObjectives:
+    def test_minimum_objective_is_total_sum(self):
+        assert minimum_objective()([3, 5, 3, 7]) == 18
+
+    def test_sum_objective_matches_paper_formula(self):
+        h = sum_objective()
+        assert h([3, 5, 3, 7]) == 18 * 18 - (9 + 25 + 9 + 49)
+        assert h([18, 0, 0, 0]) == 0.0
+
+    def test_sum_objective_minimised_at_goal_state(self):
+        h = sum_objective()
+        assert h([18, 0, 0, 0]) < h([9, 9, 0, 0]) < h([5, 5, 4, 4])
+
+    def test_out_of_order_objective_on_paper_states(self):
+        h = out_of_order_objective()
+        sorted_cells = [(1, 1), (2, 2), (3, 3)]
+        reversed_cells = [(1, 3), (2, 2), (3, 1)]
+        assert h(sorted_cells) == 0.0
+        assert h(reversed_cells) > 0.0
+
+    def test_pair_objective_penalises_diagonal(self):
+        h = second_smallest_pair_objective(value_bound=100)
+        assert h([(2, 2)]) > h([(2, 3)])
+
+    def test_pair_objective_strictly_decreases_on_the_problematic_transition(self):
+        # The transition {(2,2),(3,3)} -> {(2,3),(2,3)} that leaves the
+        # paper's original Σ(x+y) objective unchanged.
+        h = second_smallest_pair_objective(value_bound=100)
+        assert h.is_improvement([(2, 2), (3, 3)], [(2, 3), (2, 3)])
+
+    def test_paper_pair_objective_does_not_decrease_on_that_transition(self):
+        from repro.algorithms import paper_pair_objective
+
+        h = paper_pair_objective()
+        assert h([(2, 2), (3, 3)]) == h([(2, 3), (2, 3)])
+        assert not h.is_improvement([(2, 2), (3, 3)], [(2, 3), (2, 3)])

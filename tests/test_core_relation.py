@@ -1,0 +1,72 @@
+"""Tests for the constrained-optimization relations B and D."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Multiset, OptimizationRelation, StepKind
+from repro.algorithms import minimum_function, minimum_objective, sum_function, sum_objective
+
+
+@pytest.fixture
+def minimum_relation():
+    return OptimizationRelation(minimum_function(), minimum_objective())
+
+
+@pytest.fixture
+def sum_relation():
+    return OptimizationRelation(sum_function(), sum_objective())
+
+
+class TestJudgement:
+    def test_stutter_always_allowed(self, minimum_relation):
+        judgement = minimum_relation.judge([3, 5], [5, 3])
+        assert judgement.kind is StepKind.STUTTER
+        assert judgement.is_valid_d_step
+        assert not judgement.is_strict
+
+    def test_improvement_recognised(self, minimum_relation):
+        judgement = minimum_relation.judge([3, 5], [3, 3])
+        assert judgement.kind is StepKind.IMPROVEMENT
+        assert judgement.is_valid_d_step
+        assert judgement.is_strict
+        assert judgement.h_before == 8
+        assert judgement.h_after == 6
+
+    def test_conservation_violation_detected(self, minimum_relation):
+        judgement = minimum_relation.judge([3, 5], [4, 4])
+        assert judgement.kind is StepKind.BREAKS_CONSERVATION
+        assert not judgement.is_valid_d_step
+
+    def test_non_improvement_detected(self, minimum_relation):
+        # Conserves the minimum but increases the sum.
+        judgement = minimum_relation.judge([3, 5], [3, 7])
+        assert judgement.kind is StepKind.NOT_AN_IMPROVEMENT
+        assert not judgement.is_valid_d_step
+
+    def test_explanations_are_informative(self, minimum_relation):
+        assert "stutter" in minimum_relation.judge([1], [1]).explain()
+        assert "improvement" in minimum_relation.judge([3, 5], [3, 3]).explain()
+        assert "conservation" in minimum_relation.judge([3, 5], [4, 4]).explain()
+        assert "did not decrease" in minimum_relation.judge([3, 5], [3, 7]).explain()
+
+
+class TestHoldsPredicates:
+    def test_holds_accepts_stutter_and_improvement(self, minimum_relation):
+        assert minimum_relation.holds([3, 5], [3, 5])
+        assert minimum_relation.holds([3, 5], [3, 4])
+        assert not minimum_relation.holds([3, 5], [4, 5])
+
+    def test_holds_strict_rejects_stutter(self, minimum_relation):
+        assert not minimum_relation.holds_strict([3, 5], [3, 5])
+        assert minimum_relation.holds_strict([3, 5], [3, 3])
+
+    def test_accepts_multisets_and_sequences(self, minimum_relation):
+        assert minimum_relation.holds(Multiset([3, 5]), Multiset([3, 3]))
+
+    def test_sum_relation_paper_step(self, sum_relation):
+        # Moving value mass apart conserves the sum and improves h.
+        assert sum_relation.holds_strict([3, 5], [0, 8])
+        assert sum_relation.holds_strict([3, 5, 3, 7], [18, 0, 0, 0])
+        # Moving values together (towards the average) is NOT an improvement.
+        assert not sum_relation.holds([3, 5], [4, 4])

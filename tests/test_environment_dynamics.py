@@ -1,0 +1,288 @@
+"""Tests for the stochastic, adversarial and mobility environments."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import EnvironmentError_
+from repro.environment import (
+    BlackoutAdversary,
+    EdgeBudgetAdversary,
+    MarkovChurnEnvironment,
+    PeriodicDutyCycleEnvironment,
+    RandomChurnEnvironment,
+    RandomWaypointEnvironment,
+    RotatingPartitionAdversary,
+    StaticEnvironment,
+    TargetedCrashAdversary,
+    complete_graph,
+    line_graph,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+class TestStaticEnvironment:
+    def test_everything_always_available(self, rng):
+        env = StaticEnvironment(complete_graph(4))
+        state = env.advance(0, rng)
+        assert state.enabled_agents == frozenset(range(4))
+        assert state.available_edges == complete_graph(4).edges
+        assert len(state.communication_groups()) == 1
+
+    def test_fairness_predicates_cover_all_edges(self):
+        env = StaticEnvironment(line_graph(3))
+        assert len(env.fairness_predicates()) == 2
+
+    def test_describe(self):
+        assert "static" in StaticEnvironment(line_graph(3)).describe()
+
+
+class TestRandomChurn:
+    def test_probability_bounds_validated(self):
+        with pytest.raises(EnvironmentError_):
+            RandomChurnEnvironment(line_graph(3), edge_up_probability=1.5)
+        with pytest.raises(EnvironmentError_):
+            RandomChurnEnvironment(line_graph(3), agent_up_probability=-0.1)
+
+    def test_zero_probability_gives_no_edges(self, rng):
+        env = RandomChurnEnvironment(complete_graph(4), edge_up_probability=0.0)
+        state = env.advance(0, rng)
+        assert state.available_edges == frozenset()
+
+    def test_one_probability_gives_all_edges(self, rng):
+        env = RandomChurnEnvironment(complete_graph(4), edge_up_probability=1.0)
+        state = env.advance(0, rng)
+        assert state.available_edges == complete_graph(4).edges
+
+    def test_edges_are_subset_of_topology(self, rng):
+        env = RandomChurnEnvironment(complete_graph(6), edge_up_probability=0.5)
+        for round_index in range(20):
+            state = env.advance(round_index, rng)
+            assert state.available_edges <= complete_graph(6).edges
+
+    def test_agents_can_be_disabled(self, rng):
+        env = RandomChurnEnvironment(
+            complete_graph(6), edge_up_probability=1.0, agent_up_probability=0.3
+        )
+        sizes = {len(env.advance(i, rng).enabled_agents) for i in range(30)}
+        assert min(sizes) < 6
+
+    def test_every_edge_eventually_appears(self, rng):
+        env = RandomChurnEnvironment(complete_graph(4), edge_up_probability=0.3)
+        seen = set()
+        for round_index in range(200):
+            seen |= env.advance(round_index, rng).available_edges
+        assert seen == complete_graph(4).edges
+
+    def test_no_fairness_when_probability_zero(self):
+        env = RandomChurnEnvironment(line_graph(3), edge_up_probability=0.0)
+        assert env.fairness_predicates() == ()
+
+
+class TestMarkovChurn:
+    def test_parameters_validated(self):
+        with pytest.raises(EnvironmentError_):
+            MarkovChurnEnvironment(line_graph(3), edge_failure_probability=2.0)
+
+    def test_starts_fully_up_and_stays_in_topology(self, rng):
+        env = MarkovChurnEnvironment(
+            complete_graph(5), edge_failure_probability=0.2, edge_recovery_probability=0.5
+        )
+        for round_index in range(30):
+            state = env.advance(round_index, rng)
+            assert state.available_edges <= complete_graph(5).edges
+
+    def test_failures_occur_and_recover(self, rng):
+        env = MarkovChurnEnvironment(
+            complete_graph(4),
+            edge_failure_probability=0.5,
+            edge_recovery_probability=0.5,
+        )
+        counts = [len(env.advance(i, rng).available_edges) for i in range(50)]
+        assert min(counts) < 6
+        assert max(counts) > 0
+
+    def test_reset_restores_all_up(self, rng):
+        env = MarkovChurnEnvironment(
+            complete_graph(4), edge_failure_probability=1.0, edge_recovery_probability=0.0
+        )
+        env.advance(0, rng)
+        env.reset()
+        assert env._edge_up == {edge: True for edge in complete_graph(4).edges}
+
+    def test_agent_failures(self, rng):
+        env = MarkovChurnEnvironment(
+            complete_graph(4),
+            agent_failure_probability=0.9,
+            agent_recovery_probability=0.1,
+        )
+        sizes = [len(env.advance(i, rng).enabled_agents) for i in range(30)]
+        assert min(sizes) < 4
+
+
+class TestPeriodicDutyCycle:
+    def test_parameters_validated(self):
+        with pytest.raises(EnvironmentError_):
+            PeriodicDutyCycleEnvironment(line_graph(3), period=0)
+        with pytest.raises(EnvironmentError_):
+            PeriodicDutyCycleEnvironment(line_graph(3), duty_cycle=0.0)
+        with pytest.raises(EnvironmentError_):
+            PeriodicDutyCycleEnvironment(line_graph(3), phases=[0])
+
+    def test_full_duty_cycle_means_always_awake(self, rng):
+        env = PeriodicDutyCycleEnvironment(line_graph(4), period=5, duty_cycle=1.0)
+        for round_index in range(10):
+            assert len(env.advance(round_index, rng).enabled_agents) == 4
+
+    def test_wake_pattern_is_periodic(self, rng):
+        env = PeriodicDutyCycleEnvironment(
+            line_graph(3), period=4, duty_cycle=0.5, phases=[0, 1, 2]
+        )
+        pattern_one = [env.advance(i, rng).enabled_agents for i in range(4)]
+        pattern_two = [env.advance(i + 4, rng).enabled_agents for i in range(4)]
+        assert pattern_one == pattern_two
+
+    def test_half_duty_cycle_disables_someone_sometimes(self, rng):
+        env = PeriodicDutyCycleEnvironment(
+            complete_graph(4), period=10, duty_cycle=0.3, seed=3
+        )
+        sizes = [len(env.advance(i, rng).enabled_agents) for i in range(10)]
+        assert min(sizes) < 4
+
+
+class TestAdversaries:
+    def test_rotating_partition_always_partitions_the_system(self, rng):
+        env = RotatingPartitionAdversary(complete_graph(6), num_blocks=2, rotate_every=3)
+        for round_index in range(12):
+            state = env.advance(round_index, rng)
+            groups = state.communication_groups()
+            assert len(groups) >= 2
+            # Within a round no edge joins two different blocks.
+            for a, b in state.available_edges:
+                assert env._block_of(a, round_index) == env._block_of(b, round_index)
+
+    def test_rotating_partition_eventually_offers_every_edge(self, rng):
+        env = RotatingPartitionAdversary(
+            complete_graph(4), num_blocks=2, rotate_every=1, seed=0
+        )
+        seen = set()
+        for round_index in range(60):
+            seen |= env.advance(round_index, rng).available_edges
+        assert seen == complete_graph(4).edges
+
+    def test_rotating_partition_parameter_validation(self):
+        with pytest.raises(EnvironmentError_):
+            RotatingPartitionAdversary(complete_graph(4), num_blocks=0)
+        with pytest.raises(EnvironmentError_):
+            RotatingPartitionAdversary(complete_graph(4), rotate_every=0)
+
+    def test_targeted_crash_downs_targets_then_releases(self, rng):
+        env = TargetedCrashAdversary(
+            complete_graph(5), targets=[0, 1], period=10, down_rounds=8
+        )
+        down_state = env.advance(0, rng)
+        up_state = env.advance(9, rng)
+        assert 0 not in down_state.enabled_agents
+        assert 1 not in down_state.enabled_agents
+        assert up_state.enabled_agents == frozenset(range(5))
+
+    def test_targeted_crash_validates_targets(self):
+        with pytest.raises(EnvironmentError_):
+            TargetedCrashAdversary(complete_graph(3), targets=[9])
+        with pytest.raises(EnvironmentError_):
+            TargetedCrashAdversary(complete_graph(3), targets=[0], period=5, down_rounds=9)
+
+    def test_blackout_freezes_everything_then_recovers(self, rng):
+        env = BlackoutAdversary(complete_graph(4), period=6, blackout_rounds=3)
+        dark = env.advance(0, rng)
+        bright = env.advance(4, rng)
+        assert dark.enabled_agents == frozenset()
+        assert dark.available_edges == frozenset()
+        assert bright.enabled_agents == frozenset(range(4))
+
+    def test_blackout_validates_parameters(self):
+        with pytest.raises(EnvironmentError_):
+            BlackoutAdversary(complete_graph(3), period=5, blackout_rounds=5)
+
+    def test_edge_budget_limits_edges_per_round(self, rng):
+        env = EdgeBudgetAdversary(complete_graph(5), budget=2)
+        for round_index in range(20):
+            assert len(env.advance(round_index, rng).available_edges) <= 2
+
+    def test_edge_budget_cycles_through_all_edges(self, rng):
+        env = EdgeBudgetAdversary(complete_graph(4), budget=1)
+        seen = set()
+        for round_index in range(len(complete_graph(4).edges)):
+            seen |= env.advance(round_index, rng).available_edges
+        assert seen == complete_graph(4).edges
+
+    def test_edge_budget_validates_budget(self):
+        with pytest.raises(EnvironmentError_):
+            EdgeBudgetAdversary(complete_graph(3), budget=0)
+
+
+class TestMobility:
+    def test_parameters_validated(self):
+        with pytest.raises(EnvironmentError_):
+            RandomWaypointEnvironment(0)
+        with pytest.raises(EnvironmentError_):
+            RandomWaypointEnvironment(3, arena_size=-1.0)
+
+    def test_edges_respect_radio_range(self, rng):
+        env = RandomWaypointEnvironment(
+            6, arena_size=100.0, range_radius=30.0, speed=5.0, seed=1
+        )
+        state = env.advance(0, rng)
+        positions = env.positions()
+        for a, b in state.available_edges:
+            ax, ay = positions[a]
+            bx, by = positions[b]
+            assert ((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5 <= 30.0 + 1e-9
+
+    def test_positions_stay_in_arena(self, rng):
+        env = RandomWaypointEnvironment(5, arena_size=50.0, speed=10.0, seed=2)
+        for round_index in range(50):
+            env.advance(round_index, rng)
+        assert all(0 <= x <= 50 and 0 <= y <= 50 for x, y in env.positions())
+
+    def test_reset_is_reproducible(self, rng):
+        env = RandomWaypointEnvironment(4, seed=9)
+        first = env.positions()
+        env.advance(0, rng)
+        env.reset()
+        assert env.positions() == first
+
+    def test_battery_model_disables_and_recovers_agents(self):
+        rng = random.Random(0)
+        env = RandomWaypointEnvironment(
+            3,
+            arena_size=10.0,
+            range_radius=20.0,
+            speed=0.0,
+            battery_capacity=2.0,
+            drain_per_round=1.0,
+            recharge_per_round=1.0,
+            seed=4,
+        )
+        enabled_counts = [len(env.advance(i, rng).enabled_agents) for i in range(8)]
+        assert min(enabled_counts) == 0  # all batteries drain together
+        assert max(enabled_counts) == 3
+
+    def test_no_battery_means_always_enabled(self, rng):
+        env = RandomWaypointEnvironment(4, battery_capacity=None, seed=5)
+        for round_index in range(10):
+            assert len(env.advance(round_index, rng).enabled_agents) == 4
+
+    def test_connectivity_varies_with_range(self, rng):
+        tight = RandomWaypointEnvironment(8, arena_size=100, range_radius=5, seed=3)
+        wide = RandomWaypointEnvironment(8, arena_size=100, range_radius=200, seed=3)
+        tight_edges = len(tight.advance(0, rng).available_edges)
+        wide_edges = len(wide.advance(0, rng).available_edges)
+        assert wide_edges == 28  # complete graph on 8 agents
+        assert tight_edges < wide_edges

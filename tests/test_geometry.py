@@ -1,0 +1,247 @@
+"""Tests for the planar geometry substrate (points, hulls, enclosing circles)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Circle,
+    Point,
+    centroid,
+    collinear,
+    convex_hull,
+    distance,
+    hull_area,
+    hull_perimeter,
+    is_convex_polygon,
+    merge_hulls,
+    orientation,
+    point_in_hull,
+    smallest_circle_of_circles,
+    smallest_enclosing_circle,
+)
+
+coordinates = st.integers(min_value=-20, max_value=20)
+points = st.builds(lambda x, y: Point(float(x), float(y)), coordinates, coordinates)
+point_sets = st.lists(points, min_size=1, max_size=12)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+        assert distance(Point(1, 1), Point(1, 1)) == 0.0
+
+    def test_midpoint_and_translate(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+    def test_iteration_and_tuple(self):
+        assert tuple(Point(1, 2)) == (1.0, 2.0)
+        assert Point(1, 2).as_tuple() == (1.0, 2.0)
+
+    def test_orientation_signs(self):
+        a, b = Point(0, 0), Point(1, 0)
+        assert orientation(a, b, Point(0, 1)) > 0  # left turn
+        assert orientation(a, b, Point(0, -1)) < 0  # right turn
+        assert orientation(a, b, Point(2, 0)) == 0  # collinear
+
+    def test_collinear(self):
+        assert collinear(Point(0, 0), Point(1, 1), Point(2, 2))
+        assert not collinear(Point(0, 0), Point(1, 1), Point(2, 3))
+
+    def test_centroid(self):
+        assert centroid([Point(0, 0), Point(2, 0), Point(1, 3)]) == Point(1, 1)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_almost_equal(self):
+        assert Point(0, 0).almost_equal(Point(1e-12, -1e-12))
+        assert not Point(0, 0).almost_equal(Point(0.1, 0))
+
+
+class TestConvexHull:
+    def test_square_hull(self):
+        square = [(0, 0), (2, 0), (2, 2), (0, 2), (1, 1), (0.5, 0.5)]
+        hull = convex_hull(square)
+        assert set(hull) == {Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)}
+        assert hull_perimeter(hull) == pytest.approx(8.0)
+        assert hull_area(hull) == pytest.approx(4.0)
+
+    def test_single_point(self):
+        hull = convex_hull([(1, 1), (1, 1)])
+        assert hull == (Point(1, 1),)
+        assert hull_perimeter(hull) == 0.0
+        assert hull_area(hull) == 0.0
+
+    def test_two_points(self):
+        hull = convex_hull([(0, 0), (3, 4)])
+        assert len(hull) == 2
+        assert hull_perimeter(hull) == pytest.approx(10.0)
+
+    def test_collinear_points_reduce_to_segment(self):
+        hull = convex_hull([(0, 0), (1, 1), (2, 2), (3, 3)])
+        assert set(hull) == {Point(0, 0), Point(3, 3)}
+
+    def test_canonical_representation_independent_of_input_order(self):
+        pts = [(0, 0), (4, 0), (4, 3), (0, 3), (2, 1)]
+        assert convex_hull(pts) == convex_hull(list(reversed(pts)))
+
+    def test_hull_is_ccw_convex_polygon(self):
+        pts = [(0, 0), (5, 1), (6, 5), (2, 7), (-1, 3), (2, 2), (3, 3)]
+        assert is_convex_polygon(convex_hull(pts))
+
+    def test_point_in_hull(self):
+        hull = convex_hull([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert point_in_hull(Point(2, 2), hull)
+        assert point_in_hull(Point(0, 0), hull)
+        assert point_in_hull(Point(4, 2), hull)
+        assert not point_in_hull(Point(5, 2), hull)
+
+    def test_point_in_degenerate_hulls(self):
+        assert point_in_hull(Point(1, 1), (Point(1, 1),))
+        assert not point_in_hull(Point(1, 2), (Point(1, 1),))
+        segment = convex_hull([(0, 0), (2, 2)])
+        assert point_in_hull(Point(1, 1), segment)
+        assert not point_in_hull(Point(2, 0), segment)
+        assert not point_in_hull(Point(1, 1), ())
+
+    def test_merge_hulls_equals_hull_of_union(self):
+        left = convex_hull([(0, 0), (1, 0), (0, 1)])
+        right = convex_hull([(5, 5), (6, 5), (5, 6)])
+        merged = merge_hulls(left, right)
+        assert merged == convex_hull([(0, 0), (1, 0), (0, 1), (5, 5), (6, 5), (5, 6)])
+
+    @given(point_sets)
+    @settings(max_examples=60)
+    def test_hull_contains_every_input_point(self, pts):
+        hull = convex_hull(pts)
+        assert all(point_in_hull(p, hull, tolerance=1e-6) for p in pts)
+
+    @given(point_sets)
+    @settings(max_examples=60)
+    def test_hull_idempotent(self, pts):
+        hull = convex_hull(pts)
+        assert convex_hull(hull) == hull
+
+    @given(point_sets, point_sets)
+    @settings(max_examples=60)
+    def test_hull_super_idempotent(self, xs, ys):
+        # The geometric heart of Figure 3.
+        assert convex_hull(list(xs) + list(ys)) == convex_hull(
+            list(convex_hull(xs)) + list(ys)
+        )
+
+    @given(point_sets, point_sets)
+    @settings(max_examples=60)
+    def test_hull_perimeter_monotone_under_union(self, xs, ys):
+        assert hull_perimeter(convex_hull(list(xs) + list(ys))) >= hull_perimeter(
+            convex_hull(xs)
+        ) - 1e-9
+
+
+class TestEnclosingCircle:
+    def test_single_point(self):
+        circle = smallest_enclosing_circle([(2, 3)])
+        assert circle.center == Point(2, 3)
+        assert circle.radius == 0.0
+
+    def test_two_points_diametral(self):
+        circle = smallest_enclosing_circle([(0, 0), (4, 0)])
+        assert circle.center.almost_equal(Point(2, 0))
+        assert circle.radius == pytest.approx(2.0)
+
+    def test_equilateral_triangle(self):
+        side = 2.0
+        height = math.sqrt(3)
+        circle = smallest_enclosing_circle([(0, 0), (side, 0), (side / 2, height)])
+        assert circle.radius == pytest.approx(side / math.sqrt(3), rel=1e-6)
+
+    def test_obtuse_triangle_uses_longest_side(self):
+        circle = smallest_enclosing_circle([(0, 0), (10, 0), (5, 0.1)])
+        assert circle.radius == pytest.approx(5.0, rel=1e-3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            smallest_enclosing_circle([])
+
+    def test_contains_point_and_circle(self):
+        circle = Circle(Point(0, 0), 5.0)
+        assert circle.contains_point(Point(3, 4))
+        assert not circle.contains_point(Point(4, 4))
+        assert circle.contains_circle(Circle(Point(1, 1), 2.0))
+        assert not circle.contains_circle(Circle(Point(4, 0), 2.0))
+
+    @given(st.lists(points, min_size=1, max_size=10))
+    @settings(max_examples=60)
+    def test_encloses_all_points(self, pts):
+        circle = smallest_enclosing_circle(pts)
+        assert all(circle.contains_point(p) for p in pts)
+
+    @given(st.lists(points, min_size=3, max_size=8))
+    @settings(max_examples=40)
+    def test_not_larger_than_brute_force_two_three_point_circles(self, pts):
+        # The optimal circle is determined by at most three points; the
+        # Welzl result must not exceed the best candidate circle among all
+        # 2- and 3-point subsets that covers every point.
+        import itertools
+
+        from repro.geometry.enclosing_circle import _circle_from_three, _circle_from_two
+
+        circle = smallest_enclosing_circle(pts)
+        candidates = []
+        for a, b in itertools.combinations(set(pts), 2):
+            candidates.append(_circle_from_two(a, b))
+        for a, b, c in itertools.combinations(set(pts), 3):
+            candidates.append(_circle_from_three(a, b, c))
+        covering = [
+            c
+            for c in candidates
+            if all(c.contains_point(p, tolerance=1e-7) for p in pts)
+        ]
+        if covering:
+            best = min(c.radius for c in covering)
+            assert circle.radius <= best + 1e-6
+
+
+class TestCircleOfCircles:
+    def test_single_circle_returned(self):
+        circle = Circle(Point(1, 1), 2.0)
+        assert smallest_circle_of_circles([circle]) == circle
+
+    def test_contained_circle_ignored(self):
+        big = Circle(Point(0, 0), 10.0)
+        small = Circle(Point(1, 1), 1.0)
+        assert smallest_circle_of_circles([big, small]) == big
+
+    def test_two_disjoint_circles(self):
+        a = Circle(Point(0, 0), 1.0)
+        b = Circle(Point(10, 0), 1.0)
+        merged = smallest_circle_of_circles([a, b])
+        assert merged.radius == pytest.approx(6.0)
+        assert merged.center.almost_equal(Point(5, 0), tolerance=1e-6)
+
+    def test_circle_and_point_circle(self):
+        a = Circle(Point(0, 0), 3.0)
+        b = Circle(Point(0, -10), 0.0)
+        merged = smallest_circle_of_circles([a, b])
+        assert merged.radius == pytest.approx(6.5, rel=1e-6)
+
+    def test_result_contains_all_inputs(self):
+        circles = [
+            Circle(Point(0, 0), 1.0),
+            Circle(Point(5, 5), 2.0),
+            Circle(Point(-3, 4), 0.5),
+            Circle(Point(2, -6), 1.5),
+        ]
+        merged = smallest_circle_of_circles(circles)
+        assert all(merged.contains_circle(c, tolerance=1e-5) for c in circles)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            smallest_circle_of_circles([])

@@ -1,0 +1,197 @@
+"""Cross-cutting property-based tests of the methodology's invariants.
+
+These are the library-wide guarantees the paper derives in §3, checked
+with hypothesis over random instances, random environments and random
+schedules:
+
+* the conservation law ``f(S) = f(S(0))`` holds in every reachable state;
+* the objective never increases along a computation, and strictly
+  decreases across every state change;
+* once the goal ``S = f(S)`` is reached it is never left (stability);
+* super-idempotence holds for every function the paper claims it for;
+* converged outputs equal the answer computed directly from the inputs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Simulator,
+    average_algorithm,
+    kth_smallest_algorithm,
+    minimum_algorithm,
+    second_smallest_algorithm,
+    sorting_algorithm,
+    summation_algorithm,
+)
+from repro.algorithms import (
+    kth_smallest_function,
+    minimum_function,
+    second_smallest_pair_function,
+    sum_function,
+)
+from repro.core import Multiset
+from repro.environment import RandomChurnEnvironment, complete_graph
+from repro.temporal import always, stable
+from repro.verification import check_specification
+
+values_strategy = st.lists(st.integers(min_value=0, max_value=60), min_size=2, max_size=7)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def run(algorithm, initial_values, seed, probability=0.5, max_rounds=1500):
+    environment = RandomChurnEnvironment(
+        complete_graph(len(initial_values)), edge_up_probability=probability
+    )
+    simulator = Simulator(algorithm, environment, initial_values, seed=seed)
+    return simulator.run(max_rounds=max_rounds)
+
+
+class TestConservationLaw:
+    @given(values_strategy, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_minimum_conserves_f_everywhere(self, values, seed):
+        algorithm = minimum_algorithm()
+        result = run(algorithm, values, seed)
+        target = algorithm.function(Multiset(algorithm.initial_states(values)))
+        assert always(result.trace, lambda states: algorithm.function(states) == target)
+
+    @given(values_strategy, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_sum_is_numerically_conserved(self, values, seed):
+        result = run(summation_algorithm(), values, seed)
+        assert always(result.trace, lambda states: states.sum() == sum(values))
+
+    @given(values_strategy, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_average_mean_is_conserved(self, values, seed):
+        result = run(average_algorithm(), values, seed)
+        expected = Fraction(sum(values), len(values))
+        assert always(
+            result.trace,
+            lambda states: sum((Fraction(v) for v in states), Fraction(0)) / len(states)
+            == expected,
+        )
+
+
+class TestObjectiveMonotonicity:
+    @given(values_strategy, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_minimum_objective_never_increases(self, values, seed):
+        result = run(minimum_algorithm(), values, seed)
+        trajectory = result.objective_trajectory
+        assert all(later <= earlier for earlier, later in zip(trajectory, trajectory[1:]))
+
+    @given(values_strategy, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_second_smallest_objective_never_increases(self, values, seed):
+        result = run(second_smallest_algorithm(), values, seed)
+        trajectory = result.objective_trajectory
+        assert all(later <= earlier for earlier, later in zip(trajectory, trajectory[1:]))
+
+    @given(values_strategy, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_full_specification_report_for_minimum(self, values, seed):
+        algorithm = minimum_algorithm()
+        result = run(algorithm, values, seed)
+        report = check_specification(algorithm, result.trace)
+        assert report.conservation_law_holds
+        assert report.goal_is_stable
+        assert report.objective_monotone
+
+
+class TestStability:
+    @given(values_strategy, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_goal_state_is_stable_for_minimum(self, values, seed):
+        algorithm = minimum_algorithm()
+        result = run(algorithm, values, seed)
+        assert stable(result.trace, lambda states: algorithm.function(states) == states)
+
+    @given(values_strategy, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_goal_state_is_stable_for_sum(self, values, seed):
+        algorithm = summation_algorithm()
+        result = run(algorithm, values, seed)
+        assert stable(result.trace, lambda states: algorithm.function(states) == states)
+
+
+class TestConvergedOutputs:
+    @given(values_strategy, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_minimum_output_matches_python_min(self, values, seed):
+        result = run(minimum_algorithm(), values, seed, probability=0.7)
+        assert result.converged
+        assert result.output == min(values)
+
+    @given(values_strategy, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_sorting_output_matches_python_sorted(self, values, seed):
+        distinct = list(dict.fromkeys(values))
+        if len(distinct) < 2:
+            return
+        algorithm = sorting_algorithm(distinct)
+        environment = RandomChurnEnvironment(
+            complete_graph(len(distinct)), edge_up_probability=0.7
+        )
+        result = Simulator(
+            algorithm, environment, algorithm.instance_cells, seed=seed
+        ).run(max_rounds=1500)
+        assert result.converged
+        assert result.output == sorted(distinct)
+
+    @given(values_strategy, st.integers(min_value=1, max_value=3), seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_kth_smallest_output_matches_direct_computation(self, values, k, seed):
+        result = run(kth_smallest_algorithm(k), values, seed, probability=0.7)
+        assert result.converged
+        distinct = sorted(set(values))
+        assert result.output == distinct[min(k, len(distinct)) - 1]
+
+
+class TestSuperIdempotenceOfPaperFunctions:
+    pair_states = st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)).map(
+            lambda pair: (min(pair), max(pair))
+        ),
+        max_size=6,
+    )
+    tuple_states = st.lists(
+        st.lists(st.integers(0, 9), min_size=1, max_size=3, unique=True).map(
+            lambda values: tuple(sorted(values))
+        ),
+        max_size=6,
+    )
+
+    @given(pair_states, pair_states)
+    @settings(max_examples=60)
+    def test_pair_second_smallest_super_idempotent(self, xs, ys):
+        f = second_smallest_pair_function()
+        x, y = Multiset(xs), Multiset(ys)
+        assert f(x | y) == f(f(x) | y)
+
+    @given(tuple_states, tuple_states)
+    @settings(max_examples=60)
+    def test_k_smallest_knowledge_merge_super_idempotent(self, xs, ys):
+        f = kth_smallest_function(3)
+        x, y = Multiset(xs), Multiset(ys)
+        assert f(x | y) == f(f(x) | y)
+
+    @given(
+        st.lists(st.integers(0, 9), max_size=6),
+        st.lists(st.integers(0, 9), max_size=6),
+        st.lists(st.integers(0, 9), max_size=6),
+    )
+    @settings(max_examples=60)
+    def test_super_idempotence_composes_over_three_way_unions(self, xs, ys, zs):
+        # f(X ∪ Y ∪ Z) can be computed by folding group-local applications
+        # in any order — the practical content of self-similarity.
+        for f in (minimum_function(), sum_function()):
+            x, y, z = Multiset(xs), Multiset(ys), Multiset(zs)
+            direct = f(x | y | z)
+            folded = f(f(f(x) | y) | z)
+            assert direct == folded

@@ -1,0 +1,281 @@
+"""Tests for the round-based simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Simulator, minimum_algorithm, summation_algorithm
+from repro.agents import Group, RandomPairScheduler, Scheduler
+from repro.core import Multiset
+from repro.core.errors import SimulationError
+from repro.environment import (
+    BlackoutAdversary,
+    RandomChurnEnvironment,
+    StaticEnvironment,
+    complete_graph,
+    line_graph,
+)
+from repro.temporal import always, stable
+
+
+class TestSimulatorConstruction:
+    def test_value_count_must_match_agents(self):
+        with pytest.raises(SimulationError):
+            Simulator(
+                minimum_algorithm(),
+                StaticEnvironment(complete_graph(3)),
+                initial_values=[1, 2],
+            )
+
+    def test_initial_state_and_target(self):
+        sim = Simulator(
+            minimum_algorithm(),
+            StaticEnvironment(complete_graph(3)),
+            initial_values=[4, 2, 9],
+        )
+        assert sim.current_states() == [4, 2, 9]
+        assert sim.target == Multiset([2, 2, 2])
+        assert not sim.has_converged()
+
+
+class TestConvergence:
+    def test_static_environment_converges_in_one_round(self):
+        sim = Simulator(
+            minimum_algorithm(),
+            StaticEnvironment(complete_graph(5)),
+            initial_values=[5, 4, 3, 2, 1],
+            seed=1,
+        )
+        result = sim.run(max_rounds=10)
+        assert result.converged
+        assert result.convergence_round == 1
+        assert result.output == 1
+        assert result.final_states == [1, 1, 1, 1, 1]
+
+    def test_already_converged_input(self):
+        sim = Simulator(
+            minimum_algorithm(),
+            StaticEnvironment(complete_graph(3)),
+            initial_values=[2, 2, 2],
+        )
+        result = sim.run(max_rounds=10)
+        assert result.converged
+        assert result.convergence_round == 0
+        assert result.rounds_executed == 0
+
+    def test_churn_environment_converges_eventually(self):
+        env = RandomChurnEnvironment(complete_graph(8), edge_up_probability=0.2)
+        sim = Simulator(
+            minimum_algorithm(), env, initial_values=list(range(8, 0, -1)), seed=3
+        )
+        result = sim.run(max_rounds=500)
+        assert result.converged
+        assert result.output == 1
+
+    def test_non_convergence_reported_honestly(self):
+        # With no edges ever available, nothing can happen.
+        env = RandomChurnEnvironment(complete_graph(4), edge_up_probability=0.0)
+        sim = Simulator(minimum_algorithm(), env, initial_values=[4, 3, 2, 1], seed=0)
+        result = sim.run(max_rounds=50)
+        assert not result.converged
+        assert result.convergence_round is None
+        assert result.rounds_executed == 50
+        assert result.final_states == [4, 3, 2, 1]
+
+    def test_stop_at_convergence_false_keeps_running(self):
+        sim = Simulator(
+            minimum_algorithm(),
+            StaticEnvironment(complete_graph(3)),
+            initial_values=[3, 2, 1],
+            seed=0,
+        )
+        result = sim.run(max_rounds=20, stop_at_convergence=False)
+        assert result.converged
+        assert result.rounds_executed == 20
+
+    def test_extra_rounds_after_convergence(self):
+        sim = Simulator(
+            minimum_algorithm(),
+            StaticEnvironment(complete_graph(3)),
+            initial_values=[3, 2, 1],
+            seed=0,
+        )
+        result = sim.run(max_rounds=50, extra_rounds_after_convergence=5)
+        assert result.converged
+        assert result.rounds_executed >= 6
+
+
+class TestDeterminismAndReset:
+    def test_same_seed_same_result(self):
+        def run_once():
+            env = RandomChurnEnvironment(complete_graph(6), edge_up_probability=0.3)
+            sim = Simulator(
+                minimum_algorithm(), env, initial_values=[9, 5, 7, 3, 8, 1], seed=42
+            )
+            return sim.run(max_rounds=200)
+
+        first, second = run_once(), run_once()
+        assert first.convergence_round == second.convergence_round
+        assert first.objective_trajectory == second.objective_trajectory
+
+    def test_different_seeds_usually_differ(self):
+        def run_with(seed):
+            env = RandomChurnEnvironment(complete_graph(6), edge_up_probability=0.3)
+            sim = Simulator(
+                minimum_algorithm(), env, initial_values=[9, 5, 7, 3, 8, 1], seed=seed
+            )
+            return sim.run(max_rounds=200).convergence_round
+
+        rounds = {run_with(seed) for seed in range(8)}
+        assert len(rounds) > 1
+
+    def test_reset_restores_initial_configuration(self):
+        sim = Simulator(
+            minimum_algorithm(),
+            StaticEnvironment(complete_graph(3)),
+            initial_values=[3, 2, 1],
+            seed=0,
+        )
+        sim.run(max_rounds=5)
+        assert sim.has_converged()
+        sim.reset()
+        assert sim.current_states() == [3, 2, 1]
+        assert not sim.has_converged()
+
+
+class TestTraceAndMetrics:
+    def test_trace_starts_at_initial_and_ends_at_final(self):
+        sim = Simulator(
+            minimum_algorithm(),
+            StaticEnvironment(complete_graph(4)),
+            initial_values=[4, 3, 2, 1],
+            seed=0,
+        )
+        result = sim.run(max_rounds=10)
+        assert result.trace.initial == Multiset([4, 3, 2, 1])
+        assert result.trace.final == Multiset([1, 1, 1, 1])
+        assert result.trace.complete
+
+    def test_objective_trajectory_is_non_increasing(self):
+        env = RandomChurnEnvironment(complete_graph(6), edge_up_probability=0.4)
+        sim = Simulator(
+            minimum_algorithm(), env, initial_values=[9, 5, 7, 3, 8, 1], seed=5
+        )
+        result = sim.run(max_rounds=200)
+        trajectory = result.objective_trajectory
+        assert all(later <= earlier for earlier, later in zip(trajectory, trajectory[1:]))
+
+    def test_conservation_law_holds_along_trace(self):
+        algorithm = summation_algorithm()
+        env = RandomChurnEnvironment(complete_graph(5), edge_up_probability=0.5)
+        sim = Simulator(algorithm, env, initial_values=[3, 5, 3, 7, 2], seed=2)
+        result = sim.run(max_rounds=200)
+        target = algorithm.function(result.trace.initial)
+        assert always(result.trace, lambda states: algorithm.function(states) == target)
+
+    def test_goal_state_is_stable_along_trace(self):
+        algorithm = minimum_algorithm()
+        env = RandomChurnEnvironment(complete_graph(5), edge_up_probability=0.5)
+        sim = Simulator(algorithm, env, initial_values=[4, 8, 1, 5, 9], seed=2)
+        result = sim.run(max_rounds=200, extra_rounds_after_convergence=10)
+        assert stable(result.trace, lambda states: algorithm.function(states) == states)
+
+    def test_step_counters_are_consistent(self):
+        env = RandomChurnEnvironment(complete_graph(6), edge_up_probability=0.4)
+        sim = Simulator(
+            minimum_algorithm(), env, initial_values=[9, 5, 7, 3, 8, 1], seed=5
+        )
+        result = sim.run(max_rounds=200)
+        assert result.group_steps == (
+            result.improving_steps + result.stutter_steps + result.invalid_steps
+        )
+        assert result.invalid_steps == 0
+        assert result.largest_group >= 2
+
+    def test_record_trace_false_keeps_only_final_state(self):
+        sim = Simulator(
+            minimum_algorithm(),
+            StaticEnvironment(complete_graph(4)),
+            initial_values=[4, 3, 2, 1],
+            seed=0,
+            record_trace=False,
+        )
+        result = sim.run(max_rounds=10)
+        assert len(result.trace) == 1
+        assert result.converged
+
+    def test_metadata_describes_run(self):
+        sim = Simulator(
+            minimum_algorithm(),
+            StaticEnvironment(complete_graph(3)),
+            initial_values=[1, 2, 3],
+            seed=7,
+        )
+        result = sim.run(max_rounds=5)
+        assert result.metadata["algorithm"] == "minimum"
+        assert result.metadata["num_agents"] == 3
+        assert result.metadata["seed"] == 7
+        assert "summary" not in result.metadata
+        assert "converged" in result.summary()
+
+    def test_correct_property(self):
+        sim = Simulator(
+            minimum_algorithm(),
+            StaticEnvironment(complete_graph(3)),
+            initial_values=[3, 1, 2],
+            seed=0,
+        )
+        result = sim.run(max_rounds=5)
+        assert result.correct
+        assert result.final_multiset == Multiset([1, 1, 1])
+
+
+class TestSchedulers:
+    def test_pairwise_scheduler_still_converges(self):
+        env = StaticEnvironment(complete_graph(6))
+        sim = Simulator(
+            minimum_algorithm(),
+            env,
+            initial_values=[6, 5, 4, 3, 2, 1],
+            scheduler=RandomPairScheduler(),
+            seed=1,
+        )
+        result = sim.run(max_rounds=100)
+        assert result.converged
+        assert result.largest_group == 2
+
+    def test_blackout_rounds_do_no_work(self):
+        env = BlackoutAdversary(complete_graph(4), period=4, blackout_rounds=2)
+        sim = Simulator(minimum_algorithm(), env, initial_values=[4, 3, 2, 1], seed=0)
+        result = sim.run(max_rounds=50)
+        assert result.converged
+        # Progress is only possible outside blackout rounds.
+        assert result.convergence_round > 2
+
+    def test_overlapping_scheduler_rejected(self):
+        class BrokenScheduler(Scheduler):
+            def schedule(self, environment_state, rng):
+                return [Group.of([0, 1]), Group.of([1, 2])]
+
+        sim = Simulator(
+            minimum_algorithm(),
+            StaticEnvironment(complete_graph(3)),
+            initial_values=[3, 2, 1],
+            scheduler=BrokenScheduler(),
+        )
+        with pytest.raises(SimulationError):
+            sim.run(max_rounds=2)
+
+    def test_out_of_range_scheduler_rejected(self):
+        class OutOfRangeScheduler(Scheduler):
+            def schedule(self, environment_state, rng):
+                return [Group.of([0, 99])]
+
+        sim = Simulator(
+            minimum_algorithm(),
+            StaticEnvironment(complete_graph(3)),
+            initial_values=[3, 2, 1],
+            scheduler=OutOfRangeScheduler(),
+        )
+        with pytest.raises(SimulationError):
+            sim.run(max_rounds=2)

@@ -1,0 +1,144 @@
+"""Tests for the asynchronous (one-sided merge) message-passing runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    convex_hull_algorithm,
+    hull_merge,
+    maximum_algorithm,
+    maximum_merge,
+    minimum_algorithm,
+    minimum_merge,
+)
+from repro.core.errors import SimulationError
+from repro.environment import RandomChurnEnvironment, StaticEnvironment, complete_graph, line_graph
+from repro.simulation import MergeMessagePassingSimulator
+
+
+class TestMinimumOverMessages:
+    def test_converges_on_static_complete_graph(self):
+        sim = MergeMessagePassingSimulator(
+            minimum_algorithm(),
+            merge=minimum_merge,
+            environment=StaticEnvironment(complete_graph(5)),
+            initial_values=[5, 4, 3, 2, 1],
+            seed=0,
+        )
+        result = sim.run(max_rounds=20)
+        assert result.converged
+        assert result.output == 1
+        assert result.final_states == [1, 1, 1, 1, 1]
+
+    def test_converges_on_line_graph(self):
+        sim = MergeMessagePassingSimulator(
+            minimum_algorithm(),
+            merge=minimum_merge,
+            environment=StaticEnvironment(line_graph(6)),
+            initial_values=[6, 5, 4, 3, 2, 1],
+            seed=0,
+        )
+        result = sim.run(max_rounds=20)
+        assert result.converged
+        # Information travels one hop per round on a line.
+        assert result.convergence_round == 5
+
+    def test_converges_under_churn_and_message_loss(self):
+        sim = MergeMessagePassingSimulator(
+            minimum_algorithm(),
+            merge=minimum_merge,
+            environment=RandomChurnEnvironment(complete_graph(8), edge_up_probability=0.3),
+            initial_values=[9, 7, 5, 3, 8, 6, 4, 2],
+            loss_probability=0.5,
+            seed=3,
+        )
+        result = sim.run(max_rounds=500)
+        assert result.converged
+        assert result.output == 2
+        assert result.metadata["messages_delivered"] < result.metadata["messages_sent"]
+
+    def test_maximum_merge_also_works(self):
+        sim = MergeMessagePassingSimulator(
+            maximum_algorithm(upper_bound=100),
+            merge=maximum_merge,
+            environment=StaticEnvironment(complete_graph(4)),
+            initial_values=[7, 2, 9, 4],
+            seed=0,
+        )
+        result = sim.run(max_rounds=10)
+        assert result.converged
+        assert result.output == 9
+
+    def test_already_converged(self):
+        sim = MergeMessagePassingSimulator(
+            minimum_algorithm(),
+            merge=minimum_merge,
+            environment=StaticEnvironment(complete_graph(3)),
+            initial_values=[4, 4, 4],
+        )
+        result = sim.run(max_rounds=5)
+        assert result.converged
+        assert result.convergence_round == 0
+
+    def test_no_communication_no_convergence(self):
+        sim = MergeMessagePassingSimulator(
+            minimum_algorithm(),
+            merge=minimum_merge,
+            environment=RandomChurnEnvironment(complete_graph(3), edge_up_probability=0.0),
+            initial_values=[3, 2, 1],
+            seed=0,
+        )
+        result = sim.run(max_rounds=20)
+        assert not result.converged
+
+
+class TestHullOverMessages:
+    def test_hull_consensus_via_one_sided_merges(self):
+        points = [(0, 0), (4, 0), (4, 3), (0, 3), (2, 1)]
+        algorithm = convex_hull_algorithm(points)
+        sim = MergeMessagePassingSimulator(
+            algorithm,
+            merge=hull_merge,
+            environment=RandomChurnEnvironment(complete_graph(5), edge_up_probability=0.4),
+            initial_values=points,
+            seed=1,
+        )
+        result = sim.run(max_rounds=300)
+        assert result.converged
+        assert len(result.output) == 4  # the rectangle's corners
+
+
+class TestValidation:
+    def test_value_count_checked(self):
+        with pytest.raises(SimulationError):
+            MergeMessagePassingSimulator(
+                minimum_algorithm(),
+                merge=minimum_merge,
+                environment=StaticEnvironment(complete_graph(3)),
+                initial_values=[1, 2],
+            )
+
+    def test_loss_probability_checked(self):
+        with pytest.raises(SimulationError):
+            MergeMessagePassingSimulator(
+                minimum_algorithm(),
+                merge=minimum_merge,
+                environment=StaticEnvironment(complete_graph(3)),
+                initial_values=[1, 2, 3],
+                loss_probability=1.0,
+            )
+
+    def test_non_conserving_merge_detected(self):
+        def broken_merge(receiver, received):
+            return receiver + received  # changes the pair's minimum
+
+        sim = MergeMessagePassingSimulator(
+            minimum_algorithm(),
+            merge=broken_merge,
+            environment=StaticEnvironment(complete_graph(3)),
+            initial_values=[3, 2, 1],
+            seed=0,
+        )
+        with pytest.raises(SimulationError):
+            sim.run(max_rounds=5)

@@ -1,0 +1,131 @@
+"""Tests for run statistics aggregation and table formatting."""
+
+from __future__ import annotations
+
+import math
+
+from repro import Simulator, minimum_algorithm
+from repro.simulation import aggregate, format_table, run_repeated, sweep
+from repro.simulation.result import SimulationResult
+from repro.core import Multiset
+from repro.temporal import Trace
+from repro.environment import RandomChurnEnvironment, StaticEnvironment, complete_graph
+
+
+def make_result(converged, convergence_round, group_steps=10, improving=5, correct=True):
+    output = "answer" if correct else "wrong"
+    return SimulationResult(
+        converged=converged,
+        convergence_round=convergence_round,
+        rounds_executed=convergence_round or 100,
+        final_states=[0],
+        output=output,
+        expected_output="answer",
+        trace=Trace([Multiset([0])]),
+        objective_trajectory=[0.0],
+        group_steps=group_steps,
+        improving_steps=improving,
+    )
+
+
+class TestAggregate:
+    def test_all_converged(self):
+        stats = aggregate([make_result(True, 10), make_result(True, 20)])
+        assert stats.runs == 2
+        assert stats.converged_runs == 2
+        assert stats.convergence_rate == 1.0
+        assert stats.mean_rounds == 15.0
+        assert stats.median_rounds == 10.0
+        assert stats.max_rounds == 20.0
+        assert stats.correctness_rate == 1.0
+
+    def test_partial_convergence(self):
+        stats = aggregate([make_result(True, 10), make_result(False, None, correct=False)])
+        assert stats.converged_runs == 1
+        assert stats.convergence_rate == 0.5
+        assert stats.mean_rounds == 10.0
+        assert stats.correctness_rate == 0.5
+
+    def test_no_convergence_reports_inf(self):
+        stats = aggregate([make_result(False, None, correct=False)])
+        assert math.isinf(stats.mean_rounds)
+        assert math.isinf(stats.median_rounds)
+        assert stats.convergence_rate == 0.0
+
+    def test_empty_batch(self):
+        stats = aggregate([])
+        assert stats.runs == 0
+        assert stats.convergence_rate == 0.0
+
+    def test_percentiles_ordering(self):
+        results = [make_result(True, rounds) for rounds in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]]
+        stats = aggregate(results)
+        assert stats.median_rounds <= stats.p90_rounds <= stats.max_rounds
+
+    def test_mean_group_steps(self):
+        stats = aggregate([make_result(True, 1, group_steps=4), make_result(True, 1, group_steps=6)])
+        assert stats.mean_group_steps == 5.0
+        assert stats.mean_improving_steps == 5.0
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "2.50" in table
+
+    def test_infinite_values_rendered(self):
+        table = format_table(["x"], [[math.inf]])
+        assert "inf" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table
+
+
+class TestRunnerHelpers:
+    def test_run_repeated_produces_distinct_seeds(self):
+        results = run_repeated(
+            minimum_algorithm(),
+            environment_factory=lambda seed: RandomChurnEnvironment(
+                complete_graph(5), edge_up_probability=0.3
+            ),
+            initial_values=[5, 4, 3, 2, 1],
+            repetitions=4,
+            max_rounds=300,
+        )
+        assert len(results) == 4
+        assert all(result.converged for result in results)
+        assert {result.metadata["seed"] for result in results} == {0, 1, 2, 3}
+
+    def test_sweep_structure(self):
+        points = sweep(
+            minimum_algorithm(),
+            parameter_values=[0.2, 1.0],
+            environment_factory=lambda p, seed: RandomChurnEnvironment(
+                complete_graph(5), edge_up_probability=p
+            ),
+            initial_values=[5, 4, 3, 2, 1],
+            repetitions=3,
+            max_rounds=300,
+        )
+        assert [point.parameter for point in points] == [0.2, 1.0]
+        assert all(point.statistics.runs == 3 for point in points)
+        # Full availability should not be slower than 20% availability.
+        assert points[1].statistics.mean_rounds <= points[0].statistics.mean_rounds
+
+    def test_sweep_keeps_individual_results(self):
+        points = sweep(
+            minimum_algorithm(),
+            parameter_values=[1.0],
+            environment_factory=lambda p, seed: StaticEnvironment(complete_graph(4)),
+            initial_values=[4, 3, 2, 1],
+            repetitions=2,
+            max_rounds=10,
+        )
+        assert len(points) == 1
+        assert len(points[0].results) == 2
+        assert all(result.converged for result in points[0].results)

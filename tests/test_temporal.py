@@ -1,0 +1,175 @@
+"""Tests for the finite-trace temporal-logic substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.temporal import (
+    Trace,
+    always,
+    eventually,
+    eventually_always,
+    holds_at_end,
+    infinitely_often,
+    leads_to,
+    never,
+    stable,
+    until,
+)
+
+bool_traces = st.lists(st.booleans(), min_size=1, max_size=20)
+
+
+def bool_trace(values, complete=False):
+    return Trace(values, complete=complete)
+
+
+class TestTrace:
+    def test_length_iteration_indexing(self):
+        trace = Trace([1, 2, 3])
+        assert len(trace) == 3
+        assert list(trace) == [1, 2, 3]
+        assert trace[0] == 1
+        assert trace[-1] == 3
+
+    def test_initial_and_final(self):
+        trace = Trace(["a", "b"])
+        assert trace.initial == "a"
+        assert trace.final == "b"
+
+    def test_initial_of_empty_raises(self):
+        with pytest.raises(IndexError):
+            Trace().initial
+        with pytest.raises(IndexError):
+            Trace().final
+
+    def test_append_and_mark_complete(self):
+        trace = Trace([1])
+        trace.append(2)
+        assert list(trace) == [1, 2]
+        assert not trace.complete
+        trace.mark_complete()
+        assert trace.complete
+
+    def test_slicing_returns_trace(self):
+        trace = Trace([1, 2, 3, 4])
+        sliced = trace[1:3]
+        assert isinstance(sliced, Trace)
+        assert list(sliced) == [2, 3]
+
+    def test_suffix(self):
+        assert list(Trace([1, 2, 3]).suffix(1)) == [2, 3]
+
+    def test_map(self):
+        assert list(Trace([1, 2]).map(lambda s: s * 10)) == [10, 20]
+
+    def test_pairs(self):
+        assert list(Trace([1, 2, 3]).pairs()) == [(1, 2), (2, 3)]
+
+    def test_stutter_free(self):
+        assert list(Trace([1, 1, 2, 2, 2, 1]).stutter_free()) == [1, 2, 1]
+
+    def test_equality(self):
+        assert Trace([1, 2]) == Trace([1, 2])
+        assert Trace([1, 2]) != Trace([1, 2], complete=True)
+
+
+class TestSafetyOperators:
+    def test_always(self):
+        assert always(bool_trace([True, True]), lambda s: s)
+        assert not always(bool_trace([True, False]), lambda s: s)
+
+    def test_always_on_empty_trace_is_vacuously_true(self):
+        assert always(Trace(), lambda s: s)
+
+    def test_never(self):
+        assert never(bool_trace([False, False]), lambda s: s)
+        assert not never(bool_trace([False, True]), lambda s: s)
+
+    def test_stable_holds_when_predicate_never_falls(self):
+        assert stable(bool_trace([False, False, True, True]), lambda s: s)
+
+    def test_stable_fails_when_predicate_falls(self):
+        assert not stable(bool_trace([False, True, False]), lambda s: s)
+
+    def test_stable_vacuous_when_predicate_never_holds(self):
+        assert stable(bool_trace([False, False]), lambda s: s)
+
+
+class TestLivenessOperators:
+    def test_eventually(self):
+        assert eventually(bool_trace([False, True]), lambda s: s)
+        assert not eventually(bool_trace([False, False]), lambda s: s)
+
+    def test_leads_to_discharged_obligation(self):
+        trace = Trace([("p", False), ("p", True)])
+        assert leads_to(trace, lambda s: s[0] == "p", lambda s: s[1])
+
+    def test_leads_to_pending_obligation_fails_on_complete_trace(self):
+        trace = Trace([1, 2], complete=True)
+        assert not leads_to(trace, lambda s: s == 2, lambda s: s == 99)
+
+    def test_leads_to_pending_obligation_allowed_on_prefix(self):
+        trace = Trace([1, 2], complete=False)
+        assert leads_to(trace, lambda s: s == 2, lambda s: s == 99)
+
+    def test_leads_to_conclusion_at_same_state(self):
+        trace = Trace([3], complete=True)
+        assert leads_to(trace, lambda s: s == 3, lambda s: s == 3)
+
+    def test_until_released(self):
+        assert until(bool_trace([True, True, False]), lambda s: s, lambda s: not s)
+
+    def test_until_violated_before_release(self):
+        trace = Trace(["hold", "broken", "release"], complete=True)
+        assert not until(trace, lambda s: s == "hold", lambda s: s == "release")
+
+    def test_until_never_released_on_complete_trace(self):
+        trace = Trace(["hold", "hold"], complete=True)
+        assert not until(trace, lambda s: s == "hold", lambda s: s == "release")
+
+    def test_infinitely_often_complete_trace_uses_final_state(self):
+        assert infinitely_often(Trace([1, 2, 2], complete=True), lambda s: s == 2)
+        assert not infinitely_often(Trace([2, 2, 1], complete=True), lambda s: s == 2)
+
+    def test_infinitely_often_prefix_uses_any_state(self):
+        assert infinitely_often(Trace([2, 1], complete=False), lambda s: s == 2)
+
+    def test_infinitely_often_empty_trace(self):
+        assert not infinitely_often(Trace(), lambda s: True)
+
+    def test_eventually_always(self):
+        assert eventually_always(Trace([1, 2, 2, 2]), lambda s: s == 2)
+        assert not eventually_always(Trace([2, 2, 1]), lambda s: s == 2)
+        assert not eventually_always(Trace(), lambda s: True)
+
+    def test_holds_at_end(self):
+        assert holds_at_end(Trace([1, 5]), lambda s: s == 5)
+        assert not holds_at_end(Trace(), lambda s: True)
+
+
+class TestOperatorRelationships:
+    @given(bool_traces)
+    def test_always_implies_eventually(self, values):
+        trace = bool_trace(values)
+        if always(trace, lambda s: s):
+            assert eventually(trace, lambda s: s)
+
+    @given(bool_traces)
+    def test_always_equals_never_negation(self, values):
+        trace = bool_trace(values)
+        assert always(trace, lambda s: s) == never(trace, lambda s: not s)
+
+    @given(bool_traces)
+    def test_eventually_always_implies_final_state_holds(self, values):
+        trace = bool_trace(values)
+        if eventually_always(trace, lambda s: s):
+            assert trace.final
+
+    @given(bool_traces)
+    def test_stable_and_eventually_imply_holds_at_end(self, values):
+        trace = bool_trace(values)
+        if stable(trace, lambda s: s) and eventually(trace, lambda s: s):
+            assert holds_at_end(trace, lambda s: s)

@@ -1,0 +1,273 @@
+"""Tests for the proof-obligation verification layer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Simulator, minimum_algorithm, second_smallest_algorithm, summation_algorithm
+from repro.algorithms import (
+    circumscribing_circle_algorithm,
+    convex_hull_algorithm,
+    minimum_function,
+    minimum_objective,
+    out_of_order_objective,
+    second_smallest_direct_function,
+    sorting_algorithm,
+    sorting_function,
+)
+from repro.core import Multiset
+from repro.environment import EnvironmentState, RandomChurnEnvironment, StaticEnvironment, complete_graph
+from repro.temporal import Trace
+from repro.verification import (
+    GroupTransition,
+    audit_escape_obligation,
+    audit_super_idempotence,
+    can_escape,
+    check_composition,
+    check_specification,
+    explore_reachable_states,
+    search_local_to_global_violation,
+)
+
+
+class TestSuperIdempotenceAudit:
+    def test_minimum_passes(self):
+        report = audit_super_idempotence(
+            minimum_function(), state_generator=lambda rng: rng.randint(0, 9)
+        )
+        assert report.is_idempotent
+        assert report.is_super_idempotent
+        assert "no violation" in report.explain()
+
+    def test_direct_second_smallest_fails(self):
+        report = audit_super_idempotence(
+            second_smallest_direct_function(),
+            state_generator=lambda rng: rng.randint(0, 5),
+            trials=500,
+        )
+        assert report.is_idempotent
+        assert not report.is_super_idempotent
+        assert "NOT super-idempotent" in report.explain()
+
+    def test_circumscribing_circle_fails(self):
+        algorithm = circumscribing_circle_algorithm([(0, 0), (1, 1)])
+
+        def random_state(rng):
+            x, y = rng.randint(-10, 10), rng.randint(-10, 10)
+            return algorithm.make_initial_state((x, y))
+
+        from repro.algorithms import circumscribing_circle_function
+
+        report = audit_super_idempotence(
+            circumscribing_circle_function(), state_generator=random_state, trials=400
+        )
+        assert not report.is_super_idempotent
+
+    def test_convex_hull_passes(self):
+        algorithm = convex_hull_algorithm([(0, 0), (1, 1)])
+
+        def random_state(rng):
+            return algorithm.make_initial_state((rng.randint(-10, 10), rng.randint(-10, 10)))
+
+        from repro.algorithms import convex_hull_function
+
+        report = audit_super_idempotence(
+            convex_hull_function(), state_generator=random_state, trials=200
+        )
+        assert report.is_super_idempotent
+
+    def test_non_idempotent_function_reported(self):
+        from repro.core import DistributedFunction
+
+        add_one = DistributedFunction("inc", lambda bag: bag.map(lambda v: v + 1))
+        report = audit_super_idempotence(
+            add_one, state_generator=lambda rng: rng.randint(0, 5), trials=200
+        )
+        assert not report.is_idempotent
+        assert "NOT idempotent" in report.explain()
+
+
+class TestLocalToGlobal:
+    def test_valid_composition_passes(self):
+        violation = check_composition(
+            minimum_function(),
+            minimum_objective(),
+            GroupTransition.of([5, 3], [3, 3]),
+            GroupTransition.of([9, 7], [7, 7]),
+        )
+        assert violation is None
+
+    def test_stuttering_groups_compose(self):
+        violation = check_composition(
+            minimum_function(),
+            minimum_objective(),
+            GroupTransition.of([5, 3], [5, 3]),
+            GroupTransition.of([9], [9]),
+        )
+        assert violation is None
+
+    def test_invalid_input_transition_rejected(self):
+        with pytest.raises(ValueError):
+            check_composition(
+                minimum_function(),
+                minimum_objective(),
+                GroupTransition.of([5, 3], [6, 3]),  # not a valid D step
+                GroupTransition.of([9], [9]),
+            )
+
+    def test_out_of_order_objective_violation_found_by_search(self):
+        # Figure 1's claim, rediscovered automatically: random f-conserving
+        # rearrangements that improve each group's inversion count can
+        # nevertheless increase the union's count.
+        def random_cell(rng):
+            return (rng.randint(1, 8), rng.randint(1, 8))
+
+        def shuffle_group(states, rng):
+            indexes = [index for index, _ in states]
+            values = [value for _, value in states]
+            rng.shuffle(values)
+            return list(zip(indexes, values))
+
+        violation = search_local_to_global_violation(
+            sorting_function(),
+            out_of_order_objective(),
+            state_generator=random_cell,
+            step_generator=shuffle_group,
+            trials=2000,
+            max_group_size=5,
+            seed=1,
+        )
+        assert violation is not None
+        assert violation.h_after_union >= violation.h_before_union
+        assert "not an improvement" in violation.explain() or "conservation" in violation.explain()
+
+    def test_summation_objective_search_finds_nothing_for_minimum(self):
+        def random_value(rng):
+            return rng.randint(0, 9)
+
+        def adopt_min(states, rng):
+            return [min(states)] * len(states)
+
+        violation = search_local_to_global_violation(
+            minimum_function(),
+            minimum_objective(),
+            state_generator=random_value,
+            step_generator=adopt_min,
+            trials=500,
+            seed=2,
+        )
+        assert violation is None
+
+
+class TestSpecificationChecks:
+    def test_passing_trace(self):
+        algorithm = minimum_algorithm()
+        env = RandomChurnEnvironment(complete_graph(6), edge_up_probability=0.4)
+        result = Simulator(algorithm, env, [9, 5, 7, 3, 8, 1], seed=5).run(500)
+        report = check_specification(algorithm, result.trace)
+        assert report.all_hold
+        assert "PASS" in report.explain()
+
+    def test_sum_trace_passes(self):
+        algorithm = summation_algorithm()
+        env = RandomChurnEnvironment(complete_graph(5), edge_up_probability=0.5)
+        result = Simulator(algorithm, env, [3, 5, 3, 7, 2], seed=1).run(500)
+        report = check_specification(algorithm, result.trace)
+        assert report.all_hold
+
+    def test_broken_trace_detected(self):
+        algorithm = minimum_algorithm()
+        # Hand-build a trace that violates the conservation law.
+        trace = Trace([Multiset([3, 5]), Multiset([4, 5])], complete=True)
+        report = check_specification(algorithm, trace)
+        assert not report.conservation_law_holds
+        assert not report.all_hold
+        assert "FAIL" in report.explain()
+
+    def test_non_monotone_objective_detected(self):
+        algorithm = minimum_algorithm()
+        trace = Trace([Multiset([3, 5]), Multiset([3, 9])], complete=True)
+        report = check_specification(algorithm, trace)
+        assert not report.objective_monotone
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            check_specification(minimum_algorithm(), Trace())
+
+
+class TestEscape:
+    def favourable_state(self, num_agents):
+        return EnvironmentState(
+            enabled_agents=frozenset(range(num_agents)),
+            available_edges=complete_graph(num_agents).edges,
+        )
+
+    def test_non_optimal_state_escapes(self):
+        assert can_escape(minimum_algorithm(), [5, 3, 9], self.favourable_state(3))
+
+    def test_optimal_state_does_not_escape(self):
+        assert not can_escape(minimum_algorithm(), [3, 3, 3], self.favourable_state(3))
+
+    def test_disconnected_environment_blocks_escape(self):
+        empty = EnvironmentState(
+            enabled_agents=frozenset(range(3)), available_edges=frozenset()
+        )
+        assert not can_escape(minimum_algorithm(), [5, 3, 9], empty)
+
+    def test_audit_over_simulation_states(self):
+        algorithm = minimum_algorithm()
+        env = RandomChurnEnvironment(complete_graph(5), edge_up_probability=0.4)
+        result = Simulator(algorithm, env, [9, 5, 7, 3, 8], seed=2).run(500)
+        visited = [list(states) for states in result.trace]
+        report = audit_escape_obligation(algorithm, visited, self.favourable_state(5))
+        assert report.obligation_holds
+        assert report.non_optimal_states > 0
+        assert "PASS" in report.explain()
+
+
+class TestModelChecker:
+    def test_minimum_small_instance_fully_verified(self):
+        report = explore_reachable_states(minimum_algorithm(), [3, 1, 2], max_states=5000)
+        assert report.all_hold
+        assert report.goal_reachable
+        assert report.reachable_states >= 2
+        assert "PASS" in report.explain()
+
+    def test_sum_small_instance_fully_verified(self):
+        report = explore_reachable_states(summation_algorithm(), [1, 2, 3], max_states=5000)
+        assert report.all_hold
+
+    def test_second_smallest_pair_small_instance(self):
+        report = explore_reachable_states(
+            second_smallest_algorithm(value_bound=10), [2, 3, 5], max_states=5000
+        )
+        assert report.all_hold
+
+    def test_sorting_small_instance(self):
+        algorithm = sorting_algorithm([3, 1, 2])
+        report = explore_reachable_states(
+            algorithm, algorithm.instance_cells, max_states=5000
+        )
+        assert report.all_hold
+
+    def test_pairwise_only_exploration(self):
+        report = explore_reachable_states(
+            minimum_algorithm(), [3, 1, 2, 4], max_group_size=2, max_states=5000
+        )
+        assert report.all_hold
+
+    def test_truncation_reported(self):
+        algorithm = sorting_algorithm(list(range(7, 0, -1)))
+        report = explore_reachable_states(
+            algorithm, algorithm.instance_cells, max_states=20
+        )
+        assert report.truncated
+        assert not report.all_hold
+
+    def test_empty_instance_rejected(self):
+        from repro.core.errors import VerificationError
+
+        with pytest.raises(VerificationError):
+            explore_reachable_states(minimum_algorithm(), [])
