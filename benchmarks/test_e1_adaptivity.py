@@ -7,13 +7,18 @@ random-churn environment (and, separately, the per-round edge budget of a
 metering adversary) and reports the convergence rounds of the minimum
 algorithm.  Expected shape: monotone — more availability, fewer rounds;
 correctness (the computed minimum) is unaffected throughout.
+
+The sweep is expressed declaratively: one base
+:class:`~repro.experiment.ExperimentSpec` per environment family, expanded
+over the swept parameter with :func:`repro.expand_grid` and executed by a
+:class:`~repro.BatchRunner` process pool — the experiment definition is
+pure data, the runner supplies the parallelism.
 """
 
 from __future__ import annotations
 
-from repro import Simulator, minimum_algorithm
-from repro.environment import EdgeBudgetAdversary, RandomChurnEnvironment, complete_graph
-from repro.simulation import format_table, sweep
+from repro import BatchRunner, Experiment, expand_grid
+from repro.simulation import aggregate_records, format_table
 
 NUM_AGENTS = 12
 VALUES = [37, 4, 91, 16, 55, 70, 8, 23, 62, 49, 12, 84]
@@ -22,49 +27,65 @@ BUDGETS = [1, 2, 4, 8, 16]
 REPETITIONS = 5
 
 
+def _base_spec(environment: str, **environment_params):
+    return (
+        Experiment.builder()
+        .named(environment)
+        .algorithm("minimum")
+        .environment(environment, **environment_params)
+        .topology("complete")
+        .values(VALUES)
+        .seeds(range(REPETITIONS))
+        .max_rounds(3000)
+        .build()
+    )
+
+
 def run_experiment() -> dict:
-    availability_points = sweep(
-        minimum_algorithm(),
-        parameter_values=PROBABILITIES,
-        environment_factory=lambda p, seed: RandomChurnEnvironment(
-            complete_graph(NUM_AGENTS), edge_up_probability=p
-        ),
-        initial_values=VALUES,
-        repetitions=REPETITIONS,
-        max_rounds=3000,
+    availability_specs = expand_grid(
+        _base_spec("churn", edge_up_probability=0.0),
+        {"environment_params.edge_up_probability": PROBABILITIES},
     )
-    budget_points = sweep(
-        minimum_algorithm(),
-        parameter_values=BUDGETS,
-        environment_factory=lambda budget, seed: EdgeBudgetAdversary(
-            complete_graph(NUM_AGENTS), budget=budget
-        ),
-        initial_values=VALUES,
-        repetitions=REPETITIONS,
-        max_rounds=3000,
+    budget_specs = expand_grid(
+        _base_spec("edge-budget", budget=1),
+        {"environment_params.budget": BUDGETS},
     )
+
+    batch = BatchRunner(max_workers=4, backend="process").run(
+        availability_specs + budget_specs
+    )
+    assert not batch.failures(), [item.error for item in batch.failures()]
+
+    availability_points = [
+        (p, aggregate_records(batch.results_for(spec.label)))
+        for p, spec in zip(PROBABILITIES, availability_specs)
+    ]
+    budget_points = [
+        (budget, aggregate_records(batch.results_for(spec.label)))
+        for budget, spec in zip(BUDGETS, budget_specs)
+    ]
     return {"availability": availability_points, "budget": budget_points}
 
 
 def render_report(data: dict) -> str:
     availability_rows = [
         [
-            point.parameter,
-            f"{point.statistics.convergence_rate:.2f}",
-            point.statistics.median_rounds,
-            point.statistics.mean_rounds,
-            f"{point.statistics.correctness_rate:.2f}",
+            parameter,
+            f"{stats.convergence_rate:.2f}",
+            stats.median_rounds,
+            stats.mean_rounds,
+            f"{stats.correctness_rate:.2f}",
         ]
-        for point in data["availability"]
+        for parameter, stats in data["availability"]
     ]
     budget_rows = [
         [
-            point.parameter,
-            f"{point.statistics.convergence_rate:.2f}",
-            point.statistics.median_rounds,
-            point.statistics.mean_rounds,
+            parameter,
+            f"{stats.convergence_rate:.2f}",
+            stats.median_rounds,
+            stats.mean_rounds,
         ]
-        for point in data["budget"]
+        for parameter, stats in data["budget"]
     ]
     return "\n".join(
         [
@@ -88,30 +109,29 @@ def render_report(data: dict) -> str:
 
 def test_e1_adaptivity(benchmark, record_table):
     data = run_experiment()
-    availability = data["availability"]
-    budget = data["budget"]
+    availability = [stats for _, stats in data["availability"]]
+    budget = [stats for _, stats in data["budget"]]
 
     # Every configuration converges and computes the right minimum.
-    assert all(point.statistics.convergence_rate == 1.0 for point in availability)
-    assert all(point.statistics.correctness_rate == 1.0 for point in availability)
-    assert all(point.statistics.convergence_rate == 1.0 for point in budget)
+    assert all(stats.convergence_rate == 1.0 for stats in availability)
+    assert all(stats.correctness_rate == 1.0 for stats in availability)
+    assert all(stats.convergence_rate == 1.0 for stats in budget)
 
     # Shape: scarce resources are slower than abundant ones (compare the
     # extremes; intermediate points may jitter with only a few seeds).
-    assert availability[0].statistics.median_rounds > availability[-1].statistics.median_rounds
-    assert budget[0].statistics.median_rounds > budget[-1].statistics.median_rounds
+    assert availability[0].median_rounds > availability[-1].median_rounds
+    assert budget[0].median_rounds > budget[-1].median_rounds
     # Full availability converges essentially immediately.
-    assert availability[-1].statistics.median_rounds <= 2
+    assert availability[-1].median_rounds <= 2
 
     record_table("E1", render_report(data))
 
-    # Timed unit: one full run at 40% availability.
+    # Timed unit: one full run at 40% availability, driven through the spec.
+    spec = _base_spec("churn", edge_up_probability=0.4).with_updates(
+        {"max_rounds": 1000}
+    )
+
     def run_once():
-        environment = RandomChurnEnvironment(
-            complete_graph(NUM_AGENTS), edge_up_probability=0.4
-        )
-        return Simulator(minimum_algorithm(), environment, VALUES, seed=0).run(
-            max_rounds=1000
-        )
+        return spec.run(seed=0)
 
     benchmark(run_once)

@@ -10,6 +10,11 @@ variant) periodically go dark to recharge.  Three computations from the
 paper run on top of it: minimum (consensus), k-th smallest (order
 statistics) and convex hull (geometric).
 
+Every configuration is one declarative
+:class:`~repro.experiment.ExperimentSpec` — the radio range, battery model
+and algorithm are just spec parameters — and the whole experiment is one
+:class:`~repro.BatchRunner` batch over a process pool.
+
 Expected shape: convergence rounds fall as the radio range grows (more
 resources → faster), rise when batteries force duty-cycling, and the
 computed answers stay exactly correct in every configuration.
@@ -19,9 +24,8 @@ from __future__ import annotations
 
 import random
 
-from repro import Simulator, convex_hull_algorithm, kth_smallest_algorithm, minimum_algorithm
-from repro.environment import RandomWaypointEnvironment
-from repro.simulation import aggregate, format_table
+from repro import BatchRunner, Experiment
+from repro.simulation import aggregate_records, format_table
 
 NUM_AGENTS = 10
 ARENA = 100.0
@@ -32,64 +36,58 @@ MAX_ROUNDS = 3000
 VALUES = [52, 17, 88, 5, 34, 71, 23, 9, 60, 46]
 
 
-def make_environment(range_radius: float, seed: int, battery: bool = False):
-    return RandomWaypointEnvironment(
-        NUM_AGENTS,
+def make_spec(
+    name: str,
+    algorithm: str,
+    values,
+    range_radius: float,
+    battery: bool = False,
+    **algorithm_params,
+):
+    environment_params = dict(
         arena_size=ARENA,
         range_radius=range_radius,
         speed=8.0,
-        battery_capacity=6.0 if battery else None,
         drain_per_round=1.0,
         recharge_per_round=2.0,
-        seed=seed,
+    )
+    if battery:
+        environment_params["battery_capacity"] = 6.0
+    return (
+        Experiment.builder()
+        .named(name)
+        .algorithm(algorithm, **algorithm_params)
+        .environment("mobility", **environment_params)
+        .values(values)
+        .seeds(range(REPETITIONS))
+        .max_rounds(MAX_ROUNDS)
+        .build()
     )
 
 
 def run_experiment() -> dict:
-    by_range = []
-    for range_radius in RANGES:
-        results = [
-            Simulator(
-                minimum_algorithm(), make_environment(range_radius, seed), VALUES, seed=seed
-            ).run(max_rounds=MAX_ROUNDS)
-            for seed in range(REPETITIONS)
-        ]
-        by_range.append((range_radius, aggregate(results)))
-
-    battery_comparison = []
-    for battery in (False, True):
-        results = [
-            Simulator(
-                minimum_algorithm(),
-                make_environment(30.0, seed, battery=battery),
-                VALUES,
-                seed=seed,
-            ).run(max_rounds=MAX_ROUNDS)
-            for seed in range(REPETITIONS)
-        ]
-        battery_comparison.append((battery, aggregate(results)))
-
-    # Other computations on the mobile swarm at a moderate radio range.
     rng = random.Random(0)
     positions = [(rng.uniform(0, ARENA), rng.uniform(0, ARENA)) for _ in range(NUM_AGENTS)]
-    kth_results = [
-        Simulator(
-            kth_smallest_algorithm(3), make_environment(30.0, seed), VALUES, seed=seed
-        ).run(max_rounds=MAX_ROUNDS)
-        for seed in range(REPETITIONS)
+
+    specs = [
+        make_spec(f"range-{radius}", "minimum", VALUES, radius) for radius in RANGES
     ]
-    hull_results = [
-        Simulator(
-            convex_hull_algorithm(positions), make_environment(30.0, seed), positions, seed=seed
-        ).run(max_rounds=MAX_ROUNDS)
-        for seed in range(REPETITIONS)
-    ]
+    specs.append(make_spec("powered", "minimum", VALUES, 30.0))
+    specs.append(make_spec("battery", "minimum", VALUES, 30.0, battery=True))
+    specs.append(make_spec("kth", "kth-smallest", VALUES, 30.0, k=3))
+    specs.append(make_spec("hull", "hull", positions, 30.0))
+
+    batch = BatchRunner(max_workers=4, backend="process").run(specs)
+    assert not batch.failures(), [item.error for item in batch.failures()]
+
+    def stats(label: str):
+        return aggregate_records(batch.results_for(label))
 
     return {
-        "by_range": by_range,
-        "battery": battery_comparison,
-        "kth": aggregate(kth_results),
-        "hull": aggregate(hull_results),
+        "by_range": [(radius, stats(f"range-{radius}")) for radius in RANGES],
+        "battery": [(False, stats("powered")), (True, stats("battery"))],
+        "kth": stats("kth"),
+        "hull": stats("hull"),
     }
 
 
@@ -152,9 +150,7 @@ def test_e7_mobility(benchmark, record_table):
 
     record_table("E7", render_report(data))
 
-    # Timed unit: one minimum run on the mobile swarm at range 30.
-    benchmark(
-        lambda: Simulator(
-            minimum_algorithm(), make_environment(30.0, 0), VALUES, seed=0
-        ).run(max_rounds=MAX_ROUNDS)
-    )
+    # Timed unit: one minimum run on the mobile swarm at range 30, driven
+    # through the spec.
+    spec = make_spec("timed", "minimum", VALUES, 30.0)
+    benchmark(lambda: spec.run(seed=0))

@@ -20,6 +20,10 @@ disruption.  A repeated-global-snapshot baseline is run alongside for
 contrast: it needs the whole team reachable at once, which the partition
 adversary never allows.
 
+Each adversary scenario is one declarative
+:class:`~repro.experiment.ExperimentSpec`: the algorithm stays ``"sum"``,
+only the named environment and its parameters change.
+
 Run with::
 
     python examples/adversarial_sum.py
@@ -27,26 +31,38 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Simulator, summation_algorithm
+from repro import Experiment
 from repro.baselines import SnapshotAggregationBaseline
-from repro.environment import (
-    BlackoutAdversary,
-    RotatingPartitionAdversary,
-    TargetedCrashAdversary,
-    complete_graph,
-)
 from repro.simulation import format_table
 
 
 COUNTS = [7, 0, 12, 3, 9, 1, 15, 4, 6, 2]
 
 
-def adversaries():
-    topology = complete_graph(len(COUNTS))
+def adversary_specs():
+    """One spec per adversary; everything else (algorithm, instance, seed)
+    is shared."""
+
+    def base(name, environment, **environment_params):
+        return (
+            Experiment.builder()
+            .named(name)
+            .algorithm("sum")
+            .environment(environment, **environment_params)
+            .topology("complete")
+            .values(COUNTS)
+            .seeds(9)
+            .max_rounds(3000)
+            .build()
+        )
+
     return [
-        ("rotating partition (3 squads)", RotatingPartitionAdversary(topology, num_blocks=3, rotate_every=2)),
-        ("blackout (6 of every 10 rounds dark)", BlackoutAdversary(topology, period=10, blackout_rounds=6)),
-        ("targeted crash of the top collectors", TargetedCrashAdversary(topology, targets=[6, 2], period=8, down_rounds=6)),
+        base("rotating partition (3 squads)", "rotating-partition",
+             num_blocks=3, rotate_every=2, seed=0),
+        base("blackout (6 of every 10 rounds dark)", "blackout",
+             period=10, blackout_rounds=6),
+        base("targeted crash of the top collectors", "targeted-crash",
+             targets=[6, 2], period=8, down_rounds=6),
     ]
 
 
@@ -56,16 +72,15 @@ def main() -> None:
     print()
 
     rows = []
-    for name, environment in adversaries():
-        result = Simulator(summation_algorithm(), environment, COUNTS, seed=9).run(
-            max_rounds=3000
-        )
+    for spec in adversary_specs():
+        simulator = spec.build()
+        result = simulator.run(max_rounds=spec.max_rounds)
         snapshot = SnapshotAggregationBaseline(reduce_fn=sum).run(
-            environment, COUNTS, max_rounds=3000, seed=9
+            simulator.environment, COUNTS, max_rounds=3000, seed=9
         )
         rows.append(
             [
-                name,
+                spec.label,
                 "yes" if result.converged else "no",
                 result.convergence_round,
                 result.output,

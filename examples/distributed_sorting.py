@@ -6,14 +6,15 @@ currently stores one value.  The goal is to sort the values in place —
 no agent ever holds more than one value — while links between adjacent
 slots come and go.
 
-Two executions are shown:
+Three executions of the *same declarative experiment* are shown, varying
+only the named environment and scheduler:
 
 * pairwise gossip on a static line (classic neighbour exchanges),
 * maximal groups on a line whose every edge is only up 30% of the time,
-  plus an adversary that additionally meters communication down to two
-  line edges per round.
+* an adversary that additionally meters communication down to two line
+  edges per round.
 
-Both converge to the same sorted array; only the number of rounds changes.
+All converge to the same sorted array; only the number of rounds changes.
 
 Run with::
 
@@ -24,10 +25,8 @@ from __future__ import annotations
 
 import random
 
-from repro import Simulator, sorting_algorithm
-from repro.agents import RandomPairScheduler
-from repro.algorithms import out_of_order_pairs
-from repro.environment import EdgeBudgetAdversary, RandomChurnEnvironment, StaticEnvironment, line_graph
+from repro import Experiment
+from repro.algorithms import out_of_order_pairs, sorting_algorithm
 from repro.simulation import format_table
 
 
@@ -39,48 +38,47 @@ def render_array(cells) -> str:
     return " ".join(f"{value:3d}" for value in values)
 
 
+def make_spec(name, values, environment, scheduler, **environment_params):
+    return (
+        Experiment.builder()
+        .named(name)
+        .algorithm("sorting")
+        .environment(environment, **environment_params)
+        .topology("line")
+        .scheduler(scheduler)
+        .values(values)
+        .seeds(5)
+        .max_rounds(20000)
+        .build()
+    )
+
+
 def main() -> None:
     rng = random.Random(11)
     values = rng.sample(range(10, 100), SIZE)
-    algorithm = sorting_algorithm(values)
-    cells = algorithm.instance_cells
+    cells = sorting_algorithm(values).instance_cells
 
     print("Initial array (by slot):")
     print(" ", render_array(cells))
     print(f"  out-of-order pairs: {out_of_order_pairs(cells)}")
     print()
 
-    configurations = [
-        (
-            "static line, pairwise gossip",
-            StaticEnvironment(line_graph(SIZE)),
-            RandomPairScheduler(),
-        ),
-        (
-            "line with 30% edge availability, maximal groups",
-            RandomChurnEnvironment(line_graph(SIZE), edge_up_probability=0.3),
-            None,
-        ),
-        (
-            "adversary: two line edges per round",
-            EdgeBudgetAdversary(line_graph(SIZE), budget=2),
-            None,
-        ),
+    specs = [
+        make_spec("static line, pairwise gossip", values,
+                  "static", "random-pair"),
+        make_spec("line with 30% edge availability, maximal groups", values,
+                  "churn", "maximal", edge_up_probability=0.3),
+        make_spec("adversary: two line edges per round", values,
+                  "edge-budget", "maximal", budget=2),
     ]
 
     rows = []
     final = None
-    for name, environment, scheduler in configurations:
-        result = Simulator(
-            sorting_algorithm(values),
-            environment,
-            cells,
-            scheduler=scheduler,
-            seed=5,
-        ).run(max_rounds=20000)
+    for spec in specs:
+        result = spec.run()
         rows.append(
             [
-                name,
+                spec.label,
                 "yes" if result.converged else "no",
                 result.convergence_round,
                 result.group_steps,

@@ -16,6 +16,11 @@ The example also contrasts the two formulations of §4.5:
   fragmented execution still converges to the exact hull, from which the
   exact circle is recovered.
 
+Both round-based runs are declarative specs sharing one environment
+description; swapping ``"hull"`` for ``"circumscribing-circle"`` is the
+entire difference.  (The asynchronous message-passing rerun keeps the
+hand-wired API — merge-based messaging is not round-driven.)
+
 Run with::
 
     python examples/mobile_agents_hull.py
@@ -25,8 +30,8 @@ from __future__ import annotations
 
 import random
 
-from repro import Simulator, circumscribing_circle_algorithm, convex_hull_algorithm
-from repro.algorithms import circle_from_states, hull_merge
+from repro import Experiment
+from repro.algorithms import circle_from_states, convex_hull_algorithm, hull_merge
 from repro.environment import RandomWaypointEnvironment
 from repro.geometry import smallest_enclosing_circle
 from repro.simulation import MergeMessagePassingSimulator
@@ -35,17 +40,26 @@ from repro.simulation import MergeMessagePassingSimulator
 NUM_AGENTS = 12
 ARENA = 100.0
 
+ENVIRONMENT_PARAMS = dict(
+    arena_size=ARENA,
+    range_radius=28.0,
+    speed=7.0,
+    battery_capacity=8.0,
+    drain_per_round=1.0,
+    recharge_per_round=3.0,
+)
 
-def make_environment(seed: int) -> RandomWaypointEnvironment:
-    return RandomWaypointEnvironment(
-        NUM_AGENTS,
-        arena_size=ARENA,
-        range_radius=28.0,
-        speed=7.0,
-        battery_capacity=8.0,
-        drain_per_round=1.0,
-        recharge_per_round=3.0,
-        seed=seed,
+
+def make_spec(algorithm: str, deployment, seed: int):
+    return (
+        Experiment.builder()
+        .named(f"{algorithm} on mobile swarm")
+        .algorithm(algorithm)
+        .environment("mobility", **ENVIRONMENT_PARAMS)
+        .values(deployment)
+        .seeds(seed)
+        .max_rounds(2000)
+        .build()
     )
 
 
@@ -62,10 +76,7 @@ def main() -> None:
     print()
 
     # --- Convex-hull generalisation (correct) -----------------------------
-    hull_algorithm = convex_hull_algorithm(deployment)
-    result = Simulator(hull_algorithm, make_environment(seed=1), deployment, seed=1).run(
-        max_rounds=2000
-    )
+    result = make_spec("hull", deployment, seed=1).run()
     recovered = circle_from_states(result.final_multiset)
     print("Convex-hull generalisation (round-based groups):")
     print(f"  converged at round {result.convergence_round} "
@@ -77,9 +88,9 @@ def main() -> None:
 
     # --- The same computation over asynchronous one-sided messages --------
     async_result = MergeMessagePassingSimulator(
-        hull_algorithm,
+        convex_hull_algorithm(deployment),
         merge=hull_merge,
-        environment=make_environment(seed=2),
+        environment=RandomWaypointEnvironment(NUM_AGENTS, seed=2, **ENVIRONMENT_PARAMS),
         initial_values=deployment,
         loss_probability=0.2,
         seed=2,
@@ -90,10 +101,7 @@ def main() -> None:
     print()
 
     # --- Direct circle formulation (unsound under fragmentation) ----------
-    direct_algorithm = circumscribing_circle_algorithm(deployment)
-    direct_result = Simulator(
-        direct_algorithm, make_environment(seed=1), deployment, seed=1
-    ).run(max_rounds=2000)
+    direct_result = make_spec("circumscribing-circle", deployment, seed=1).run()
     direct_circle = direct_result.output
     print("Direct circle formulation (not super-idempotent):")
     print(f"  final circle radius {direct_circle.radius:.2f} "

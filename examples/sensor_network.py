@@ -12,6 +12,10 @@ computations run on the same network:
 * **exact average** reading (the paper's motivating example),
 * **3rd smallest** reading (an order statistic, via the §4.3 generalisation).
 
+Each configuration is one declarative :class:`~repro.experiment.ExperimentSpec`
+— same network description, three algorithm names — built with the fluent
+API and executed uniformly.
+
 Run with::
 
     python examples/sensor_network.py
@@ -21,13 +25,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from repro import (
-    Simulator,
-    average_algorithm,
-    kth_smallest_algorithm,
-    minimum_algorithm,
-)
-from repro.environment import PeriodicDutyCycleEnvironment, grid_graph
+from repro import Experiment
 from repro.simulation import format_table
 
 
@@ -35,12 +33,23 @@ READINGS = [31, 48, 12, 67, 25, 53, 9, 41, 74, 36, 19, 58]
 ROWS, COLS = 3, 4
 
 
-def run_computation(name, algorithm, duty_cycle, seed=7):
-    environment = PeriodicDutyCycleEnvironment(
-        grid_graph(ROWS, COLS), period=8, duty_cycle=duty_cycle, seed=seed
+def make_spec(name, algorithm, duty_cycle, seed=7, **algorithm_params):
+    return (
+        Experiment.builder()
+        .named(name)
+        .algorithm(algorithm, **algorithm_params)
+        .environment("duty-cycle", period=8, duty_cycle=duty_cycle)
+        .topology("grid", rows=ROWS, cols=COLS)
+        .values(READINGS)
+        .seeds(seed)
+        .max_rounds(2000)
+        .build()
     )
-    simulator = Simulator(algorithm, environment, READINGS, seed=seed)
-    result = simulator.run(max_rounds=2000)
+
+
+def run_computation(name, algorithm, duty_cycle, **algorithm_params):
+    spec = make_spec(name, algorithm, duty_cycle, **algorithm_params)
+    result = spec.run()
     return {
         "name": name,
         "duty_cycle": duty_cycle,
@@ -59,12 +68,12 @@ def main() -> None:
 
     rows = []
     for duty_cycle in (0.9, 0.6):
-        for name, algorithm in (
-            ("minimum", minimum_algorithm()),
-            ("average", average_algorithm()),
-            ("3rd smallest", kth_smallest_algorithm(3)),
+        for name, algorithm, params in (
+            ("minimum", "minimum", {}),
+            ("average", "average", {}),
+            ("3rd smallest", "kth-smallest", {"k": 3}),
         ):
-            outcome = run_computation(name, algorithm, duty_cycle)
+            outcome = run_computation(name, algorithm, duty_cycle, **params)
             rows.append(
                 [
                     f"{outcome['duty_cycle']:.0%}",

@@ -20,9 +20,30 @@ The library has five layers:
   (unsound) direct circumscribing circle;
 * :mod:`repro.verification` / :mod:`repro.baselines` — executable checks
   of the paper's proof obligations, and the classical baselines
-  (snapshots, gossip, spanning trees) the paper contrasts itself with.
+  (snapshots, gossip, spanning trees) the paper contrasts itself with;
+* :mod:`repro.registry` / :mod:`repro.experiment` — the declarative
+  experiment layer: string-keyed registries of every algorithm,
+  environment, scheduler and topology, and the frozen JSON-round-trippable
+  :class:`ExperimentSpec` that names them, executed one run at a time or
+  fanned out across a process pool by
+  :class:`~repro.simulation.batch.BatchRunner`.
 
-Quickstart::
+Quickstart (declarative — experiments as data)::
+
+    from repro import Experiment
+
+    spec = (Experiment.builder()
+            .algorithm("minimum")
+            .environment("churn", edge_up_probability=0.3)
+            .values(5, 3, 9, 1, 7, 2, 8, 4)
+            .seeds(0, 1, 2)
+            .max_rounds(500)
+            .build())
+    result = spec.run(seed=0)
+    assert result.converged and result.output == 1
+    spec_json = spec.to_json()        # persist; later: repro run spec.json
+
+Quickstart (hand-wired — direct object construction)::
 
     from repro import Simulator, minimum_algorithm
     from repro.environment import RandomChurnEnvironment, complete_graph
@@ -61,12 +82,24 @@ from .algorithms import (
     summation_algorithm,
 )
 from .simulation import (
+    BatchResult,
+    BatchRunner,
     MergeMessagePassingSimulator,
+    RoundRecord,
     SimulationResult,
     Simulator,
     aggregate,
     run_repeated,
     sweep,
+)
+from .experiment import Experiment, ExperimentBuilder, ExperimentSpec, expand_grid
+from .registry import (
+    ALGORITHMS as ALGORITHM_REGISTRY,
+    ENVIRONMENTS as ENVIRONMENT_REGISTRY,
+    GRAPHS as GRAPH_REGISTRY,
+    SCHEDULERS as SCHEDULER_REGISTRY,
+    VALUE_GENERATORS as VALUE_GENERATOR_REGISTRY,
+    available,
 )
 
 __version__ = "1.0.0"
@@ -99,5 +132,18 @@ __all__ = [
     "aggregate",
     "run_repeated",
     "sweep",
+    "BatchResult",
+    "BatchRunner",
+    "RoundRecord",
+    "Experiment",
+    "ExperimentBuilder",
+    "ExperimentSpec",
+    "expand_grid",
+    "ALGORITHM_REGISTRY",
+    "ENVIRONMENT_REGISTRY",
+    "GRAPH_REGISTRY",
+    "SCHEDULER_REGISTRY",
+    "VALUE_GENERATOR_REGISTRY",
+    "available",
     "__version__",
 ]

@@ -29,6 +29,7 @@ from abc import ABC, abstractmethod
 from typing import Sequence
 
 from ..environment.base import EnvironmentState
+from ..registry import register_scheduler
 from .group import Group
 
 __all__ = [
@@ -59,6 +60,7 @@ class Scheduler(ABC):
         return type(self).__name__
 
 
+@register_scheduler("maximal")
 class MaximalGroupsScheduler(Scheduler):
     """Every communication group of the environment acts, whole."""
 
@@ -75,6 +77,7 @@ class MaximalGroupsScheduler(Scheduler):
         return "maximal groups (every connected component acts)"
 
 
+@register_scheduler("random-pair")
 class RandomPairScheduler(Scheduler):
     """A random matching of connected, enabled pairs acts each round.
 
@@ -102,6 +105,7 @@ class RandomPairScheduler(Scheduler):
         return "random pairwise gossip (random matching of available edges)"
 
 
+@register_scheduler("single-group")
 class SingleGroupScheduler(Scheduler):
     """Exactly one communication group acts per round (chosen at random)."""
 
@@ -121,6 +125,7 @@ class SingleGroupScheduler(Scheduler):
         return "single group per round"
 
 
+@register_scheduler("random-subgroup")
 class RandomSubgroupScheduler(Scheduler):
     """Each communication group is split into random connected-agnostic chunks.
 

@@ -36,6 +36,7 @@ from ..core.errors import SpecificationError
 from ..core.functions import DistributedFunction
 from ..core.multiset import Multiset
 from ..core.objective import SummationObjective
+from ..registry import register_algorithm
 
 __all__ = ["average_function", "average_objective", "average_algorithm"]
 
@@ -69,6 +70,7 @@ def average_objective() -> SummationObjective:
     )
 
 
+@register_algorithm("average")
 def average_algorithm() -> SelfSimilarAlgorithm:
     """Build the averaging-consensus algorithm (exact rational arithmetic)."""
 

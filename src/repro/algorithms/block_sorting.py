@@ -35,6 +35,14 @@ from ..core.errors import SpecificationError
 from ..core.functions import DistributedFunction
 from ..core.multiset import Multiset
 from ..core.objective import SummationObjective
+from ..registry import register_algorithm, values_adapter
+
+
+def _values_from_instance(params: dict, values: list) -> dict:
+    """Build the block-sorting instance from the spec's initial values."""
+    if "values" not in params:
+        params = {"values": list(values), **params}
+    return params
 
 __all__ = [
     "BlockState",
@@ -115,6 +123,11 @@ def block_displacement_objective(order: Mapping[int, int]) -> SummationObjective
     )
 
 
+@register_algorithm(
+    "block-sorting",
+    prepare=_values_from_instance,
+    adapt_values=values_adapter("instance_blocks"),
+)
 def block_sorting_algorithm(
     values: Sequence[int], num_agents: int
 ) -> SelfSimilarAlgorithm:

@@ -40,6 +40,8 @@ from ..geometry.enclosing_circle import (
     smallest_enclosing_circle,
 )
 from ..geometry.point import Point, as_points
+from ..registry import register_algorithm
+from .convex_hull import _points_from_instance, _values_as_point_tuples
 
 __all__ = [
     "CircleState",
@@ -91,6 +93,11 @@ def circumscribing_circle_function() -> DistributedFunction:
     )
 
 
+@register_algorithm(
+    "circumscribing-circle",
+    prepare=_points_from_instance,
+    adapt_values=_values_as_point_tuples,
+)
 def circumscribing_circle_algorithm(
     points: Sequence[Point | tuple],
 ) -> SelfSimilarAlgorithm:

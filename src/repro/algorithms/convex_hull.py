@@ -40,6 +40,19 @@ from ..core.objective import SummationObjective
 from ..geometry.enclosing_circle import Circle, smallest_enclosing_circle
 from ..geometry.hull import convex_hull, hull_perimeter, merge_hulls
 from ..geometry.point import Point, as_points
+from ..registry import register_algorithm
+
+
+def _points_from_instance(params: dict, values: list) -> dict:
+    """Build the geometric instance from the spec's initial values."""
+    if "points" not in params:
+        params = {"points": list(values), **params}
+    return params
+
+
+def _values_as_point_tuples(algorithm, values: list) -> list:
+    """Coerce JSON-style ``[x, y]`` pairs to hashable coordinate tuples."""
+    return [value if isinstance(value, Point) else tuple(value) for value in values]
 
 __all__ = [
     "HullState",
@@ -93,6 +106,9 @@ def convex_hull_objective(points: Sequence[Point | tuple]) -> SummationObjective
     )
 
 
+@register_algorithm(
+    "hull", prepare=_points_from_instance, adapt_values=_values_as_point_tuples
+)
 def convex_hull_algorithm(points: Sequence[Point | tuple]) -> SelfSimilarAlgorithm:
     """Build the convex-hull consensus algorithm for a set of agent positions.
 

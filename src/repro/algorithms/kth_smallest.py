@@ -36,6 +36,7 @@ from ..core.errors import SpecificationError
 from ..core.functions import DistributedFunction
 from ..core.multiset import Multiset
 from ..core.objective import SummationObjective
+from ..registry import register_algorithm
 
 __all__ = [
     "kth_smallest_of",
@@ -94,6 +95,7 @@ def kth_smallest_objective(k: int, value_bound: int = DEFAULT_VALUE_BOUND) -> Su
     )
 
 
+@register_algorithm("kth-smallest")
 def kth_smallest_algorithm(
     k: int, value_bound: int = DEFAULT_VALUE_BOUND
 ) -> SelfSimilarAlgorithm:

@@ -24,6 +24,14 @@ from ..core.errors import SpecificationError
 from ..core.functions import DistributedFunction
 from ..core.multiset import Multiset
 from ..core.objective import SummationObjective
+from ..registry import register_algorithm
+
+
+def _derive_upper_bound(params: dict, values: list) -> dict:
+    """Default the declared upper bound to the largest initial value."""
+    if "upper_bound" not in params and values:
+        params = {"upper_bound": max(values), **params}
+    return params
 
 __all__ = ["maximum_function", "maximum_objective", "maximum_algorithm", "maximum_merge"]
 
@@ -54,6 +62,7 @@ def maximum_objective(upper_bound: int) -> SummationObjective:
     )
 
 
+@register_algorithm("maximum", prepare=_derive_upper_bound)
 def maximum_algorithm(upper_bound: int) -> SelfSimilarAlgorithm:
     """Build the maximum-consensus algorithm.
 

@@ -26,6 +26,7 @@ from ..core.errors import SpecificationError
 from ..core.functions import DistributedFunction
 from ..core.multiset import Multiset
 from ..core.objective import SummationObjective
+from ..registry import register_algorithm
 
 __all__ = ["minimum_function", "minimum_objective", "minimum_algorithm", "minimum_merge"]
 
@@ -65,6 +66,7 @@ def _check_non_negative(value: int) -> int:
     return value
 
 
+@register_algorithm("minimum")
 def minimum_algorithm(partial: bool = False) -> SelfSimilarAlgorithm:
     """Build the self-similar minimum-consensus algorithm.
 

@@ -51,6 +51,7 @@ from ..core.errors import SpecificationError
 from ..core.functions import DistributedFunction
 from ..core.multiset import Multiset
 from ..core.objective import SummationObjective
+from ..registry import register_algorithm
 
 __all__ = [
     "second_smallest_of",
@@ -101,6 +102,7 @@ def second_smallest_direct_function() -> DistributedFunction:
     )
 
 
+@register_algorithm("second-smallest-direct")
 def second_smallest_direct_algorithm() -> SelfSimilarAlgorithm:
     """The naive algorithm that applies the direct ``f`` group-locally.
 
@@ -215,6 +217,7 @@ def _check_value(value: int) -> int:
     return value
 
 
+@register_algorithm("second-smallest")
 def second_smallest_algorithm(
     value_bound: int = DEFAULT_VALUE_BOUND,
 ) -> SelfSimilarAlgorithm:

@@ -37,6 +37,15 @@ from ..core.errors import SpecificationError
 from ..core.functions import DistributedFunction
 from ..core.multiset import Multiset
 from ..core.objective import ObjectiveFunction, SummationObjective
+from ..registry import register_algorithm, values_adapter
+
+
+def _values_from_instance(params: dict, values: list) -> dict:
+    """Build the sorting instance from the spec's initial values (first
+    occurrence wins for duplicates, matching the CLI's historic behavior)."""
+    if "values" not in params:
+        params = {"values": list(dict.fromkeys(values)), **params}
+    return params
 
 __all__ = [
     "sorting_function",
@@ -126,6 +135,11 @@ def _build_order(cells: Sequence[Cell]) -> dict[int, int]:
     return {value: index for index, value in zip(indexes, values)}
 
 
+@register_algorithm(
+    "sorting",
+    prepare=_values_from_instance,
+    adapt_values=values_adapter("instance_cells"),
+)
 def sorting_algorithm(
     values: Sequence[int], indexes: Sequence[int] | None = None
 ) -> SelfSimilarAlgorithm:

@@ -46,6 +46,7 @@ from ..core.errors import SpecificationError
 from ..core.functions import DistributedFunction
 from ..core.multiset import Multiset
 from ..core.objective import ObjectiveFunction
+from ..registry import register_algorithm
 
 __all__ = ["sum_function", "sum_objective", "summation_algorithm"]
 
@@ -86,6 +87,7 @@ def sum_objective() -> ObjectiveFunction:
     )
 
 
+@register_algorithm("sum")
 def summation_algorithm(partial: bool = False) -> SelfSimilarAlgorithm:
     """Build the self-similar sum algorithm.
 

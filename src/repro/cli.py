@@ -1,53 +1,47 @@
-"""Command-line interface: run one self-similar computation from a shell.
+"""Command-line interface: run declarative experiments from a shell.
 
-The CLI exists so that the library can be exercised without writing a
-script — handy for quick demonstrations and for embedding the simulator in
-shell-driven experiment pipelines::
+The CLI is a front-end to the experiment layer (:mod:`repro.experiment`):
+experiments are JSON specs, dispatched through the registries and the
+:class:`~repro.simulation.batch.BatchRunner`::
+
+    python -m repro list                       # everything registered
+    python -m repro list algorithms
+    python -m repro run examples/specs/minimum_churn.json
+    python -m repro run spec.json --seed 3 --workers 4 --json
+    python -m repro sweep spec.json --param environment_params.edge_up_probability \
+        --values 0.1,0.3,1.0
+
+The original positional interface is kept as a compatibility layer and is
+itself rebuilt on top of specs — ``repro minimum --agents 10 --churn 0.3``
+constructs the equivalent :class:`~repro.experiment.ExperimentSpec` and
+runs it, so both interfaces execute through the same code path::
 
     python -m repro --list
     python -m repro minimum  --agents 10 --churn 0.3 --seed 7
-    python -m repro sum      --values 3,5,3,7
     python -m repro sorting  --values 9,2,7,1 --environment line
-    python -m repro hull     --agents 8 --environment mobility --verbose
 
-Input values default to a seeded random instance of the requested size;
-pass ``--values`` for explicit inputs.  The exit status is 0 when the run
-converged to the correct answer and 1 otherwise, so the CLI can be used in
-smoke-test scripts.
+The exit status is 0 when every run converged to the correct answer and 1
+otherwise, so both interfaces slot into smoke-test scripts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import random
 import sys
 from typing import Sequence
 
-from . import (
-    Simulator,
-    average_algorithm,
-    convex_hull_algorithm,
-    kth_smallest_algorithm,
-    maximum_algorithm,
-    minimum_algorithm,
-    second_smallest_algorithm,
-    sorting_algorithm,
-    summation_algorithm,
-)
-from .environment import (
-    BlackoutAdversary,
-    RandomChurnEnvironment,
-    RandomWaypointEnvironment,
-    RotatingPartitionAdversary,
-    StaticEnvironment,
-    complete_graph,
-    line_graph,
-)
+from .core.errors import SpecificationError
+from .experiment import ExperimentSpec
+from .registry import available
+from .simulation.batch import BatchItem, BatchResult, BatchRunner
 from .verification import check_specification
 
-__all__ = ["main", "build_parser", "ALGORITHMS", "ENVIRONMENTS"]
+__all__ = ["main", "build_parser", "ALGORITHMS", "ENVIRONMENTS", "SUBCOMMANDS"]
 
-#: Algorithms the CLI can run, keyed by the name used on the command line.
+#: Algorithms the legacy CLI can run, keyed by the name used on the command line.
 ALGORITHMS = (
     "minimum",
     "maximum",
@@ -59,15 +53,27 @@ ALGORITHMS = (
     "hull",
 )
 
-#: Environment presets, keyed by the name used on the command line.
+#: Environment presets of the legacy CLI, keyed by command-line name.
 ENVIRONMENTS = ("static", "churn", "line", "partition", "blackout", "mobility")
+
+#: Spec-driven subcommands (anything else falls through to the legacy parser).
+SUBCOMMANDS = ("run", "list", "sweep")
+
+#: ``repro list`` sections, in display order.
+_LIST_KINDS = ("algorithms", "environments", "schedulers", "graphs", "value_generators")
+
+
+# -- the legacy (compatibility) interface --------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the CLI argument parser (exposed separately for testing)."""
+    """Build the legacy CLI argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Run a self-similar algorithm in a simulated dynamic distributed system.",
+        description=(
+            "Run a self-similar algorithm in a simulated dynamic distributed "
+            "system.  Spec-driven interface: repro run|list|sweep --help."
+        ),
     )
     parser.add_argument("algorithm", nargs="?", choices=ALGORITHMS, help="computation to run")
     parser.add_argument("--list", action="store_true", help="list algorithms and environments")
@@ -108,53 +114,51 @@ def _default_values(num_agents: int, seed: int) -> list[int]:
     return [rng.randint(0, 99) for _ in range(num_agents)]
 
 
-def _make_environment(name: str, num_agents: int, churn: float, seed: int):
-    if name == "static":
-        return StaticEnvironment(complete_graph(num_agents))
-    if name == "churn":
-        return RandomChurnEnvironment(complete_graph(num_agents), edge_up_probability=churn)
-    if name == "line":
-        return RandomChurnEnvironment(line_graph(num_agents), edge_up_probability=churn)
-    if name == "partition":
-        return RotatingPartitionAdversary(
-            complete_graph(num_agents), num_blocks=2, rotate_every=3, seed=seed
-        )
-    if name == "blackout":
-        return BlackoutAdversary(complete_graph(num_agents), period=10, blackout_rounds=6)
-    if name == "mobility":
-        return RandomWaypointEnvironment(
-            num_agents, arena_size=100.0, range_radius=35.0, speed=8.0, seed=seed
-        )
-    raise SystemExit(f"unknown environment {name!r}")
+#: Legacy environment presets as (registered environment, params, topology).
+_ENVIRONMENT_PRESETS = {
+    "static": ("static", {}, "complete"),
+    "churn": ("churn", {}, "complete"),
+    "line": ("churn", {}, "line"),
+    "partition": ("rotating-partition", {"num_blocks": 2, "rotate_every": 3}, "complete"),
+    "blackout": ("blackout", {"period": 10, "blackout_rounds": 6}, "complete"),
+    "mobility": (
+        "mobility",
+        {"arena_size": 100.0, "range_radius": 35.0, "speed": 8.0},
+        None,
+    ),
+}
 
 
-def _make_algorithm(name: str, values: Sequence[int], k: int, seed: int):
-    """Return (algorithm, simulator_inputs) for the requested computation."""
-    if name == "minimum":
-        return minimum_algorithm(), list(values)
-    if name == "maximum":
-        return maximum_algorithm(upper_bound=max(values)), list(values)
-    if name == "sum":
-        return summation_algorithm(), list(values)
-    if name == "average":
-        return average_algorithm(), list(values)
-    if name == "second-smallest":
-        return second_smallest_algorithm(), list(values)
-    if name == "kth-smallest":
-        return kth_smallest_algorithm(k), list(values)
-    if name == "sorting":
-        distinct = list(dict.fromkeys(values))
-        algorithm = sorting_algorithm(distinct)
-        return algorithm, algorithm.instance_cells
-    if name == "hull":
-        rng = random.Random(seed)
-        points = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in values]
-        return convex_hull_algorithm(points), points
-    raise SystemExit(f"unknown algorithm {name!r}")
+def _legacy_spec(args: argparse.Namespace, values: list[int]) -> ExperimentSpec:
+    """Translate legacy command-line arguments into an experiment spec."""
+    environment, environment_params, topology = _ENVIRONMENT_PRESETS[args.environment]
+    environment_params = dict(environment_params)
+    if environment == "churn":
+        environment_params["edge_up_probability"] = args.churn
+    if topology is not None:
+        environment_params["topology"] = topology
+
+    algorithm = args.algorithm
+    algorithm_params: dict = {}
+    initial_values: list = list(values)
+    if algorithm == "kth-smallest":
+        algorithm_params["k"] = args.k
+    elif algorithm == "hull":
+        rng = random.Random(args.seed)
+        initial_values = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in values]
+
+    return ExperimentSpec(
+        algorithm=algorithm,
+        algorithm_params=algorithm_params,
+        environment=environment,
+        environment_params=environment_params,
+        initial_values=tuple(initial_values),
+        seeds=(args.seed,),
+        max_rounds=args.max_rounds,
+    ).validate()
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns the process exit status."""
+def _legacy_main(argv: Sequence[str] | None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -169,26 +173,196 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.agents < 1:
         raise SystemExit("--agents must be at least 1")
 
-    algorithm, inputs = _make_algorithm(args.algorithm, values, args.k, args.seed)
-    if len(inputs) != args.agents:
-        args.agents = len(inputs)
-    environment = _make_environment(args.environment, args.agents, args.churn, args.seed)
+    try:
+        spec = _legacy_spec(args, values)
+        simulator = spec.build(args.seed)
+    except SpecificationError as error:
+        raise SystemExit(str(error))
+    result = simulator.run(max_rounds=spec.max_rounds)
 
-    simulator = Simulator(algorithm, environment, inputs, seed=args.seed)
-    result = simulator.run(max_rounds=args.max_rounds)
-
-    print(f"algorithm:    {algorithm.name}")
-    print(f"environment:  {environment.describe()}")
+    print(f"algorithm:    {simulator.algorithm.name}")
+    print(f"environment:  {simulator.environment.describe()}")
     print(f"inputs:       {list(values)}")
     print(f"converged:    {result.converged} "
           f"(round {result.convergence_round}, {result.group_steps} group steps)")
     print(f"output:       {result.output}")
     print(f"expected:     {result.expected_output}")
     if args.verbose:
-        report = check_specification(algorithm, result.trace)
+        report = check_specification(simulator.algorithm, result.trace)
         print(f"specification: {report.explain()}")
 
     return 0 if result.converged and result.correct else 1
+
+
+# -- the spec-driven interface --------------------------------------------------
+
+
+def build_spec_parser() -> argparse.ArgumentParser:
+    """Build the parser for the ``run`` / ``list`` / ``sweep`` subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Declarative experiments over self-similar algorithms.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run an experiment spec (JSON file)")
+    run.add_argument("spec", type=pathlib.Path, help="path to an ExperimentSpec JSON file")
+    run.add_argument("--seed", type=int, action="append", default=None,
+                     help="override the spec's seeds (repeatable)")
+    run.add_argument("--max-rounds", type=int, default=None, help="override the round cap")
+    run.add_argument("--workers", type=int, default=None,
+                     help="process-pool size (default: in-process serial execution)")
+    run.add_argument("--json", action="store_true", help="print the batch result as JSON")
+    run.add_argument("--verbose", action="store_true",
+                     help="also print the trace-level specification check per run")
+
+    listing = subparsers.add_parser("list", help="list registered building blocks")
+    listing.add_argument("kind", nargs="?", choices=_LIST_KINDS,
+                         help="one registry (default: all)")
+
+    sweep = subparsers.add_parser("sweep", help="run a parameter sweep of a spec")
+    sweep.add_argument("spec", type=pathlib.Path, help="path to an ExperimentSpec JSON file")
+    sweep.add_argument("--param", required=True, action="append", dest="params",
+                       help="dotted override path, e.g. "
+                            "environment_params.edge_up_probability (repeatable)")
+    sweep.add_argument("--values", required=True, action="append", dest="value_lists",
+                       help="comma-separated values for the matching --param")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: in-process serial execution)")
+    sweep.add_argument("--json", action="store_true", help="print the batch result as JSON")
+    return parser
+
+
+def _load_spec(path: pathlib.Path) -> ExperimentSpec:
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise SystemExit(f"cannot read spec {path}: {error}")
+    try:
+        return ExperimentSpec.from_json(text)
+    except SpecificationError as error:
+        raise SystemExit(f"invalid spec {path}: {error}")
+
+
+def _runner(workers: int | None) -> BatchRunner:
+    if workers is None:
+        return BatchRunner(backend="serial")
+    return BatchRunner(max_workers=workers, backend="process")
+
+
+def _parse_sweep_value(text: str):
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.spec)
+    overrides: dict = {}
+    if args.seed:
+        overrides["seeds"] = list(args.seed)
+    if args.max_rounds is not None:
+        overrides["max_rounds"] = args.max_rounds
+    if overrides:
+        spec = spec.with_updates(overrides)
+
+    specification_reports: list[tuple[int, str]] = []
+    if args.verbose:
+        # The specification check needs live traces, so verbose mode runs
+        # in-process and reuses those runs for the batch report instead of
+        # executing everything twice.
+        items = []
+        for seed in spec.seeds:
+            simulator = spec.build(seed)
+            result = simulator.run(
+                max_rounds=spec.max_rounds,
+                stop_at_convergence=spec.stop_at_convergence,
+                extra_rounds_after_convergence=spec.extra_rounds_after_convergence,
+            )
+            items.append(
+                BatchItem(
+                    label=spec.label,
+                    seed=seed,
+                    spec=spec.to_dict(),
+                    result=result.to_dict(),
+                )
+            )
+            report = check_specification(simulator.algorithm, result.trace)
+            specification_reports.append((seed, report.explain()))
+        batch = BatchResult(items)
+    else:
+        batch = _runner(args.workers).run(spec)
+    if args.json:
+        print(batch.to_json())
+    else:
+        print(f"experiment:  {spec.label}")
+        print(f"algorithm:   {spec.algorithm}  environment: {spec.environment}  "
+              f"scheduler: {spec.scheduler}")
+        for item in batch:
+            if item.error is not None:
+                print(f"  seed {item.seed}: ERROR\n{item.error}")
+                continue
+            outcome = item.result
+            status = (
+                f"converged at round {outcome['convergence_round']}"
+                if outcome["converged"]
+                else f"did not converge in {outcome['rounds_executed']} rounds"
+            )
+            print(f"  seed {item.seed}: {status}; output {outcome['output']!r} "
+                  f"(expected {outcome['expected_output']!r})")
+        print(batch.summary_table())
+        for seed, explanation in specification_reports:
+            print(f"  seed {seed} specification: {explanation}")
+
+    ok = all(
+        item.error is None and item.result["converged"] and item.result["correct"]
+        for item in batch
+    )
+    return 0 if ok else 1
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    registries = available()
+    kinds = (args.kind,) if args.kind else _LIST_KINDS
+    for kind in kinds:
+        print(f"{kind}: " + ", ".join(registries[kind]))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.spec)
+    if len(args.params) != len(args.value_lists):
+        raise SystemExit("each --param needs a matching --values list")
+    grid = {
+        param: [_parse_sweep_value(part) for part in values.split(",") if part.strip()]
+        for param, values in zip(args.params, args.value_lists)
+    }
+    try:
+        batch = _runner(args.workers).run_grid(spec, grid)
+    except SpecificationError as error:
+        raise SystemExit(str(error))
+    if args.json:
+        print(batch.to_json())
+    else:
+        print(batch.summary_table())
+    for item in batch.failures():
+        print(f"FAILED {item.label} seed {item.seed}:\n{item.error}", file=sys.stderr)
+    return 0 if not batch.failures() else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in SUBCOMMANDS:
+        args = build_spec_parser().parse_args(argv)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "list":
+            return _cmd_list(args)
+        return _cmd_sweep(args)
+    return _legacy_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

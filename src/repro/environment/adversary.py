@@ -21,6 +21,7 @@ import random
 from typing import Sequence
 
 from ..core.errors import EnvironmentError_
+from ..registry import register_environment
 from .base import Environment, EnvironmentState, Topology
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
 ]
 
 
+@register_environment("rotating-partition")
 class RotatingPartitionAdversary(Environment):
     """Splits the agents into ``k`` blocks and only allows intra-block edges.
 
@@ -106,6 +108,7 @@ class RotatingPartitionAdversary(Environment):
         )
 
 
+@register_environment("targeted-crash")
 class TargetedCrashAdversary(Environment):
     """Disables a chosen set of agents for long stretches, then releases them.
 
@@ -159,6 +162,7 @@ class TargetedCrashAdversary(Environment):
         )
 
 
+@register_environment("blackout")
 class BlackoutAdversary(Environment):
     """Periodically disables *everything* for a stretch of rounds.
 
@@ -197,6 +201,7 @@ class BlackoutAdversary(Environment):
         return ("all edges available once per period",)
 
 
+@register_environment("edge-budget")
 class EdgeBudgetAdversary(Environment):
     """Allows only ``budget`` edges per round, chosen round-robin.
 

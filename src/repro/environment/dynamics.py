@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 
 from ..core.errors import EnvironmentError_
+from ..registry import register_environment
 from .base import Environment, EnvironmentState, Topology
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
 ]
 
 
+@register_environment("static")
 class StaticEnvironment(Environment):
     """A benign environment: every agent enabled, every edge always available.
 
@@ -48,6 +50,7 @@ class StaticEnvironment(Environment):
         return "static (all agents and edges always available)"
 
 
+@register_environment("churn")
 class RandomChurnEnvironment(Environment):
     """Independent per-round availability of edges and agents.
 
@@ -109,6 +112,7 @@ class RandomChurnEnvironment(Environment):
         )
 
 
+@register_environment("markov-churn")
 class MarkovChurnEnvironment(Environment):
     """Edges and agents fail and recover with per-round transition rates.
 
@@ -186,6 +190,7 @@ class MarkovChurnEnvironment(Environment):
         return ()
 
 
+@register_environment("duty-cycle")
 class PeriodicDutyCycleEnvironment(Environment):
     """Agents follow a periodic duty cycle (sleep/wake), edges always up.
 

@@ -13,6 +13,7 @@ import itertools
 import random
 
 from ..core.errors import EnvironmentError_
+from ..registry import register_graph
 from .base import Topology
 
 __all__ = [
@@ -27,16 +28,19 @@ __all__ = [
 ]
 
 
+@register_graph("complete")
 def complete_graph(num_agents: int) -> Topology:
     """Every pair of agents shares an edge (the paper's requirement for sum)."""
     return Topology(num_agents, itertools.combinations(range(num_agents), 2))
 
 
+@register_graph("line")
 def line_graph(num_agents: int) -> Topology:
     """Agents in a line: ``i`` is joined to ``i + 1`` (sorting's requirement)."""
     return Topology(num_agents, ((i, i + 1) for i in range(num_agents - 1)))
 
 
+@register_graph("ring")
 def ring_graph(num_agents: int) -> Topology:
     """A cycle through all agents."""
     if num_agents < 3:
@@ -46,6 +50,7 @@ def ring_graph(num_agents: int) -> Topology:
     return Topology(num_agents, edges)
 
 
+@register_graph("star")
 def star_graph(num_agents: int, center: int = 0) -> Topology:
     """All agents joined to a single hub agent."""
     if not 0 <= center < num_agents:
@@ -55,6 +60,7 @@ def star_graph(num_agents: int, center: int = 0) -> Topology:
     )
 
 
+@register_graph("grid")
 def grid_graph(rows: int, cols: int) -> Topology:
     """A ``rows x cols`` grid; agent ``(r, c)`` has id ``r * cols + c``."""
     if rows <= 0 or cols <= 0:
@@ -70,6 +76,7 @@ def grid_graph(rows: int, cols: int) -> Topology:
     return Topology(rows * cols, edges)
 
 
+@register_graph("tree")
 def tree_graph(num_agents: int, branching: int = 2) -> Topology:
     """A complete ``branching``-ary tree rooted at agent 0."""
     if branching < 1:
@@ -81,6 +88,7 @@ def tree_graph(num_agents: int, branching: int = 2) -> Topology:
     return Topology(num_agents, edges)
 
 
+@register_graph("random")
 def random_graph(num_agents: int, edge_probability: float, seed: int | None = None) -> Topology:
     """An Erdős–Rényi ``G(n, p)`` graph (not necessarily connected)."""
     if not 0.0 <= edge_probability <= 1.0:
@@ -94,6 +102,7 @@ def random_graph(num_agents: int, edge_probability: float, seed: int | None = No
     return Topology(num_agents, edges)
 
 
+@register_graph("random-connected")
 def random_connected_graph(
     num_agents: int, extra_edge_probability: float = 0.1, seed: int | None = None
 ) -> Topology:

@@ -28,6 +28,7 @@ import random
 from dataclasses import dataclass
 
 from ..core.errors import EnvironmentError_
+from ..registry import register_environment
 from .base import Environment, EnvironmentState, Topology
 from .graphs import complete_graph
 
@@ -45,6 +46,7 @@ class MobileAgent:
     battery: float
 
 
+@register_environment("mobility")
 class RandomWaypointEnvironment(Environment):
     """Random-waypoint mobility with a disk communication model.
 

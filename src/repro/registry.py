@@ -1,0 +1,229 @@
+"""String-keyed registries: the naming layer of the declarative experiment API.
+
+Experiments become *data* (see :mod:`repro.experiment`) only if every
+building block — algorithm, environment, scheduler, topology graph, value
+generator — can be named by a string and rebuilt from that name plus a
+dictionary of parameters.  This module provides the registries that do the
+naming, and the decorators the concrete modules use to register themselves::
+
+    from repro.registry import register_algorithm
+
+    @register_algorithm("minimum")
+    def minimum_algorithm(partial: bool = False) -> SelfSimilarAlgorithm:
+        ...
+
+Every registry supports :meth:`Registry.build` (instantiate by name with
+keyword parameters, with helpful errors on unknown names or bad
+parameters) and :meth:`Registry.available` (sorted names, for
+introspection, CLI listings and error messages).
+
+The registries themselves never import the modules that populate them, so
+there are no circular imports; :mod:`repro.experiment` imports the
+concrete packages to guarantee registration has happened before specs are
+validated.
+
+Two small hooks make *instance-bound* algorithms (§4.4, §4.5 of the paper:
+sorting, hulls — algorithms whose factory needs the concrete problem
+instance) fit the same declarative mold:
+
+* ``prepare(params, values)`` maps the spec's algorithm parameters plus
+  the resolved initial values to the final factory keyword arguments
+  (e.g. ``maximum`` derives its ``upper_bound`` from the values, and
+  ``sorting`` receives the values themselves);
+* ``adapt_values(algorithm, values)`` maps the resolved values to the
+  per-agent initial inputs the simulator needs (e.g. sorting turns values
+  into ``(index, value)`` cells via the built algorithm's
+  ``instance_cells``).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from .core.errors import SpecificationError
+
+__all__ = [
+    "Registry",
+    "RegistryEntry",
+    "ALGORITHMS",
+    "ENVIRONMENTS",
+    "SCHEDULERS",
+    "GRAPHS",
+    "VALUE_GENERATORS",
+    "register_algorithm",
+    "register_environment",
+    "register_scheduler",
+    "register_graph",
+    "register_value_generator",
+    "available",
+]
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered factory plus the metadata the experiment layer uses."""
+
+    name: str
+    factory: Callable[..., Any]
+    #: Optional hook ``(params, values) -> params`` producing the final
+    #: factory kwargs from the spec parameters and the resolved values.
+    prepare: Callable[[dict, list], dict] | None = None
+    #: Optional hook ``(built_object, values) -> values`` producing the
+    #: simulator's per-agent initial inputs.
+    adapt_values: Callable[[Any, list], list] | None = None
+    #: Free-form metadata (documentation tags, defaults, ...).
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def summary(self) -> str:
+        """First line of the factory's docstring (for ``repro list``)."""
+        doc = inspect.getdoc(self.factory) or ""
+        return doc.splitlines()[0] if doc else ""
+
+
+class Registry:
+    """A string-keyed registry of factories of one kind of building block."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, RegistryEntry] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        *,
+        prepare: Callable[[dict, list], dict] | None = None,
+        adapt_values: Callable[[Any, list], list] | None = None,
+        **meta: Any,
+    ) -> Callable[[Callable], Callable]:
+        """Return a decorator registering its target under ``name``.
+
+        The decorated factory (function or class) is returned unchanged,
+        so registration never alters call sites that import it directly.
+        """
+        if not name or not isinstance(name, str):
+            raise SpecificationError(f"{self.kind} registry needs a non-empty string name")
+
+        def decorator(factory: Callable) -> Callable:
+            if name in self._entries:
+                raise SpecificationError(
+                    f"duplicate {self.kind} registration for {name!r} "
+                    f"({self._entries[name].factory!r} vs {factory!r})"
+                )
+            self._entries[name] = RegistryEntry(
+                name=name,
+                factory=factory,
+                prepare=prepare,
+                adapt_values=adapt_values,
+                meta=dict(meta),
+            )
+            return factory
+
+        return decorator
+
+    # -- lookup ----------------------------------------------------------------
+
+    def available(self) -> list[str]:
+        """Sorted names of everything registered."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.available())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, name: str) -> RegistryEntry:
+        """Return the entry registered under ``name`` (with a helpful error)."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self.available()) or "(none registered)"
+            raise SpecificationError(
+                f"unknown {self.kind} {name!r}; available: {known}"
+            ) from None
+
+    def get(self, name: str) -> Callable:
+        """Return the raw registered factory."""
+        return self.entry(name).factory
+
+    def build(self, name: str, **params: Any) -> Any:
+        """Instantiate the factory registered under ``name``.
+
+        Parameter errors (unknown keyword, missing required argument) are
+        reported as :class:`SpecificationError` naming the offending
+        registry entry, so a bad JSON spec fails with a readable message
+        instead of a bare ``TypeError``.
+        """
+        entry = self.entry(name)
+        try:
+            return entry.factory(**params)
+        except TypeError as error:
+            raise SpecificationError(
+                f"cannot build {self.kind} {name!r} with parameters "
+                f"{params!r}: {error}"
+            ) from error
+
+    def signature(self, name: str) -> inspect.Signature:
+        """The factory's signature (used to inject seeds, for introspection)."""
+        return inspect.signature(self.entry(name).factory)
+
+    def accepts(self, name: str, parameter: str) -> bool:
+        """True when the factory accepts ``parameter`` as a keyword."""
+        signature = self.signature(name)
+        if parameter in signature.parameters:
+            return True
+        return any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in signature.parameters.values()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry({self.kind!r}, {len(self)} entries)"
+
+
+#: The paper's self-similar algorithms, keyed by CLI/spec name.
+ALGORITHMS = Registry("algorithm")
+#: Environment models (static, churn, adversaries, mobility, dynamics).
+ENVIRONMENTS = Registry("environment")
+#: Group schedulers.
+SCHEDULERS = Registry("scheduler")
+#: Fixed communication topology constructors.
+GRAPHS = Registry("graph")
+#: Named generators of initial-value instances.
+VALUE_GENERATORS = Registry("value generator")
+
+register_algorithm = ALGORITHMS.register
+register_environment = ENVIRONMENTS.register
+register_scheduler = SCHEDULERS.register
+register_graph = GRAPHS.register
+register_value_generator = VALUE_GENERATORS.register
+
+
+def available() -> dict[str, list[str]]:
+    """Everything registered, per kind — the single introspection entry point."""
+    return {
+        "algorithms": ALGORITHMS.available(),
+        "environments": ENVIRONMENTS.available(),
+        "schedulers": SCHEDULERS.available(),
+        "graphs": GRAPHS.available(),
+        "value_generators": VALUE_GENERATORS.available(),
+    }
+
+
+def values_adapter(attribute: str) -> Callable[[Any, Sequence], list]:
+    """Build an ``adapt_values`` hook reading instance inputs off the built
+    algorithm (``instance_cells`` for sorting, ``instance_blocks`` for
+    block sorting)."""
+
+    def adapt(algorithm: Any, values: Sequence) -> list:
+        return list(getattr(algorithm, attribute))
+
+    return adapt

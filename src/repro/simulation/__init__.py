@@ -1,16 +1,23 @@
 """Simulation of self-similar algorithms under dynamic environments."""
 
-from .engine import Simulator
+from .batch import BatchItem, BatchResult, BatchRunner, run_callables
+from .engine import RoundRecord, Simulator
 from .messaging import MergeMessagePassingSimulator
-from .metrics import RunStatistics, aggregate, format_table
+from .metrics import RunStatistics, aggregate, aggregate_records, format_table
 from .result import SimulationResult
 from .runner import SweepPoint, run_repeated, sweep
 
 __all__ = [
+    "BatchItem",
+    "BatchResult",
+    "BatchRunner",
+    "run_callables",
+    "RoundRecord",
     "Simulator",
     "MergeMessagePassingSimulator",
     "RunStatistics",
     "aggregate",
+    "aggregate_records",
     "format_table",
     "SimulationResult",
     "SweepPoint",

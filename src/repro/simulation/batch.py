@@ -1,0 +1,263 @@
+"""Parallel execution of declarative experiments.
+
+A :class:`BatchRunner` takes a list (or grid) of
+:class:`~repro.experiment.ExperimentSpec` and executes every (spec, seed)
+pair across a :mod:`concurrent.futures` pool.  Because specs and results
+are plain serializable data, the work units cross process boundaries
+untouched: each worker rebuilds its spec from a dictionary, runs the
+simulator, and ships back :meth:`SimulationResult.to_dict` — nothing in
+the hot path depends on shared state, which is what lets one driver fan a
+parameter study out over every core.
+
+The produced :class:`BatchResult` aggregates per-experiment statistics
+(via :func:`repro.simulation.metrics.aggregate_records`) and serializes to
+JSON, so batch outputs can be persisted, diffed across runs, and fed to
+downstream tooling::
+
+    specs = expand_grid(base, {"environment_params.edge_up_probability":
+                               [0.1, 0.3, 1.0]})
+    batch = BatchRunner(max_workers=4).run(specs)
+    path.write_text(batch.to_json())
+
+Single runs inside each worker are byte-identical to calling
+``spec.run(seed)`` in-process: the runner adds distribution, never
+different semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+from .metrics import RunStatistics, aggregate_records, format_table
+from .result import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
+    from ..experiment import ExperimentSpec
+
+__all__ = ["BatchItem", "BatchResult", "BatchRunner", "run_callables"]
+
+#: Executor backends the runner knows how to drive.
+BACKENDS = ("process", "thread", "serial")
+
+
+def _execute_payload(payload: tuple[dict, int]) -> dict:
+    """Run one (spec dict, seed) work unit — the function shipped to workers.
+
+    Module-level so it pickles; imports lazily so a worker process only
+    pays for what it runs (and so this module never participates in an
+    import cycle with :mod:`repro.experiment`).
+    """
+    spec_data, seed = payload
+    from ..experiment import ExperimentSpec
+
+    spec = ExperimentSpec.from_dict(spec_data)
+    return spec.run(seed).to_dict()
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """Outcome of one (experiment, seed) work unit."""
+
+    label: str
+    seed: int
+    spec: dict
+    result: dict | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the run completed (converged or not) without raising."""
+        return self.error is None
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "seed": self.seed,
+            "spec": self.spec,
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+class BatchResult:
+    """All outcomes of one batch, with aggregation and serialization."""
+
+    def __init__(self, items: Sequence[BatchItem]):
+        self.items = list(items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def labels(self) -> list[str]:
+        """Experiment labels in first-seen order."""
+        seen: dict[str, None] = {}
+        for item in self.items:
+            seen.setdefault(item.label, None)
+        return list(seen)
+
+    def results_for(self, label: str) -> list[dict]:
+        """The serialized results of every completed run of one experiment."""
+        return [
+            item.result
+            for item in self.items
+            if item.label == label and item.result is not None
+        ]
+
+    def failures(self) -> list[BatchItem]:
+        """Work units that raised instead of completing."""
+        return [item for item in self.items if not item.ok]
+
+    def statistics(self) -> dict[str, RunStatistics]:
+        """Per-experiment summary statistics over the completed runs."""
+        return {
+            label: aggregate_records(self.results_for(label))
+            for label in self.labels()
+        }
+
+    def summary_table(self) -> str:
+        """An aligned text table of per-experiment statistics."""
+        rows = []
+        for label, stats in self.statistics().items():
+            rows.append(
+                [
+                    label,
+                    stats.runs,
+                    f"{stats.convergence_rate:.2f}",
+                    stats.median_rounds,
+                    f"{stats.correctness_rate:.2f}",
+                ]
+            )
+        return format_table(
+            ["experiment", "runs", "conv. rate", "median rounds", "correct"], rows
+        )
+
+    def to_dict(self) -> dict:
+        return {"items": [item.to_dict() for item in self.items]}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BatchResult":
+        return cls([BatchItem(**item) for item in data["items"]])
+
+    @classmethod
+    def from_json(cls, text: str) -> "BatchResult":
+        return cls.from_dict(json.loads(text))
+
+
+class BatchRunner:
+    """Execute many experiment specs across a worker pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; None lets :mod:`concurrent.futures` pick (one worker
+        per core for processes).
+    backend:
+        ``"process"`` (default — true parallelism, results cross process
+        boundaries as dictionaries), ``"thread"`` (parallel I/O, shared
+        interpreter) or ``"serial"`` (in-process, deterministic ordering,
+        no pool — the debugging mode).
+    """
+
+    def __init__(self, max_workers: int | None = None, backend: str = "process"):
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        self.max_workers = max_workers
+        self.backend = backend
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self, specs: "ExperimentSpec | Iterable[ExperimentSpec]"
+    ) -> BatchResult:
+        """Run every (spec, seed) pair; one item per pair, in declaration order.
+
+        A raising work unit records its traceback in the corresponding
+        :class:`BatchItem` instead of aborting the batch — a 200-point
+        sweep should not lose 199 results to one bad configuration.
+        """
+        from ..experiment import ExperimentSpec
+
+        if isinstance(specs, ExperimentSpec):
+            specs = [specs]
+        units: list[tuple[str, dict, int]] = []
+        for spec in specs:
+            spec.validate()
+            data = spec.to_dict()
+            for seed in spec.seeds:
+                units.append((spec.label, data, seed))
+
+        payloads = [(data, seed) for _, data, seed in units]
+        outcomes = self._map(_execute_payload, payloads)
+
+        items = []
+        for (label, data, seed), (result, error) in zip(units, outcomes):
+            items.append(
+                BatchItem(label=label, seed=seed, spec=data, result=result, error=error)
+            )
+        return BatchResult(items)
+
+    def run_grid(
+        self, base: "ExperimentSpec", grid: Mapping[str, Sequence[Any]]
+    ) -> BatchResult:
+        """Expand ``grid`` against ``base`` (see
+        :func:`repro.experiment.expand_grid`) and run the whole sweep."""
+        from ..experiment import expand_grid
+
+        return self.run(expand_grid(base, grid))
+
+    # -- internals -------------------------------------------------------------
+
+    def _map(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> list[tuple[Any, str | None]]:
+        """Apply ``fn`` to every payload, capturing per-unit failures."""
+        if self.backend == "serial" or len(payloads) <= 1:
+            return [_guard(fn, payload) for payload in payloads]
+        with self._executor() as pool:
+            futures = [pool.submit(_guard, fn, payload) for payload in payloads]
+            return [future.result() for future in futures]
+
+    def _executor(self) -> Executor:
+        if self.backend == "process":
+            return ProcessPoolExecutor(max_workers=self.max_workers)
+        return ThreadPoolExecutor(max_workers=self.max_workers)
+
+
+def _guard(fn: Callable[[Any], Any], payload: Any) -> tuple[Any, str | None]:
+    """Run one unit, converting an exception into a recorded traceback."""
+    try:
+        return fn(payload), None
+    except Exception:  # noqa: BLE001 - any worker failure becomes data
+        return None, traceback.format_exc()
+
+
+def run_callables(
+    jobs: Sequence[Callable[[], SimulationResult]],
+    max_workers: int | None = None,
+    backend: str = "serial",
+) -> list[SimulationResult]:
+    """Execute in-process simulation thunks and return their results in order.
+
+    This is the non-serializable little sibling of :class:`BatchRunner`:
+    the legacy ``run_repeated`` / ``sweep`` helpers wrap live algorithm
+    and environment objects in closures and delegate the execution loop
+    here.  Closures cannot cross process boundaries, so the backends are
+    ``"serial"`` (default) and ``"thread"``.
+    """
+    if backend not in ("serial", "thread"):
+        raise ValueError(f"run_callables backend must be serial or thread, got {backend!r}")
+    if backend == "serial" or len(jobs) <= 1:
+        return [job() for job in jobs]
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        futures = [pool.submit(job) for job in jobs]
+        return [future.result() for future in futures]

@@ -17,12 +17,21 @@ Every group step is validated against the optimization relation ``D``
 ``f(S) = f(S(0))`` is an enforced run-time invariant, not an assumption.
 The engine records a full trace of agent-state multisets so that the
 temporal-logic specifications (3)–(5) can be checked after the fact.
+
+The execution core is the :meth:`Simulator.steps` generator, which yields
+one :class:`RoundRecord` per simulated round.  Streaming consumers (live
+dashboards, early-stop policies, the declarative experiment layer) iterate
+it directly and can pause between rounds — the simulator keeps its
+position, so resuming is just pulling the next record.
+:meth:`Simulator.run` is a thin driver over the same generator that
+accumulates the classic :class:`SimulationResult`.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
 
 from ..agents.agent import Agent
 from ..agents.group import Group
@@ -30,12 +39,68 @@ from ..agents.scheduler import MaximalGroupsScheduler, Scheduler
 from ..core.algorithm import SelfSimilarAlgorithm
 from ..core.errors import SimulationError
 from ..core.multiset import Multiset
-from ..core.relation import StepKind
+from ..core.relation import StepJudgement, StepKind
 from ..environment.base import Environment
 from ..temporal.trace import Trace
 from .result import SimulationResult
 
-__all__ = ["Simulator"]
+__all__ = ["RoundRecord", "Simulator"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What one simulated round did — the unit of the streaming API.
+
+    Attributes
+    ----------
+    round_index:
+        The round that was executed (0-based, matches the index the
+        environment's :meth:`advance` received).
+    multiset:
+        The agent-state multiset *after* the round, computed exactly once
+        per round and shared with the trace.
+    objective:
+        Value of the objective ``h`` on that multiset.
+    converged:
+        True when the multiset equals the target ``S* = f(S(0))``.
+    groups:
+        The non-empty groups the scheduler activated, in execution order.
+    judgements:
+        The relation ``D``'s verdict for each group step, aligned with
+        ``groups``.
+    """
+
+    round_index: int
+    multiset: Multiset
+    objective: float
+    converged: bool
+    groups: tuple[Group, ...]
+    judgements: tuple[StepJudgement, ...]
+
+    @property
+    def group_steps(self) -> int:
+        """Number of group steps executed this round."""
+        return len(self.judgements)
+
+    @property
+    def improving_steps(self) -> int:
+        """Group steps that strictly decreased the objective."""
+        return sum(1 for j in self.judgements if j.kind is StepKind.IMPROVEMENT)
+
+    @property
+    def stutter_steps(self) -> int:
+        """Group steps that left their group's state unchanged."""
+        return sum(1 for j in self.judgements if j.kind is StepKind.STUTTER)
+
+    @property
+    def invalid_steps(self) -> int:
+        """Steps that violated ``D`` (possible only with enforcement off)."""
+        return len(self.judgements) - self.improving_steps - self.stutter_steps
+
+    @property
+    def largest_group(self) -> int:
+        """Size of the largest group scheduled this round (0 when none)."""
+        return max((len(group) for group in self.groups), default=0)
 
 
 class Simulator:
@@ -56,7 +121,10 @@ class Simulator:
         :class:`MaximalGroupsScheduler`.
     seed:
         Seed of the run's random generator (drives the environment, the
-        scheduler and any randomness in the group step rule).
+        scheduler and any randomness in the group step rule).  When None,
+        an explicit seed is drawn once and recorded as :attr:`seed`, so
+        every run — including "unseeded" ones — is reproducible from its
+        result metadata.
     record_trace:
         When False, only the latest state is kept; long benchmark runs use
         this to keep memory flat.
@@ -76,6 +144,10 @@ class Simulator:
                 f"{len(initial_values)} initial values supplied for "
                 f"{environment.num_agents} agents"
             )
+        if seed is None:
+            # Draw the effective seed explicitly so the run stays
+            # reproducible: the result metadata records this value.
+            seed = random.randrange(2**63)
         self.algorithm = algorithm
         self.environment = environment
         self.scheduler = scheduler or MaximalGroupsScheduler()
@@ -84,6 +156,7 @@ class Simulator:
         self.initial_values = list(initial_values)
 
         self._rng = random.Random(seed)
+        self._round_index = 0
         initial_states = algorithm.initial_states(self.initial_values)
         self.agents: list[Agent] = [
             Agent(agent_id=index, state=state)
@@ -107,6 +180,11 @@ class Simulator:
         """The multiset ``S* = f(S(0))`` the agents must reach and keep."""
         return self._target
 
+    @property
+    def round_index(self) -> int:
+        """Index of the next round :meth:`steps` will execute."""
+        return self._round_index
+
     def has_converged(self) -> bool:
         """Return True when the agents are currently at ``S*``."""
         return self.current_multiset() == self._target
@@ -116,17 +194,79 @@ class Simulator:
     def reset(self) -> None:
         """Restore the initial configuration (same seed, same initial values)."""
         self._rng = random.Random(self.seed)
+        self._round_index = 0
         for agent in self.agents:
             agent.reset()
         self.environment.reset()
+
+    def _execute_round(self, round_index: int) -> RoundRecord:
+        """Execute one round — one environment transition, one scheduled
+        agent transition per group — and record what happened."""
+        environment_state = self.environment.advance(round_index, self._rng)
+        scheduled = self.scheduler.schedule(environment_state, self._rng)
+        _validate_partition(scheduled, self.environment.num_agents)
+
+        groups: list[Group] = []
+        judgements: list[StepJudgement] = []
+        for group in scheduled:
+            if len(group) == 0:
+                continue
+            states_before = group.states_of(self.agents)
+            states_after, judgement = self.algorithm.apply_group_step(
+                states_before, self._rng
+            )
+            if judgement.kind is StepKind.IMPROVEMENT:
+                group.install(self.agents, states_after)
+            elif judgement.kind is not StepKind.STUTTER:
+                # Only reachable when the algorithm's enforcement is off:
+                # record the invalid step and apply it anyway, so that
+                # benchmarks can observe the consequences of violating
+                # the methodology (Figure 1 / direct second-smallest).
+                group.install(self.agents, states_after)
+            groups.append(group)
+            judgements.append(judgement)
+
+        # The round's multiset is computed exactly once and shared by the
+        # trace, the objective trajectory and the convergence check.
+        multiset = self.current_multiset()
+        return RoundRecord(
+            round_index=round_index,
+            multiset=multiset,
+            objective=self.algorithm.objective(multiset),
+            converged=multiset == self._target,
+            groups=tuple(groups),
+            judgements=tuple(judgements),
+        )
+
+    def steps(self, max_rounds: int | None = None) -> Iterator[RoundRecord]:
+        """Stream the simulation, one :class:`RoundRecord` per round.
+
+        The generator executes rounds lazily: nothing runs until a record
+        is pulled, and abandoning the iterator pauses the simulation with
+        no loose state — calling :meth:`steps` again resumes from the next
+        round.  ``max_rounds`` bounds how many rounds *this* iterator will
+        execute; None streams indefinitely (the caller decides when to
+        stop, e.g. on :attr:`RoundRecord.converged`).
+        """
+        executed = 0
+        while max_rounds is None or executed < max_rounds:
+            record = self._execute_round(self._round_index)
+            self._round_index += 1
+            executed += 1
+            yield record
 
     def run(
         self,
         max_rounds: int = 1000,
         stop_at_convergence: bool = True,
         extra_rounds_after_convergence: int = 0,
+        on_round: Callable[[RoundRecord], bool | None] | None = None,
     ) -> SimulationResult:
         """Run the simulation and return a :class:`SimulationResult`.
+
+        This is a thin driver over :meth:`steps`: it pulls round records,
+        accumulates the trace, objective trajectory and step counters, and
+        applies the stopping policy.
 
         Parameters
         ----------
@@ -140,61 +280,56 @@ class Simulator:
         extra_rounds_after_convergence:
             Rounds to keep simulating after convergence when
             ``stop_at_convergence`` is set.
+        on_round:
+            Optional streaming callback invoked with every
+            :class:`RoundRecord`; returning True stops the run early
+            (an application-defined early-stop policy).
         """
-        trace: Trace[Multiset] = Trace([self.current_multiset()])
-        objective_trajectory = [self.algorithm.objective(self.current_multiset())]
+        initial_multiset = self.current_multiset()
+        trace: Trace[Multiset] = Trace([initial_multiset])
+        objective_trajectory = [self.algorithm.objective(initial_multiset)]
 
         group_steps = 0
         improving_steps = 0
         stutter_steps = 0
         invalid_steps = 0
         largest_group = 0
-        convergence_round: int | None = 0 if self.has_converged() else None
+        convergence_round: int | None = (
+            0 if initial_multiset == self._target else None
+        )
         rounds_after_convergence = 0
         rounds_executed = 0
+        stopped_by_callback = False
 
+        records = self.steps()
         for round_index in range(max_rounds):
             if convergence_round is not None and stop_at_convergence:
                 if rounds_after_convergence >= extra_rounds_after_convergence:
                     break
                 rounds_after_convergence += 1
 
+            record = next(records)
             rounds_executed += 1
-            environment_state = self.environment.advance(round_index, self._rng)
-            groups = self.scheduler.schedule(environment_state, self._rng)
-            _validate_partition(groups, self.environment.num_agents)
-
-            for group in groups:
-                if len(group) == 0:
-                    continue
-                largest_group = max(largest_group, len(group))
-                states_before = group.states_of(self.agents)
-                states_after, judgement = self.algorithm.apply_group_step(
-                    states_before, self._rng
-                )
-                group_steps += 1
-                if judgement.kind is StepKind.IMPROVEMENT:
-                    improving_steps += 1
-                    group.install(self.agents, states_after)
-                elif judgement.kind is StepKind.STUTTER:
-                    stutter_steps += 1
-                else:
-                    # Only reachable when the algorithm's enforcement is off:
-                    # record the invalid step and apply it anyway, so that
-                    # benchmarks can observe the consequences of violating
-                    # the methodology (Figure 1 / direct second-smallest).
-                    invalid_steps += 1
-                    group.install(self.agents, states_after)
+            group_steps += record.group_steps
+            improving_steps += record.improving_steps
+            stutter_steps += record.stutter_steps
+            invalid_steps += record.invalid_steps
+            largest_group = max(largest_group, record.largest_group)
 
             if self.record_trace:
-                trace.append(self.current_multiset())
-            objective_trajectory.append(self.algorithm.objective(self.current_multiset()))
+                trace.append(record.multiset)
+            objective_trajectory.append(record.objective)
 
-            if convergence_round is None and self.has_converged():
+            if convergence_round is None and record.converged:
                 convergence_round = round_index + 1
 
+            if on_round is not None and on_round(record):
+                stopped_by_callback = True
+                break
+        records.close()
+
         converged = convergence_round is not None
-        if converged and self.algorithm.enforce:
+        if converged and self.algorithm.enforce and not stopped_by_callback:
             # Once at S* = f(S*), every further step is a stutter, so the
             # observed prefix determines the whole computation.
             trace.mark_complete()

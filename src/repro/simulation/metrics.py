@@ -15,7 +15,7 @@ from typing import Iterable, Sequence
 
 from .result import SimulationResult
 
-__all__ = ["RunStatistics", "aggregate", "format_table"]
+__all__ = ["RunStatistics", "aggregate", "aggregate_records", "format_table"]
 
 
 @dataclass(frozen=True)
@@ -75,6 +75,16 @@ def aggregate(results: Iterable[SimulationResult]) -> RunStatistics:
             sum(1 for r in results if r.correct) / len(results) if results else 0.0
         ),
     )
+
+
+def aggregate_records(records: Iterable[dict]) -> RunStatistics:
+    """Summarise serialized results (:meth:`SimulationResult.to_dict` dicts).
+
+    Batch runs ship results across process boundaries as dictionaries;
+    this rehydrates them just enough for :func:`aggregate`, so in-process
+    and distributed experiments report through one statistics path.
+    """
+    return aggregate(SimulationResult.from_dict(record) for record in records)
 
 
 def format_table(

@@ -10,13 +10,59 @@ allowed.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Sequence
+from fractions import Fraction
+from typing import Any, Hashable, Mapping, Sequence
 
 from ..core.multiset import Multiset
 from ..temporal.trace import Trace
 
 __all__ = ["SimulationResult"]
+
+
+def jsonify(value: Any) -> Any:
+    """Coerce a simulation value (state, output, objective) to JSON-safe data.
+
+    Tuples and sets become lists (sets sorted by repr for determinism),
+    exact rationals become ``"p/q"`` strings, dataclass states (points,
+    hull states) become field dictionaries.  Anything else unknown falls
+    back to ``repr`` so serialization never fails — batch results must
+    always be persistable.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, Fraction):
+        return f"{value.numerator}/{value.denominator}"
+    if isinstance(value, Mapping):
+        return {str(key): jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((jsonify(item) for item in value), key=repr)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonify(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    return repr(value)
+
+
+def _restore_state(value: Any) -> Any:
+    """Undo the list-for-tuple coercion of :func:`jsonify` on agent states.
+
+    Agent states are hashable, so any list in serialized state data must
+    have been a tuple.  Other serialized forms (rational strings,
+    dataclass dictionaries) are left as-is — they are hashable or only
+    used for content comparisons."""
+    if isinstance(value, list):
+        return tuple(_restore_state(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, _restore_state(item)) for key, item in value.items()))
+    return value
 
 
 @dataclass
@@ -98,3 +144,86 @@ class SimulationResult:
             f"({self.improving_steps} improving, {self.stutter_steps} stutters, "
             f"{self.invalid_steps} invalid); largest group {self.largest_group}"
         )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self, include_trajectory: bool = False) -> dict:
+        """A JSON-safe mirror of the result, for persistence and comparison.
+
+        The trace is summarized (length and completeness) rather than
+        serialized: traces exist for in-process temporal-logic checking
+        and can hold thousands of multisets.  The objective trajectory is
+        likewise summarized to its endpoints unless ``include_trajectory``
+        asks for the full series.
+        """
+        data = {
+            "converged": self.converged,
+            "convergence_round": self.convergence_round,
+            "rounds_executed": self.rounds_executed,
+            "final_states": jsonify(self.final_states),
+            "output": jsonify(self.output),
+            "expected_output": jsonify(self.expected_output),
+            "correct": self.correct,
+            "trace": {"length": len(self.trace), "complete": self.trace.complete},
+            "objective_initial": jsonify(
+                self.objective_trajectory[0] if self.objective_trajectory else None
+            ),
+            "objective_final": jsonify(
+                self.objective_trajectory[-1] if self.objective_trajectory else None
+            ),
+            "group_steps": self.group_steps,
+            "improving_steps": self.improving_steps,
+            "stutter_steps": self.stutter_steps,
+            "invalid_steps": self.invalid_steps,
+            "largest_group": self.largest_group,
+            "metadata": jsonify(dict(self.metadata)),
+        }
+        if include_trajectory:
+            data["objective_trajectory"] = jsonify(list(self.objective_trajectory))
+        return data
+
+    def to_json(self, indent: int | None = None, include_trajectory: bool = False) -> str:
+        """Serialize :meth:`to_dict` to JSON text."""
+        return json.dumps(self.to_dict(include_trajectory=include_trajectory),
+                          indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The reconstruction is faithful for everything :meth:`to_dict`
+        kept: counters, convergence data, outputs (in their serialized
+        form) and final states (tuples restored).  The trace comes back as
+        the single final multiset plus the recorded completeness flag —
+        per-round multisets are intentionally not persisted.
+        """
+        final_states = [_restore_state(state) for state in data["final_states"]]
+        trace_info = data.get("trace", {})
+        trace: Trace[Multiset] = Trace(
+            [Multiset(final_states)], complete=bool(trace_info.get("complete", False))
+        )
+        trajectory = data.get(
+            "objective_trajectory",
+            [data.get("objective_initial"), data.get("objective_final")],
+        )
+        return cls(
+            converged=data["converged"],
+            convergence_round=data["convergence_round"],
+            rounds_executed=data["rounds_executed"],
+            final_states=final_states,
+            output=data["output"],
+            expected_output=data["expected_output"],
+            trace=trace,
+            objective_trajectory=list(trajectory),
+            group_steps=data.get("group_steps", 0),
+            improving_steps=data.get("improving_steps", 0),
+            stutter_steps=data.get("stutter_steps", 0),
+            invalid_steps=data.get("invalid_steps", 0),
+            largest_group=data.get("largest_group", 0),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationResult":
+        """Parse a result from :meth:`to_json` text."""
+        return cls.from_dict(json.loads(text))

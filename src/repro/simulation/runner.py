@@ -1,10 +1,13 @@
-"""Experiment runner: repeated runs and parameter sweeps.
+"""Legacy experiment runner: repeated runs and parameter sweeps.
 
-The benchmark harness (and the examples) repeatedly need the same loop:
-build an environment, run the algorithm over several seeds, aggregate the
-convergence statistics, and move on to the next parameter value.  This
-module centralises that loop so every benchmark stays a short declarative
-description of *what* to sweep.
+These helpers predate the declarative experiment layer and survive as
+thin compatibility wrappers: they wrap live algorithm/environment objects
+in closures and delegate the execution loop to
+:func:`repro.simulation.batch.run_callables`.  New code should describe
+experiments as :class:`~repro.experiment.ExperimentSpec` data and execute
+them through :class:`~repro.simulation.batch.BatchRunner` (serializable,
+distributable, CLI-runnable); these wrappers remain for call sites that
+genuinely need to pass pre-built objects.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from typing import Any, Callable, Iterable, Sequence
 from ..agents.scheduler import Scheduler
 from ..core.algorithm import SelfSimilarAlgorithm
 from ..environment.base import Environment
+from .batch import run_callables
 from .engine import Simulator
 from .metrics import RunStatistics, aggregate
 from .result import SimulationResult
@@ -49,20 +53,21 @@ def run_repeated(
     ``environment_factory`` receives the seed so that stochastic
     environments differ between repetitions while remaining reproducible.
     """
-    results = []
-    for repetition in range(repetitions):
-        seed = base_seed + repetition
-        environment = environment_factory(seed)
-        scheduler = scheduler_factory() if scheduler_factory else None
-        simulator = Simulator(
-            algorithm=algorithm,
-            environment=environment,
-            initial_values=initial_values,
-            scheduler=scheduler,
-            seed=seed,
-        )
-        results.append(simulator.run(max_rounds=max_rounds))
-    return results
+
+    def job(seed: int) -> Callable[[], SimulationResult]:
+        def run() -> SimulationResult:
+            simulator = Simulator(
+                algorithm=algorithm,
+                environment=environment_factory(seed),
+                initial_values=initial_values,
+                scheduler=scheduler_factory() if scheduler_factory else None,
+                seed=seed,
+            )
+            return simulator.run(max_rounds=max_rounds)
+
+        return run
+
+    return run_callables([job(base_seed + rep) for rep in range(repetitions)])
 
 
 def sweep(

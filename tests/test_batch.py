@@ -1,0 +1,154 @@
+"""Tests for the parallel BatchRunner and batch-result serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BatchRunner, ExperimentSpec, Simulator, minimum_algorithm
+from repro.environment import RandomChurnEnvironment, complete_graph
+from repro.simulation.batch import BatchResult, run_callables
+
+VALUES = [5, 3, 9, 1, 7, 2, 8, 4]
+
+
+def minimum_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        name="batch-minimum",
+        algorithm="minimum",
+        environment="churn",
+        environment_params={"edge_up_probability": 0.3},
+        initial_values=tuple(VALUES),
+        seeds=(0, 1, 2),
+        max_rounds=500,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base).validate()
+
+
+def hand_wired(seed: int):
+    return Simulator(
+        minimum_algorithm(),
+        RandomChurnEnvironment(complete_graph(8), edge_up_probability=0.3),
+        VALUES,
+        seed=seed,
+    ).run(max_rounds=500)
+
+
+class TestBackendParity:
+    """Every backend produces exactly the in-process results."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_matches_hand_wired_runs(self, backend):
+        batch = BatchRunner(max_workers=2, backend=backend).run(minimum_spec())
+        assert len(batch) == 3
+        assert not batch.failures()
+        for item in batch:
+            direct = hand_wired(item.seed)
+            assert item.result["output"] == direct.output
+            assert item.result["convergence_round"] == direct.convergence_round
+            assert item.result["rounds_executed"] == direct.rounds_executed
+            assert item.result["group_steps"] == direct.group_steps
+
+    def test_backends_agree_with_each_other(self):
+        spec = minimum_spec()
+        outcomes = {
+            backend: [
+                item.result["final_states"]
+                for item in BatchRunner(max_workers=2, backend=backend).run(spec)
+            ]
+            for backend in ("serial", "process")
+        }
+        assert outcomes["serial"] == outcomes["process"]
+
+
+class TestBatchSemantics:
+    def test_one_item_per_spec_seed_pair(self):
+        specs = [minimum_spec(name="a", seeds=(0, 1)), minimum_spec(name="b", seeds=(7,))]
+        batch = BatchRunner(backend="serial").run(specs)
+        assert [(item.label, item.seed) for item in batch] == [
+            ("a", 0),
+            ("a", 1),
+            ("b", 7),
+        ]
+        assert batch.labels() == ["a", "b"]
+
+    def test_failure_is_data_not_exception(self):
+        # k larger than the number of distinct values: the algorithm
+        # factory raises inside the worker.
+        bad = ExperimentSpec(
+            name="bad",
+            algorithm="kth-smallest",
+            algorithm_params={"k": -1},
+            environment="static",
+            initial_values=(1, 2, 3),
+        )
+        batch = BatchRunner(backend="serial").run([bad, minimum_spec(seeds=(0,))])
+        assert len(batch) == 2
+        assert len(batch.failures()) == 1
+        assert batch.failures()[0].label == "bad"
+        assert batch.failures()[0].error is not None
+        # the good spec still completed
+        assert batch.results_for("batch-minimum")[0]["converged"]
+
+    def test_statistics_per_label(self):
+        batch = BatchRunner(backend="serial").run(minimum_spec())
+        stats = batch.statistics()["batch-minimum"]
+        assert stats.runs == 3
+        assert stats.convergence_rate == 1.0
+        assert stats.correctness_rate == 1.0
+
+    def test_summary_table_lists_experiments(self):
+        batch = BatchRunner(backend="serial").run(minimum_spec())
+        table = batch.summary_table()
+        assert "batch-minimum" in table and "conv. rate" in table
+
+    def test_run_grid(self):
+        batch = BatchRunner(backend="serial").run_grid(
+            minimum_spec(seeds=(0,)),
+            {"environment_params.edge_up_probability": [0.2, 1.0]},
+        )
+        assert len(batch) == 2
+        assert not batch.failures()
+        labels = batch.labels()
+        assert labels == [
+            "batch-minimum[edge_up_probability=0.2]",
+            "batch-minimum[edge_up_probability=1.0]",
+        ]
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            BatchRunner(backend="quantum")
+
+
+class TestBatchSerialization:
+    def test_json_round_trip(self):
+        batch = BatchRunner(backend="serial").run(minimum_spec(seeds=(0, 1)))
+        text = batch.to_json()
+        restored = BatchResult.from_json(text)
+        assert restored.to_dict() == batch.to_dict()
+        assert [item.seed for item in restored] == [0, 1]
+
+    def test_items_carry_their_spec(self):
+        batch = BatchRunner(backend="serial").run(minimum_spec(seeds=(0,)))
+        item = batch.items[0]
+        rebuilt = ExperimentSpec.from_dict(item.spec)
+        assert rebuilt.algorithm == "minimum"
+        # a persisted batch item is re-runnable
+        assert rebuilt.run(item.seed).to_dict()["output"] == item.result["output"]
+
+
+class TestRunCallables:
+    def test_serial_preserves_order(self):
+        jobs = [lambda seed=seed: hand_wired(seed) for seed in (0, 1, 2)]
+        results = run_callables(jobs)
+        assert [r.metadata["seed"] for r in results] == [0, 1, 2]
+
+    def test_thread_backend_matches_serial(self):
+        jobs = [lambda seed=seed: hand_wired(seed) for seed in (0, 1, 2)]
+        serial = run_callables(jobs, backend="serial")
+        threaded = run_callables(jobs, backend="thread", max_workers=3)
+        assert [r.final_states for r in serial] == [r.final_states for r in threaded]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="serial or thread"):
+            run_callables([], backend="process")

@@ -95,3 +95,133 @@ class TestExamplesRun:
         path = pathlib.Path(__file__).resolve().parent.parent / "examples" / example
         runpy.run_path(str(path), run_name="__main__")
         assert capsys.readouterr().out  # produced some report
+
+
+class TestSpecSubcommands:
+    """The spec-driven interface: repro run / list / sweep."""
+
+    SPEC = {
+        "name": "cli-minimum",
+        "algorithm": "minimum",
+        "environment": "churn",
+        "environment_params": {"topology": "complete", "edge_up_probability": 0.3},
+        "initial_values": [52, 17, 88, 5, 34, 71, 23, 9],
+        "seeds": [0, 1],
+        "max_rounds": 500,
+    }
+
+    def _spec_file(self, tmp_path, payload=None):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload or self.SPEC))
+        return str(path)
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        status = main(["run", self._spec_file(tmp_path)])
+        output = capsys.readouterr().out
+        assert status == 0
+        assert "cli-minimum" in output
+        assert "seed 0" in output and "seed 1" in output
+        assert "output 5" in output
+
+    def test_run_matches_hand_wired_simulator(self, tmp_path, capsys):
+        from repro import Simulator, minimum_algorithm
+        from repro.environment import RandomChurnEnvironment, complete_graph
+
+        status = main(["run", self._spec_file(tmp_path), "--json"])
+        assert status == 0
+        import json
+
+        batch = json.loads(capsys.readouterr().out)
+        for item in batch["items"]:
+            direct = Simulator(
+                minimum_algorithm(),
+                RandomChurnEnvironment(complete_graph(8), edge_up_probability=0.3),
+                self.SPEC["initial_values"],
+                seed=item["seed"],
+            ).run(max_rounds=500)
+            assert item["result"]["output"] == direct.output
+            assert item["result"]["convergence_round"] == direct.convergence_round
+
+    def test_run_seed_and_round_overrides(self, tmp_path, capsys):
+        status = main(
+            ["run", self._spec_file(tmp_path), "--seed", "7", "--max-rounds", "300"]
+        )
+        output = capsys.readouterr().out
+        assert status == 0
+        assert "seed 7" in output and "seed 0" not in output
+
+    def test_run_with_worker_pool(self, tmp_path, capsys):
+        status = main(["run", self._spec_file(tmp_path), "--workers", "2"])
+        assert status == 0
+
+    def test_run_failure_exit_status(self, tmp_path, capsys):
+        payload = dict(self.SPEC)
+        payload["environment_params"] = {"edge_up_probability": 0.0}
+        payload["max_rounds"] = 10
+        payload["seeds"] = [0]
+        status = main(["run", self._spec_file(tmp_path, payload)])
+        assert status == 1
+
+    def test_run_missing_file_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read spec"):
+            main(["run", str(tmp_path / "nope.json")])
+
+    def test_run_invalid_spec_fails_cleanly(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"algorithm": "frobnicate", "initial_values": [1]}')
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main(["run", str(path)])
+
+    def test_list_everything(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for section in ("algorithms:", "environments:", "schedulers:", "graphs:"):
+            assert section in output
+        assert "minimum" in output and "mobility" in output and "maximal" in output
+
+    def test_list_one_kind(self, capsys):
+        assert main(["list", "schedulers"]) == 0
+        output = capsys.readouterr().out
+        assert "maximal" in output and "random-pair" in output
+        assert "algorithms:" not in output
+
+    def test_sweep(self, tmp_path, capsys):
+        status = main(
+            [
+                "sweep",
+                self._spec_file(tmp_path),
+                "--param",
+                "environment_params.edge_up_probability",
+                "--values",
+                "0.2,1.0",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert status == 0
+        assert "edge_up_probability=0.2" in output
+        assert "edge_up_probability=1.0" in output
+
+    def test_sweep_param_values_mismatch(self, tmp_path):
+        with pytest.raises(SystemExit, match="matching --values"):
+            main(
+                [
+                    "sweep",
+                    self._spec_file(tmp_path),
+                    "--param",
+                    "max_rounds",
+                    "--param",
+                    "scheduler",
+                    "--values",
+                    "100,200",
+                ]
+            )
+
+    def test_bundled_example_specs_run(self, capsys):
+        import pathlib
+
+        specs_dir = pathlib.Path(__file__).resolve().parent.parent / "examples" / "specs"
+        status = main(["run", str(specs_dir / "minimum_churn.json")])
+        assert status == 0
+        assert "minimum-under-churn" in capsys.readouterr().out

@@ -279,3 +279,107 @@ class TestSchedulers:
         )
         with pytest.raises(SimulationError):
             sim.run(max_rounds=2)
+
+
+class TestStreamingSteps:
+    """The steps() generator: one RoundRecord per round, pause/resume."""
+
+    def _simulator(self, seed=3):
+        env = RandomChurnEnvironment(complete_graph(6), edge_up_probability=0.4)
+        return Simulator(
+            minimum_algorithm(), env, initial_values=[9, 5, 7, 3, 8, 1], seed=seed
+        )
+
+    def test_records_mirror_run(self):
+        streaming, driving = self._simulator(), self._simulator()
+        records = []
+        for record in streaming.steps():
+            records.append(record)
+            if record.converged:
+                break
+        result = driving.run(max_rounds=200)
+        assert records[-1].round_index + 1 == result.convergence_round
+        assert records[-1].multiset == result.final_multiset
+        assert [r.objective for r in records] == result.objective_trajectory[1:]
+        assert sum(r.group_steps for r in records) == result.group_steps
+        assert sum(r.improving_steps for r in records) == result.improving_steps
+        assert sum(r.stutter_steps for r in records) == result.stutter_steps
+        assert max(r.largest_group for r in records) == result.largest_group
+
+    def test_record_counters_are_consistent(self):
+        sim = self._simulator()
+        for record in sim.steps(max_rounds=20):
+            assert record.group_steps == len(record.judgements) == len(record.groups)
+            assert (
+                record.improving_steps + record.stutter_steps + record.invalid_steps
+                == record.group_steps
+            )
+            assert record.invalid_steps == 0  # enforcement is on
+
+    def test_pause_and_resume_between_iterators(self):
+        paused, continuous = self._simulator(), self._simulator()
+        first_half = list(paused.steps(max_rounds=5))
+        assert paused.round_index == 5
+        second_half = list(paused.steps(max_rounds=5))
+        whole = list(continuous.steps(max_rounds=10))
+        assert [r.round_index for r in first_half + second_half] == list(range(10))
+        assert [r.multiset for r in first_half + second_half] == [
+            r.multiset for r in whole
+        ]
+
+    def test_abandoning_the_iterator_keeps_position(self):
+        sim = self._simulator()
+        iterator = sim.steps()
+        next(iterator)
+        next(iterator)
+        iterator.close()
+        assert sim.round_index == 2
+        record = next(sim.steps())
+        assert record.round_index == 2
+
+    def test_reset_rewinds_the_stream(self):
+        sim = self._simulator()
+        first = [r.multiset for r in sim.steps(max_rounds=6)]
+        sim.reset()
+        again = [r.multiset for r in sim.steps(max_rounds=6)]
+        assert first == again
+
+    def test_on_round_callback_stops_early(self):
+        sim = self._simulator()
+        seen = []
+
+        def stop_after_three(record):
+            seen.append(record.round_index)
+            return len(seen) >= 3
+
+        result = sim.run(max_rounds=200, on_round=stop_after_three)
+        assert seen == [0, 1, 2]
+        assert result.rounds_executed == 3
+
+
+class TestEffectiveSeed:
+    def test_none_seed_is_drawn_and_recorded(self):
+        sim = Simulator(
+            minimum_algorithm(),
+            StaticEnvironment(complete_graph(3)),
+            initial_values=[3, 2, 1],
+            seed=None,
+        )
+        assert isinstance(sim.seed, int)
+        result = sim.run(max_rounds=10)
+        assert result.metadata["seed"] == sim.seed
+
+    def test_recorded_seed_reproduces_the_run(self):
+        env = RandomChurnEnvironment(complete_graph(6), edge_up_probability=0.3)
+        first = Simulator(
+            minimum_algorithm(), env, initial_values=[9, 5, 7, 3, 8, 1], seed=None
+        ).run(max_rounds=200)
+        replay_env = RandomChurnEnvironment(complete_graph(6), edge_up_probability=0.3)
+        replay = Simulator(
+            minimum_algorithm(),
+            replay_env,
+            initial_values=[9, 5, 7, 3, 8, 1],
+            seed=first.metadata["seed"],
+        ).run(max_rounds=200)
+        assert replay.objective_trajectory == first.objective_trajectory
+        assert replay.final_states == first.final_states
