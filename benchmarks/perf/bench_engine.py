@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Engine microbenchmark: rounds/sec, incremental vs. full recompute.
+
+Workload: the sparse-activity scenario the incremental round state is built
+for — minimum-consensus on a ring topology under random churn with a low
+edge-up probability, so that most rounds change only a handful of agents
+while the collective state stays large.  For each n the harness executes a
+fixed number of rounds through ``Simulator.steps()`` twice, once with the
+incremental engine (the default) and once in the full-recompute reference
+mode, and reports rounds/sec plus the speedup.
+
+Results are written as JSON (default ``benchmarks/perf/BENCH_engine.json``)
+so CI can archive the perf trajectory PR over PR::
+
+    PYTHONPATH=src python benchmarks/perf/bench_engine.py
+    PYTHONPATH=src python benchmarks/perf/bench_engine.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.algorithms.minimum import minimum_algorithm
+from repro.environment.dynamics import RandomChurnEnvironment
+from repro.environment.graphs import ring_graph
+from repro.simulation.engine import Simulator
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_engine.json"
+
+#: (num_agents, rounds to execute per measurement)
+FULL_SIZES = ((100, 600), (1_000, 150), (10_000, 30))
+QUICK_SIZES = ((100, 200), (1_000, 40))
+
+EDGE_UP_PROBABILITY = 0.05
+SEED = 2024
+
+
+def build_simulator(num_agents: int, incremental: bool) -> Simulator:
+    """The benchmark workload: sparse-activity minimum consensus."""
+    values = [(i * 7919) % (num_agents * 10) for i in range(num_agents)]
+    return Simulator(
+        minimum_algorithm(),
+        RandomChurnEnvironment(
+            ring_graph(num_agents), edge_up_probability=EDGE_UP_PROBABILITY
+        ),
+        initial_values=values,
+        seed=SEED,
+        record_trace=False,
+        incremental=incremental,
+    )
+
+
+def measure_rounds_per_sec(num_agents: int, rounds: int, incremental: bool,
+                           repeats: int) -> float:
+    best = 0.0
+    for _ in range(repeats):
+        simulator = build_simulator(num_agents, incremental)
+        stream = simulator.steps(max_rounds=rounds)
+        start = time.perf_counter()
+        for _record in stream:
+            pass
+        elapsed = time.perf_counter() - start
+        best = max(best, rounds / elapsed)
+    return best
+
+
+def run_benchmark(sizes, repeats: int) -> dict:
+    results = []
+    for num_agents, rounds in sizes:
+        incremental = measure_rounds_per_sec(num_agents, rounds, True, repeats)
+        full = measure_rounds_per_sec(num_agents, rounds, False, repeats)
+        entry = {
+            "num_agents": num_agents,
+            "rounds": rounds,
+            "incremental_rounds_per_sec": round(incremental, 2),
+            "full_recompute_rounds_per_sec": round(full, 2),
+            "speedup": round(incremental / full, 2),
+        }
+        results.append(entry)
+        print(
+            f"n={num_agents:>6}: incremental {incremental:>10.1f} rps | "
+            f"full {full:>10.1f} rps | speedup {entry['speedup']:>5.2f}x"
+        )
+    return {
+        "benchmark": "engine_rounds_per_sec",
+        "workload": {
+            "algorithm": "minimum",
+            "topology": "ring",
+            "environment": f"churn(edge_up={EDGE_UP_PROBABILITY})",
+            "scheduler": "maximal",
+            "seed": SEED,
+            "record_trace": False,
+        },
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help="where to write the JSON report")
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes only (CI smoke run)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="measurements per configuration (best is kept)")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(QUICK_SIZES if args.quick else FULL_SIZES,
+                           max(1, args.repeats))
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

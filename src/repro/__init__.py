@@ -61,6 +61,7 @@ from .core import (
     DistributedFunction,
     ImprovementViolation,
     Multiset,
+    MutableMultiset,
     ObjectiveFunction,
     OptimizationRelation,
     ReproError,
@@ -109,6 +110,7 @@ __all__ = [
     "DistributedFunction",
     "ImprovementViolation",
     "Multiset",
+    "MutableMultiset",
     "ObjectiveFunction",
     "OptimizationRelation",
     "ReproError",

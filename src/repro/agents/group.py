@@ -10,8 +10,7 @@ step rule serves groups of every size (including singletons, whose only
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Hashable, Iterable, Sequence
+from typing import Any, Hashable, Iterable, Sequence
 
 from ..core.multiset import Multiset
 from .agent import Agent
@@ -19,16 +18,32 @@ from .agent import Agent
 __all__ = ["Group"]
 
 
-@dataclass(frozen=True)
 class Group:
-    """An ordered group of agent ids (order fixes how step rules see states)."""
+    """An ordered group of agent ids (order fixes how step rules see states).
 
-    members: tuple[int, ...]
+    A plain slotted class rather than a dataclass: schedulers build one
+    ``Group`` per connected component per round (tens of thousands per
+    second at large n), so construction cost matters.  Value semantics
+    (equality, hashing) follow the ``members`` tuple, as before.
+    """
+
+    __slots__ = ("members",)
+
+    def __init__(self, members: tuple[int, ...]):
+        self.members = members
 
     @classmethod
     def of(cls, members: Iterable[int]) -> "Group":
         """Build a group from any iterable of agent ids (sorted for determinism)."""
         return cls(tuple(sorted(members)))
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Group):
+            return self.members == other.members
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((Group, self.members))
 
     def __len__(self) -> int:
         return len(self.members)
@@ -52,16 +67,26 @@ class Group:
         """Return the group state ``S_B`` as a multiset."""
         return Multiset(self.states_of(agents))
 
-    def install(self, agents: Sequence[Agent], new_states: Sequence[Hashable]) -> int:
+    def install(
+        self, agents: Sequence[Agent], new_states: Sequence[Hashable]
+    ) -> tuple[list[Hashable], list[Hashable]]:
         """Write new states back to the member agents.
 
-        Returns the number of agents whose state actually changed.
+        Returns the ``(removed, added)`` state delta: the old and the new
+        state of every member agent whose state actually changed, aligned
+        by position.  The simulator folds this delta into its maintained
+        round multiset, so a round's bookkeeping costs O(|delta|) rather
+        than O(num_agents); ``len(removed)`` is the changed-agent count.
         """
-        changed = 0
+        removed: list[Hashable] = []
+        added: list[Hashable] = []
         for agent_id, new_state in zip(self.members, new_states):
-            if agents[agent_id].update(new_state):
-                changed += 1
-        return changed
+            agent = agents[agent_id]
+            old_state = agent.state
+            if agent.update(new_state):
+                removed.append(old_state)
+                added.append(new_state)
+        return removed, added
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Group({list(self.members)})"

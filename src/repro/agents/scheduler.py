@@ -67,10 +67,11 @@ class MaximalGroupsScheduler(Scheduler):
     def schedule(
         self, environment_state: EnvironmentState, rng: random.Random
     ) -> list[Group]:
+        # The tuples arrive sorted exactly as Group stores its members, so
+        # the groups are built without re-sorting each component.
         return [
-            Group.of(component)
-            for component in environment_state.communication_groups()
-            if len(component) >= 1
+            Group(members)
+            for members in environment_state.communication_group_tuples()
         ]
 
     def describe(self) -> str:

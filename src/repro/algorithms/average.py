@@ -66,6 +66,7 @@ def average_objective() -> SummationObjective:
         name="sum of squares",
         per_agent=lambda value: Fraction(value) * Fraction(value),
         lower_bound=0.0,
+        exact_delta=True,
         description="h(S) = Σ x²; strictly convex, so equal values are optimal",
     )
 
@@ -110,5 +111,6 @@ def average_algorithm() -> SelfSimilarAlgorithm:
         ),
         super_idempotent=True,
         environment_requirement="connected",
+        singleton_stutters=True,
         description="consensus on the exact average of the initial values (§3.1)",
     )

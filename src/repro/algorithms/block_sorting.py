@@ -119,6 +119,7 @@ def block_displacement_objective(order: Mapping[int, int]) -> SummationObjective
         name="block squared displacement",
         per_agent=per_agent,
         lower_bound=0.0,
+        exact_delta=True,
         description="sum over owned cells of (slot - target slot)^2",
     )
 
@@ -184,6 +185,9 @@ def block_sorting_algorithm(
         read_output=read_output,
         super_idempotent=True,
         environment_requirement="line",
+        # A lone agent CAN make progress here — it sorts the cells of its
+        # own block — so the engine must not skip singleton group steps.
+        singleton_stutters=False,
         description="sort a distributed array whose slots are owned in blocks (§4.4 extension)",
     )
     algorithm.instance_blocks = blocks  # type: ignore[attr-defined]

@@ -157,6 +157,7 @@ def circumscribing_circle_algorithm(
         read_output=read_output,
         super_idempotent=False,
         environment_requirement="connected",
+        singleton_stutters=True,
         enforce=False,
         description="direct circle merging; over-approximates under partitions (§4.5)",
     )

@@ -152,6 +152,7 @@ def convex_hull_algorithm(points: Sequence[Point | tuple]) -> SelfSimilarAlgorit
         read_output=read_output,
         super_idempotent=True,
         environment_requirement="connected",
+        singleton_stutters=True,
         description="consensus on the convex hull of the agents' positions (§4.5)",
     )
     algorithm.instance_points = instance_points  # type: ignore[attr-defined]

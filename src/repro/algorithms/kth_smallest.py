@@ -91,6 +91,7 @@ def kth_smallest_objective(k: int, value_bound: int = DEFAULT_VALUE_BOUND) -> Su
         name=f"padded sum of {k} known values",
         per_agent=per_agent,
         lower_bound=0.0,
+        exact_delta=True,
         description="missing knowledge counts as the sentinel; merges only improve it",
     )
 
@@ -148,5 +149,6 @@ def kth_smallest_algorithm(
         read_output=read_output,
         super_idempotent=True,
         environment_requirement="connected",
+        singleton_stutters=True,
         description="generalisation of §4.3 to the k-th smallest distinct value",
     )

@@ -58,6 +58,7 @@ def maximum_objective(upper_bound: int) -> SummationObjective:
         name=f"slack below {upper_bound}",
         per_agent=lambda value: upper_bound - value,
         lower_bound=0.0,
+        exact_delta=True,
         description="h(S) = total distance of values below the declared upper bound",
     )
 
@@ -96,6 +97,7 @@ def maximum_algorithm(upper_bound: int) -> SelfSimilarAlgorithm:
         read_output=lambda states: states.max(),
         super_idempotent=True,
         environment_requirement="connected",
+        singleton_stutters=True,
         description="consensus on the maximum of the initial values (dual of §4.1)",
     )
 

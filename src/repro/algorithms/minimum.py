@@ -53,6 +53,7 @@ def minimum_objective() -> SummationObjective:
         name="sum of values",
         per_agent=lambda value: value,
         lower_bound=0.0,
+        exact_delta=True,
         description="h(S) = sum of agent values; minimized when all hold the minimum",
     )
 
@@ -111,6 +112,7 @@ def minimum_algorithm(partial: bool = False) -> SelfSimilarAlgorithm:
         read_output=lambda states: states.min(),
         super_idempotent=True,
         environment_requirement="connected",
+        singleton_stutters=True,
         description="consensus on the minimum of the initial values (§4.1)",
     )
 

@@ -127,12 +127,14 @@ def second_smallest_direct_algorithm() -> SelfSimilarAlgorithm:
             name="sum of values",
             per_agent=lambda value: value,
             lower_bound=0.0,
+            exact_delta=True,
         ),
         group_step=group_step,
         make_initial_state=_check_value,
         read_output=lambda states: second_smallest_of(states) if len(states) else None,
         super_idempotent=False,
         environment_requirement="connected",
+        singleton_stutters=True,
         enforce=False,
         description="naive group-local second-smallest consensus; mis-converges (§4.3)",
     )
@@ -187,6 +189,7 @@ def second_smallest_pair_objective(value_bound: int = DEFAULT_VALUE_BOUND) -> Su
         name="sum of pair values with diagonal penalty",
         per_agent=per_agent,
         lower_bound=0.0,
+        exact_delta=True,
         description=(
             "h_a = x + y + P·[x = y]; the penalty makes leaving the diagonal an "
             "improvement even though y must rise from the minimum to the second "
@@ -206,6 +209,7 @@ def paper_pair_objective() -> SummationObjective:
         name="sum of pair values (paper)",
         per_agent=lambda state: state[0] + state[1],
         lower_bound=0.0,
+        exact_delta=True,
     )
 
 
@@ -267,5 +271,6 @@ def second_smallest_algorithm(
         read_output=read_output,
         super_idempotent=True,
         environment_requirement="connected",
+        singleton_stutters=True,
         description="compute both smallest values so the second smallest is known (§4.3)",
     )

@@ -120,10 +120,14 @@ def displacement_objective(order: Mapping[int, int]) -> SummationObjective:
         index, value = cell
         return float((index - order[value]) ** 2)
 
+    # The per-agent contributions are integer-valued floats, so adding
+    # and subtracting them is exact: the incremental delta path yields
+    # bit-identical objective values.
     return SummationObjective(
         name="squared displacement",
         per_agent=per_agent,
         lower_bound=0.0,
+        exact_delta=True,
         description="sum over agents of (current index - target index)^2",
     )
 
@@ -203,6 +207,7 @@ def sorting_algorithm(
         read_output=read_output,
         super_idempotent=True,
         environment_requirement="line",
+        singleton_stutters=True,
         description="sort a distributed array in place (§4.4)",
     )
     # Convenience: the cells of this instance, in index order, ready to be

@@ -75,11 +75,21 @@ def sum_objective() -> ObjectiveFunction:
         squares = sum(value * value for value in states)
         return total * total - squares
 
+    def delta(removed, added) -> int:
+        # The conservation law fixes Σx, so only the Σx² term moves:
+        # Δh = −Δ(Σx²) = Σ removed² − Σ added².  Exact (integers).  The
+        # engine applies deltas only on rounds whose every step stayed in
+        # ``D`` (conservation held), which is exactly when this is valid.
+        return sum(value * value for value in removed) - sum(
+            value * value for value in added
+        )
+
     return ObjectiveFunction(
         name="(sum)^2 - sum of squares",
         evaluate=evaluate,
         lower_bound=0.0,
         summation_form=False,
+        delta_fn=delta,
         description=(
             "h(S) = (Σ x)² − Σ x²; with group sums conserved, decreasing h is "
             "equivalent to increasing the summation-form Σ x²"
@@ -146,5 +156,6 @@ def summation_algorithm(partial: bool = False) -> SelfSimilarAlgorithm:
         read_output=lambda states: states.max() if len(states) else 0,
         super_idempotent=True,
         environment_requirement="complete",
+        singleton_stutters=True,
         description="concentrate the sum of the initial values in one agent (§4.2)",
     )

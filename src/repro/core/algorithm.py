@@ -29,7 +29,12 @@ from .errors import ConservationViolation, ImprovementViolation, SpecificationEr
 from .functions import DistributedFunction
 from .multiset import Multiset
 from .objective import ObjectiveFunction
-from .relation import OptimizationRelation, StepJudgement, StepKind
+from .relation import (
+    STUTTER_JUDGEMENT,
+    OptimizationRelation,
+    StepJudgement,
+    StepKind,
+)
 
 __all__ = ["GroupStepRule", "SelfSimilarAlgorithm"]
 
@@ -83,6 +88,18 @@ class SelfSimilarAlgorithm:
         :class:`ImprovementViolation`.  Benchmarks that intentionally run
         broken algorithms (Figure 1, Figure 2, §4.3's direct formulation)
         switch this off and observe the judgements instead.
+    singleton_stutters:
+        Opt-in declaration that the step rule, applied to a group of one
+        agent, always returns the state unchanged *and* draws no
+        randomness.  The incremental simulation engine uses it to skip
+        the step-rule call for singleton groups, which dominate sparse
+        rounds.  Most of this library's examples declare it (they all
+        carry the usual ``if len(states) <= 1: return list(states)``
+        guard); block sorting does not, because a lone agent can make
+        progress by sorting its own multi-cell block.  The default is
+        False so that algorithms defined outside this library are always
+        executed faithfully — only declare it when the guard above is the
+        first thing your step rule does.
     """
 
     name: str
@@ -94,6 +111,7 @@ class SelfSimilarAlgorithm:
     super_idempotent: bool = True
     environment_requirement: str = "connected"
     enforce: bool = True
+    singleton_stutters: bool = False
     description: str = ""
     relation: OptimizationRelation = field(init=False)
 
@@ -116,11 +134,20 @@ class SelfSimilarAlgorithm:
         self,
         states: Sequence[Hashable],
         rng: random.Random,
+        fast_stutter: bool = True,
     ) -> tuple[list[Hashable], StepJudgement]:
         """Run the step rule on one group and validate the result against ``D``.
 
         Returns the (possibly unchanged) new states together with the
         :class:`StepJudgement` explaining how the step was classified.
+
+        ``fast_stutter`` short-circuits the common case in which the step
+        rule returns the states unchanged: element-wise equality already
+        implies multiset equality, i.e. a stutter step, so the multiset
+        construction and relation check are skipped.  The verdict is
+        identical either way; the flag exists so the engine's
+        full-recompute reference mode can reproduce the unshortcut
+        execution exactly.
 
         Raises
         ------
@@ -139,6 +166,8 @@ class SelfSimilarAlgorithm:
                 f"group step of {self.name!r} returned {len(after)} states "
                 f"for a group of {len(before)} agents"
             )
+        if fast_stutter and after == before:
+            return after, STUTTER_JUDGEMENT
         judgement = self.relation.judge(Multiset(before), Multiset(after))
         if self.enforce:
             if judgement.kind is StepKind.BREAKS_CONSERVATION:
@@ -156,6 +185,41 @@ class SelfSimilarAlgorithm:
                     after=after,
                 )
         return after, judgement
+
+    # -- incremental objective maintenance ------------------------------------
+
+    def objective_delta(
+        self,
+        before: float,
+        after: Multiset,
+        removed: Sequence[Hashable],
+        added: Sequence[Hashable],
+    ) -> float:
+        """Return ``h(after)`` given ``h(before) = before`` and a state delta.
+
+        ``removed``/``added`` are the agent states that left and entered
+        the collective bag (aligned with :meth:`repro.agents.group.Group.install`'s
+        report).  When the objective supports exact incremental evaluation
+        (every decomposable objective in this library: minimum, maximum,
+        summation, average, kth-smallest, sorting displacement), the
+        result is computed in O(|removed| + |added|) and is bit-identical
+        to a full recomputation.  Otherwise — the real-valued hull and
+        circle objectives, whose float sums are order-sensitive — it falls
+        back to evaluating ``h`` on ``after`` in full.
+        """
+        if not removed and not added:
+            return before
+        objective = self.objective
+        delta = objective.delta(removed, added)
+        if delta is None:
+            return objective(after)
+        value = before + delta
+        if value < objective.lower_bound - 1e-12:
+            raise SpecificationError(
+                f"objective {objective.name!r} reached {value}, below its "
+                f"declared lower bound {objective.lower_bound}"
+            )
+        return value
 
     # -- convergence ----------------------------------------------------------
 

@@ -55,6 +55,14 @@ class ObjectiveFunction:
     summation_form:
         True when ``h`` is known to have the paper's summation form (8),
         hence satisfies the local-to-global improvement property.
+    delta_fn:
+        Optional incremental evaluator ``(removed, added) -> Δh``: given
+        the states removed from and added to the bag, return the exact
+        change of ``h``.  Only supply one when the arithmetic is exact
+        (integers, Fractions, integer-valued floats), so that
+        ``h_before + Δh`` is bit-identical to a full recomputation — the
+        simulation engine relies on this to keep incremental runs
+        byte-identical to full-recompute runs.
     """
 
     name: str
@@ -62,6 +70,7 @@ class ObjectiveFunction:
     lower_bound: float = 0.0
     minimum_decrease: float = 0.0
     summation_form: bool = False
+    delta_fn: Callable[[list, list], float] | None = None
     description: str = ""
 
     def __call__(self, states: Multiset | Iterable) -> float:
@@ -76,6 +85,23 @@ class ObjectiveFunction:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ObjectiveFunction({self.name!r})"
+
+    @property
+    def supports_delta(self) -> bool:
+        """True when :meth:`delta` can evaluate changes in O(|delta|)."""
+        return self.delta_fn is not None
+
+    def delta(self, removed: list, added: list) -> float | None:
+        """Exact change of ``h`` for a state delta, or None when unsupported.
+
+        When supported, ``h(after) == h(before) + delta(removed, added)``
+        holds *exactly* (not merely approximately): callers use this to
+        maintain the objective incrementally without ever diverging from
+        what a full recomputation would produce.
+        """
+        if self.delta_fn is None:
+            return None
+        return self.delta_fn(removed, added)
 
     def is_improvement(
         self, before: Multiset | Iterable, after: Multiset | Iterable
@@ -108,6 +134,14 @@ class SummationObjective(ObjectiveFunction):
         ``|A|·P − Σ perimeter(V_a)`` is expressed with ``per_agent`` equal to
         ``P − perimeter(V_a)`` and offset 0, but an explicit offset is also
         supported for objectives stated with a global constant.
+    exact_delta:
+        True when the per-agent contributions add exactly (integers,
+        Fractions, integer-valued floats below 2**53), so the objective
+        may be maintained incrementally as ``h += Σh_a(added) −
+        Σh_a(removed)`` with a result bit-identical to full recomputation.
+        Leave False for genuinely real-valued contributions (the hull's
+        perimeter slack), where floating-point addition is
+        order-sensitive and incremental maintenance would drift.
     """
 
     def __init__(
@@ -117,10 +151,12 @@ class SummationObjective(ObjectiveFunction):
         lower_bound: float = 0.0,
         minimum_decrease: float = 0.0,
         offset=0,
+        exact_delta: bool = False,
         description: str = "",
     ):
         self.per_agent = per_agent
         self.offset = offset
+        self.exact_delta = exact_delta
 
         def evaluate(states: Multiset) -> float:
             # Start the sum from the integer 0 (not 0.0) so that exact
@@ -129,12 +165,22 @@ class SummationObjective(ObjectiveFunction):
             # would make tiny-but-real improvements look like ties.
             return sum((per_agent(state) for state in states), offset)
 
+        # The int-0 start matters for exactness here too: the delta must
+        # use the same arithmetic as the full evaluation above.
+        delta_fn = None
+        if exact_delta:
+            delta_fn = lambda removed, added: (
+                sum((per_agent(state) for state in added), 0)
+                - sum((per_agent(state) for state in removed), 0)
+            )
+
         super().__init__(
             name=name,
             evaluate=evaluate,
             lower_bound=lower_bound,
             minimum_decrease=minimum_decrease,
             summation_form=True,
+            delta_fn=delta_fn,
             description=description,
         )
 

@@ -29,7 +29,7 @@ from .functions import DistributedFunction
 from .multiset import Multiset
 from .objective import ObjectiveFunction
 
-__all__ = ["StepKind", "StepJudgement", "OptimizationRelation"]
+__all__ = ["StepKind", "StepJudgement", "OptimizationRelation", "STUTTER_JUDGEMENT"]
 
 
 class StepKind(Enum):
@@ -75,6 +75,12 @@ class StepJudgement:
             f"invalid: state changed but h did not decrease "
             f"({self.h_before} -> {self.h_after})"
         )
+
+
+#: Shared verdict for hot paths that can prove a stutter without judging
+#: (element-wise unchanged states, skipped singleton steps).  Equal to any
+#: freshly judged stutter; allocated once.
+STUTTER_JUDGEMENT = StepJudgement(StepKind.STUTTER)
 
 
 class OptimizationRelation:

@@ -108,6 +108,69 @@ class Topology:
         return f"Topology(num_agents={self.num_agents}, edges={len(self.edges)})"
 
 
+def connected_component_tuples(
+    agents: Iterable[int], edges: Iterable[Edge]
+) -> list[tuple[int, ...]]:
+    """Connected components as sorted member tuples, ordered by smallest member.
+
+    The workhorse behind :func:`connected_components` (which wraps the
+    tuples in frozensets) and the maximal-groups scheduler (which feeds
+    them to :class:`~repro.agents.group.Group` directly, avoiding a
+    re-sort per component).
+
+    The implementation only walks vertices actually touched by an edge;
+    every other agent is a singleton component, emitted via a sorted
+    merge.  On sparse rounds (few available edges, many agents) this
+    makes the per-round cost proportional to the active part of the
+    graph, not to the whole agent population.
+    """
+    agent_set = set(agents)
+    adjacency: dict[int, list[int]] = {}
+    for a, b in edges:
+        if a in agent_set and b in agent_set:
+            adjacency.setdefault(a, []).append(b)
+            adjacency.setdefault(b, []).append(a)
+
+    connected: list[tuple[int, ...]] = []
+    visited: set[int] = set()
+    for start in adjacency:
+        if start in visited:
+            continue
+        visited.add(start)
+        stack = [start]
+        members = [start]
+        while stack:
+            for neighbor in adjacency[stack.pop()]:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    members.append(neighbor)
+                    stack.append(neighbor)
+        members.sort()
+        connected.append(tuple(members))
+    connected.sort()
+
+    singletons = sorted(agent_set.difference(adjacency))
+    if not singletons:
+        return connected
+    if not connected:
+        return [(agent,) for agent in singletons]
+
+    # Merge the edge-connected components and the singleton components
+    # into one list ordered by smallest member.
+    result: list[tuple[int, ...]] = []
+    position = 0
+    count = len(singletons)
+    for component in connected:
+        smallest = component[0]
+        while position < count and singletons[position] < smallest:
+            result.append((singletons[position],))
+            position += 1
+        result.append(component)
+    for agent in singletons[position:]:
+        result.append((agent,))
+    return result
+
+
 def connected_components(
     agents: Iterable[int], edges: Iterable[Edge]
 ) -> list[frozenset[int]]:
@@ -117,30 +180,10 @@ def connected_components(
     result is sorted by smallest member so that the group structure of an
     environment state is deterministic.
     """
-    agent_set = set(agents)
-    parent: dict[int, int] = {a: a for a in agent_set}
-
-    def find(a: int) -> int:
-        root = a
-        while parent[root] != root:
-            root = parent[root]
-        while parent[a] != root:
-            parent[a], a = root, parent[a]
-        return root
-
-    def union(a: int, b: int) -> None:
-        root_a, root_b = find(a), find(b)
-        if root_a != root_b:
-            parent[root_b] = root_a
-
-    for a, b in edges:
-        if a in agent_set and b in agent_set:
-            union(a, b)
-
-    groups: dict[int, set[int]] = {}
-    for a in agent_set:
-        groups.setdefault(find(a), set()).add(a)
-    return sorted((frozenset(members) for members in groups.values()), key=min)
+    return [
+        frozenset(members)
+        for members in connected_component_tuples(agents, edges)
+    ]
 
 
 @dataclass(frozen=True)
@@ -153,10 +196,11 @@ class EnvironmentState:
 
     def effective_edges(self) -> frozenset[Edge]:
         """Edges whose both endpoints are enabled (only these support steps)."""
+        enabled = self.enabled_agents
         return frozenset(
             edge
             for edge in self.available_edges
-            if edge[0] in self.enabled_agents and edge[1] in self.enabled_agents
+            if edge[0] in enabled and edge[1] in enabled
         )
 
     def communication_groups(self) -> list[frozenset[int]]:
@@ -167,6 +211,16 @@ class EnvironmentState:
         group this round.
         """
         return connected_components(self.enabled_agents, self.effective_edges())
+
+    def communication_group_tuples(self) -> list[tuple[int, ...]]:
+        """The communication groups as sorted member tuples (hot-path form).
+
+        Same components, same order as :meth:`communication_groups`, but
+        each component is a sorted tuple — the exact member layout
+        :class:`~repro.agents.group.Group` stores — so schedulers can
+        build their groups without materialising a frozenset per
+        component."""
+        return connected_component_tuples(self.enabled_agents, self.effective_edges())
 
     def can_communicate(self, a: int, b: int) -> bool:
         """Return True when agents ``a`` and ``b`` are enabled and share an

@@ -13,6 +13,7 @@ the resources available").
 
 from __future__ import annotations
 
+import math
 import random
 
 from ..core.errors import EnvironmentError_
@@ -85,16 +86,20 @@ class RandomChurnEnvironment(Environment):
                 raise EnvironmentError_(f"{name} must be in [0, 1], got {value}")
         self.edge_up_probability = edge_up_probability
         self.agent_up_probability = agent_up_probability
+        # Fixed iteration sequence for the per-round draws.  tuple() of a
+        # frozenset preserves that frozenset's iteration order, so the
+        # random stream is identical to iterating topology.edges directly
+        # — just without re-walking the set's hash table every round.
+        self._edge_sequence = tuple(self.topology.edges)
 
     def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
+        draw = rng.random
+        agent_up = self.agent_up_probability
+        edge_up = self.edge_up_probability
         enabled = frozenset(
-            agent
-            for agent in self.topology.agent_ids
-            if rng.random() < self.agent_up_probability
+            agent for agent in self.topology.agent_ids if draw() < agent_up
         )
-        edges = frozenset(
-            edge for edge in self.topology.edges if rng.random() < self.edge_up_probability
-        )
+        edges = frozenset(edge for edge in self._edge_sequence if draw() < edge_up)
         return EnvironmentState(enabled, edges, round_index)
 
     def fairness_predicates(self):
@@ -222,7 +227,15 @@ class PeriodicDutyCycleEnvironment(Environment):
             raise EnvironmentError_("duty_cycle must be in (0, 1]")
         self.period = period
         self.duty_cycle = duty_cycle
-        self.wake_rounds = max(1, round(duty_cycle * period))
+        # The documented window is ceil(duty_cycle * period).  round()
+        # would banker's-round 2.5 to 2 (duty 0.25, period 10 -> 2 wake
+        # rounds instead of 3), silently shrinking the windows the Q_E
+        # guarantee is computed from.  The small epsilon keeps float
+        # products that should be exact integers (e.g. 0.07 * 100 ->
+        # 7.000000000000001) from being ceiled one round too high.
+        self.wake_rounds = min(
+            period, max(1, math.ceil(duty_cycle * period - 1e-9))
+        )
         if phases is None:
             rng = random.Random(seed)
             phases = [rng.randrange(period) for _ in topology.agent_ids]

@@ -25,12 +25,27 @@ it directly and can pause between rounds — the simulator keeps its
 position, so resuming is just pulling the next record.
 :meth:`Simulator.run` is a thin driver over the same generator that
 accumulates the classic :class:`SimulationResult`.
+
+Round bookkeeping is *incremental* by default: instead of rebuilding the
+agent-state multiset and recomputing the objective ``h`` from scratch
+every round, the engine folds each round's ``(removed, added)`` state
+delta into a maintained :class:`MutableMultiset`, updates ``h`` in
+O(|delta|) for objectives that support exact increments, and compares
+against the target via an O(1) content fingerprint.  A round in which two
+agents moved therefore costs O(2) bookkeeping, not O(n) — matching the
+paper's "speed up or slow down depending on the resources available"
+story.  Results are byte-identical to full recomputation (enforced by the
+parity test suite); ``incremental=False`` selects the full-recompute
+reference mode and ``cross_check=True`` validates the maintained state
+against it every round.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from itertools import chain
+from operator import attrgetter
 from typing import Any, Callable, Iterator, Sequence
 
 from ..agents.agent import Agent
@@ -38,13 +53,15 @@ from ..agents.group import Group
 from ..agents.scheduler import MaximalGroupsScheduler, Scheduler
 from ..core.algorithm import SelfSimilarAlgorithm
 from ..core.errors import SimulationError
-from ..core.multiset import Multiset
-from ..core.relation import StepJudgement, StepKind
+from ..core.multiset import Multiset, MutableMultiset
+from ..core.relation import STUTTER_JUDGEMENT, StepJudgement, StepKind
 from ..environment.base import Environment
 from ..temporal.trace import Trace
 from .result import SimulationResult
 
 __all__ = ["RoundRecord", "Simulator"]
+
+_group_members = attrgetter("members")
 
 
 @dataclass(frozen=True)
@@ -128,6 +145,25 @@ class Simulator:
     record_trace:
         When False, only the latest state is kept; long benchmark runs use
         this to keep memory flat.
+    incremental:
+        When True (default), the simulator maintains the round multiset
+        and the objective value incrementally: each round folds the
+        ``(removed, added)`` state delta reported by the executed group
+        steps into a :class:`MutableMultiset`, updates the objective in
+        O(|delta|) for objectives that support exact deltas, and checks
+        convergence against the target via an O(1) content fingerprint.
+        Results are byte-identical to full recomputation.  When False, the
+        simulator recomputes everything from the agent states every round
+        — the reference behaviour the incremental path is measured and
+        cross-checked against.  Note: the incremental path assumes agent
+        states change only through executed group steps; code that mutates
+        ``Agent.state`` directly between rounds must use
+        ``incremental=False`` (or will be caught by ``cross_check``).
+    cross_check:
+        Debug flag.  When True (and ``incremental``), every round the
+        maintained multiset, fingerprint and objective are verified
+        against a full recomputation from the agent states, raising
+        :class:`SimulationError` on any divergence.
     """
 
     def __init__(
@@ -138,6 +174,8 @@ class Simulator:
         scheduler: Scheduler | None = None,
         seed: int | None = None,
         record_trace: bool = True,
+        incremental: bool = True,
+        cross_check: bool = False,
     ):
         if len(initial_values) != environment.num_agents:
             raise SimulationError(
@@ -153,6 +191,8 @@ class Simulator:
         self.scheduler = scheduler or MaximalGroupsScheduler()
         self.seed = seed
         self.record_trace = record_trace
+        self.incremental = incremental
+        self.cross_check = cross_check
         self.initial_values = list(initial_values)
 
         self._rng = random.Random(seed)
@@ -164,6 +204,12 @@ class Simulator:
         ]
         self._initial_multiset = Multiset(initial_states)
         self._target = algorithm.target(initial_states)
+        self._target_size = len(self._target)
+        self._target_fingerprint = self._target.fingerprint()
+        self._maintained = MutableMultiset(self._initial_multiset)
+        # Lazily initialised (first round / run start) so that building a
+        # simulator never evaluates the objective.
+        self._objective_value: float | None = None
 
     # -- state access ----------------------------------------------------------
 
@@ -198,45 +244,165 @@ class Simulator:
         for agent in self.agents:
             agent.reset()
         self.environment.reset()
+        self._maintained = MutableMultiset(self._initial_multiset)
+        self._objective_value = None
 
     def _execute_round(self, round_index: int) -> RoundRecord:
         """Execute one round — one environment transition, one scheduled
-        agent transition per group — and record what happened."""
+        agent transition per group — and record what happened.
+
+        In incremental mode the round's bookkeeping is O(|delta|): the
+        state deltas reported by :meth:`Group.install` are folded into the
+        maintained multiset, the objective is updated from the same delta,
+        and convergence is decided by fingerprint comparison.  In full
+        mode everything is recomputed from the agent states, exactly as
+        the pre-incremental engine did.
+        """
         environment_state = self.environment.advance(round_index, self._rng)
         scheduled = self.scheduler.schedule(environment_state, self._rng)
         _validate_partition(scheduled, self.environment.num_agents)
 
+        incremental = self.incremental
+        agents = self.agents
+        algorithm = self.algorithm
+        rng = self._rng
+        # Singleton groups dominate sparse rounds; when the algorithm
+        # declares that lone agents always stutter (and draw no
+        # randomness), their step-rule calls can be skipped outright.
+        skip_singletons = incremental and algorithm.singleton_stutters
         groups: list[Group] = []
         judgements: list[StepJudgement] = []
-        for group in scheduled:
-            if len(group) == 0:
-                continue
-            states_before = group.states_of(self.agents)
-            states_after, judgement = self.algorithm.apply_group_step(
-                states_before, self._rng
-            )
-            if judgement.kind is StepKind.IMPROVEMENT:
-                group.install(self.agents, states_after)
-            elif judgement.kind is not StepKind.STUTTER:
-                # Only reachable when the algorithm's enforcement is off:
-                # record the invalid step and apply it anyway, so that
-                # benchmarks can observe the consequences of violating
-                # the methodology (Figure 1 / direct second-smallest).
-                group.install(self.agents, states_after)
-            groups.append(group)
-            judgements.append(judgement)
+        removed: list = []
+        added: list = []
+        clean = True
+        try:
+            for group in scheduled:
+                size = len(group.members)
+                if size == 0:
+                    continue
+                if size == 1 and skip_singletons:
+                    groups.append(group)
+                    judgements.append(STUTTER_JUDGEMENT)
+                    continue
+                states_before = group.states_of(agents)
+                states_after, judgement = algorithm.apply_group_step(
+                    states_before, rng, fast_stutter=incremental
+                )
+                if judgement.kind is not StepKind.STUTTER:
+                    # Valid improvements are installed; invalid steps (only
+                    # reachable when the algorithm's enforcement is off) are
+                    # recorded and applied anyway, so that benchmarks can
+                    # observe the consequences of violating the methodology
+                    # (Figure 1 / direct second-smallest).
+                    if judgement.kind is not StepKind.IMPROVEMENT:
+                        clean = False
+                    group_removed, group_added = group.install(agents, states_after)
+                    removed.extend(group_removed)
+                    added.extend(group_added)
+                groups.append(group)
+                judgements.append(judgement)
+        except BaseException:
+            # A mid-round exception (an enforcement violation raised by a
+            # later group, say) must not desynchronise the maintained
+            # round state: earlier groups already installed their new
+            # states.  Fold what was installed, and drop the cached
+            # objective value — it describes the pre-round bag and will
+            # be recomputed lazily if the caller resumes.
+            if incremental and (removed or added):
+                self._maintained.apply_delta(removed, added)
+                self._objective_value = None
+            raise
 
-        # The round's multiset is computed exactly once and shared by the
-        # trace, the objective trajectory and the convergence check.
-        multiset = self.current_multiset()
+        if incremental:
+            multiset, objective, converged = self._fold_round(removed, added, clean)
+        else:
+            # Reference path: the round's multiset is recomputed from the
+            # agent states and shared by the trace, the objective
+            # trajectory and the convergence check.
+            multiset = self.current_multiset()
+            objective = self.algorithm.objective(multiset)
+            converged = multiset == self._target
         return RoundRecord(
             round_index=round_index,
             multiset=multiset,
-            objective=self.algorithm.objective(multiset),
-            converged=multiset == self._target,
+            objective=objective,
+            converged=converged,
             groups=tuple(groups),
             judgements=tuple(judgements),
         )
+
+    def _fold_round(
+        self, removed: list, added: list, clean: bool
+    ) -> tuple[Multiset, float, bool]:
+        """Fold one round's state delta into the maintained round state."""
+        maintained = self._maintained
+        if self._objective_value is None:
+            # First use: price the objective once, on the pre-delta bag.
+            self._objective_value = self.algorithm.objective(maintained.snapshot())
+        if removed or added:
+            try:
+                maintained.apply_delta(removed, added)
+            except KeyError as error:
+                raise SimulationError(
+                    "incremental round state out of sync with the agent "
+                    "states (were agent states mutated outside a group "
+                    f"step?): {error.args[0]}"
+                ) from error
+
+        if clean and self.algorithm.objective.supports_delta:
+            multiset = maintained.snapshot()
+            objective = self.algorithm.objective_delta(
+                self._objective_value, multiset, removed, added
+            )
+        else:
+            # No exact delta available (hull/circle objectives), or the
+            # round contained steps outside ``D`` whose effect on ``h`` is
+            # not delta-reconstructible (enforcement off): recompute in
+            # full, on a freshly built multiset so that order-sensitive
+            # float summations match the reference path bit for bit.
+            multiset = Multiset(self.current_states())
+            objective = self.algorithm.objective(multiset)
+        self._objective_value = objective
+
+        # The maintained bag's fingerprint is O(1); on fallback rounds the
+        # fresh multiset's would cost an O(distinct) walk just to
+        # pre-screen the same content.
+        converged = (
+            len(multiset) == self._target_size
+            and maintained.fingerprint() == self._target_fingerprint
+            and multiset == self._target
+        )
+        if self.cross_check:
+            self._verify_maintained_state(multiset, objective)
+        return multiset, objective, converged
+
+    def _verify_maintained_state(self, multiset: Multiset, objective: float) -> None:
+        """Debug cross-check: maintained state must equal full recomputation.
+
+        Always validates the *maintained* bag against the agent states —
+        on fallback rounds the round's ``multiset`` is itself a fresh
+        rebuild, so comparing only it would never catch maintained-state
+        drift (e.g. external ``Agent.state`` mutation).
+        """
+        full = self.current_multiset()
+        maintained = self._maintained.snapshot()
+        if full != maintained or full != multiset:
+            raise SimulationError(
+                "incremental multiset diverged from the agent states "
+                "(were agent states mutated outside a group step?): "
+                f"maintained {maintained!r} vs actual {full!r}"
+            )
+        if full.fingerprint() != self._maintained.fingerprint():
+            raise SimulationError(
+                "incremental fingerprint diverged from recomputed fingerprint "
+                f"({self._maintained.fingerprint():#x} vs {full.fingerprint():#x})"
+            )
+        full_objective = self.algorithm.objective(full)
+        if full_objective != objective:
+            raise SimulationError(
+                "incremental objective diverged from full recomputation "
+                f"({objective!r} vs {full_objective!r})"
+            )
 
     def steps(self, max_rounds: int | None = None) -> Iterator[RoundRecord]:
         """Stream the simulation, one :class:`RoundRecord` per round.
@@ -285,9 +451,19 @@ class Simulator:
             :class:`RoundRecord`; returning True stops the run early
             (an application-defined early-stop policy).
         """
-        initial_multiset = self.current_multiset()
+        if self.incremental:
+            # The maintained bag already holds the current states; its
+            # cached snapshot also seeds the objective value so the first
+            # round starts from a known h instead of recomputing.
+            initial_multiset = self._maintained.snapshot()
+            if self._objective_value is None:
+                self._objective_value = self.algorithm.objective(initial_multiset)
+            initial_objective = self._objective_value
+        else:
+            initial_multiset = self.current_multiset()
+            initial_objective = self.algorithm.objective(initial_multiset)
         trace: Trace[Multiset] = Trace([initial_multiset])
-        objective_trajectory = [self.algorithm.objective(initial_multiset)]
+        objective_trajectory = [initial_objective]
 
         group_steps = 0
         improving_steps = 0
@@ -360,7 +536,23 @@ class Simulator:
 
 
 def _validate_partition(groups: Sequence[Group], num_agents: int) -> None:
-    """Ensure scheduled groups are pairwise disjoint and reference real agents."""
+    """Ensure scheduled groups are pairwise disjoint and reference real agents.
+
+    The happy path is a set-bulk check (C-speed); only when it detects a
+    problem does the per-agent loop rerun to produce the precise error.
+    """
+    member_tuples = list(map(_group_members, groups))
+    seen = set(chain.from_iterable(member_tuples))
+    total = sum(map(len, member_tuples))
+    valid = len(seen) == total and (
+        not seen or (min(seen) >= 0 and max(seen) < num_agents)
+    )
+    if not valid:
+        _explain_invalid_partition(groups, num_agents)
+
+
+def _explain_invalid_partition(groups: Sequence[Group], num_agents: int) -> None:
+    """Slow path: find and report the first offending agent id."""
     seen: set[int] = set()
     for group in groups:
         for agent_id in group:
@@ -374,3 +566,4 @@ def _validate_partition(groups: Sequence[Group], num_agents: int) -> None:
                     f"scheduler produced overlapping groups (agent {agent_id} twice)"
                 )
             seen.add(agent_id)
+    raise SimulationError("scheduler produced an invalid partition")

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Sequence
 
 from ..core.errors import SimulationError
-from ..core.multiset import Multiset
+from ..core.multiset import Multiset, MutableMultiset
 from ..core.algorithm import SelfSimilarAlgorithm
 from ..environment.base import Environment
 from ..temporal.trace import Trace
@@ -67,9 +67,14 @@ class MergeMessagePassingSimulator:
     initial_values:
         Problem inputs, one per agent.
     loss_probability:
-        Probability that an individual message is lost in transit.
+        Probability that an individual message is lost in transit.  The
+        closed range ``[0, 1]`` is accepted: a loss-1.0 run is a
+        legitimate worst-case scenario in which no message is ever
+        delivered and the computation simply never converges.
     seed:
-        Seed for reproducibility.
+        Seed for reproducibility.  When None, an explicit seed is drawn
+        once and recorded as :attr:`seed` (and in the result metadata), so
+        every run — including "unseeded" ones — is reproducible.
     """
 
     def __init__(
@@ -86,8 +91,12 @@ class MergeMessagePassingSimulator:
                 f"{len(initial_values)} initial values supplied for "
                 f"{environment.num_agents} agents"
             )
-        if not 0.0 <= loss_probability < 1.0:
-            raise SimulationError("loss_probability must be in [0, 1)")
+        if not 0.0 <= loss_probability <= 1.0:
+            raise SimulationError("loss_probability must be in [0, 1]")
+        if seed is None:
+            # Draw the effective seed explicitly so the run stays
+            # reproducible from its result metadata, matching Simulator.
+            seed = random.randrange(2**63)
         self.algorithm = algorithm
         self.merge = merge
         self.environment = environment
@@ -99,18 +108,56 @@ class MergeMessagePassingSimulator:
         self._target = algorithm.target(self.states)
         self.messages_sent = 0
         self.messages_delivered = 0
+        # Pairwise-conservation verdicts already proven for a concrete
+        # (receiver, message, merged) triple.  Merges over small discrete
+        # state spaces (minimum, maximum) repeat the same handful of
+        # pairs over and over; memoising the successful checks keeps the
+        # inner loop O(1) per repeated delivery.  Failed checks raise
+        # immediately and are never cached.  Rich state spaces (hulls)
+        # produce mostly-unique triples, so the memo is capped: once
+        # full, further checks simply run uncached instead of growing
+        # memory without bound.
+        self._conservation_ok: set[tuple] = set()
+        self._conservation_memo_cap = 4096
 
     def has_converged(self) -> bool:
         """True when the agents' states form the target multiset ``S*``."""
         return Multiset(self.states) == self._target
 
     def run(self, max_rounds: int = 1000) -> SimulationResult:
-        """Run the asynchronous computation for up to ``max_rounds`` rounds."""
-        trace: Trace[Multiset] = Trace([Multiset(self.states)])
-        objective_trajectory = [self.algorithm.objective(Multiset(self.states))]
-        convergence_round: int | None = 0 if self.has_converged() else None
+        """Run the asynchronous computation for up to ``max_rounds`` rounds.
+
+        Round bookkeeping is incremental: one maintained multiset absorbs
+        each delivered merge's ``(old, new)`` state delta in O(1), the
+        objective is updated from the same delta when it supports exact
+        increments, and convergence is checked against the target via an
+        O(1) content fingerprint — instead of rebuilding multisets per
+        delivered message and three more per round.
+        """
+        current = MutableMultiset(self.states)
+        # Incremental objective maintenance requires that every applied
+        # merge respected the conservation law; that is only guaranteed
+        # when enforcement checks each delivery (Simulator's equivalent is
+        # its per-round ``clean`` guard).  With enforcement off, fall back
+        # to full recomputation so unchecked, possibly non-conserving
+        # merges still report the true objective trajectory.
+        supports_delta = (
+            self.algorithm.objective.supports_delta and self.algorithm.enforce
+        )
+
+        initial_multiset = current.snapshot()
+        objective_value = self.algorithm.objective(initial_multiset)
+        trace: Trace[Multiset] = Trace([initial_multiset])
+        objective_trajectory = [objective_value]
+        convergence_round: int | None = (
+            0 if current.matches(self._target) else None
+        )
         rounds_executed = 0
         improving_steps = 0
+        enforce = self.algorithm.enforce
+        conserves = self.algorithm.function.conserves
+        conservation_ok = self._conservation_ok
+        states = self.states
 
         for round_index in range(max_rounds):
             if convergence_round is not None:
@@ -130,31 +177,51 @@ class MergeMessagePassingSimulator:
                     if self._rng.random() < self.loss_probability:
                         continue
                     self.messages_delivered += 1
-                    inboxes[receiver].append(self.states[sender])
+                    inboxes[receiver].append(states[sender])
 
+            removed: list[Hashable] = []
+            added: list[Hashable] = []
             for agent, received in inboxes.items():
                 if agent not in environment_state.enabled_agents or not received:
                     continue
                 for message in received:
-                    merged = self.merge(self.states[agent], message)
-                    if merged == self.states[agent]:
+                    old_state = states[agent]
+                    merged = self.merge(old_state, message)
+                    if merged == old_state:
                         continue
                     # One-sided pair step: receiver changes, sender does not.
-                    before = Multiset([self.states[agent], message])
-                    after = Multiset([merged, message])
-                    if self.algorithm.enforce and not self.algorithm.function.conserves(
-                        before, after
-                    ):
-                        raise SimulationError(
-                            f"merge for {self.algorithm.name!r} broke the pairwise "
-                            f"conservation law"
-                        )
-                    self.states[agent] = merged
+                    if enforce:
+                        triple = (old_state, message, merged)
+                        if triple not in conservation_ok:
+                            before = Multiset([old_state, message])
+                            after = Multiset([merged, message])
+                            if not conserves(before, after):
+                                raise SimulationError(
+                                    f"merge for {self.algorithm.name!r} broke the "
+                                    f"pairwise conservation law"
+                                )
+                            if len(conservation_ok) < self._conservation_memo_cap:
+                                conservation_ok.add(triple)
+                    states[agent] = merged
+                    removed.append(old_state)
+                    added.append(merged)
                     improving_steps += 1
 
-            trace.append(Multiset(self.states))
-            objective_trajectory.append(self.algorithm.objective(Multiset(self.states)))
-            if convergence_round is None and self.has_converged():
+            if removed or added:
+                current.apply_delta(removed, added)
+            multiset = current.snapshot()
+            trace.append(multiset)
+            if supports_delta:
+                objective_value = self.algorithm.objective_delta(
+                    objective_value, multiset, removed, added
+                )
+            else:
+                # Order-sensitive float objectives (hull): recompute on a
+                # freshly built multiset so values match the historic,
+                # full-recompute behaviour bit for bit.
+                objective_value = self.algorithm.objective(Multiset(states))
+            objective_trajectory.append(objective_value)
+            if convergence_round is None and current.matches(self._target):
                 convergence_round = round_index + 1
 
         converged = convergence_round is not None

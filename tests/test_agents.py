@@ -70,13 +70,20 @@ class TestGroup:
         assert group.states_of(agents) == [9, 7]
         assert group.state_multiset(agents) == Multiset([9, 7])
 
-    def test_install_reports_changes(self):
+    def test_install_reports_state_delta(self):
         agents = [Agent(i, state=value) for i, value in enumerate([9, 8, 7])]
         group = Group.of([0, 2])
-        changed = group.install(agents, [9, 5])
-        assert changed == 1
+        removed, added = group.install(agents, [9, 5])
+        assert removed == [7]
+        assert added == [5]
         assert agents[2].state == 5
         assert agents[1].state == 8
+
+    def test_install_no_change_reports_empty_delta(self):
+        agents = [Agent(i, state=value) for i, value in enumerate([9, 8, 7])]
+        removed, added = Group.of([0, 1]).install(agents, [9, 8])
+        assert removed == []
+        assert added == []
 
 
 class TestMaximalGroupsScheduler:

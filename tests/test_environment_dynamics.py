@@ -155,6 +155,32 @@ class TestPeriodicDutyCycle:
         sizes = [len(env.advance(i, rng).enabled_agents) for i in range(10)]
         assert min(sizes) < 4
 
+    def test_wake_rounds_is_ceiling_of_duty_times_period(self):
+        # Regression: round() banker's-rounded 0.25 * 10 = 2.5 down to 2,
+        # undercutting the documented ceil(duty_cycle * period) window.
+        cases = {
+            (0.25, 10): 3,
+            (0.6, 10): 6,
+            (0.5, 4): 2,
+            (0.05, 10): 1,
+            (0.15, 10): 2,
+            (1.0, 7): 7,
+            # 0.07 * 100 = 7.000000000000001 in floats; the ceiling must
+            # still be 7, not 8.
+            (0.07, 100): 7,
+        }
+        for (duty, period), expected in cases.items():
+            env = PeriodicDutyCycleEnvironment(
+                line_graph(3), period=period, duty_cycle=duty, seed=0
+            )
+            assert env.wake_rounds == expected, (duty, period)
+
+    def test_wake_rounds_never_exceed_period(self, rng):
+        env = PeriodicDutyCycleEnvironment(line_graph(3), period=3, duty_cycle=0.999)
+        assert env.wake_rounds == 3
+        for round_index in range(6):
+            assert len(env.advance(round_index, rng).enabled_agents) == 3
+
 
 class TestAdversaries:
     def test_rotating_partition_always_partitions_the_system(self, rng):

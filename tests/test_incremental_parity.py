@@ -1,0 +1,274 @@
+"""Parity suite: incremental round state vs. full recomputation.
+
+The simulation engine maintains its round multiset and objective
+incrementally (fold the ``(removed, added)`` delta of each group step into
+a :class:`MutableMultiset`, update ``h`` in O(|delta|), compare against the
+target by fingerprint).  These tests pin the central contract of that
+optimization: for every seeded run, the incremental engine must produce a
+:class:`SimulationResult` *identical* to the full-recompute reference —
+same trace, same objective trajectory (exact equality, not approximate),
+same convergence round, same counters.
+
+The matrix covers every algorithm family in the library (including the
+enforcement-off "unsound" ones, which exercise the full-recompute fallback
+for rounds containing invalid steps), every scheduler, and a churn
+environment so that rounds range from empty to busy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.scheduler import (
+    MaximalGroupsScheduler,
+    RandomPairScheduler,
+    RandomSubgroupScheduler,
+    SingleGroupScheduler,
+)
+from repro.algorithms.average import average_algorithm
+from repro.algorithms.block_sorting import block_sorting_algorithm
+from repro.algorithms.circumscribing_circle import circumscribing_circle_algorithm
+from repro.algorithms.convex_hull import convex_hull_algorithm
+from repro.algorithms.kth_smallest import kth_smallest_algorithm
+from repro.algorithms.maximum import maximum_algorithm
+from repro.algorithms.minimum import minimum_algorithm
+from repro.algorithms.second_smallest import (
+    second_smallest_algorithm,
+    second_smallest_direct_algorithm,
+)
+from repro.algorithms.sorting import sorting_algorithm
+from repro.algorithms.summation import summation_algorithm
+from repro.core.errors import SimulationError
+from repro.environment.dynamics import RandomChurnEnvironment, StaticEnvironment
+from repro.environment.graphs import complete_graph, ring_graph
+from repro.simulation.engine import Simulator
+
+VALUES = [9, 4, 7, 1, 8, 3, 6, 2]
+POINTS = [(0.0, 0.0), (4.0, 0.0), (4.0, 3.0), (0.0, 3.0),
+          (2.0, 1.0), (1.0, 2.0), (3.0, 2.0), (2.0, 2.5)]
+
+
+def _sorting_case():
+    algorithm = sorting_algorithm(VALUES)
+    return algorithm, algorithm.instance_cells
+
+
+def _block_sorting_case():
+    algorithm = block_sorting_algorithm([9, 4, 7, 1, 8, 3, 6, 2, 5, 0,
+                                         11, 10, 13, 12, 15, 14], num_agents=8)
+    return algorithm, algorithm.instance_blocks
+
+
+CASES = {
+    "minimum": lambda: (minimum_algorithm(), VALUES),
+    "minimum-partial": lambda: (minimum_algorithm(partial=True), VALUES),
+    "maximum": lambda: (maximum_algorithm(upper_bound=20), VALUES),
+    "sum": lambda: (summation_algorithm(), VALUES),
+    "sum-partial": lambda: (summation_algorithm(partial=True), VALUES),
+    "average": lambda: (average_algorithm(), VALUES),
+    "kth-smallest": lambda: (kth_smallest_algorithm(k=2, value_bound=32), VALUES),
+    "second-smallest": lambda: (second_smallest_algorithm(value_bound=32), VALUES),
+    "second-smallest-direct": lambda: (second_smallest_direct_algorithm(), VALUES),
+    "sorting": _sorting_case,
+    "block-sorting": _block_sorting_case,
+    "hull": lambda: (convex_hull_algorithm(POINTS), POINTS),
+    "circle": lambda: (circumscribing_circle_algorithm(POINTS), POINTS),
+}
+
+SCHEDULERS = {
+    "maximal": MaximalGroupsScheduler,
+    "random-pair": RandomPairScheduler,
+    "single-group": SingleGroupScheduler,
+    "random-subgroup": RandomSubgroupScheduler,
+}
+
+
+def _run(case: str, scheduler_name: str, seed: int, **simulator_kwargs):
+    algorithm, values = CASES[case]()
+    environment = RandomChurnEnvironment(
+        ring_graph(len(values)), edge_up_probability=0.6, agent_up_probability=0.9
+    )
+    simulator = Simulator(
+        algorithm,
+        environment,
+        initial_values=values,
+        scheduler=SCHEDULERS[scheduler_name](),
+        seed=seed,
+        **simulator_kwargs,
+    )
+    return simulator.run(max_rounds=80, extra_rounds_after_convergence=2)
+
+
+def _assert_identical(incremental, full):
+    assert incremental.converged == full.converged
+    assert incremental.convergence_round == full.convergence_round
+    assert incremental.rounds_executed == full.rounds_executed
+    assert incremental.final_states == full.final_states
+    assert incremental.output == full.output
+    assert incremental.expected_output == full.expected_output
+    # Exact equality on purpose: incremental objective maintenance must be
+    # bit-identical, not merely close.
+    assert incremental.objective_trajectory == full.objective_trajectory
+    assert list(incremental.trace) == list(full.trace)
+    assert incremental.trace.complete == full.trace.complete
+    assert incremental.group_steps == full.group_steps
+    assert incremental.improving_steps == full.improving_steps
+    assert incremental.stutter_steps == full.stutter_steps
+    assert incremental.invalid_steps == full.invalid_steps
+    assert incremental.largest_group == full.largest_group
+    assert incremental.metadata == full.metadata
+
+
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_incremental_matches_full_recompute(case, scheduler_name):
+    incremental = _run(case, scheduler_name, seed=7, incremental=True)
+    full = _run(case, scheduler_name, seed=7, incremental=False)
+    _assert_identical(incremental, full)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_cross_check_accepts_honest_runs(case):
+    # The debug cross-check recomputes everything per round; it must stay
+    # silent on every algorithm family, including the fallback paths.
+    checked = _run(case, "maximal", seed=11, incremental=True, cross_check=True)
+    reference = _run(case, "maximal", seed=11, incremental=False)
+    _assert_identical(checked, reference)
+
+
+def test_parity_across_seeds_and_churn_levels():
+    for seed in (0, 1, 2, 3):
+        for edge_up in (0.05, 0.3, 1.0):
+            algorithm = minimum_algorithm()
+            def build(incremental):
+                return Simulator(
+                    algorithm,
+                    RandomChurnEnvironment(
+                        ring_graph(12), edge_up_probability=edge_up
+                    ),
+                    initial_values=list(range(12, 0, -1)),
+                    seed=seed,
+                    incremental=incremental,
+                ).run(max_rounds=60)
+            _assert_identical(build(True), build(False))
+
+
+def test_streaming_steps_parity():
+    algorithm, values = CASES["sorting"]()
+    def records(incremental):
+        simulator = Simulator(
+            algorithm,
+            RandomChurnEnvironment(ring_graph(len(values)), edge_up_probability=0.5),
+            initial_values=values,
+            seed=3,
+            incremental=incremental,
+        )
+        return list(simulator.steps(max_rounds=40))
+    for left, right in zip(records(True), records(False)):
+        assert left.round_index == right.round_index
+        assert left.multiset == right.multiset
+        assert left.objective == right.objective
+        assert left.converged == right.converged
+        assert left.groups == right.groups
+        assert left.judgements == right.judgements
+
+
+def test_cross_check_detects_external_state_mutation():
+    simulator = Simulator(
+        minimum_algorithm(),
+        StaticEnvironment(complete_graph(4)),
+        initial_values=[5, 6, 7, 8],
+        seed=1,
+        cross_check=True,
+        incremental=True,
+    )
+    stream = simulator.steps()
+    next(stream)
+    # Mutating agent state behind the engine's back desynchronises the
+    # maintained multiset; the debug flag must catch it on the next round.
+    simulator.agents[0].state = 2
+    with pytest.raises(SimulationError):
+        next(stream)
+
+
+def test_cross_check_detects_mutation_on_fallback_objectives():
+    # The hull objective has no exact delta, so rounds rebuild the
+    # multiset from the agent states; the cross-check must still compare
+    # the *maintained* bag against them, or external mutation would go
+    # unnoticed on this path.
+    algorithm = convex_hull_algorithm(POINTS)
+    simulator = Simulator(
+        algorithm,
+        RandomChurnEnvironment(complete_graph(len(POINTS)), edge_up_probability=0.0),
+        initial_values=POINTS,
+        seed=1,
+        cross_check=True,
+    )
+    stream = simulator.steps()
+    next(stream)
+    simulator.agents[0].state = simulator.agents[1].state
+    with pytest.raises(SimulationError):
+        next(stream)
+
+
+def test_mid_round_enforcement_error_keeps_maintained_state_in_sync():
+    # A round where one group installs an improvement and a *later* group
+    # raises an enforcement violation must leave the maintained multiset
+    # reflecting the installed delta, so resuming the stream stays sound.
+    from repro.agents.group import Group
+    from repro.agents.scheduler import Scheduler
+    from repro.core.errors import ConservationViolation
+    from repro.core.multiset import Multiset
+
+    poisoned = {"armed": True}
+
+    def group_step(states, rng):
+        if len(states) <= 1:
+            return list(states)
+        if 99 in states and poisoned["armed"]:
+            poisoned["armed"] = False
+            return [state + 1 for state in states]  # breaks conservation
+        smallest = min(states)
+        return [smallest] * len(states)
+
+    algorithm = minimum_algorithm()
+    algorithm.group_step = group_step
+
+    class FixedPairs(Scheduler):
+        def schedule(self, environment_state, rng):
+            return [Group.of([0, 1]), Group.of([2, 3])]
+
+    simulator = Simulator(
+        algorithm,
+        StaticEnvironment(complete_graph(4)),
+        initial_values=[5, 3, 7, 99],
+        scheduler=FixedPairs(),
+        seed=0,
+        cross_check=True,
+    )
+    stream = simulator.steps()
+    with pytest.raises(ConservationViolation):
+        next(stream)
+    # Group (0, 1) installed [3, 3] before group (2, 3) raised.
+    assert simulator.current_states() == [3, 3, 7, 99]
+    assert simulator._maintained.snapshot() == Multiset([3, 3, 7, 99])
+
+    # Resuming must execute cleanly and pass the per-round cross-check
+    # (which would raise SimulationError on any maintained-state drift).
+    record = next(simulator.steps())
+    assert record.multiset == Multiset([3, 3, 7, 7])
+    assert record.objective == 3 + 3 + 7 + 7
+
+
+def test_reset_resynchronises_maintained_state():
+    simulator = Simulator(
+        minimum_algorithm(),
+        RandomChurnEnvironment(ring_graph(8), edge_up_probability=0.5),
+        initial_values=VALUES,
+        seed=9,
+        cross_check=True,
+    )
+    first = simulator.run(max_rounds=60)
+    simulator.reset()
+    second = simulator.run(max_rounds=60)
+    _assert_identical(first, second)

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.multiset import Multiset
+from repro.core.multiset import Multiset, MutableMultiset
 
 small_ints = st.integers(min_value=-50, max_value=50)
 int_lists = st.lists(small_ints, max_size=12)
@@ -195,3 +195,94 @@ class TestProperties:
     @given(int_lists)
     def test_sum_matches_python_sum(self, xs):
         assert Multiset(xs).sum() == sum(xs)
+
+
+class TestFingerprint:
+    def test_equal_bags_have_equal_fingerprints(self):
+        assert Multiset([1, 2, 2]).fingerprint() == Multiset([2, 1, 2]).fingerprint()
+
+    def test_fingerprint_distinguishes_multiplicity(self):
+        assert Multiset([1, 1]).fingerprint() != Multiset([1]).fingerprint()
+
+    def test_fingerprint_is_64_bit(self):
+        assert 0 <= Multiset(range(100)).fingerprint() < 2**64
+
+    @given(int_lists, int_lists)
+    def test_fingerprint_consistent_with_equality(self, xs, ys):
+        a, b = Multiset(xs), Multiset(ys)
+        if a == b:
+            assert a.fingerprint() == b.fingerprint()
+        # (the converse — unequal bags, equal fingerprints — is possible
+        # only as an astronomically rare 64-bit collision)
+
+
+class TestFunctionalDelta:
+    def test_discard_truncates_at_zero(self):
+        bag = Multiset([1, 1, 2])
+        assert bag.discard(1) == Multiset([1, 2])
+        assert bag.discard(1, count=5) == Multiset([2])
+        assert bag.discard(99) == bag
+
+    def test_apply_delta_matches_rebuild(self):
+        bag = Multiset([1, 2, 2, 3])
+        updated = bag.apply_delta(removed=[2, 3], added=[4, 4, 1])
+        assert updated == Multiset([1, 1, 2, 4, 4])
+        assert len(updated) == 5
+
+    def test_apply_delta_rejects_absent_removals(self):
+        with pytest.raises(KeyError):
+            Multiset([1]).apply_delta(removed=[2], added=[])
+
+
+class TestMutableMultiset:
+    def test_add_discard_maintain_size_and_counts(self):
+        bag = MutableMultiset([1, 2, 2])
+        bag.add(3)
+        bag.add(2, count=2)
+        assert bag.discard(1) == 1
+        assert bag.discard(1) == 0
+        assert len(bag) == 5
+        assert bag.count(2) == 4
+        assert 3 in bag and 1 not in bag
+
+    def test_snapshot_matches_contents_and_is_cached(self):
+        bag = MutableMultiset([5, 5, 7])
+        first = bag.snapshot()
+        assert first == Multiset([5, 7, 5])
+        assert bag.snapshot() is first  # no mutation: shared snapshot
+        bag.add(9)
+        second = bag.snapshot()
+        assert second is not first
+        assert second == Multiset([5, 5, 7, 9])
+        assert first == Multiset([5, 5, 7])  # snapshots are immutable views
+
+    def test_matches_uses_fingerprint_and_confirms(self):
+        bag = MutableMultiset([1, 2, 3])
+        assert bag.matches(Multiset([3, 2, 1]))
+        assert not bag.matches(Multiset([1, 2]))
+        assert not bag.matches(Multiset([1, 2, 4]))
+        assert bag == Multiset([1, 2, 3])
+
+    @given(int_lists, int_lists, int_lists)
+    def test_incremental_fingerprint_matches_fresh_computation(self, xs, rem, add):
+        bag = MutableMultiset(xs)
+        # Respect multiplicity: remove each value at most as many times as
+        # it is present (additions are applied first, so `add` counts too).
+        budget = Multiset(xs + add).counts()
+        removable = []
+        for value in rem:
+            if budget.get(value, 0) > 0:
+                budget[value] -= 1
+                removable.append(value)
+        bag.apply_delta(removable, add)
+        expected = Multiset(xs + add)
+        for value in removable:
+            expected = expected.remove(value)
+        assert bag.snapshot() == expected
+        assert bag.fingerprint() == expected.fingerprint()
+        assert len(bag) == len(expected)
+
+    def test_apply_delta_rejects_absent_removals(self):
+        bag = MutableMultiset([1, 2])
+        with pytest.raises(KeyError):
+            bag.apply_delta([3], [])

@@ -119,15 +119,55 @@ class TestValidation:
                 initial_values=[1, 2],
             )
 
-    def test_loss_probability_checked(self):
-        with pytest.raises(SimulationError):
-            MergeMessagePassingSimulator(
-                minimum_algorithm(),
-                merge=minimum_merge,
-                environment=StaticEnvironment(complete_graph(3)),
-                initial_values=[1, 2, 3],
-                loss_probability=1.0,
-            )
+    def test_loss_probability_outside_unit_interval_rejected(self):
+        for bad in (-0.1, 1.5):
+            with pytest.raises(SimulationError):
+                MergeMessagePassingSimulator(
+                    minimum_algorithm(),
+                    merge=minimum_merge,
+                    environment=StaticEnvironment(complete_graph(3)),
+                    initial_values=[1, 2, 3],
+                    loss_probability=bad,
+                )
+
+    def test_loss_probability_one_is_legal_worst_case(self):
+        # Total loss is a legitimate scenario: every message is dropped,
+        # so the run simply never converges.
+        simulator = MergeMessagePassingSimulator(
+            minimum_algorithm(),
+            merge=minimum_merge,
+            environment=StaticEnvironment(complete_graph(3)),
+            initial_values=[1, 2, 3],
+            loss_probability=1.0,
+            seed=5,
+        )
+        result = simulator.run(max_rounds=25)
+        assert not result.converged
+        assert result.rounds_executed == 25
+        assert simulator.messages_sent > 0
+        assert simulator.messages_delivered == 0
+        assert result.final_states == [1, 2, 3]
+
+    def test_none_seed_is_drawn_and_recorded(self):
+        simulator = MergeMessagePassingSimulator(
+            minimum_algorithm(),
+            merge=minimum_merge,
+            environment=StaticEnvironment(complete_graph(3)),
+            initial_values=[3, 1, 2],
+        )
+        assert simulator.seed is not None
+        result = simulator.run(max_rounds=50)
+        assert result.metadata["seed"] == simulator.seed
+
+        replay = MergeMessagePassingSimulator(
+            minimum_algorithm(),
+            merge=minimum_merge,
+            environment=StaticEnvironment(complete_graph(3)),
+            initial_values=[3, 1, 2],
+            seed=result.metadata["seed"],
+        ).run(max_rounds=50)
+        assert replay.final_states == result.final_states
+        assert replay.convergence_round == result.convergence_round
 
     def test_non_conserving_merge_detected(self):
         def broken_merge(receiver, received):
@@ -142,3 +182,37 @@ class TestValidation:
         )
         with pytest.raises(SimulationError):
             sim.run(max_rounds=5)
+
+
+class TestEnforcementOffObjective:
+    def test_enforce_off_trajectory_is_recomputed_not_delta(self):
+        # With enforcement off, merges are not conservation-checked, so
+        # delta-style objective updates (whose formulas may assume the
+        # conservation law, e.g. the sum objective's) are invalid.  The
+        # runtime must fall back to full recomputation: every recorded
+        # objective equals a fresh evaluation of the trace state.
+        from repro.algorithms.summation import sum_function, sum_objective
+        from repro.core.algorithm import SelfSimilarAlgorithm
+
+        algorithm = SelfSimilarAlgorithm(
+            name="broken merge sum",
+            function=sum_function(),
+            objective=sum_objective(),
+            group_step=lambda states, rng: list(states),
+            enforce=False,
+        )
+        assert algorithm.objective.supports_delta
+
+        def duplicating_merge(receiver, received):
+            return receiver + received  # changes the pair sum: non-conserving
+
+        simulator = MergeMessagePassingSimulator(
+            algorithm,
+            merge=duplicating_merge,
+            environment=StaticEnvironment(complete_graph(3)),
+            initial_values=[1, 2, 3],
+            seed=0,
+        )
+        result = simulator.run(max_rounds=4)
+        for bag, value in zip(result.trace, result.objective_trajectory):
+            assert value == algorithm.objective(bag)
