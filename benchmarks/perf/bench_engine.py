@@ -1,19 +1,28 @@
 #!/usr/bin/env python
-"""Engine microbenchmark: rounds/sec, incremental vs. full recompute.
+"""Engine microbenchmark: rounds/sec and peak memory across history modes.
 
-Workload: the sparse-activity scenario the incremental round state is built
-for — minimum-consensus on a ring topology under random churn with a low
-edge-up probability, so that most rounds change only a handful of agents
-while the collective state stays large.  For each n the harness executes a
-fixed number of rounds through ``Simulator.steps()`` twice, once with the
-incremental engine (the default) and once in the full-recompute reference
-mode, and reports rounds/sec plus the speedup.
+Two measurements, one workload — the sparse-activity scenario the
+incremental round state is built for: minimum-consensus on a ring topology
+under random churn with a low edge-up probability, so that most rounds
+change only a handful of agents while the collective state stays large.
+
+* **Throughput**: for each n the harness executes a fixed number of rounds
+  through ``Simulator.steps()`` twice, once with the incremental engine
+  (the default) and once in the full-recompute reference mode, and reports
+  rounds/sec plus the speedup.
+* **Memory**: one run per history mode (``"full"`` vs ``"none"``) at large
+  n under ``tracemalloc``, reporting the peak traced allocation.  The
+  ``"none"`` mode's peak must stay flat in the number of rounds — that is
+  the bounded-memory contract of the streaming Engine/Probe redesign.
 
 Results are written as JSON (default ``benchmarks/perf/BENCH_engine.json``)
-so CI can archive the perf trajectory PR over PR::
+so CI can archive the perf trajectory PR over PR, and the ``--check`` mode
+turns the committed file into a regression gate::
 
     PYTHONPATH=src python benchmarks/perf/bench_engine.py
     PYTHONPATH=src python benchmarks/perf/bench_engine.py --quick  # CI smoke
+    PYTHONPATH=src python benchmarks/perf/bench_engine.py \
+        --sizes 10000:12 --check benchmarks/perf/BENCH_engine.json
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ import pathlib
 import platform
 import sys
 import time
+import tracemalloc
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
 
@@ -38,11 +48,15 @@ DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_engine.json"
 FULL_SIZES = ((100, 600), (1_000, 150), (10_000, 30))
 QUICK_SIZES = ((100, 200), (1_000, 40))
 
+#: (num_agents, rounds) of the history-mode memory measurement.
+MEMORY_SIZE = (10_000, 60)
+QUICK_MEMORY_SIZE = (10_000, 20)
+
 EDGE_UP_PROBABILITY = 0.05
 SEED = 2024
 
 
-def build_simulator(num_agents: int, incremental: bool) -> Simulator:
+def build_simulator(num_agents: int, incremental: bool = True) -> Simulator:
     """The benchmark workload: sparse-activity minimum consensus."""
     values = [(i * 7919) % (num_agents * 10) for i in range(num_agents)]
     return Simulator(
@@ -71,7 +85,50 @@ def measure_rounds_per_sec(num_agents: int, rounds: int, incremental: bool,
     return best
 
 
-def run_benchmark(sizes, repeats: int) -> dict:
+def measure_peak_memory(num_agents: int, rounds: int, history: str) -> int:
+    """Peak traced allocation (bytes) of one ``run()`` in ``history`` mode.
+
+    Measured over the driver itself — probes, retention and all — so what
+    is reported is exactly what a caller of ``run(history=...)`` pays.
+    """
+    simulator = build_simulator(num_agents)
+    # Prime the lazily built round state so the measurement isolates
+    # per-round retention rather than one-off setup allocations.
+    simulator.initial_snapshot()
+    tracemalloc.start()
+    try:
+        simulator.run(
+            max_rounds=rounds, stop_at_convergence=False, history=history
+        )
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def run_memory_benchmark(num_agents: int, rounds: int) -> dict:
+    results = {}
+    for history in ("full", "none"):
+        peak = measure_peak_memory(num_agents, rounds, history)
+        results[history] = peak
+        print(
+            f"memory n={num_agents:>6} rounds={rounds}: history={history:<4} "
+            f"peak {peak / 1e6:>8.2f} MB"
+        )
+    ratio = results["full"] / results["none"] if results["none"] else float("inf")
+    print(f"memory ratio full/none: {ratio:.1f}x")
+    return {
+        "num_agents": num_agents,
+        "rounds": rounds,
+        "history_full_peak_bytes": results["full"],
+        "history_none_peak_bytes": results["none"],
+        "full_over_none": round(ratio, 2),
+    }
+
+
+def run_benchmark(sizes, repeats: int, memory_size) -> dict:
+    """Measure throughput over ``sizes`` and, when ``memory_size`` is not
+    None, the history-mode memory peaks at that size."""
     results = []
     for num_agents, rounds in sizes:
         incremental = measure_rounds_per_sec(num_agents, rounds, True, repeats)
@@ -101,7 +158,91 @@ def run_benchmark(sizes, repeats: int) -> dict:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "results": results,
+        "memory": (
+            [run_memory_benchmark(*memory_size)] if memory_size is not None else []
+        ),
     }
+
+
+def check_regression(report: dict, baseline: dict,
+                     tolerance: float, min_n: int = 0) -> list[str]:
+    """Compare measured rounds/sec against a committed baseline report.
+
+    For every agent count present in both reports, incremental throughput
+    more than ``tolerance`` (a fraction) below the baseline is flagged —
+    but only when the incremental/full *speedup ratio* regressed too.
+    The baseline's absolute rounds/sec was measured on whatever machine
+    committed it; a slower CI runner scales both engine modes down
+    together and leaves the ratio intact, while a genuine regression in
+    the incremental hot path drags the ratio down with the throughput.
+    Requiring both signals keeps the gate hardware-independent without
+    losing sensitivity to real code regressions.
+
+    ``min_n`` restricts gating to sizes with at least that many agents:
+    small-n measurements cover only milliseconds of work and are too
+    noisy to gate on (they are still recorded for the trend artifact).
+
+    Returns human-readable failure strings (empty = pass).
+    """
+    baseline_by_n = {
+        entry["num_agents"]: entry for entry in baseline.get("results", [])
+    }
+    failures = []
+    compared = 0
+    for entry in report["results"]:
+        if entry["num_agents"] < min_n:
+            continue
+        reference = baseline_by_n.get(entry["num_agents"])
+        if reference is None:
+            continue
+        compared += 1
+        floor = reference["incremental_rounds_per_sec"] * (1.0 - tolerance)
+        measured = entry["incremental_rounds_per_sec"]
+        ratio_floor = reference["speedup"] * (1.0 - tolerance)
+        if measured < floor and entry["speedup"] < ratio_floor:
+            failures.append(
+                f"n={entry['num_agents']}: incremental {measured:.1f} rps is "
+                f">{tolerance:.0%} below baseline "
+                f"{reference['incremental_rounds_per_sec']:.1f} rps "
+                f"(floor {floor:.1f}) and the speedup ratio regressed too "
+                f"({entry['speedup']:.2f}x vs baseline "
+                f"{reference['speedup']:.2f}x, floor {ratio_floor:.2f}x) — "
+                f"not explainable by slower hardware"
+            )
+        elif measured < floor:
+            # Both engine arms slowed together: indistinguishable from a
+            # slower runner, but a regression in shared hot-path code
+            # (multiset deltas, scheduling, environment advance) looks the
+            # same — surface it without failing the build.
+            print(
+                f"PERF WARNING: n={entry['num_agents']}: incremental "
+                f"{measured:.1f} rps is below the baseline floor "
+                f"({floor:.1f}) but the speedup ratio held "
+                f"({entry['speedup']:.2f}x vs {reference['speedup']:.2f}x); "
+                f"slower hardware or a shared-hot-path regression",
+                file=sys.stderr,
+            )
+    if compared == 0:
+        failures.append("no overlapping sizes between this run and the baseline")
+    # The memory contract is part of the gate: bounded-memory mode must
+    # actually be bounded (far below full retention at this scale).
+    for entry in report.get("memory", []):
+        if entry["history_none_peak_bytes"] >= entry["history_full_peak_bytes"]:
+            failures.append(
+                f"memory n={entry['num_agents']}: history=none peak "
+                f"({entry['history_none_peak_bytes']} B) is not below "
+                f"history=full peak ({entry['history_full_peak_bytes']} B)"
+            )
+    return failures
+
+
+def parse_sizes(text: str):
+    """Parse ``--sizes`` values like ``10000:12,1000:40``."""
+    sizes = []
+    for part in text.split(","):
+        n, _, rounds = part.partition(":")
+        sizes.append((int(n), int(rounds) if rounds else 30))
+    return tuple(sizes)
 
 
 def main(argv=None) -> int:
@@ -110,15 +251,61 @@ def main(argv=None) -> int:
                         help="where to write the JSON report")
     parser.add_argument("--quick", action="store_true",
                         help="small sizes only (CI smoke run)")
+    parser.add_argument("--sizes", type=parse_sizes, default=None,
+                        metavar="N:ROUNDS[,N:ROUNDS...]",
+                        help="explicit measurement sizes, overriding presets")
     parser.add_argument("--repeats", type=int, default=3,
                         help="measurements per configuration (best is kept)")
+    parser.add_argument("--memory-size", type=parse_sizes, default=None,
+                        metavar="N:ROUNDS",
+                        help="size of the history-mode memory measurement "
+                             "(default: 10000:60, or 10000:20 with --quick)")
+    parser.add_argument("--no-memory", action="store_true",
+                        help="skip the tracemalloc memory measurement "
+                             "(it dominates the cost of small --sizes runs)")
+    parser.add_argument("--check", type=pathlib.Path, default=None,
+                        metavar="BASELINE",
+                        help="fail (exit 1) if incremental rounds/sec regresses "
+                             "more than --tolerance below this baseline report")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression for --check "
+                             "(default 0.30)")
+    parser.add_argument("--check-min-n", type=int, default=0,
+                        help="gate only sizes with at least this many agents "
+                             "(small-n samples are milliseconds of work — "
+                             "too noisy to gate on)")
     args = parser.parse_args(argv)
 
-    report = run_benchmark(QUICK_SIZES if args.quick else FULL_SIZES,
-                           max(1, args.repeats))
+    sizes = args.sizes or (QUICK_SIZES if args.quick else FULL_SIZES)
+    if args.no_memory:
+        memory_size = None
+    elif args.memory_size is not None:
+        memory_size = args.memory_size[0]
+    else:
+        memory_size = QUICK_MEMORY_SIZE if args.quick else MEMORY_SIZE
+    # Read the baseline up front: when --out and --check name the same
+    # file (regenerating the committed baseline while gating against it),
+    # writing first would make the gate compare the fresh report against
+    # itself and silently pass.
+    baseline = None
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+
+    report = run_benchmark(sizes, max(1, args.repeats), memory_size)
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
+
+    if baseline is not None:
+        failures = check_regression(
+            report, baseline, args.tolerance, min_n=args.check_min_n
+        )
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"perf check passed against {args.check} "
+              f"(tolerance {args.tolerance:.0%})")
     return 0
 
 

@@ -14,6 +14,13 @@ the registries, runs seed-for-seed like a hand-wired simulator, and
 round-trips through JSON (``repro run spec.json`` executes the same
 spec from a file).
 
+Observation rides along as *probes* — plugins of the streaming engine
+driver rather than features of the engine.  The quickstart attaches the
+``temporal`` probe, which checks the paper's temporal-logic specification
+*online* (eventually at target, stably at target, conservation always),
+so the verdicts exist even for runs that retain no trace at all
+(``history="none"``).
+
 Run with::
 
     python examples/quickstart.py
@@ -41,14 +48,17 @@ def main() -> None:
         .values(readings)
         .seeds(42)
         .max_rounds(500)
+        .probe("temporal")        # online □/◇ checking, no trace needed
+        .probe("convergence")
         .build()
     )
 
-    # The spec is data: it serializes, and the JSON round-trip is exact.
+    # The spec is data: it serializes, and the JSON round-trip is exact —
+    # probes included.
     assert ExperimentSpec.from_json(spec.to_json()) == spec
 
     simulator = spec.build(seed=42)
-    result = simulator.run(max_rounds=spec.max_rounds)
+    result = simulator.run(**spec.run_kwargs())
 
     print(f"Experiment:       {spec.label} (algorithm {spec.algorithm!r}, "
           f"environment {spec.environment!r})")
@@ -61,13 +71,19 @@ def main() -> None:
           f"{result.objective_trajectory[-1]:.0f}")
     print()
 
-    # The run-time counterpart of the paper's correctness argument: the
-    # conservation law held in every state, the goal state was stable, the
-    # objective never increased.
+    # The probes' payloads travel on the result.  The temporal probe's
+    # verdicts were computed online, one state at a time, during the run.
+    online = result.probes["temporal"]["verdicts"]
+    print(f"Online specification check (temporal probe): {online}")
+
+    # The classic after-the-fact counterpart over the recorded trace — the
+    # two must agree (the parity suite pins this for every algorithm).
     report = check_specification(simulator.algorithm, result.trace)
-    print(f"Specification check: {report.explain()}")
+    print(f"Offline specification check: {report.explain()}")
 
     assert result.converged and result.output == min(readings)
+    assert online["reaches-target"] and online["target-stable"]
+    assert online["conserves-f"]
 
 
 if __name__ == "__main__":

@@ -85,11 +85,21 @@ from .algorithms import (
 from .simulation import (
     BatchResult,
     BatchRunner,
+    ConvergenceProbe,
+    Engine,
+    HistoryProbe,
+    JSONLSink,
     MergeMessagePassingSimulator,
+    ObjectiveProbe,
+    Probe,
     RoundRecord,
     SimulationResult,
     Simulator,
+    StatsProbe,
+    TemporalProbe,
+    TemporalProperty,
     aggregate,
+    run_engine,
     run_repeated,
     sweep,
 )
@@ -98,6 +108,7 @@ from .registry import (
     ALGORITHMS as ALGORITHM_REGISTRY,
     ENVIRONMENTS as ENVIRONMENT_REGISTRY,
     GRAPHS as GRAPH_REGISTRY,
+    PROBES as PROBE_REGISTRY,
     SCHEDULERS as SCHEDULER_REGISTRY,
     VALUE_GENERATORS as VALUE_GENERATOR_REGISTRY,
     available,
@@ -137,6 +148,16 @@ __all__ = [
     "BatchResult",
     "BatchRunner",
     "RoundRecord",
+    "Engine",
+    "Probe",
+    "HistoryProbe",
+    "ObjectiveProbe",
+    "ConvergenceProbe",
+    "TemporalProbe",
+    "TemporalProperty",
+    "StatsProbe",
+    "JSONLSink",
+    "run_engine",
     "Experiment",
     "ExperimentBuilder",
     "ExperimentSpec",
@@ -144,6 +165,7 @@ __all__ = [
     "ALGORITHM_REGISTRY",
     "ENVIRONMENT_REGISTRY",
     "GRAPH_REGISTRY",
+    "PROBE_REGISTRY",
     "SCHEDULER_REGISTRY",
     "VALUE_GENERATOR_REGISTRY",
     "available",

@@ -8,6 +8,8 @@ experiments are JSON specs, dispatched through the registries and the
     python -m repro list algorithms
     python -m repro run examples/specs/minimum_churn.json
     python -m repro run spec.json --seed 3 --workers 4 --json
+    python -m repro run spec.json --history none --jsonl rounds-{seed}.jsonl \
+        --probe temporal
     python -m repro sweep spec.json --param environment_params.edge_up_probability \
         --values 0.1,0.3,1.0
 
@@ -60,7 +62,14 @@ ENVIRONMENTS = ("static", "churn", "line", "partition", "blackout", "mobility")
 SUBCOMMANDS = ("run", "list", "sweep")
 
 #: ``repro list`` sections, in display order.
-_LIST_KINDS = ("algorithms", "environments", "schedulers", "graphs", "value_generators")
+_LIST_KINDS = (
+    "algorithms",
+    "environments",
+    "schedulers",
+    "graphs",
+    "value_generators",
+    "probes",
+)
 
 
 # -- the legacy (compatibility) interface --------------------------------------
@@ -212,6 +221,15 @@ def build_spec_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-rounds", type=int, default=None, help="override the round cap")
     run.add_argument("--workers", type=int, default=None,
                      help="process-pool size (default: in-process serial execution)")
+    run.add_argument("--history", choices=("full", "objective", "none"), default=None,
+                     help="override the run's retention mode (none = O(1) memory)")
+    run.add_argument("--probe", action="append", dest="probes", default=None,
+                     metavar="NAME[:JSON]",
+                     help="attach a registered probe, e.g. temporal or "
+                          "'jsonl:{\"path\": \"out.jsonl\"}' (repeatable)")
+    run.add_argument("--jsonl", type=str, default=None, metavar="PATH",
+                     help="stream per-round JSON lines to PATH "
+                          "(shorthand for --probe jsonl; {seed} is substituted)")
     run.add_argument("--json", action="store_true", help="print the batch result as JSON")
     run.add_argument("--verbose", action="store_true",
                      help="also print the trace-level specification check per run")
@@ -257,6 +275,20 @@ def _parse_sweep_value(text: str):
         return text
 
 
+def _parse_probe_flag(text: str):
+    """Parse a ``--probe`` value: ``name`` or ``name:{json params}``."""
+    name, separator, params_text = text.partition(":")
+    if not separator:
+        return name
+    try:
+        params = json.loads(params_text)
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"--probe {text!r}: invalid JSON parameters: {error}")
+    if not isinstance(params, dict):
+        raise SystemExit(f"--probe {text!r}: parameters must be a JSON object")
+    return {"probe": name, **params}
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args.spec)
     overrides: dict = {}
@@ -264,22 +296,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["seeds"] = list(args.seed)
     if args.max_rounds is not None:
         overrides["max_rounds"] = args.max_rounds
+    if args.history is not None:
+        overrides["history"] = args.history
+    probe_entries = [_parse_probe_flag(text) for text in (args.probes or [])]
+    if args.jsonl is not None:
+        probe_entries.append({"probe": "jsonl", "path": args.jsonl})
+    if probe_entries:
+        overrides["probes"] = list(spec.probes) + probe_entries
     if overrides:
-        spec = spec.with_updates(overrides)
+        try:
+            spec = spec.with_updates(overrides)
+        except SpecificationError as error:
+            raise SystemExit(str(error))
 
     specification_reports: list[tuple[int, str]] = []
     if args.verbose:
         # The specification check needs live traces, so verbose mode runs
         # in-process and reuses those runs for the batch report instead of
         # executing everything twice.
+        if spec.effective_history != "full":
+            raise SystemExit(
+                "--verbose checks the recorded trace and needs full history "
+                f"(spec's effective retention is {spec.effective_history!r}); "
+                "drop --verbose or the history/record_trace override — or use "
+                "'--probe temporal' for the online, trace-free check"
+            )
         items = []
         for seed in spec.seeds:
             simulator = spec.build(seed)
-            result = simulator.run(
-                max_rounds=spec.max_rounds,
-                stop_at_convergence=spec.stop_at_convergence,
-                extra_rounds_after_convergence=spec.extra_rounds_after_convergence,
-            )
+            result = simulator.run(**spec.run_kwargs())
             items.append(
                 BatchItem(
                     label=spec.label,
@@ -311,6 +356,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
             print(f"  seed {item.seed}: {status}; output {outcome['output']!r} "
                   f"(expected {outcome['expected_output']!r})")
+            for probe_name, payload in (outcome.get("probes") or {}).items():
+                print(f"    probe {probe_name}: {json.dumps(payload)}")
         print(batch.summary_table())
         for seed, explanation in specification_reports:
             print(f"  seed {seed} specification: {explanation}")

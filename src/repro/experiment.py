@@ -42,11 +42,13 @@ from .registry import (
     ALGORITHMS,
     ENVIRONMENTS,
     GRAPHS,
+    PROBES,
     SCHEDULERS,
     VALUE_GENERATORS,
     register_value_generator,
 )
 from .simulation.engine import Simulator
+from .simulation.protocol import HISTORY_MODES, Probe
 from .simulation.result import SimulationResult
 
 # Importing these packages populates the registries; without them a spec
@@ -55,6 +57,7 @@ from .simulation.result import SimulationResult
 from . import algorithms as _algorithms  # noqa: F401  (registration side effect)
 from . import environment as _environment  # noqa: F401  (registration side effect)
 from .agents import scheduler as _scheduler  # noqa: F401  (registration side effect)
+from .simulation import probes as _probes  # noqa: F401  (registration side effect)
 
 __all__ = [
     "ExperimentSpec",
@@ -116,6 +119,15 @@ class ExperimentSpec:
     (``{"graph": "grid", "rows": 3, "cols": 4}``).  When omitted, the
     complete graph over the instance's agents is used.  Graph constructors
     that take ``num_agents`` receive the instance size automatically.
+
+    ``probes`` declares the observation pipeline attached to every run:
+    each entry is a registered probe name (``"temporal"``) or a dictionary
+    with parameters (``{"probe": "jsonl", "path": "run-{seed}.jsonl"}``).
+    ``history`` selects the run's retention mode
+    (``"full"``/``"objective"``/``"none"``; None keeps the legacy
+    ``record_trace`` semantics).  Both are plain data, so specs with
+    probes still round-trip through JSON and fan out across worker
+    processes — every worker constructs its own probe instances.
     """
 
     algorithm: str
@@ -132,6 +144,8 @@ class ExperimentSpec:
     stop_at_convergence: bool = True
     extra_rounds_after_convergence: int = 0
     record_trace: bool = True
+    probes: tuple = ()
+    history: str | None = None
     name: str | None = None
 
     def __post_init__(self):
@@ -151,6 +165,14 @@ class ExperimentSpec:
                 ),
             )
         object.__setattr__(self, "seeds", tuple(self.seeds))
+        object.__setattr__(
+            self,
+            "probes",
+            tuple(
+                copy.deepcopy(dict(entry)) if isinstance(entry, Mapping) else entry
+                for entry in self.probes
+            ),
+        )
 
     # -- validation ------------------------------------------------------------
 
@@ -178,6 +200,44 @@ class ExperimentSpec:
             raise SpecificationError("max_rounds must be at least 1")
         if self.extra_rounds_after_convergence < 0:
             raise SpecificationError("extra_rounds_after_convergence must be >= 0")
+        for entry in self.probes:
+            name, params = _probe_request(entry)
+            PROBES.entry(name)
+            # Probe constructors validate their own parameters eagerly
+            # (history modes, temporal operators/predicates, ...), so
+            # building a throwaway instance here surfaces a bad JSON spec
+            # as one readable error before a batch fans out.
+            PROBES.build(name, **params)
+            if (
+                name == "jsonl"
+                and len(self.seeds) > 1
+                and "{seed}" not in str(params.get("path", ""))
+            ):
+                # Every run opens the sink path for writing; without a
+                # per-seed placeholder a multi-seed batch silently
+                # clobbers all but one run's stream.
+                raise SpecificationError(
+                    f"jsonl probe path {params.get('path')!r} needs a "
+                    f"{{seed}} placeholder when the spec declares "
+                    f"{len(self.seeds)} seeds"
+                )
+            if (
+                name == "history"
+                and self.history is not None
+                and params.get("history", self.history) != self.history
+            ):
+                # A declared history probe takes over retention, so a
+                # conflicting mode would silently win over the spec field.
+                raise SpecificationError(
+                    f"probe entry {entry!r} pins history="
+                    f"{params['history']!r} but the spec declares history="
+                    f"{self.history!r}; drop one of the two"
+                )
+        if self.history is not None and self.history not in HISTORY_MODES:
+            raise SpecificationError(
+                f"history must be one of {HISTORY_MODES} (or null), "
+                f"got {self.history!r}"
+            )
         return self
 
     # -- serialization ---------------------------------------------------------
@@ -188,7 +248,14 @@ class ExperimentSpec:
         for spec_field in fields(self):
             value = getattr(self, spec_field.name)
             if isinstance(value, tuple):
-                value = [list(v) if isinstance(v, tuple) else v for v in value]
+                value = [
+                    list(v)
+                    if isinstance(v, tuple)
+                    else copy.deepcopy(dict(v))
+                    if isinstance(v, Mapping)
+                    else v
+                    for v in value
+                ]
             elif isinstance(value, Mapping):
                 value = copy.deepcopy(dict(value))
             data[spec_field.name] = value
@@ -320,13 +387,60 @@ class ExperimentSpec:
             record_trace=self.record_trace,
         )
 
+    def build_probes(self) -> list[Probe]:
+        """Construct fresh probe instances from the spec's declarations.
+
+        Called once per run (and therefore once per batch worker), so
+        stateful probes never leak observations between runs or across
+        process boundaries.
+        """
+        instances = []
+        for entry in self.probes:
+            name, params = _probe_request(entry)
+            if name == "history" and "history" not in params:
+                # A declared history probe takes over retention in the
+                # driver; it must honour the retention the spec selects —
+                # the history field, or the legacy record_trace mapping —
+                # rather than silently reverting to full retention.
+                params["history"] = self.effective_history
+            instances.append(PROBES.build(name, **params))
+        return instances
+
+    @property
+    def effective_history(self) -> str:
+        """The retention mode this spec's runs actually use.
+
+        A declared ``history`` probe takes over retention in the engine
+        driver, so its pinned mode wins; otherwise the ``history`` field
+        applies, falling back to the legacy ``record_trace`` mapping
+        (True → ``"full"``, False → ``"objective"``).
+        """
+        declared = self.history if self.history is not None else (
+            "full" if self.record_trace else "objective"
+        )
+        for entry in self.probes:
+            name, params = _probe_request(entry)
+            if name == "history":
+                return params.get("history", declared)
+        return declared
+
+    def run_kwargs(self) -> dict:
+        """The engine-driver keyword arguments this spec declares
+        (stopping policy, fresh probes, retention mode)."""
+        kwargs: dict[str, Any] = {
+            "max_rounds": self.max_rounds,
+            "stop_at_convergence": self.stop_at_convergence,
+            "extra_rounds_after_convergence": self.extra_rounds_after_convergence,
+        }
+        if self.probes:
+            kwargs["probes"] = self.build_probes()
+        if self.history is not None:
+            kwargs["history"] = self.history
+        return kwargs
+
     def run(self, seed: int | None = None) -> SimulationResult:
         """Build and run one simulation (``seed`` defaults to the first seed)."""
-        return self.build(seed).run(
-            max_rounds=self.max_rounds,
-            stop_at_convergence=self.stop_at_convergence,
-            extra_rounds_after_convergence=self.extra_rounds_after_convergence,
-        )
+        return self.build(seed).run(**self.run_kwargs())
 
     def run_all(self) -> list[SimulationResult]:
         """Run the experiment once per declared seed, in order."""
@@ -336,6 +450,23 @@ class ExperimentSpec:
     def label(self) -> str:
         """The spec's name, or a synthesized ``algorithm@environment`` tag."""
         return self.name or f"{self.algorithm}@{self.environment}"
+
+
+def _probe_request(entry: Any) -> tuple[str, dict]:
+    """Normalize a declarative probe (name or dict) to (name, params)."""
+    if isinstance(entry, str):
+        return entry, {}
+    if isinstance(entry, Mapping):
+        params = dict(entry)
+        name = params.pop("probe", None)
+        if not isinstance(name, str):
+            raise SpecificationError(
+                f"a probe dictionary needs a 'probe' name, got {entry!r}"
+            )
+        return name, params
+    raise SpecificationError(
+        f"a probe must be a registered name or a dictionary, got {entry!r}"
+    )
 
 
 def _topology_request(topology: Any) -> tuple[str, dict]:
@@ -524,6 +655,15 @@ class ExperimentBuilder:
 
     def record_trace(self, record: bool = True) -> "ExperimentBuilder":
         return self._set(record_trace=record)
+
+    def probe(self, name: str, **params: Any) -> "ExperimentBuilder":
+        """Attach a registered observation probe to every run (repeatable)."""
+        entry = {"probe": name, **params} if params else name
+        return self._set(probes=(*self._fields.get("probes", ()), entry))
+
+    def history(self, mode: str) -> "ExperimentBuilder":
+        """Choose the run's retention mode (``full``/``objective``/``none``)."""
+        return self._set(history=mode)
 
     def build(self) -> ExperimentSpec:
         """Validate and freeze the spec."""

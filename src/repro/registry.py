@@ -52,11 +52,13 @@ __all__ = [
     "SCHEDULERS",
     "GRAPHS",
     "VALUE_GENERATORS",
+    "PROBES",
     "register_algorithm",
     "register_environment",
     "register_scheduler",
     "register_graph",
     "register_value_generator",
+    "register_probe",
     "available",
 ]
 
@@ -199,12 +201,16 @@ SCHEDULERS = Registry("scheduler")
 GRAPHS = Registry("graph")
 #: Named generators of initial-value instances.
 VALUE_GENERATORS = Registry("value generator")
+#: Observation probes attachable to any engine run
+#: (see :mod:`repro.simulation.probes`).
+PROBES = Registry("probe")
 
 register_algorithm = ALGORITHMS.register
 register_environment = ENVIRONMENTS.register
 register_scheduler = SCHEDULERS.register
 register_graph = GRAPHS.register
 register_value_generator = VALUE_GENERATORS.register
+register_probe = PROBES.register
 
 
 def available() -> dict[str, list[str]]:
@@ -215,6 +221,7 @@ def available() -> dict[str, list[str]]:
         "schedulers": SCHEDULERS.available(),
         "graphs": GRAPHS.available(),
         "value_generators": VALUE_GENERATORS.available(),
+        "probes": PROBES.available(),
     }
 
 

@@ -1,9 +1,24 @@
 """Simulation of self-similar algorithms under dynamic environments."""
 
 from .batch import BatchItem, BatchResult, BatchRunner, run_callables
-from .engine import RoundRecord, Simulator
+from .engine import Simulator
 from .messaging import MergeMessagePassingSimulator
-from .metrics import RunStatistics, aggregate, aggregate_records, format_table
+from .metrics import (
+    RunStatistics,
+    aggregate,
+    aggregate_records,
+    format_table,
+    statistics_from_payloads,
+)
+from .probes import (
+    ConvergenceProbe,
+    JSONLSink,
+    ObjectiveProbe,
+    StatsProbe,
+    TemporalProbe,
+    TemporalProperty,
+)
+from .protocol import Engine, HistoryProbe, Probe, RoundRecord, run_engine
 from .result import SimulationResult
 from .runner import SweepPoint, run_repeated, sweep
 
@@ -12,12 +27,23 @@ __all__ = [
     "BatchResult",
     "BatchRunner",
     "run_callables",
+    "Engine",
+    "Probe",
+    "HistoryProbe",
+    "ObjectiveProbe",
+    "ConvergenceProbe",
+    "TemporalProbe",
+    "TemporalProperty",
+    "StatsProbe",
+    "JSONLSink",
+    "run_engine",
     "RoundRecord",
     "Simulator",
     "MergeMessagePassingSimulator",
     "RunStatistics",
     "aggregate",
     "aggregate_records",
+    "statistics_from_payloads",
     "format_table",
     "SimulationResult",
     "SweepPoint",

@@ -32,7 +32,13 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
-from .metrics import RunStatistics, aggregate_records, format_table
+from .metrics import (
+    RunStatistics,
+    aggregate_records,
+    format_table,
+    statistics_from_payloads,
+)
+from .probes import StatsProbe
 from .result import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
@@ -120,6 +126,29 @@ class BatchResult:
             label: aggregate_records(self.results_for(label))
             for label in self.labels()
         }
+
+    def probe_payloads(self, label: str) -> dict[str, list]:
+        """Probe payloads of one experiment's completed runs, merged by
+        probe name (one payload per run, in item order).
+
+        Workers construct their own probe instances and ship payloads back
+        inside the serialized result, so this is how streaming
+        observability crosses the process boundary: a fanned-out sweep's
+        online temporal verdicts or running statistics are collected here
+        without any shared state.
+        """
+        merged: dict[str, list] = {}
+        for record in self.results_for(label):
+            for name, payload in (record.get("probes") or {}).items():
+                merged.setdefault(name, []).append(payload)
+        return merged
+
+    def probe_statistics(self, label: str) -> RunStatistics:
+        """Merge ``stats``-probe payloads of one experiment into a single
+        :class:`RunStatistics` (see
+        :func:`~repro.simulation.metrics.statistics_from_payloads`)."""
+        payloads = self.probe_payloads(label).get(StatsProbe.name, [])
+        return statistics_from_payloads(payloads)
 
     def summary_table(self) -> str:
         """An aligned text table of per-experiment statistics."""

@@ -23,8 +23,10 @@ one :class:`RoundRecord` per simulated round.  Streaming consumers (live
 dashboards, early-stop policies, the declarative experiment layer) iterate
 it directly and can pause between rounds — the simulator keeps its
 position, so resuming is just pulling the next record.
-:meth:`Simulator.run` is a thin driver over the same generator that
-accumulates the classic :class:`SimulationResult`.
+:meth:`Simulator.run` delegates to the shared engine driver
+(:func:`repro.simulation.protocol.run_engine`), which carries the stopping
+policy and the probe pipeline for every execution backend and accumulates
+the classic :class:`SimulationResult`.
 
 Round bookkeeping is *incremental* by default: instead of rebuilding the
 agent-state multiset and recomputing the objective ``h`` from scratch
@@ -43,7 +45,6 @@ against it every round.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from itertools import chain
 from operator import attrgetter
 from typing import Any, Callable, Iterator, Sequence
@@ -56,68 +57,12 @@ from ..core.errors import SimulationError
 from ..core.multiset import Multiset, MutableMultiset
 from ..core.relation import STUTTER_JUDGEMENT, StepJudgement, StepKind
 from ..environment.base import Environment
-from ..temporal.trace import Trace
+from .protocol import Probe, RoundRecord, run_engine
 from .result import SimulationResult
 
 __all__ = ["RoundRecord", "Simulator"]
 
 _group_members = attrgetter("members")
-
-
-@dataclass(frozen=True)
-class RoundRecord:
-    """What one simulated round did — the unit of the streaming API.
-
-    Attributes
-    ----------
-    round_index:
-        The round that was executed (0-based, matches the index the
-        environment's :meth:`advance` received).
-    multiset:
-        The agent-state multiset *after* the round, computed exactly once
-        per round and shared with the trace.
-    objective:
-        Value of the objective ``h`` on that multiset.
-    converged:
-        True when the multiset equals the target ``S* = f(S(0))``.
-    groups:
-        The non-empty groups the scheduler activated, in execution order.
-    judgements:
-        The relation ``D``'s verdict for each group step, aligned with
-        ``groups``.
-    """
-
-    round_index: int
-    multiset: Multiset
-    objective: float
-    converged: bool
-    groups: tuple[Group, ...]
-    judgements: tuple[StepJudgement, ...]
-
-    @property
-    def group_steps(self) -> int:
-        """Number of group steps executed this round."""
-        return len(self.judgements)
-
-    @property
-    def improving_steps(self) -> int:
-        """Group steps that strictly decreased the objective."""
-        return sum(1 for j in self.judgements if j.kind is StepKind.IMPROVEMENT)
-
-    @property
-    def stutter_steps(self) -> int:
-        """Group steps that left their group's state unchanged."""
-        return sum(1 for j in self.judgements if j.kind is StepKind.STUTTER)
-
-    @property
-    def invalid_steps(self) -> int:
-        """Steps that violated ``D`` (possible only with enforcement off)."""
-        return len(self.judgements) - self.improving_steps - self.stutter_steps
-
-    @property
-    def largest_group(self) -> int:
-        """Size of the largest group scheduled this round (0 when none)."""
-        return max((len(group) for group in self.groups), default=0)
 
 
 class Simulator:
@@ -413,6 +358,13 @@ class Simulator:
         round.  ``max_rounds`` bounds how many rounds *this* iterator will
         execute; None streams indefinitely (the caller decides when to
         stop, e.g. on :attr:`RoundRecord.converged`).
+
+        A round that *raises* (an enforcement violation, say) keeps the
+        group steps installed before the failure — the maintained round
+        state stays consistent with the agent states — but the aborted
+        attempt's RNG draws are not rolled back: pulling the stream again
+        re-executes the same round index as a fresh round from the current
+        RNG state.
         """
         executed = 0
         while max_rounds is None or executed < max_rounds:
@@ -421,117 +373,72 @@ class Simulator:
             executed += 1
             yield record
 
+    # -- the Engine protocol -----------------------------------------------------
+
+    def initial_snapshot(self) -> tuple[Multiset, float]:
+        """The pre-run ``(multiset, objective)`` pair (Engine protocol).
+
+        In incremental mode the maintained bag already holds the current
+        states; its cached snapshot also seeds the objective value so the
+        first round starts from a known ``h`` instead of recomputing.
+        """
+        if self.incremental:
+            initial_multiset = self._maintained.snapshot()
+            if self._objective_value is None:
+                self._objective_value = self.algorithm.objective(initial_multiset)
+            return initial_multiset, self._objective_value
+        initial_multiset = self.current_multiset()
+        return initial_multiset, self.algorithm.objective(initial_multiset)
+
+    def trace_complete(self, converged: bool, stopped_by_callback: bool) -> bool:
+        """Once at ``S* = f(S*)``, every further step is a stutter, so the
+        observed prefix determines the whole computation — provided the
+        algorithm actually enforces ``D`` and the run was not cut short."""
+        return converged and self.algorithm.enforce and not stopped_by_callback
+
+    def finish_metadata(self) -> dict:
+        """Run metadata recorded on the result (Engine protocol)."""
+        return {
+            "algorithm": self.algorithm.name,
+            "environment": self.environment.describe(),
+            "scheduler": self.scheduler.describe(),
+            "num_agents": self.environment.num_agents,
+            "seed": self.seed,
+        }
+
     def run(
         self,
         max_rounds: int = 1000,
         stop_at_convergence: bool = True,
         extra_rounds_after_convergence: int = 0,
         on_round: Callable[[RoundRecord], bool | None] | None = None,
+        probes: Sequence[Probe] | None = None,
+        history: str | None = None,
     ) -> SimulationResult:
         """Run the simulation and return a :class:`SimulationResult`.
 
-        This is a thin driver over :meth:`steps`: it pulls round records,
-        accumulates the trace, objective trajectory and step counters, and
-        applies the stopping policy.
+        Delegates to the shared engine driver
+        (:func:`repro.simulation.protocol.run_engine`), which pulls round
+        records from :meth:`steps`, applies the stopping policy and feeds
+        the probe pipeline; see its docstring for the ``max_rounds``,
+        ``stop_at_convergence``, ``extra_rounds_after_convergence``,
+        ``on_round``, ``probes`` and ``history`` parameters.
 
-        Parameters
-        ----------
-        max_rounds:
-            Upper bound on the number of rounds simulated.
-        stop_at_convergence:
-            When True (default), the run stops as soon as the agents reach
-            the target multiset ``S*`` (plus ``extra_rounds_after_convergence``
-            additional rounds, useful to confirm stability of the goal
-            state in tests).
-        extra_rounds_after_convergence:
-            Rounds to keep simulating after convergence when
-            ``stop_at_convergence`` is set.
-        on_round:
-            Optional streaming callback invoked with every
-            :class:`RoundRecord`; returning True stops the run early
-            (an application-defined early-stop policy).
+        ``history`` defaults to ``"full"`` (the classic result with its
+        complete trace), or ``"objective"`` when the simulator was built
+        with ``record_trace=False`` — exactly the retention that flag
+        always selected.
         """
-        if self.incremental:
-            # The maintained bag already holds the current states; its
-            # cached snapshot also seeds the objective value so the first
-            # round starts from a known h instead of recomputing.
-            initial_multiset = self._maintained.snapshot()
-            if self._objective_value is None:
-                self._objective_value = self.algorithm.objective(initial_multiset)
-            initial_objective = self._objective_value
-        else:
-            initial_multiset = self.current_multiset()
-            initial_objective = self.algorithm.objective(initial_multiset)
-        trace: Trace[Multiset] = Trace([initial_multiset])
-        objective_trajectory = [initial_objective]
-
-        group_steps = 0
-        improving_steps = 0
-        stutter_steps = 0
-        invalid_steps = 0
-        largest_group = 0
-        convergence_round: int | None = (
-            0 if initial_multiset == self._target else None
-        )
-        rounds_after_convergence = 0
-        rounds_executed = 0
-        stopped_by_callback = False
-
-        records = self.steps()
-        for round_index in range(max_rounds):
-            if convergence_round is not None and stop_at_convergence:
-                if rounds_after_convergence >= extra_rounds_after_convergence:
-                    break
-                rounds_after_convergence += 1
-
-            record = next(records)
-            rounds_executed += 1
-            group_steps += record.group_steps
-            improving_steps += record.improving_steps
-            stutter_steps += record.stutter_steps
-            invalid_steps += record.invalid_steps
-            largest_group = max(largest_group, record.largest_group)
-
-            if self.record_trace:
-                trace.append(record.multiset)
-            objective_trajectory.append(record.objective)
-
-            if convergence_round is None and record.converged:
-                convergence_round = round_index + 1
-
-            if on_round is not None and on_round(record):
-                stopped_by_callback = True
-                break
-        records.close()
-
-        converged = convergence_round is not None
-        if converged and self.algorithm.enforce and not stopped_by_callback:
-            # Once at S* = f(S*), every further step is a stutter, so the
-            # observed prefix determines the whole computation.
-            trace.mark_complete()
-
-        final_states = self.current_states()
-        return SimulationResult(
-            converged=converged,
-            convergence_round=convergence_round,
-            rounds_executed=rounds_executed,
-            final_states=final_states,
-            output=self.algorithm.result(Multiset(final_states)),
-            expected_output=self.algorithm.result(self._target),
-            trace=trace if self.record_trace else Trace([Multiset(final_states)]),
-            objective_trajectory=objective_trajectory,
-            group_steps=group_steps,
-            improving_steps=improving_steps,
-            stutter_steps=stutter_steps,
-            invalid_steps=invalid_steps,
-            largest_group=largest_group,
-            metadata={
-                "algorithm": self.algorithm.name,
-                "environment": self.environment.describe(),
-                "scheduler": self.scheduler.describe(),
-                "num_agents": self.environment.num_agents,
-                "seed": self.seed,
-            },
+        if history is None:
+            history = "full" if self.record_trace else "objective"
+        return run_engine(
+            self,
+            max_rounds=max_rounds,
+            stop_at_convergence=stop_at_convergence,
+            extra_rounds_after_convergence=extra_rounds_after_convergence,
+            on_round=on_round,
+            probes=probes,
+            history=history,
         )
 
 

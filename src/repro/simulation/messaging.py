@@ -27,19 +27,34 @@ Not every algorithm can be run this way: the sum and sorting examples need
 two-sided exchanges (value mass or array slots must move *between* agents
 atomically).  The :class:`Simulator` covers those; this runtime exists to
 reproduce the asynchronous claim for the algorithms it applies to.
+
+The simulator satisfies the :class:`~repro.simulation.protocol.Engine`
+protocol: :meth:`MergeMessagePassingSimulator.steps` streams one
+:class:`~repro.simulation.protocol.RoundRecord` per round, lazily and
+resumably, and :meth:`MergeMessagePassingSimulator.run` is the shared
+engine driver — same stopping policy, same probe pipeline, same
+:class:`SimulationResult` shape as the synchronous engine.
+
+Round bookkeeping is incremental: one maintained multiset absorbs each
+delivered merge's ``(old, new)`` state delta in O(1), the objective is
+updated from the same delta when it supports exact increments, and
+convergence is checked against the target via an O(1) content fingerprint
+— instead of rebuilding multisets per delivered message and three more per
+round.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Sequence
+from typing import Any, Callable, Hashable, Iterator, Sequence
 
+from ..agents.group import Group
 from ..core.errors import SimulationError
 from ..core.multiset import Multiset, MutableMultiset
 from ..core.algorithm import SelfSimilarAlgorithm
+from ..core.relation import StepJudgement, StepKind
 from ..environment.base import Environment
-from ..temporal.trace import Trace
+from .protocol import Probe, RoundRecord, run_engine
 from .result import SimulationResult
 
 __all__ = ["MergeMessagePassingSimulator"]
@@ -50,6 +65,10 @@ __all__ = ["MergeMessagePassingSimulator"]
 #: receiver's objective contribution (idempotent merges like min or hull
 #: union satisfy this by construction).
 MergeFunction = Callable[[Hashable, Hashable], Hashable]
+
+#: Every applied one-sided merge is an improving pair step; the shared
+#: verdict keeps the per-delivery hot path allocation-free.
+_MERGE_JUDGEMENT = StepJudgement(kind=StepKind.IMPROVEMENT)
 
 
 class MergeMessagePassingSimulator:
@@ -76,6 +95,11 @@ class MergeMessagePassingSimulator:
         once and recorded as :attr:`seed` (and in the result metadata), so
         every run — including "unseeded" ones — is reproducible.
     """
+
+    #: One-sided merges are pair steps by construction: the result's
+    #: ``largest_group`` reports 2 even in merge-free runs (the historic
+    #: convention of this runtime).
+    largest_group_floor = 2
 
     def __init__(
         self,
@@ -108,6 +132,20 @@ class MergeMessagePassingSimulator:
         self._target = algorithm.target(self.states)
         self.messages_sent = 0
         self.messages_delivered = 0
+        self._round_index = 0
+        self._maintained = MutableMultiset(self.states)
+        # Lazily initialised (first round / run start) so that building a
+        # simulator never evaluates the objective.
+        self._objective_value: float | None = None
+        # Incremental objective maintenance requires that every applied
+        # merge respected the conservation law; that is only guaranteed
+        # when enforcement checks each delivery (Simulator's equivalent is
+        # its per-round ``clean`` guard).  With enforcement off, fall back
+        # to full recomputation so unchecked, possibly non-conserving
+        # merges still report the true objective trajectory.
+        self._supports_delta = (
+            self.algorithm.objective.supports_delta and self.algorithm.enforce
+        )
         # Pairwise-conservation verdicts already proven for a concrete
         # (receiver, message, merged) triple.  Merges over small discrete
         # state spaces (minimum, maximum) repeat the same handful of
@@ -119,72 +157,110 @@ class MergeMessagePassingSimulator:
         # memory without bound.
         self._conservation_ok: set[tuple] = set()
         self._conservation_memo_cap = 4096
+        # Groups are value objects keyed by their member tuple, and the
+        # same (receiver, sender) pairs deliver round after round on a
+        # fixed topology — share one Group per pair instead of allocating
+        # per delivery.  Capped like the conservation memo so unbounded
+        # topologies cannot grow memory without bound.
+        self._pair_groups: dict[tuple[int, int], Group] = {}
+        self._pair_group_cap = 65536
+
+    # -- the Engine protocol ----------------------------------------------------
+
+    @property
+    def target(self) -> Multiset:
+        """The multiset ``S* = f(S(0))`` the agents must reach and keep."""
+        return self._target
+
+    @property
+    def round_index(self) -> int:
+        """Index of the next round :meth:`steps` will execute."""
+        return self._round_index
+
+    def current_states(self) -> list:
+        """Return the current agent states, indexed by agent id."""
+        return list(self.states)
 
     def has_converged(self) -> bool:
-        """True when the agents' states form the target multiset ``S*``."""
+        """True when the agents' states form the target multiset ``S*``.
+
+        Deliberately rebuilt from the public ``states`` list (like
+        :meth:`Simulator.has_converged`) rather than answered from the
+        maintained round state, so the query stays truthful even if a
+        caller mutated ``states`` directly between rounds.  Per-round
+        convergence checks inside :meth:`steps` use the O(1) fingerprint
+        instead.
+        """
         return Multiset(self.states) == self._target
 
-    def run(self, max_rounds: int = 1000) -> SimulationResult:
-        """Run the asynchronous computation for up to ``max_rounds`` rounds.
+    def initial_snapshot(self) -> tuple[Multiset, float]:
+        """The pre-run ``(multiset, objective)`` pair (Engine protocol)."""
+        snapshot = self._maintained.snapshot()
+        if self._objective_value is None:
+            self._objective_value = self.algorithm.objective(snapshot)
+        return snapshot, self._objective_value
 
-        Round bookkeeping is incremental: one maintained multiset absorbs
-        each delivered merge's ``(old, new)`` state delta in O(1), the
-        objective is updated from the same delta when it supports exact
-        increments, and convergence is checked against the target via an
-        O(1) content fingerprint — instead of rebuilding multisets per
-        delivered message and three more per round.
+    def trace_complete(self, converged: bool, stopped_by_callback: bool) -> bool:
+        """An idempotent merge at ``S*`` can only stutter, so a converged,
+        uninterrupted run's prefix determines the whole computation."""
+        return converged and not stopped_by_callback
+
+    def finish_metadata(self) -> dict:
+        """Run metadata recorded on the result (Engine protocol)."""
+        return {
+            "algorithm": self.algorithm.name,
+            "environment": self.environment.describe(),
+            "scheduler": "asynchronous message passing (one-sided merges)",
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "seed": self.seed,
+        }
+
+    # -- execution --------------------------------------------------------------
+
+    def _execute_round(self, round_index: int) -> RoundRecord:
+        """Execute one round — sends, losses, one-sided merge deliveries —
+        and record what happened.
+
+        Bookkeeping is O(|delta|): each applied merge folds its
+        ``(old, new)`` pair into the maintained multiset, the objective is
+        updated from the same delta when exact increments are available,
+        and convergence is a fingerprint comparison.
         """
-        current = MutableMultiset(self.states)
-        # Incremental objective maintenance requires that every applied
-        # merge respected the conservation law; that is only guaranteed
-        # when enforcement checks each delivery (Simulator's equivalent is
-        # its per-round ``clean`` guard).  With enforcement off, fall back
-        # to full recomputation so unchecked, possibly non-conserving
-        # merges still report the true objective trajectory.
-        supports_delta = (
-            self.algorithm.objective.supports_delta and self.algorithm.enforce
-        )
-
-        initial_multiset = current.snapshot()
-        objective_value = self.algorithm.objective(initial_multiset)
-        trace: Trace[Multiset] = Trace([initial_multiset])
-        objective_trajectory = [objective_value]
-        convergence_round: int | None = (
-            0 if current.matches(self._target) else None
-        )
-        rounds_executed = 0
-        improving_steps = 0
+        if self._objective_value is None:
+            self._objective_value = self.algorithm.objective(
+                self._maintained.snapshot()
+            )
+        environment_state = self.environment.advance(round_index, self._rng)
+        states = self.states
         enforce = self.algorithm.enforce
         conserves = self.algorithm.function.conserves
         conservation_ok = self._conservation_ok
-        states = self.states
+        pair_groups = self._pair_groups
 
-        for round_index in range(max_rounds):
-            if convergence_round is not None:
-                break
-            rounds_executed += 1
-            environment_state = self.environment.advance(round_index, self._rng)
+        # Collect messages first (all sends see the same snapshot), then
+        # deliver: the classic synchronous-round abstraction of an
+        # asynchronous message-passing system.
+        inboxes: dict[int, list[tuple[int, Hashable]]] = {
+            agent: [] for agent in range(self.environment.num_agents)
+        }
+        for a, b in environment_state.effective_edges():
+            for sender, receiver in ((a, b), (b, a)):
+                self.messages_sent += 1
+                if self._rng.random() < self.loss_probability:
+                    continue
+                self.messages_delivered += 1
+                inboxes[receiver].append((sender, states[sender]))
 
-            # Collect messages first (all sends see the same snapshot), then
-            # deliver: the classic synchronous-round abstraction of an
-            # asynchronous message-passing system.
-            inboxes: dict[int, list[Hashable]] = {
-                agent: [] for agent in range(self.environment.num_agents)
-            }
-            for a, b in environment_state.effective_edges():
-                for sender, receiver in ((a, b), (b, a)):
-                    self.messages_sent += 1
-                    if self._rng.random() < self.loss_probability:
-                        continue
-                    self.messages_delivered += 1
-                    inboxes[receiver].append(states[sender])
-
-            removed: list[Hashable] = []
-            added: list[Hashable] = []
+        groups: list[Group] = []
+        judgements: list[StepJudgement] = []
+        removed: list[Hashable] = []
+        added: list[Hashable] = []
+        try:
             for agent, received in inboxes.items():
                 if agent not in environment_state.enabled_agents or not received:
                     continue
-                for message in received:
+                for sender, message in received:
                     old_state = states[agent]
                     merged = self.merge(old_state, message)
                     if merged == old_state:
@@ -197,57 +273,106 @@ class MergeMessagePassingSimulator:
                             after = Multiset([merged, message])
                             if not conserves(before, after):
                                 raise SimulationError(
-                                    f"merge for {self.algorithm.name!r} broke the "
-                                    f"pairwise conservation law"
+                                    f"merge for {self.algorithm.name!r} broke "
+                                    f"the pairwise conservation law"
                                 )
                             if len(conservation_ok) < self._conservation_memo_cap:
                                 conservation_ok.add(triple)
                     states[agent] = merged
                     removed.append(old_state)
                     added.append(merged)
-                    improving_steps += 1
-
+                    pair = (agent, sender) if agent < sender else (sender, agent)
+                    group = pair_groups.get(pair)
+                    if group is None:
+                        group = Group(pair)
+                        if len(pair_groups) < self._pair_group_cap:
+                            pair_groups[pair] = group
+                    groups.append(group)
+                    judgements.append(_MERGE_JUDGEMENT)
+        except BaseException:
+            # A mid-round failure (a later delivery breaking conservation,
+            # a raising merge) must not desynchronise the persistent round
+            # state: earlier deliveries already wrote their merged states.
+            # Fold what was applied and drop the cached objective — it
+            # describes the pre-round bag and is recomputed lazily if the
+            # caller resumes or queries has_converged().
             if removed or added:
-                current.apply_delta(removed, added)
-            multiset = current.snapshot()
-            trace.append(multiset)
-            if supports_delta:
-                objective_value = self.algorithm.objective_delta(
-                    objective_value, multiset, removed, added
-                )
-            else:
-                # Order-sensitive float objectives (hull): recompute on a
-                # freshly built multiset so values match the historic,
-                # full-recompute behaviour bit for bit.
-                objective_value = self.algorithm.objective(Multiset(states))
-            objective_trajectory.append(objective_value)
-            if convergence_round is None and current.matches(self._target):
-                convergence_round = round_index + 1
+                self._maintained.apply_delta(removed, added)
+                self._objective_value = None
+            raise
 
-        converged = convergence_round is not None
-        if converged:
-            trace.mark_complete()
-        final = Multiset(self.states)
-        return SimulationResult(
-            converged=converged,
-            convergence_round=convergence_round,
-            rounds_executed=rounds_executed,
-            final_states=list(self.states),
-            output=self.algorithm.result(final),
-            expected_output=self.algorithm.result(self._target),
-            trace=trace,
-            objective_trajectory=objective_trajectory,
-            group_steps=improving_steps,
-            improving_steps=improving_steps,
-            stutter_steps=0,
-            invalid_steps=0,
-            largest_group=2,
-            metadata={
-                "algorithm": self.algorithm.name,
-                "environment": self.environment.describe(),
-                "scheduler": "asynchronous message passing (one-sided merges)",
-                "messages_sent": self.messages_sent,
-                "messages_delivered": self.messages_delivered,
-                "seed": self.seed,
-            },
+        if removed or added:
+            self._maintained.apply_delta(removed, added)
+        multiset = self._maintained.snapshot()
+        if self._supports_delta:
+            objective = self.algorithm.objective_delta(
+                self._objective_value, multiset, removed, added
+            )
+        else:
+            # Order-sensitive float objectives (hull): recompute on a
+            # freshly built multiset so values match the historic,
+            # full-recompute behaviour bit for bit.
+            objective = self.algorithm.objective(Multiset(states))
+        self._objective_value = objective
+        return RoundRecord(
+            round_index=round_index,
+            multiset=multiset,
+            objective=objective,
+            converged=self._maintained.matches(self._target),
+            groups=tuple(groups),
+            judgements=tuple(judgements),
+        )
+
+    def steps(self, max_rounds: int | None = None) -> Iterator[RoundRecord]:
+        """Stream the computation, one :class:`RoundRecord` per round.
+
+        The generator executes rounds lazily: nothing runs until a record
+        is pulled, and abandoning the iterator pauses the simulation with
+        no loose state — calling :meth:`steps` again resumes from the next
+        round.  ``max_rounds`` bounds how many rounds *this* iterator will
+        execute; None streams indefinitely (the caller decides when to
+        stop, e.g. on :attr:`RoundRecord.converged`).
+
+        A round that *raises* (an enforcement violation, say) was applied
+        up to the failing delivery — the maintained round state stays
+        consistent with the agent states — but, as with
+        :meth:`Simulator.steps`, the aborted attempt's RNG draws and send
+        counters are not rolled back: pulling the stream again re-executes
+        the same round index as a fresh round from the current RNG state.
+        """
+        executed = 0
+        while max_rounds is None or executed < max_rounds:
+            record = self._execute_round(self._round_index)
+            self._round_index += 1
+            executed += 1
+            yield record
+
+    def run(
+        self,
+        max_rounds: int = 1000,
+        stop_at_convergence: bool = True,
+        extra_rounds_after_convergence: int = 0,
+        on_round: Callable[[RoundRecord], bool | None] | None = None,
+        probes: Sequence[Probe] | None = None,
+        history: str = "full",
+    ) -> SimulationResult:
+        """Run the asynchronous computation and return a
+        :class:`SimulationResult`.
+
+        Delegates to the shared engine driver
+        (:func:`repro.simulation.protocol.run_engine`), so this runtime
+        carries the same stopping policy (``stop_at_convergence``,
+        ``extra_rounds_after_convergence``, ``on_round``) and the same
+        probe pipeline (``probes``, ``history``) as the synchronous
+        :class:`~repro.simulation.engine.Simulator` — see the driver's
+        docstring for the parameters.
+        """
+        return run_engine(
+            self,
+            max_rounds=max_rounds,
+            stop_at_convergence=stop_at_convergence,
+            extra_rounds_after_convergence=extra_rounds_after_convergence,
+            on_round=on_round,
+            probes=probes,
+            history=history,
         )

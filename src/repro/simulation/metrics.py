@@ -11,11 +11,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from .result import SimulationResult
 
-__all__ = ["RunStatistics", "aggregate", "aggregate_records", "format_table"]
+__all__ = [
+    "RunStatistics",
+    "aggregate",
+    "aggregate_records",
+    "statistics_from_payloads",
+    "format_table",
+]
 
 
 @dataclass(frozen=True)
@@ -40,40 +46,81 @@ class RunStatistics:
         return self.converged_runs / self.runs
 
 
-def aggregate(results: Iterable[SimulationResult]) -> RunStatistics:
-    """Summarise a batch of runs.
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    if not values:
+        return math.inf
+    index = min(len(values) - 1, max(0, math.ceil(fraction * len(values)) - 1))
+    return float(values[index])
+
+
+def _build_statistics(
+    runs: int,
+    convergence_rounds: Sequence[int],
+    total_group_steps: float,
+    total_improving_steps: float,
+    correct_runs: int,
+) -> RunStatistics:
+    """Assemble a :class:`RunStatistics` from accumulated counts.
 
     Convergence-round statistics are computed over the converged runs only
     (a non-converged run has no convergence round); when no run converged
     they are reported as ``inf`` so that comparisons in benchmark tables
     stay meaningful.
     """
-    results = list(results)
-    converged = [r for r in results if r.converged]
-    rounds = sorted(r.convergence_round for r in converged)
-
-    def percentile(values: Sequence[float], fraction: float) -> float:
-        if not values:
-            return math.inf
-        index = min(len(values) - 1, max(0, math.ceil(fraction * len(values)) - 1))
-        return float(values[index])
-
+    rounds = sorted(convergence_rounds)
     return RunStatistics(
-        runs=len(results),
-        converged_runs=len(converged),
+        runs=runs,
+        converged_runs=len(rounds),
         mean_rounds=(sum(rounds) / len(rounds)) if rounds else math.inf,
-        median_rounds=percentile(rounds, 0.5),
-        p90_rounds=percentile(rounds, 0.9),
+        median_rounds=_percentile(rounds, 0.5),
+        p90_rounds=_percentile(rounds, 0.9),
         max_rounds=float(rounds[-1]) if rounds else math.inf,
-        mean_group_steps=(
-            sum(r.group_steps for r in results) / len(results) if results else 0.0
-        ),
-        mean_improving_steps=(
-            sum(r.improving_steps for r in results) / len(results) if results else 0.0
-        ),
-        correctness_rate=(
-            sum(1 for r in results if r.correct) / len(results) if results else 0.0
-        ),
+        mean_group_steps=(total_group_steps / runs) if runs else 0.0,
+        mean_improving_steps=(total_improving_steps / runs) if runs else 0.0,
+        correctness_rate=(correct_runs / runs) if runs else 0.0,
+    )
+
+
+def aggregate(results: Iterable[SimulationResult]) -> RunStatistics:
+    """Summarise a batch of runs (see :func:`_build_statistics` for the
+    conventions on non-converged runs)."""
+    results = list(results)
+    return _build_statistics(
+        runs=len(results),
+        convergence_rounds=[r.convergence_round for r in results if r.converged],
+        total_group_steps=sum(r.group_steps for r in results),
+        total_improving_steps=sum(r.improving_steps for r in results),
+        correct_runs=sum(1 for r in results if r.correct),
+    )
+
+
+def statistics_from_payloads(payloads: Iterable[Mapping]) -> RunStatistics:
+    """Merge :class:`~repro.simulation.probes.StatsProbe` payloads.
+
+    Each payload carries the raw accumulation material (run counts,
+    convergence rounds, step totals), so statistics computed *online*
+    during streaming runs — including ``history="none"`` runs that never
+    build a :class:`SimulationResult` trace — and statistics merged across
+    :class:`~repro.simulation.batch.BatchRunner` workers go through the
+    same construction as in-process :func:`aggregate`.
+    """
+    runs = 0
+    convergence_rounds: list[int] = []
+    total_group_steps = 0.0
+    total_improving_steps = 0.0
+    correct_runs = 0
+    for payload in payloads:
+        runs += payload["runs"]
+        convergence_rounds.extend(payload["convergence_rounds"])
+        total_group_steps += payload["group_steps"]
+        total_improving_steps += payload["improving_steps"]
+        correct_runs += payload["correct_runs"]
+    return _build_statistics(
+        runs=runs,
+        convergence_rounds=convergence_rounds,
+        total_group_steps=total_group_steps,
+        total_improving_steps=total_improving_steps,
+        correct_runs=correct_runs,
     )
 
 

@@ -1,0 +1,543 @@
+"""The built-in probe library: streaming observability as plugins.
+
+Every probe here implements the :class:`~repro.simulation.protocol.Probe`
+pipeline and is registered under a spec-addressable name (the ``probes``
+field of an :class:`~repro.experiment.ExperimentSpec`, the ``--probe``
+flag of the CLI), so new instrumentation attaches to *any* engine — the
+synchronous group-step simulator or the asynchronous message-passing
+runtime — without touching engine code:
+
+``"history"``
+    the retention probe (:class:`~repro.simulation.protocol.HistoryProbe`);
+``"objective"``
+    online summary (and optionally the full series) of the objective ``h``;
+``"convergence"``
+    when the run reached ``S*`` and how long it stayed;
+``"temporal"``
+    online temporal-logic checking: the paper's ``□`` / ``◇`` / ``stable``
+    specifications evaluated *during* the run, in O(1) memory per formula,
+    with verdicts matching after-the-fact evaluation on a recorded trace
+    bit for bit;
+``"stats"``
+    running :class:`~repro.simulation.metrics.RunStatistics` accumulation
+    across every run the probe observes;
+``"jsonl"``
+    a streaming JSON-lines sink, one line per round, for dashboards and
+    offline analysis of runs too long to materialise.
+
+Probes are constructed fresh per run by the experiment layer, cross
+process boundaries as registry names plus JSON parameters, and publish
+their payloads under ``SimulationResult.probes`` (which
+:class:`~repro.simulation.batch.BatchRunner` ships back and merges).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..core.errors import SpecificationError
+from ..core.multiset import Multiset
+from ..registry import register_probe
+from ..temporal.online import OnlineFormula, OPERATORS, online
+from .protocol import Engine, HistoryProbe, Probe, RoundRecord
+from .result import jsonify
+
+__all__ = [
+    "HistoryProbe",
+    "ObjectiveProbe",
+    "ConvergenceProbe",
+    "TemporalProperty",
+    "TemporalProbe",
+    "StatsProbe",
+    "JSONLSink",
+]
+
+
+register_probe("history")(HistoryProbe)
+
+
+@register_probe("objective")
+class ObjectiveProbe(Probe):
+    """Online summary of the objective ``h`` over the round stream.
+
+    Keeps O(1) state (endpoints, extrema, improvement count) and — only
+    when ``keep_trajectory`` is set — the full series, so the objective
+    trajectory stays available even under ``history="none"`` retention.
+    """
+
+    name = "objective"
+
+    def __init__(self, keep_trajectory: bool = False):
+        self.keep_trajectory = keep_trajectory
+        self._trajectory: list[float] = []
+        self._initial: float | None = None
+        self._last: float | None = None
+        self._minimum: float | None = None
+        self._maximum: float | None = None
+        self._decreases = 0
+        self._rounds = 0
+
+    def on_start(self, engine: Engine) -> None:
+        self.__init__(keep_trajectory=self.keep_trajectory)
+
+    def _observe(self, objective: float) -> None:
+        if self._last is not None and objective < self._last:
+            self._decreases += 1
+        self._last = objective
+        if self._minimum is None or objective < self._minimum:
+            self._minimum = objective
+        if self._maximum is None or objective > self._maximum:
+            self._maximum = objective
+        if self.keep_trajectory:
+            self._trajectory.append(objective)
+
+    def on_initial(self, multiset: Multiset, objective: float) -> None:
+        self._initial = objective
+        self._observe(objective)
+
+    def on_round(self, record: RoundRecord) -> None:
+        self._rounds += 1
+        self._observe(record.objective)
+
+    def on_finish(self) -> dict:
+        payload = {
+            "initial": jsonify(self._initial),
+            "final": jsonify(self._last),
+            "minimum": jsonify(self._minimum),
+            "maximum": jsonify(self._maximum),
+            "decreasing_rounds": self._decreases,
+            "rounds": self._rounds,
+        }
+        if self.keep_trajectory:
+            payload["trajectory"] = jsonify(self._trajectory)
+        return payload
+
+
+@register_probe("convergence")
+class ConvergenceProbe(Probe):
+    """When the run reached the target multiset ``S*`` — and whether it
+    stayed there (a streaming view of the paper's *stable* requirement)."""
+
+    name = "convergence"
+
+    def __init__(self):
+        self._engine: Engine | None = None
+        self._convergence_round: int | None = None
+        self._rounds = 0
+        self._left_target_after_convergence = False
+        self._last_converged = False
+
+    def on_start(self, engine: Engine) -> None:
+        self.__init__()
+        self._engine = engine
+
+    def on_initial(self, multiset: Multiset, objective: float) -> None:
+        # A run may start already converged; the driver reports that as
+        # convergence_round=0 and so must this probe.
+        if multiset == self._engine.target:
+            self._convergence_round = 0
+            self._last_converged = True
+
+    def on_round(self, record: RoundRecord) -> None:
+        # Count rounds as observed by *this run* rather than reading the
+        # engine's absolute record.round_index: a resumed engine's records
+        # start mid-stream, and the driver's convergence_round (pinned to
+        # the legacy run() semantics) is relative to the run — the probe
+        # must agree with it.
+        self._rounds += 1
+        if record.converged and self._convergence_round is None:
+            self._convergence_round = self._rounds
+        if self._convergence_round is not None and not record.converged:
+            self._left_target_after_convergence = True
+        self._last_converged = record.converged
+
+    def on_finish(self) -> dict:
+        return {
+            "converged": self._convergence_round is not None,
+            "convergence_round": self._convergence_round,
+            "rounds_observed": self._rounds,
+            "stayed_at_target": not self._left_target_after_convergence,
+            "at_target_at_end": self._last_converged,
+        }
+
+
+# -- temporal-logic probe -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TemporalProperty:
+    """One named temporal formula to check online over a run.
+
+    ``predicates`` entries are either callables (programmatic use) or
+    JSON-safe specs — a registered predicate name (``"at-target"``) or a
+    dictionary with parameters (``{"predicate": "objective-below",
+    "threshold": 10}``) — resolved against the engine when the run starts.
+    """
+
+    name: str
+    operator: str
+    predicates: tuple = ()
+
+
+#: Named state predicates resolvable from JSON specs.  Each builder maps
+#: ``(engine, **params)`` to a predicate over agent-state multisets.
+_PREDICATE_BUILDERS: dict[str, Callable[..., Callable[[Multiset], bool]]] = {}
+
+
+def _predicate(name: str):
+    def decorator(builder):
+        _PREDICATE_BUILDERS[name] = builder
+        return builder
+
+    return decorator
+
+
+@_predicate("at-target")
+def _at_target(engine: Engine) -> Callable[[Multiset], bool]:
+    """The collective state equals the target multiset ``S* = f(S(0))``."""
+    target = engine.target
+    return lambda bag: bag == target
+
+
+@_predicate("conserves-f")
+def _conserves_f(engine: Engine) -> Callable[[Multiset], bool]:
+    """The conservation law: ``f(S)`` still equals ``f(S(0)) = S*``."""
+    function = engine.algorithm.function
+    target = engine.target
+    return lambda bag: function(bag) == target
+
+
+@_predicate("objective-at-optimum")
+def _objective_at_optimum(engine: Engine) -> Callable[[Multiset], bool]:
+    """The objective ``h`` has reached its value on the target multiset."""
+    objective = engine.algorithm.objective
+    optimum = objective(engine.target)
+    return lambda bag: objective(bag) == optimum
+
+
+@_predicate("objective-below")
+def _objective_below(engine: Engine, threshold: float) -> Callable[[Multiset], bool]:
+    """The objective ``h`` is at or below ``threshold``."""
+    objective = engine.algorithm.objective
+    return lambda bag: objective(bag) <= threshold
+
+
+def _resolve_predicate(spec: Any, engine: Engine) -> Callable[[Multiset], bool]:
+    if callable(spec):
+        return spec
+    if isinstance(spec, str):
+        name, params = spec, {}
+    elif isinstance(spec, Mapping):
+        params = dict(spec)
+        name = params.pop("predicate", None)
+        if not isinstance(name, str):
+            raise SpecificationError(
+                f"a predicate dictionary needs a 'predicate' name, got {spec!r}"
+            )
+    else:
+        raise SpecificationError(
+            f"a predicate must be a callable, a name or a dictionary, got {spec!r}"
+        )
+    try:
+        builder = _PREDICATE_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PREDICATE_BUILDERS))
+        raise SpecificationError(
+            f"unknown temporal predicate {name!r}; available: {known}"
+        ) from None
+    try:
+        return builder(engine, **params)
+    except TypeError as error:
+        raise SpecificationError(
+            f"cannot build temporal predicate {name!r} with parameters "
+            f"{params!r}: {error}"
+        ) from error
+
+
+def _coerce_property(entry: Any) -> TemporalProperty:
+    if isinstance(entry, TemporalProperty):
+        return entry
+    if isinstance(entry, Mapping):
+        data = dict(entry)
+        try:
+            name = data.pop("name")
+            operator = data.pop("operator")
+        except KeyError as error:
+            raise SpecificationError(
+                f"a temporal property needs {error.args[0]!r}: {entry!r}"
+            ) from None
+        if "predicates" in data:
+            predicates = tuple(data.pop("predicates"))
+        elif "predicate" in data:
+            predicates = (data.pop("predicate"),)
+        else:
+            predicates = ()
+        if data:
+            raise SpecificationError(
+                f"unknown temporal property fields {sorted(data)} in {entry!r}"
+            )
+        return TemporalProperty(name=name, operator=operator, predicates=predicates)
+    if isinstance(entry, Sequence) and not isinstance(entry, (str, bytes)):
+        name, operator, *predicates = entry
+        return TemporalProperty(
+            name=name, operator=operator, predicates=tuple(predicates)
+        )
+    raise SpecificationError(f"cannot interpret temporal property {entry!r}")
+
+
+def _validate_property(prop: TemporalProperty) -> TemporalProperty:
+    """Fail fast on a bad operator, arity or predicate name.
+
+    Checked at probe *construction* (spec validation builds probes), so a
+    typo in a JSON spec surfaces as one readable SpecificationError before
+    a batch fans out — not as a ValueError in every worker at run time.
+    """
+    operator_cls = OPERATORS.get(prop.operator)
+    if operator_cls is None:
+        known = ", ".join(sorted(OPERATORS))
+        raise SpecificationError(
+            f"temporal property {prop.name!r} uses unknown operator "
+            f"{prop.operator!r}; available: {known}"
+        )
+    if len(prop.predicates) != operator_cls.arity:
+        raise SpecificationError(
+            f"temporal property {prop.name!r}: operator {prop.operator!r} "
+            f"takes {operator_cls.arity} predicate(s), got "
+            f"{len(prop.predicates)}"
+        )
+    for spec in prop.predicates:
+        if callable(spec):
+            continue
+        name = spec if isinstance(spec, str) else (
+            spec.get("predicate") if isinstance(spec, Mapping) else None
+        )
+        if not isinstance(name, str):
+            raise SpecificationError(
+                f"temporal property {prop.name!r}: a predicate must be a "
+                f"callable, a name or a dictionary, got {spec!r}"
+            )
+        if name not in _PREDICATE_BUILDERS:
+            known = ", ".join(sorted(_PREDICATE_BUILDERS))
+            raise SpecificationError(
+                f"temporal property {prop.name!r} uses unknown predicate "
+                f"{name!r}; available: {known}"
+            )
+    return prop
+
+
+#: The paper's core specification, checked by default: the computation
+#: eventually reaches the target, stays there, and conserves ``f`` always.
+DEFAULT_PROPERTIES = (
+    TemporalProperty("reaches-target", "eventually", ("at-target",)),
+    TemporalProperty("target-stable", "stable", ("at-target",)),
+    TemporalProperty("conserves-f", "always", ("conserves-f",)),
+)
+
+
+@register_probe("temporal")
+class TemporalProbe(Probe):
+    """Online temporal-logic checking over the round stream.
+
+    Feeds every observed state (the initial multiset, then each round's)
+    through one :class:`~repro.temporal.online.OnlineFormula` per declared
+    property, in O(1) memory per formula.  Verdicts use the driver's
+    completeness bit, so they match after-the-fact evaluation of
+    :mod:`repro.temporal.formulas` on the recorded trace exactly — the
+    difference is that no trace needs to exist.
+    """
+
+    name = "temporal"
+
+    def __init__(self, properties: Iterable[Any] | None = None):
+        self._declared = tuple(
+            _validate_property(_coerce_property(entry))
+            for entry in (DEFAULT_PROPERTIES if properties is None else properties)
+        )
+        names = [prop.name for prop in self._declared]
+        if len(set(names)) != len(names):
+            raise SpecificationError(
+                f"temporal property names must be unique, got {names}"
+            )
+        self._formulas: dict[str, OnlineFormula] = {}
+        self._complete = False
+
+    def on_start(self, engine: Engine) -> None:
+        self._complete = False
+        self._formulas = {
+            prop.name: online(
+                prop.operator,
+                *(_resolve_predicate(spec, engine) for spec in prop.predicates),
+            )
+            for prop in self._declared
+        }
+
+    def on_initial(self, multiset: Multiset, objective: float) -> None:
+        for formula in self._formulas.values():
+            formula.observe(multiset)
+
+    def on_round(self, record: RoundRecord) -> None:
+        for formula in self._formulas.values():
+            formula.observe(record.multiset)
+
+    def on_complete(self, complete: bool) -> None:
+        self._complete = complete
+
+    def verdicts(self) -> dict[str, bool]:
+        """Current truth value of every declared property."""
+        return {
+            name: formula.verdict(self._complete)
+            for name, formula in self._formulas.items()
+        }
+
+    def on_finish(self) -> dict:
+        return {"complete": self._complete, "verdicts": self.verdicts()}
+
+
+@register_probe("stats")
+class StatsProbe(Probe):
+    """Running statistics across every run this probe instance observes.
+
+    Unlike the other probes, :meth:`on_start` does *not* reset: attach one
+    instance to many runs (or merge payloads from a batch via
+    :func:`repro.simulation.metrics.statistics_from_payloads`) and the
+    payload accumulates the material :class:`RunStatistics` is built from
+    — no :class:`SimulationResult` scraping, no retained traces.
+    """
+
+    name = "stats"
+
+    def __init__(self):
+        self._engine: Engine | None = None
+        self._runs = 0
+        self._convergence_rounds: list[int] = []
+        self._group_steps = 0
+        self._improving_steps = 0
+        self._correct_runs = 0
+        self._run_convergence_round: int | None = None
+        self._run_rounds = 0
+
+    def on_start(self, engine: Engine) -> None:
+        self._engine = engine
+        self._runs += 1
+        self._run_convergence_round = None
+        self._run_rounds = 0
+
+    def on_initial(self, multiset: Multiset, objective: float) -> None:
+        if multiset == self._engine.target:
+            self._run_convergence_round = 0
+
+    def on_round(self, record: RoundRecord) -> None:
+        self._run_rounds += 1
+        self._group_steps += record.group_steps
+        self._improving_steps += record.improving_steps
+        if self._run_convergence_round is None and record.converged:
+            # Run-relative, like the driver's convergence_round (see
+            # ConvergenceProbe.on_round for why round_index is not used).
+            self._run_convergence_round = self._run_rounds
+
+    def on_complete(self, complete: bool) -> None:
+        if self._run_convergence_round is not None:
+            self._convergence_rounds.append(self._run_convergence_round)
+        engine = self._engine
+        output = engine.algorithm.result(Multiset(engine.current_states()))
+        if output == engine.algorithm.result(engine.target):
+            self._correct_runs += 1
+
+    def on_finish(self) -> dict:
+        return {
+            "runs": self._runs,
+            "converged_runs": len(self._convergence_rounds),
+            "convergence_rounds": list(self._convergence_rounds),
+            "group_steps": self._group_steps,
+            "improving_steps": self._improving_steps,
+            "correct_runs": self._correct_runs,
+        }
+
+    def statistics(self):
+        """The accumulated runs as a :class:`RunStatistics`."""
+        from .metrics import statistics_from_payloads
+
+        return statistics_from_payloads([self.on_finish()])
+
+
+@register_probe("jsonl")
+class JSONLSink(Probe):
+    """Streaming JSON-lines export: one line per observed round.
+
+    The sink writes during the run (no buffering beyond the file object),
+    so arbitrarily long ``history="none"`` runs stream to disk in O(1)
+    memory.  ``path`` may contain ``{seed}`` and ``{algorithm}``
+    placeholders, which keeps per-seed files distinct when a spec fans out
+    across :class:`~repro.simulation.batch.BatchRunner` workers.
+    """
+
+    name = "jsonl"
+
+    def __init__(self, path: str | pathlib.Path, include_states: bool = False):
+        self._path_template = str(path)
+        try:
+            # Fail at construction (spec-validation time) on a typo'd
+            # placeholder, not with a bare KeyError in every batch worker.
+            self._path_template.format(seed=0, algorithm="x")
+        except (KeyError, IndexError, ValueError) as error:
+            raise SpecificationError(
+                f"jsonl probe path {self._path_template!r} has an invalid "
+                f"placeholder ({error!r}); supported: {{seed}}, {{algorithm}}"
+            ) from error
+        self.include_states = include_states
+        self._file = None
+        self._path: pathlib.Path | None = None
+        self._lines = 0
+
+    def _emit(self, payload: dict) -> None:
+        self._file.write(json.dumps(payload) + "\n")
+        self._lines += 1
+
+    def on_start(self, engine: Engine) -> None:
+        self._path = pathlib.Path(
+            self._path_template.format(
+                seed=engine.seed, algorithm=engine.algorithm.name
+            )
+        )
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = self._path.open("w")
+        self._lines = 0
+        self._emit(
+            {
+                "event": "start",
+                "algorithm": engine.algorithm.name,
+                "seed": engine.seed,
+            }
+        )
+
+    def on_initial(self, multiset: Multiset, objective: float) -> None:
+        payload = {"event": "initial", "objective": jsonify(objective)}
+        if self.include_states:
+            payload["states"] = jsonify(list(multiset))
+        self._emit(payload)
+
+    def on_round(self, record: RoundRecord) -> None:
+        payload = {
+            "event": "round",
+            "round": record.round_index,
+            "objective": jsonify(record.objective),
+            "converged": record.converged,
+            "group_steps": record.group_steps,
+            "improving_steps": record.improving_steps,
+            "largest_group": record.largest_group,
+        }
+        if self.include_states:
+            payload["states"] = jsonify(list(record.multiset))
+        self._emit(payload)
+
+    def on_complete(self, complete: bool) -> None:
+        self._emit({"event": "finish", "complete": complete})
+
+    def on_finish(self) -> dict:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        return {"path": str(self._path), "lines": self._lines}

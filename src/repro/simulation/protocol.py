@@ -1,0 +1,463 @@
+"""The unified simulation surface: the ``Engine`` protocol and the probe pipeline.
+
+The paper specifies its self-similar algorithms by temporal-logic
+properties over *computations* — streams of states — and this module gives
+the library the matching execution shape.  Every execution backend (the
+synchronous group-step :class:`~repro.simulation.engine.Simulator`, the
+asynchronous :class:`~repro.simulation.messaging.MergeMessagePassingSimulator`)
+implements one :class:`Engine` protocol: a lazy, resumable
+:meth:`Engine.steps` generator yielding one :class:`RoundRecord` per round,
+plus a handful of snapshot hooks.  One shared driver, :func:`run_engine`,
+carries the single stopping policy (``max_rounds``,
+``stop_at_convergence``, ``extra_rounds_after_convergence``, ``on_round``)
+for every engine, so execution backends differ only in *how a round runs*,
+never in how runs stop or what a :class:`SimulationResult` contains.
+
+Observation is not wired into the engines at all.  It is a pipeline of
+:class:`Probe` objects — ``on_start(engine)``, ``on_round(record)``,
+``on_finish() -> payload`` — attached per run.  The driver owns exactly one
+:class:`HistoryProbe` (supplied or implicit), whose ``history`` mode
+decides what a run *retains*:
+
+``"full"``
+    every round's multiset and objective value (the default; preserves the
+    classic, byte-identical :class:`SimulationResult` with its full trace);
+``"objective"``
+    the objective trajectory only — the trace keeps just the final state
+    (what ``record_trace=False`` always meant);
+``"none"``
+    O(1) memory: no per-round multisets, no trajectory list — only the
+    endpoints of the objective and the run counters survive.
+
+Any other probe streams alongside: online temporal-logic checking, running
+statistics, JSONL export — all without the engine materialising state it
+does not need.  A 10M-round run with ``history="none"`` holds one
+maintained multiset, not 10M of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from ..agents.group import Group
+from ..core.errors import SpecificationError
+from ..core.multiset import Multiset
+from ..core.relation import StepJudgement, StepKind
+from ..temporal.trace import Trace
+from .result import SimulationResult
+
+__all__ = [
+    "HISTORY_MODES",
+    "RoundRecord",
+    "Engine",
+    "Probe",
+    "HistoryProbe",
+    "run_engine",
+]
+
+#: Retention modes of the run driver / :class:`HistoryProbe`.
+HISTORY_MODES = ("full", "objective", "none")
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What one simulated round did — the unit of the streaming API.
+
+    Attributes
+    ----------
+    round_index:
+        The round that was executed (0-based, matches the index the
+        environment's :meth:`advance` received).
+    multiset:
+        The agent-state multiset *after* the round, computed exactly once
+        per round and shared with the trace.
+    objective:
+        Value of the objective ``h`` on that multiset.
+    converged:
+        True when the multiset equals the target ``S* = f(S(0))``.
+    groups:
+        The non-empty groups that took a step this round, in execution
+        order (for message-passing engines: the ``{receiver, sender}``
+        pair of every applied one-sided merge).
+    judgements:
+        The relation ``D``'s verdict for each group step, aligned with
+        ``groups``.
+    """
+
+    round_index: int
+    multiset: Multiset
+    objective: float
+    converged: bool
+    groups: tuple[Group, ...]
+    judgements: tuple[StepJudgement, ...]
+
+    @property
+    def group_steps(self) -> int:
+        """Number of group steps executed this round."""
+        return len(self.judgements)
+
+    @property
+    def improving_steps(self) -> int:
+        """Group steps that strictly decreased the objective."""
+        return sum(1 for j in self.judgements if j.kind is StepKind.IMPROVEMENT)
+
+    @property
+    def stutter_steps(self) -> int:
+        """Group steps that left their group's state unchanged."""
+        return sum(1 for j in self.judgements if j.kind is StepKind.STUTTER)
+
+    @property
+    def invalid_steps(self) -> int:
+        """Steps that violated ``D`` (possible only with enforcement off)."""
+        return len(self.judgements) - self.improving_steps - self.stutter_steps
+
+    @property
+    def largest_group(self) -> int:
+        """Size of the largest group scheduled this round (0 when none)."""
+        return max((len(group) for group in self.groups), default=0)
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """What an execution backend must provide to be driven by :func:`run_engine`.
+
+    The protocol is deliberately small: a lazily resumable round stream
+    plus the snapshot hooks the driver needs to assemble a
+    :class:`SimulationResult`.  Everything about stopping, observing and
+    retaining lives in the driver and the probes, so a new backend (an
+    event-driven runtime, a remote shard) is a new ``Engine``
+    implementation — not a new ``run()`` monolith.
+    """
+
+    algorithm: Any
+    seed: int
+
+    def steps(self, max_rounds: int | None = None) -> Iterator[RoundRecord]:
+        """Stream rounds lazily; abandoning the iterator pauses the engine
+        with no loose state, and calling :meth:`steps` again resumes."""
+        ...
+
+    def has_converged(self) -> bool:
+        """True when the agents currently form the target multiset."""
+        ...
+
+    def current_states(self) -> list:
+        """The current agent states, indexed by agent id."""
+        ...
+
+    @property
+    def target(self) -> Multiset:
+        """The multiset ``S* = f(S(0))`` the computation must reach."""
+        ...
+
+    def initial_snapshot(self) -> tuple[Multiset, float]:
+        """The pre-run ``(multiset, objective)`` pair, computed the way the
+        engine's bookkeeping mode dictates (maintained snapshot in
+        incremental engines, fresh rebuild otherwise)."""
+        ...
+
+    def trace_complete(self, converged: bool, stopped_by_callback: bool) -> bool:
+        """Whether the observed prefix determines the whole computation
+        (the engine knows its own fixpoint semantics)."""
+        ...
+
+    def finish_metadata(self) -> dict:
+        """Run metadata recorded on the result (read at run end, so
+        engine-side counters like delivered messages are final)."""
+        ...
+
+
+class Probe:
+    """Base class of the observation pipeline.
+
+    A probe is attached to one run: the driver calls :meth:`on_start` with
+    the engine, :meth:`on_initial` with the pre-run snapshot,
+    :meth:`on_round` with every :class:`RoundRecord`, :meth:`on_complete`
+    once the driver knows whether the observed prefix is a complete
+    computation, and finally :meth:`on_finish`, whose non-None return value
+    is published under :attr:`name` in ``SimulationResult.probes``.
+
+    All hooks default to no-ops so concrete probes override only what they
+    observe.  Probes must not mutate the engine or the records.
+    """
+
+    #: Key under which the probe's payload appears in ``result.probes``.
+    name = "probe"
+
+    def on_start(self, engine: Engine) -> None:
+        """A run is beginning on ``engine``; reset per-run state here."""
+
+    def on_initial(self, multiset: Multiset, objective: float) -> None:
+        """Observe the initial state (the trace position before round 0)."""
+
+    def on_round(self, record: RoundRecord) -> None:
+        """Observe one executed round."""
+
+    def on_complete(self, complete: bool) -> None:
+        """Learn whether the observed prefix is a complete computation
+        (the final state is a fixpoint that would repeat forever)."""
+
+    def on_finish(self) -> Any:
+        """Return the probe's payload (None publishes nothing).
+
+        Always called once :meth:`on_start` has run — also, best-effort,
+        when setup or the run itself raises (the payload is then
+        discarded), so resource-holding probes release their resources
+        here.
+        """
+        return None
+
+
+class HistoryProbe(Probe):
+    """The retention probe: accumulates what the result keeps per round.
+
+    This is the default (and only driver-internal) probe; its ``history``
+    mode is the knob that turns the classic record-everything simulator
+    into a bounded-memory streaming engine.  See module docstring for the
+    three modes.
+    """
+
+    name = "history"
+
+    def __init__(self, history: str = "full"):
+        if history not in HISTORY_MODES:
+            raise SpecificationError(
+                f"history must be one of {HISTORY_MODES}, got {history!r}"
+            )
+        self.history = history
+        self._states: list[Multiset] = []
+        self._trajectory: list[float] = []
+        self._initial_objective: float | None = None
+        self._final_objective: float | None = None
+        self._rounds = 0
+
+    def on_start(self, engine: Engine) -> None:
+        self._states = []
+        self._trajectory = []
+        self._initial_objective = None
+        self._final_objective = None
+        self._rounds = 0
+
+    def on_initial(self, multiset: Multiset, objective: float) -> None:
+        self._initial_objective = objective
+        self._final_objective = objective
+        if self.history == "full":
+            self._states.append(multiset)
+        if self.history != "none":
+            self._trajectory.append(objective)
+
+    def on_round(self, record: RoundRecord) -> None:
+        self._rounds += 1
+        self._final_objective = record.objective
+        if self.history == "full":
+            self._states.append(record.multiset)
+        if self.history != "none":
+            self._trajectory.append(record.objective)
+
+    def build_history(
+        self, complete: bool, final_multiset: Multiset
+    ) -> tuple[Trace[Multiset], list[float]]:
+        """Assemble the result's trace and objective trajectory.
+
+        In ``"full"`` mode the trace holds every observed multiset and
+        carries the completeness verdict; the reduced modes keep only the
+        final state (never marked complete, matching the historic
+        ``record_trace=False`` behaviour) and, in ``"none"`` mode, only the
+        endpoints of the objective.
+        """
+        if self.history == "full":
+            return Trace(self._states, complete=complete), self._trajectory
+        trace: Trace[Multiset] = Trace([final_multiset])
+        if self.history == "objective":
+            return trace, self._trajectory
+        trajectory = (
+            [self._initial_objective] if self._initial_objective is not None else []
+        )
+        if self._rounds and self._final_objective is not None:
+            trajectory.append(self._final_objective)
+        return trace, trajectory
+
+    def on_finish(self) -> dict:
+        return {
+            "history": self.history,
+            "rounds_observed": self._rounds,
+            "objective_initial": self._initial_objective,
+            "objective_final": self._final_objective,
+        }
+
+
+def run_engine(
+    engine: Engine,
+    max_rounds: int = 1000,
+    stop_at_convergence: bool = True,
+    extra_rounds_after_convergence: int = 0,
+    on_round: Callable[[RoundRecord], bool | None] | None = None,
+    probes: Sequence[Probe] | None = None,
+    history: str = "full",
+) -> SimulationResult:
+    """Drive any :class:`Engine` to a :class:`SimulationResult`.
+
+    This is the single ``run()`` implementation behind every simulator: it
+    pulls round records from :meth:`Engine.steps`, applies the stopping
+    policy, feeds the probe pipeline, and assembles the result from the
+    history probe plus the engine's final snapshot.
+
+    Parameters
+    ----------
+    max_rounds:
+        Upper bound on the number of rounds simulated.
+    stop_at_convergence:
+        When True (default), the run stops as soon as the agents reach the
+        target multiset ``S*`` (plus ``extra_rounds_after_convergence``
+        additional rounds, useful to confirm stability of the goal state).
+    extra_rounds_after_convergence:
+        Rounds to keep simulating after convergence when
+        ``stop_at_convergence`` is set.
+    on_round:
+        Optional streaming callback invoked with every record; returning
+        True stops the run early (an application-defined stop policy).
+    probes:
+        Observation pipeline for this run.  A supplied :class:`HistoryProbe`
+        takes over retention; otherwise the driver creates one in
+        ``history`` mode.
+    history:
+        Retention mode of the implicit history probe (ignored when the
+        caller supplies a :class:`HistoryProbe`).
+    """
+    probe_list = list(probes or ())
+    history_probe = next(
+        (probe for probe in probe_list if isinstance(probe, HistoryProbe)), None
+    )
+    if history_probe is None:
+        history_probe = HistoryProbe(history)
+    observers = [history_probe] + [p for p in probe_list if p is not history_probe]
+
+    records = None
+    started: list[Probe] = []
+    try:
+        for probe in observers:
+            probe.on_start(engine)
+            started.append(probe)
+
+        initial_multiset, initial_objective = engine.initial_snapshot()
+        for probe in observers:
+            probe.on_initial(initial_multiset, initial_objective)
+
+        group_steps = 0
+        improving_steps = 0
+        stutter_steps = 0
+        invalid_steps = 0
+        # Engines whose execution style fixes the collaboration width
+        # report it as a floor (one-sided merges are pair steps even in
+        # merge-free runs).
+        largest_group = getattr(engine, "largest_group_floor", 0)
+        convergence_round: int | None = (
+            0 if initial_multiset == engine.target else None
+        )
+        rounds_after_convergence = 0
+        rounds_executed = 0
+        stopped_by_callback = False
+
+        records = engine.steps()
+        for round_index in range(max_rounds):
+            if convergence_round is not None and stop_at_convergence:
+                if rounds_after_convergence >= extra_rounds_after_convergence:
+                    break
+                rounds_after_convergence += 1
+
+            record = next(records)
+            rounds_executed += 1
+            group_steps += record.group_steps
+            improving_steps += record.improving_steps
+            stutter_steps += record.stutter_steps
+            invalid_steps += record.invalid_steps
+            largest_group = max(largest_group, record.largest_group)
+
+            for probe in observers:
+                probe.on_round(record)
+
+            if convergence_round is None and record.converged:
+                convergence_round = round_index + 1
+
+            if on_round is not None and on_round(record):
+                stopped_by_callback = True
+                break
+    except BaseException:
+        # A failing setup step or round (a bad probe configuration, an
+        # enforcement violation, a callback error) must not leak probe
+        # resources: best-effort teardown of every probe whose on_start
+        # ran, so sinks flush and close, then let the original error
+        # propagate.  on_complete is deliberately skipped — the run has
+        # no completeness verdict.
+        for probe in started:
+            try:
+                probe.on_finish()
+            except Exception:
+                pass
+        raise
+    finally:
+        if records is not None:
+            records.close()
+
+    converged = convergence_round is not None
+    complete = engine.trace_complete(converged, stopped_by_callback)
+    final_states = engine.current_states()
+    final_multiset = Multiset(final_states)
+    trace, objective_trajectory = history_probe.build_history(complete, final_multiset)
+
+    payloads: dict[str, Any] = {}
+    finished: list[Probe] = []
+    try:
+        for probe in observers:
+            probe.on_complete(complete)
+        for probe in probe_list:
+            payload = probe.on_finish()
+            finished.append(probe)
+            if payload is None:
+                continue
+            key = probe.name
+            suffix = 2
+            while key in payloads:
+                key = f"{probe.name}#{suffix}"
+                suffix += 1
+            payloads[key] = payload
+        if history_probe not in probe_list:
+            history_probe.on_finish()
+            finished.append(history_probe)
+    except BaseException:
+        # One probe failing its completion must not leak the resources of
+        # the probes after it: finish the rest best-effort, then let the
+        # original error propagate.
+        for probe in observers:
+            if probe not in finished:
+                try:
+                    probe.on_finish()
+                except Exception:
+                    pass
+        raise
+
+    return SimulationResult(
+        converged=converged,
+        convergence_round=convergence_round,
+        rounds_executed=rounds_executed,
+        final_states=final_states,
+        output=engine.algorithm.result(final_multiset),
+        expected_output=engine.algorithm.result(engine.target),
+        trace=trace,
+        objective_trajectory=objective_trajectory,
+        group_steps=group_steps,
+        improving_steps=improving_steps,
+        stutter_steps=stutter_steps,
+        invalid_steps=invalid_steps,
+        largest_group=largest_group,
+        probes=payloads,
+        metadata=engine.finish_metadata(),
+    )

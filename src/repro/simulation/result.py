@@ -105,6 +105,10 @@ class SimulationResult:
     largest_group:
         The largest group size ever scheduled (a measure of how much
         collaboration the environment permitted).
+    probes:
+        Payloads of the observation probes attached to the run, keyed by
+        probe name (empty when the run carried no payload-producing
+        probes).  See :mod:`repro.simulation.protocol`.
     """
 
     converged: bool
@@ -120,6 +124,7 @@ class SimulationResult:
     stutter_steps: int = 0
     invalid_steps: int = 0
     largest_group: int = 0
+    probes: dict = field(default_factory=dict)
     metadata: dict = field(default_factory=dict)
 
     @property
@@ -178,6 +183,10 @@ class SimulationResult:
             "largest_group": self.largest_group,
             "metadata": jsonify(dict(self.metadata)),
         }
+        if self.probes:
+            # Only emitted when probes produced payloads, so serialized
+            # results of probe-less runs are unchanged across versions.
+            data["probes"] = jsonify(dict(self.probes))
         if include_trajectory:
             data["objective_trajectory"] = jsonify(list(self.objective_trajectory))
         return data
@@ -220,6 +229,7 @@ class SimulationResult:
             stutter_steps=data.get("stutter_steps", 0),
             invalid_steps=data.get("invalid_steps", 0),
             largest_group=data.get("largest_group", 0),
+            probes=dict(data.get("probes", {})),
             metadata=dict(data.get("metadata", {})),
         )
 

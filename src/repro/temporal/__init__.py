@@ -12,10 +12,14 @@ from .formulas import (
     stable,
     until,
 )
+from .online import OnlineFormula, OPERATORS, online
 from .trace import Trace
 
 __all__ = [
     "Trace",
+    "OnlineFormula",
+    "OPERATORS",
+    "online",
     "always",
     "eventually",
     "eventually_always",

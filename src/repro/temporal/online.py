@@ -1,0 +1,288 @@
+"""Online (single-pass, streaming) evaluation of the temporal operators.
+
+:mod:`repro.temporal.formulas` evaluates the paper's temporal-logic
+operators over a *recorded* :class:`~repro.temporal.trace.Trace`.  That
+requires materialising every state — exactly what a bounded-memory
+streaming run must avoid.  This module provides the same operators as
+*online evaluators*: each formula consumes the state stream one element at
+a time in O(1) memory and can report its verdict at any point.
+
+The semantics are the finite-trace (LTLf) semantics of the offline
+functions, bit for bit: for every operator, feeding a trace's states
+through the online evaluator and asking for ``verdict(trace.complete)``
+returns exactly what the corresponding function in
+:mod:`repro.temporal.formulas` returns on that trace (the parity test
+suite enforces this).  Safety operators (``always``, ``never``,
+``stable``, ``invariant``) are conclusive on any prefix; liveness
+operators (``eventually``, ``leads_to``, ``until``,
+``infinitely_often``) additionally use the completeness bit — whether the
+final observed state is a fixpoint that would repeat forever — passed to
+:meth:`OnlineFormula.verdict`.
+
+The :class:`~repro.simulation.probes.TemporalProbe` feeds these evaluators
+from the engine's round stream, which is what makes temporal-logic
+observability an O(1)-memory plugin instead of an after-the-fact scrape of
+the full trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+State = TypeVar("State")
+Predicate = Callable[[State], bool]
+
+__all__ = ["OnlineFormula", "OPERATORS", "online"]
+
+
+class OnlineFormula:
+    """One temporal formula evaluated incrementally over a state stream.
+
+    Subclasses override :meth:`observe` (fold one state into O(1) internal
+    state) and :meth:`verdict` (the formula's truth value on the states
+    observed so far, given whether that prefix is complete).
+    """
+
+    #: Operator name, matching the function in :mod:`repro.temporal.formulas`.
+    operator: str = ""
+    #: How many predicates the operator takes.
+    arity: int = 1
+
+    def observe(self, state: State) -> None:
+        raise NotImplementedError
+
+    def verdict(self, complete: bool = False) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore the evaluator to its no-states-observed condition."""
+        self.__init__(*self._predicates)  # type: ignore[misc]
+
+    def __init__(self, *predicates: Predicate):
+        self._predicates = predicates
+
+
+class _Always(OnlineFormula):
+    """``□P``: the predicate holds in every observed state."""
+
+    operator = "always"
+
+    def __init__(self, predicate: Predicate):
+        super().__init__(predicate)
+        self._predicate = predicate
+        self._ok = True
+
+    def observe(self, state: State) -> None:
+        if self._ok and not self._predicate(state):
+            self._ok = False
+
+    def verdict(self, complete: bool = False) -> bool:
+        return self._ok
+
+
+class _Invariant(_Always):
+    """Alias of ``always``, matching the paper's use of *invariant*."""
+
+    operator = "invariant"
+
+
+class _Never(OnlineFormula):
+    """``□¬P``: the predicate holds in no observed state."""
+
+    operator = "never"
+
+    def __init__(self, predicate: Predicate):
+        super().__init__(predicate)
+        self._predicate = predicate
+        self._ok = True
+
+    def observe(self, state: State) -> None:
+        if self._ok and self._predicate(state):
+            self._ok = False
+
+    def verdict(self, complete: bool = False) -> bool:
+        return self._ok
+
+
+class _Eventually(OnlineFormula):
+    """``◇P``: the predicate holds in some observed state."""
+
+    operator = "eventually"
+
+    def __init__(self, predicate: Predicate):
+        super().__init__(predicate)
+        self._predicate = predicate
+        self._seen = False
+
+    def observe(self, state: State) -> None:
+        if not self._seen and self._predicate(state):
+            self._seen = True
+
+    def verdict(self, complete: bool = False) -> bool:
+        return self._seen
+
+
+class _Stable(OnlineFormula):
+    """``stable P``: once the predicate holds it continues to hold."""
+
+    operator = "stable"
+
+    def __init__(self, predicate: Predicate):
+        super().__init__(predicate)
+        self._predicate = predicate
+        self._seen = False
+        self._ok = True
+
+    def observe(self, state: State) -> None:
+        holds = self._predicate(state)
+        if self._seen and not holds:
+            self._ok = False
+        self._seen = self._seen or holds
+
+    def verdict(self, complete: bool = False) -> bool:
+        return self._ok
+
+
+class _LeadsTo(OnlineFormula):
+    """``P ↝ Q``: every ``P``-state is followed (or accompanied) by a
+    ``Q``-state; a pending obligation at the end is excused only on
+    incomplete prefixes."""
+
+    operator = "leads_to"
+    arity = 2
+
+    def __init__(self, premise: Predicate, conclusion: Predicate):
+        super().__init__(premise, conclusion)
+        self._premise = premise
+        self._conclusion = conclusion
+        self._pending = False
+
+    def observe(self, state: State) -> None:
+        if self._conclusion(state):
+            self._pending = False
+        if self._premise(state) and not self._conclusion(state):
+            self._pending = True
+
+    def verdict(self, complete: bool = False) -> bool:
+        if not self._pending:
+            return True
+        return not complete
+
+
+class _Until(OnlineFormula):
+    """``P U Q``: ``P`` holds strictly before the first ``Q``-state, and
+    ``Q`` does hold somewhere (still-possible on incomplete prefixes)."""
+
+    operator = "until"
+    arity = 2
+
+    def __init__(self, hold: Predicate, release: Predicate):
+        super().__init__(hold, release)
+        self._hold = hold
+        self._release = release
+        self._decided: bool | None = None
+
+    def observe(self, state: State) -> None:
+        if self._decided is not None:
+            return
+        if self._release(state):
+            self._decided = True
+        elif not self._hold(state):
+            self._decided = False
+
+    def verdict(self, complete: bool = False) -> bool:
+        if self._decided is not None:
+            return self._decided
+        return not complete
+
+
+class _InfinitelyOften(OnlineFormula):
+    """``□◇P`` on a finite prefix: the final state satisfies ``P`` when the
+    prefix is complete; otherwise, ``P`` held at least once."""
+
+    operator = "infinitely_often"
+
+    def __init__(self, predicate: Predicate):
+        super().__init__(predicate)
+        self._predicate = predicate
+        self._observed = False
+        self._ever = False
+        self._last = False
+
+    def observe(self, state: State) -> None:
+        self._observed = True
+        self._last = self._predicate(state)
+        self._ever = self._ever or self._last
+
+    def verdict(self, complete: bool = False) -> bool:
+        if not self._observed:
+            return False
+        return self._last if complete else self._ever
+
+
+class _EventuallyAlways(OnlineFormula):
+    """``◇□P``: some suffix satisfies ``P`` throughout — on a finite trace,
+    exactly "the final observed state satisfies ``P``"."""
+
+    operator = "eventually_always"
+
+    def __init__(self, predicate: Predicate):
+        super().__init__(predicate)
+        self._predicate = predicate
+        self._observed = False
+        self._last = False
+
+    def observe(self, state: State) -> None:
+        self._observed = True
+        self._last = self._predicate(state)
+
+    def verdict(self, complete: bool = False) -> bool:
+        return self._observed and self._last
+
+
+class _HoldsAtEnd(_EventuallyAlways):
+    """The final observed state satisfies the predicate."""
+
+    operator = "holds_at_end"
+
+
+#: Operator name → online evaluator class, mirroring
+#: :data:`repro.temporal.formulas.__all__`.
+OPERATORS: dict[str, type[OnlineFormula]] = {
+    cls.operator: cls
+    for cls in (
+        _Always,
+        _Invariant,
+        _Never,
+        _Eventually,
+        _Stable,
+        _LeadsTo,
+        _Until,
+        _InfinitelyOften,
+        _EventuallyAlways,
+        _HoldsAtEnd,
+    )
+}
+
+
+def online(operator: str, *predicates: Predicate) -> OnlineFormula:
+    """Build the online evaluator for ``operator`` over ``predicates``.
+
+    >>> formula = online("eventually", lambda s: s == 0)
+    >>> formula.observe(3); formula.observe(0)
+    >>> formula.verdict()
+    True
+    """
+    try:
+        cls = OPERATORS[operator]
+    except KeyError:
+        known = ", ".join(sorted(OPERATORS))
+        raise ValueError(
+            f"unknown temporal operator {operator!r}; available: {known}"
+        ) from None
+    if len(predicates) != cls.arity:
+        raise ValueError(
+            f"temporal operator {operator!r} takes {cls.arity} predicate(s), "
+            f"got {len(predicates)}"
+        )
+    return cls(*predicates)

@@ -1,4 +1,5 @@
-"""Parity suite: incremental round state vs. full recomputation.
+"""Parity suite: incremental round state vs. full recomputation, and the
+shared engine driver vs. the pre-redesign ``run()`` monoliths.
 
 The simulation engine maintains its round multiset and objective
 incrementally (fold the ``(removed, added)`` delta of each group step into
@@ -13,6 +14,15 @@ The matrix covers every algorithm family in the library (including the
 enforcement-off "unsound" ones, which exercise the full-recompute fallback
 for rounds containing invalid steps), every scheduler, and a churn
 environment so that rounds range from empty to busy.
+
+A second parity axis pins the Engine/Probe redesign: ``run()`` — now the
+shared driver of :mod:`repro.simulation.protocol` with its default
+:class:`HistoryProbe` stack — must produce results identical to verbatim
+ports of the pre-redesign accumulation loops, for every algorithm family
+on *both* engines (the synchronous simulator and the message-passing
+runtime), and :class:`TemporalProbe`'s online verdicts must equal
+after-the-fact evaluation of :mod:`repro.temporal.formulas` on the
+recorded trace.
 """
 
 from __future__ import annotations
@@ -272,3 +282,442 @@ def test_reset_resynchronises_maintained_state():
     simulator.reset()
     second = simulator.run(max_rounds=60)
     _assert_identical(first, second)
+
+
+# -- Engine/Probe redesign parity: run() vs. the pre-redesign monoliths --------
+
+
+def _legacy_simulator_run(
+    simulator,
+    max_rounds,
+    stop_at_convergence=True,
+    extra_rounds_after_convergence=0,
+    on_round=None,
+):
+    """Verbatim port of the pre-redesign ``Simulator.run`` accumulation.
+
+    Kept as an independent reference: the production ``run()`` is now the
+    shared engine driver plus the default :class:`HistoryProbe`, and this
+    function proves that stack byte-identical to what the old monolith
+    built from the same ``steps()`` stream.
+    """
+    from repro.core.multiset import Multiset
+    from repro.simulation.result import SimulationResult
+    from repro.temporal.trace import Trace
+
+    if simulator.incremental:
+        initial_multiset = simulator._maintained.snapshot()
+        if simulator._objective_value is None:
+            simulator._objective_value = simulator.algorithm.objective(
+                initial_multiset
+            )
+        initial_objective = simulator._objective_value
+    else:
+        initial_multiset = simulator.current_multiset()
+        initial_objective = simulator.algorithm.objective(initial_multiset)
+    trace = Trace([initial_multiset])
+    objective_trajectory = [initial_objective]
+
+    group_steps = improving_steps = stutter_steps = invalid_steps = 0
+    largest_group = 0
+    convergence_round = 0 if initial_multiset == simulator.target else None
+    rounds_after_convergence = 0
+    rounds_executed = 0
+    stopped_by_callback = False
+
+    records = simulator.steps()
+    for round_index in range(max_rounds):
+        if convergence_round is not None and stop_at_convergence:
+            if rounds_after_convergence >= extra_rounds_after_convergence:
+                break
+            rounds_after_convergence += 1
+        record = next(records)
+        rounds_executed += 1
+        group_steps += record.group_steps
+        improving_steps += record.improving_steps
+        stutter_steps += record.stutter_steps
+        invalid_steps += record.invalid_steps
+        largest_group = max(largest_group, record.largest_group)
+        if simulator.record_trace:
+            trace.append(record.multiset)
+        objective_trajectory.append(record.objective)
+        if convergence_round is None and record.converged:
+            convergence_round = round_index + 1
+        if on_round is not None and on_round(record):
+            stopped_by_callback = True
+            break
+    records.close()
+
+    converged = convergence_round is not None
+    if converged and simulator.algorithm.enforce and not stopped_by_callback:
+        trace.mark_complete()
+    final_states = simulator.current_states()
+    return SimulationResult(
+        converged=converged,
+        convergence_round=convergence_round,
+        rounds_executed=rounds_executed,
+        final_states=final_states,
+        output=simulator.algorithm.result(Multiset(final_states)),
+        expected_output=simulator.algorithm.result(simulator.target),
+        trace=trace if simulator.record_trace else Trace([Multiset(final_states)]),
+        objective_trajectory=objective_trajectory,
+        group_steps=group_steps,
+        improving_steps=improving_steps,
+        stutter_steps=stutter_steps,
+        invalid_steps=invalid_steps,
+        largest_group=largest_group,
+        metadata={
+            "algorithm": simulator.algorithm.name,
+            "environment": simulator.environment.describe(),
+            "scheduler": simulator.scheduler.describe(),
+            "num_agents": simulator.environment.num_agents,
+            "seed": simulator.seed,
+        },
+    )
+
+
+def _legacy_messaging_run(simulator, max_rounds):
+    """Verbatim port of the pre-redesign ``MergeMessagePassingSimulator.run``
+    monolith (its own send/deliver loop — independent of ``steps()``)."""
+    from repro.core.errors import SimulationError
+    from repro.core.multiset import Multiset, MutableMultiset
+    from repro.simulation.result import SimulationResult
+    from repro.temporal.trace import Trace
+
+    current = MutableMultiset(simulator.states)
+    supports_delta = (
+        simulator.algorithm.objective.supports_delta and simulator.algorithm.enforce
+    )
+    initial_multiset = current.snapshot()
+    objective_value = simulator.algorithm.objective(initial_multiset)
+    trace = Trace([initial_multiset])
+    objective_trajectory = [objective_value]
+    convergence_round = 0 if current.matches(simulator.target) else None
+    rounds_executed = 0
+    improving_steps = 0
+    enforce = simulator.algorithm.enforce
+    conserves = simulator.algorithm.function.conserves
+    conservation_ok = set()
+    states = simulator.states
+
+    for round_index in range(max_rounds):
+        if convergence_round is not None:
+            break
+        rounds_executed += 1
+        environment_state = simulator.environment.advance(round_index, simulator._rng)
+
+        inboxes = {agent: [] for agent in range(simulator.environment.num_agents)}
+        for a, b in environment_state.effective_edges():
+            for sender, receiver in ((a, b), (b, a)):
+                simulator.messages_sent += 1
+                if simulator._rng.random() < simulator.loss_probability:
+                    continue
+                simulator.messages_delivered += 1
+                inboxes[receiver].append(states[sender])
+
+        removed = []
+        added = []
+        for agent, received in inboxes.items():
+            if agent not in environment_state.enabled_agents or not received:
+                continue
+            for message in received:
+                old_state = states[agent]
+                merged = simulator.merge(old_state, message)
+                if merged == old_state:
+                    continue
+                if enforce:
+                    triple = (old_state, message, merged)
+                    if triple not in conservation_ok:
+                        before = Multiset([old_state, message])
+                        after = Multiset([merged, message])
+                        if not conserves(before, after):
+                            raise SimulationError("broken pairwise conservation")
+                        conservation_ok.add(triple)
+                states[agent] = merged
+                removed.append(old_state)
+                added.append(merged)
+                improving_steps += 1
+
+        if removed or added:
+            current.apply_delta(removed, added)
+        multiset = current.snapshot()
+        trace.append(multiset)
+        if supports_delta:
+            objective_value = simulator.algorithm.objective_delta(
+                objective_value, multiset, removed, added
+            )
+        else:
+            objective_value = simulator.algorithm.objective(Multiset(states))
+        objective_trajectory.append(objective_value)
+        if convergence_round is None and current.matches(simulator.target):
+            convergence_round = round_index + 1
+
+    converged = convergence_round is not None
+    if converged:
+        trace.mark_complete()
+    final = Multiset(simulator.states)
+    return SimulationResult(
+        converged=converged,
+        convergence_round=convergence_round,
+        rounds_executed=rounds_executed,
+        final_states=list(simulator.states),
+        output=simulator.algorithm.result(final),
+        expected_output=simulator.algorithm.result(simulator.target),
+        trace=trace,
+        objective_trajectory=objective_trajectory,
+        group_steps=improving_steps,
+        improving_steps=improving_steps,
+        stutter_steps=0,
+        invalid_steps=0,
+        largest_group=2,
+        metadata={
+            "algorithm": simulator.algorithm.name,
+            "environment": simulator.environment.describe(),
+            "scheduler": "asynchronous message passing (one-sided merges)",
+            "messages_sent": simulator.messages_sent,
+            "messages_delivered": simulator.messages_delivered,
+            "seed": simulator.seed,
+        },
+    )
+
+
+def _build_case_simulator(case, scheduler_name, seed, **simulator_kwargs):
+    algorithm, values = CASES[case]()
+    environment = RandomChurnEnvironment(
+        ring_graph(len(values)), edge_up_probability=0.6, agent_up_probability=0.9
+    )
+    return Simulator(
+        algorithm,
+        environment,
+        initial_values=values,
+        scheduler=SCHEDULERS[scheduler_name](),
+        seed=seed,
+        **simulator_kwargs,
+    )
+
+
+class TestDriverMatchesLegacyRun:
+    """The default probe stack must be byte-identical to the old ``run()``."""
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_simulator_default_run_identical(self, case):
+        driven = _build_case_simulator(case, "maximal", seed=7).run(
+            max_rounds=80, extra_rounds_after_convergence=2
+        )
+        reference = _legacy_simulator_run(
+            _build_case_simulator(case, "maximal", seed=7),
+            max_rounds=80,
+            extra_rounds_after_convergence=2,
+        )
+        _assert_identical(driven, reference)
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_simulator_record_trace_false_identical(self, case):
+        driven = _build_case_simulator(
+            case, "random-pair", seed=5, record_trace=False
+        ).run(max_rounds=60)
+        reference = _legacy_simulator_run(
+            _build_case_simulator(case, "random-pair", seed=5, record_trace=False),
+            max_rounds=60,
+        )
+        _assert_identical(driven, reference)
+
+    def test_simulator_on_round_stop_identical(self):
+        stop = lambda record: record.round_index >= 3  # noqa: E731
+        driven = _build_case_simulator("minimum", "maximal", seed=1).run(
+            max_rounds=50, on_round=stop
+        )
+        reference = _legacy_simulator_run(
+            _build_case_simulator("minimum", "maximal", seed=1),
+            max_rounds=50,
+            on_round=stop,
+        )
+        _assert_identical(driven, reference)
+
+
+def _build_messaging(case, seed, loss=0.0):
+    from repro.algorithms import (
+        convex_hull_algorithm,
+        hull_merge,
+        maximum_algorithm,
+        maximum_merge,
+        minimum_merge,
+    )
+    from repro.simulation import MergeMessagePassingSimulator
+
+    if case == "minimum":
+        algorithm, merge, values = minimum_algorithm(), minimum_merge, VALUES
+    elif case == "maximum":
+        algorithm, merge, values = (
+            maximum_algorithm(upper_bound=20),
+            maximum_merge,
+            VALUES,
+        )
+    else:
+        algorithm, merge, values = (
+            convex_hull_algorithm(POINTS),
+            hull_merge,
+            POINTS,
+        )
+    environment = RandomChurnEnvironment(
+        ring_graph(len(values)), edge_up_probability=0.6, agent_up_probability=0.9
+    )
+    return MergeMessagePassingSimulator(
+        algorithm,
+        merge=merge,
+        environment=environment,
+        initial_values=values,
+        loss_probability=loss,
+        seed=seed,
+    )
+
+
+class TestMessagingDriverMatchesLegacyRun:
+    @pytest.mark.parametrize("case", ["minimum", "maximum", "hull"])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_default_run_identical(self, case, seed):
+        driven = _build_messaging(case, seed).run(max_rounds=200)
+        reference = _legacy_messaging_run(
+            _build_messaging(case, seed), max_rounds=200
+        )
+        _assert_identical(driven, reference)
+
+    def test_lossy_run_identical(self):
+        driven = _build_messaging("minimum", seed=3, loss=0.5).run(max_rounds=400)
+        reference = _legacy_messaging_run(
+            _build_messaging("minimum", seed=3, loss=0.5), max_rounds=400
+        )
+        _assert_identical(driven, reference)
+
+    def test_messaging_steps_is_lazily_resumable(self):
+        simulator = _build_messaging("minimum", seed=2)
+        stream = simulator.steps(max_rounds=3)
+        first = [next(stream), next(stream)]
+        stream.close()  # abandon mid-iteration
+        assert simulator.round_index == 2
+        resumed = next(simulator.steps())
+        assert resumed.round_index == 2
+        assert [r.round_index for r in first] == [0, 1]
+
+    def test_messaging_supports_full_stopping_policy(self):
+        # The satellite API-consistency fix: the shared driver gives the
+        # messaging runtime the same stopping policy as Simulator.run.
+        converged = _build_messaging("minimum", seed=0).run(max_rounds=200)
+        assert converged.converged
+
+        extra = _build_messaging("minimum", seed=0).run(
+            max_rounds=200, extra_rounds_after_convergence=3
+        )
+        assert extra.convergence_round == converged.convergence_round
+        assert extra.rounds_executed == converged.rounds_executed + 3
+        assert len(extra.trace) == len(converged.trace) + 3
+
+        free_running = _build_messaging("minimum", seed=0).run(
+            max_rounds=25, stop_at_convergence=False
+        )
+        assert free_running.rounds_executed == 25
+
+        stopped = _build_messaging("minimum", seed=0).run(
+            max_rounds=200, on_round=lambda record: record.round_index >= 1
+        )
+        assert stopped.rounds_executed == 2
+        assert not stopped.trace.complete
+
+
+class TestTemporalProbeParity:
+    """Online temporal verdicts must equal after-the-fact trace evaluation."""
+
+    OPERATOR_CASES = [
+        ("always", 1),
+        ("invariant", 1),
+        ("never", 1),
+        ("eventually", 1),
+        ("stable", 1),
+        ("infinitely_often", 1),
+        ("eventually_always", 1),
+        ("holds_at_end", 1),
+        ("leads_to", 2),
+        ("until", 2),
+    ]
+
+    def _predicates(self, simulator):
+        from repro.core.multiset import Multiset
+
+        target = simulator.target
+        objective = simulator.algorithm.objective
+        threshold = objective(target) + 5
+        return {
+            "at-target": lambda bag: bag == target,
+            "objective-below": lambda bag: objective(bag) <= threshold,
+            "few-distinct": lambda bag: len(bag.distinct()) <= len(bag) // 2,
+        }
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            ("minimum", 7, 80),   # converges: complete trace
+            ("minimum", 7, 2),    # cut short: incomplete trace
+            ("sorting", 3, 120),
+            ("hull", 4, 90),
+        ],
+    )
+    def test_online_verdicts_match_offline_evaluation(self, scenario):
+        from repro.simulation import TemporalProbe, TemporalProperty
+        from repro.temporal import formulas
+
+        case, seed, max_rounds = scenario
+        simulator = _build_case_simulator(case, "maximal", seed=seed)
+        predicates = self._predicates(simulator)
+        properties = []
+        for operator, arity in self.OPERATOR_CASES:
+            if arity == 1:
+                for pred_name in ("at-target", "objective-below", "few-distinct"):
+                    properties.append(
+                        TemporalProperty(
+                            f"{operator}/{pred_name}",
+                            operator,
+                            (predicates[pred_name],),
+                        )
+                    )
+            else:
+                properties.append(
+                    TemporalProperty(
+                        f"{operator}/small-target",
+                        operator,
+                        (predicates["few-distinct"], predicates["at-target"]),
+                    )
+                )
+        probe = TemporalProbe(properties)
+        result = simulator.run(max_rounds=max_rounds, probes=[probe])
+        verdicts = result.probes["temporal"]["verdicts"]
+        assert result.probes["temporal"]["complete"] == result.trace.complete
+
+        for prop in properties:
+            offline = getattr(formulas, prop.operator)(
+                result.trace, *prop.predicates
+            )
+            assert verdicts[prop.name] == offline, (
+                f"{prop.name}: online {verdicts[prop.name]} != offline {offline}"
+            )
+
+    def test_online_verdicts_match_on_messaging_engine(self):
+        from repro.simulation import TemporalProbe, TemporalProperty
+        from repro.temporal import formulas
+
+        simulator = _build_messaging("minimum", seed=3, loss=0.5)
+        target = simulator.target
+        at_target = lambda bag: bag == target  # noqa: E731
+        properties = [
+            TemporalProperty("reaches", "eventually", (at_target,)),
+            TemporalProperty("stable", "stable", (at_target,)),
+            TemporalProperty("settles", "eventually_always", (at_target,)),
+        ]
+        probe = TemporalProbe(properties)
+        result = simulator.run(max_rounds=400, probes=[probe])
+        assert result.converged
+        verdicts = result.probes["temporal"]["verdicts"]
+        for prop in properties:
+            offline = getattr(formulas, prop.operator)(
+                result.trace, *prop.predicates
+            )
+            assert verdicts[prop.name] == offline

@@ -76,6 +76,7 @@ class TestPopulation:
             "schedulers",
             "graphs",
             "value_generators",
+            "probes",
         }
         assert all(names == sorted(names) for names in report.values())
 
