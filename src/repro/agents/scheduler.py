@@ -44,6 +44,15 @@ __all__ = [
 class Scheduler(ABC):
     """Chooses which groups act in a round, given the environment state."""
 
+    #: True for schedulers whose round is built from the environment's
+    #: communication groups.  The simulation engine only maintains
+    #: incremental connectivity (a per-round cost of its own) when the
+    #: active scheduler declares it will consume the components; the
+    #: default is False so unknown schedulers never pay for maintenance
+    #: they do not use — their component queries still work, served by the
+    #: state's memoized from-scratch computation.
+    uses_communication_groups: bool = False
+
     @abstractmethod
     def schedule(
         self, environment_state: EnvironmentState, rng: random.Random
@@ -62,11 +71,25 @@ class Scheduler(ABC):
 
 @register_scheduler("maximal")
 class MaximalGroupsScheduler(Scheduler):
-    """Every communication group of the environment acts, whole."""
+    """Every communication group of the environment acts, whole.
+
+    When the engine maintains connectivity incrementally, the environment
+    state carries one interned :class:`Group` per maintained component;
+    scheduling is then just handing back that shared list — components
+    unchanged since the previous round reuse their group object, so a
+    quiet round allocates O(|delta|) groups instead of O(n).  The list is
+    owned by the connectivity tracker and must be treated as read-only,
+    which the engine's consumption (iteration only) respects.
+    """
+
+    uses_communication_groups = True
 
     def schedule(
         self, environment_state: EnvironmentState, rng: random.Random
     ) -> list[Group]:
+        maintained = environment_state.maintained_scheduler_groups()
+        if maintained is not None:
+            return maintained
         # The tuples arrive sorted exactly as Group stores its members, so
         # the groups are built without re-sorting each component.
         return [
@@ -110,6 +133,8 @@ class RandomPairScheduler(Scheduler):
 class SingleGroupScheduler(Scheduler):
     """Exactly one communication group acts per round (chosen at random)."""
 
+    uses_communication_groups = True
+
     def schedule(
         self, environment_state: EnvironmentState, rng: random.Random
     ) -> list[Group]:
@@ -136,6 +161,8 @@ class RandomSubgroupScheduler(Scheduler):
     ``max_size``.  (Chunk members are drawn from the same component, so
     they can in fact communicate.)
     """
+
+    uses_communication_groups = True
 
     def __init__(self, min_size: int = 2, max_size: int = 4):
         if min_size < 1 or max_size < min_size:

@@ -26,6 +26,7 @@ from ..core.errors import SpecificationError
 from ..core.functions import DistributedFunction
 from ..core.multiset import Multiset
 from ..core.objective import SummationObjective
+from ..core.relation import STUTTER_JUDGEMENT, StepJudgement, StepKind
 from ..registry import register_algorithm
 
 __all__ = ["minimum_function", "minimum_objective", "minimum_algorithm", "minimum_merge"]
@@ -56,6 +57,59 @@ def minimum_objective() -> SummationObjective:
         exact_delta=True,
         description="h(S) = sum of agent values; minimized when all hold the minimum",
     )
+
+
+def _minimum_fast_judge(states_before, states_after):
+    """Exact hot-path judge for the minimum relation (see ``fast_judge``).
+
+    ``f`` maps a bag to ``{min}^{|bag|}`` and ``h`` is the plain sum, so
+    for integer states the full judgement is reproducible from three C
+    builtins.  Non-integer states (or a conservation violation, which the
+    full judge should diagnose with its proper error detail) fall back by
+    returning None.  Integer-only matters for exactness: the objective
+    sums the *bag* (equal values grouped), and float addition would be
+    order-sensitive.
+    """
+    if len(states_before) == 2 and len(states_after) == 2:
+        # Pair steps dominate sparse rounds; everything below is a
+        # branch-for-branch unrolling of the generic path.
+        before_0, before_1 = states_before
+        after_0, after_1 = states_after
+        if (
+            type(before_0) is not int
+            or type(before_1) is not int
+            or type(after_0) is not int
+            or type(after_1) is not int
+        ):
+            return None
+        if after_0 == before_1 and after_1 == before_0:
+            # Element-wise equality was ruled out by the caller; the only
+            # other bag-equal layout is the swap.
+            return STUTTER_JUDGEMENT
+        minimum_before = before_0 if before_0 < before_1 else before_1
+        minimum_after = after_0 if after_0 < after_1 else after_1
+        if minimum_before != minimum_after:
+            return None
+        h_before = before_0 + before_1
+        h_after = after_0 + after_1
+        if h_after < h_before:
+            return StepJudgement(StepKind.IMPROVEMENT, h_before, h_after)
+        return StepJudgement(StepKind.NOT_AN_IMPROVEMENT, h_before, h_after)
+    for value in states_before:
+        if type(value) is not int:
+            return None
+    for value in states_after:
+        if type(value) is not int:
+            return None
+    if sorted(states_before) == sorted(states_after):
+        return STUTTER_JUDGEMENT
+    if min(states_before) != min(states_after):
+        return None
+    h_before = sum(states_before)
+    h_after = sum(states_after)
+    if h_after < h_before:
+        return StepJudgement(StepKind.IMPROVEMENT, h_before, h_after)
+    return StepJudgement(StepKind.NOT_AN_IMPROVEMENT, h_before, h_after)
 
 
 def _check_non_negative(value: int) -> int:
@@ -113,6 +167,7 @@ def minimum_algorithm(partial: bool = False) -> SelfSimilarAlgorithm:
         super_idempotent=True,
         environment_requirement="connected",
         singleton_stutters=True,
+        fast_judge=_minimum_fast_judge,
         description="consensus on the minimum of the initial values (§4.1)",
     )
 

@@ -100,6 +100,19 @@ class SelfSimilarAlgorithm:
         False so that algorithms defined outside this library are always
         executed faithfully — only declare it when the guard above is the
         first thing your step rule does.
+    fast_judge:
+        Optional exact shortcut for the relation check on the hot path.
+        A callable ``(before, after) -> StepJudgement | None`` receiving
+        the group's state lists (``after`` already length-checked and
+        element-wise different from ``before``); it must return exactly
+        the judgement ``relation.judge(Multiset(before), Multiset(after))``
+        would produce — same kind, same ``h`` values bit for bit — or
+        None to fall back to the full judge (always safe, and the right
+        answer for any case the shortcut cannot price exactly, e.g. a
+        conservation violation that the full judge should diagnose).
+        Judging draws no randomness, so the shortcut never affects the
+        random stream; the engine's full-recompute reference mode ignores
+        it entirely, which is how the parity suite pins the equivalence.
     """
 
     name: str
@@ -112,6 +125,7 @@ class SelfSimilarAlgorithm:
     environment_requirement: str = "connected"
     enforce: bool = True
     singleton_stutters: bool = False
+    fast_judge: Callable[[Sequence[Hashable], Sequence[Hashable]], StepJudgement | None] | None = None
     description: str = ""
     relation: OptimizationRelation = field(init=False)
 
@@ -144,10 +158,11 @@ class SelfSimilarAlgorithm:
         ``fast_stutter`` short-circuits the common case in which the step
         rule returns the states unchanged: element-wise equality already
         implies multiset equality, i.e. a stutter step, so the multiset
-        construction and relation check are skipped.  The verdict is
-        identical either way; the flag exists so the engine's
-        full-recompute reference mode can reproduce the unshortcut
-        execution exactly.
+        construction and relation check are skipped.  The same flag gates
+        the algorithm's :attr:`fast_judge` shortcut (exact by contract).
+        The verdict is identical either way; the flag exists so the
+        engine's full-recompute reference mode can reproduce the
+        unshortcut execution exactly.
 
         Raises
         ------
@@ -160,7 +175,9 @@ class SelfSimilarAlgorithm:
             If the step rule returned a different number of states.
         """
         before = list(states)
-        after = list(self.group_step(before, rng))
+        after = self.group_step(before, rng)
+        if type(after) is not list:
+            after = list(after)
         if len(after) != len(before):
             raise SpecificationError(
                 f"group step of {self.name!r} returned {len(after)} states "
@@ -168,7 +185,11 @@ class SelfSimilarAlgorithm:
             )
         if fast_stutter and after == before:
             return after, STUTTER_JUDGEMENT
-        judgement = self.relation.judge(Multiset(before), Multiset(after))
+        judgement = None
+        if fast_stutter and self.fast_judge is not None:
+            judgement = self.fast_judge(before, after)
+        if judgement is None:
+            judgement = self.relation.judge(Multiset(before), Multiset(after))
         if self.enforce:
             if judgement.kind is StepKind.BREAKS_CONSERVATION:
                 raise ConservationViolation(

@@ -37,11 +37,16 @@ equality checks reject unequal bags in O(1)), and a cached
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Hashable, Iterable, Iterator, Mapping
+from collections.abc import Mapping
+from typing import Any, Hashable, Iterable, Iterator
 
 __all__ = ["Multiset", "MutableMultiset"]
 
 _FINGERPRINT_MASK = (1 << 64) - 1
+
+
+_FINGERPRINT_CACHE: dict = {}
+_FINGERPRINT_CACHE_CAP = 1 << 16
 
 
 def _element_fingerprint(value: Hashable) -> int:
@@ -52,14 +57,27 @@ def _element_fingerprint(value: Hashable) -> int:
     common); a splitmix64-style finalizer spreads it over 64 bits.  The
     bag fingerprint is the multiplicity-weighted sum of these, so it is
     order-independent and can be maintained in O(1) per mutation.
+
+    Fingerprints are memoized per value (the engine folds the same agent
+    states through the maintained bag round after round; the memo is
+    sound for equal-but-distinct-type keys like ``1`` and ``1.0`` because
+    the fingerprint depends only on ``hash(value)``, which equal values
+    share).  The cache is capped so unbounded state spaces cannot grow
+    memory without bound.
     """
+    cached = _FINGERPRINT_CACHE.get(value)
+    if cached is not None:
+        return cached
     h = hash(value) & _FINGERPRINT_MASK
     h = (h + 0x9E3779B97F4A7C15) & _FINGERPRINT_MASK
     h ^= h >> 30
     h = (h * 0xBF58476D1CE4E5B9) & _FINGERPRINT_MASK
     h ^= h >> 27
     h = (h * 0x94D049BB133111EB) & _FINGERPRINT_MASK
-    return h ^ (h >> 31)
+    h ^= h >> 31
+    if len(_FINGERPRINT_CACHE) < _FINGERPRINT_CACHE_CAP:
+        _FINGERPRINT_CACHE[value] = h
+    return h
 
 
 def _fingerprint_of_counts(counts: Mapping[Hashable, int]) -> int:
@@ -514,14 +532,37 @@ class MutableMultiset:
         states the bag never held means the caller's bookkeeping has
         drifted, and failing fast beats silently corrupting the size and
         fingerprint.
+
+        The loops inline :meth:`add` / :meth:`discard` (this is the
+        engine's per-round hot path; one method call per changed agent
+        state adds up), with identical semantics.
         """
+        counts = self._counts
+        counts_get = counts.get
+        fingerprint = self._fingerprint
+        size = self._size
         for value in added:
-            self.add(value)
+            counts[value] = counts_get(value, 0) + 1
+            size += 1
+            fingerprint += _element_fingerprint(value)
         for value in removed:
-            if self.discard(value) == 0:
+            present = counts_get(value, 0)
+            if present == 0:
+                self._size = size
+                self._fingerprint = fingerprint & _FINGERPRINT_MASK
+                self._snapshot = None
                 raise KeyError(
                     f"cannot remove {value!r}: not present in the multiset"
                 )
+            if present == 1:
+                del counts[value]
+            else:
+                counts[value] = present - 1
+            size -= 1
+            fingerprint -= _element_fingerprint(value)
+        self._size = size
+        self._fingerprint = fingerprint & _FINGERPRINT_MASK
+        self._snapshot = None
 
     # -- conversion ------------------------------------------------------------
 

@@ -93,17 +93,29 @@ class OptimizationRelation:
     def judge(
         self, before: Multiset | Iterable, after: Multiset | Iterable
     ) -> StepJudgement:
-        """Classify the candidate transition from ``before`` to ``after``."""
+        """Classify the candidate transition from ``before`` to ``after``.
+
+        The improvement criterion is evaluated directly from the ``h``
+        values computed here (the definition
+        :meth:`ObjectiveFunction.is_improvement` spells out), so each
+        objective is priced exactly once per judged step.
+        """
         before_bag = before if isinstance(before, Multiset) else Multiset(before)
         after_bag = after if isinstance(after, Multiset) else Multiset(after)
 
         if before_bag == after_bag:
-            return StepJudgement(StepKind.STUTTER)
+            return STUTTER_JUDGEMENT
         if not self.function.conserves(before_bag, after_bag):
             return StepJudgement(StepKind.BREAKS_CONSERVATION)
-        h_before = self.objective(before_bag)
-        h_after = self.objective(after_bag)
-        if self.objective.is_improvement(before_bag, after_bag):
+        objective = self.objective
+        h_before = objective(before_bag)
+        h_after = objective(after_bag)
+        minimum_decrease = objective.minimum_decrease
+        if minimum_decrease > 0:
+            improved = h_after <= h_before - minimum_decrease
+        else:
+            improved = h_after < h_before
+        if improved:
             return StepJudgement(StepKind.IMPROVEMENT, h_before, h_after)
         return StepJudgement(StepKind.NOT_AN_IMPROVEMENT, h_before, h_after)
 

@@ -12,7 +12,15 @@ from .adversary import (
     RotatingPartitionAdversary,
     TargetedCrashAdversary,
 )
-from .base import Environment, EnvironmentState, Topology, connected_components
+from .base import (
+    EMPTY_DELTA,
+    Environment,
+    EnvironmentDelta,
+    EnvironmentState,
+    Topology,
+    connected_components,
+)
+from .connectivity import ConnectivityTracker
 from .dynamics import (
     MarkovChurnEnvironment,
     PeriodicDutyCycleEnvironment,
@@ -36,7 +44,10 @@ __all__ = [
     "EdgeBudgetAdversary",
     "RotatingPartitionAdversary",
     "TargetedCrashAdversary",
+    "ConnectivityTracker",
+    "EMPTY_DELTA",
     "Environment",
+    "EnvironmentDelta",
     "EnvironmentState",
     "Topology",
     "connected_components",

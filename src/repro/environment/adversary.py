@@ -22,7 +22,13 @@ from typing import Sequence
 
 from ..core.errors import EnvironmentError_
 from ..registry import register_environment
-from .base import Environment, EnvironmentState, Topology
+from .base import (
+    EMPTY_DELTA,
+    Environment,
+    EnvironmentDelta,
+    EnvironmentState,
+    Topology,
+)
 
 __all__ = [
     "RotatingPartitionAdversary",
@@ -45,7 +51,13 @@ class RotatingPartitionAdversary(Environment):
     assumption ``Q_E`` still holds.  This is the canonical scenario for
     self-similarity: each partition block must behave like a complete
     system on its own.
+
+    Within an epoch the state is constant (the cached edge set is shared
+    and the reported delta empty); crossing an epoch boundary reports the
+    exact edge diff between the outgoing and incoming partitions.
     """
+
+    reports_deltas = True
 
     def __init__(
         self,
@@ -63,6 +75,12 @@ class RotatingPartitionAdversary(Environment):
         self.rotate_every = rotate_every
         self.seed = seed
         self._epoch_cache: dict[int, dict[int, int]] = {}
+        self._all_agents = frozenset(topology.agent_ids)
+        self._epoch_edges: tuple[int, frozenset] | None = None
+        self._last_round: int | None = None
+
+    def reset(self) -> None:
+        self._last_round = None
 
     def _blocks_for_epoch(self, epoch: int) -> dict[int, int]:
         """Block assignment for one epoch: a seeded shuffle cut into
@@ -83,17 +101,51 @@ class RotatingPartitionAdversary(Environment):
         epoch = round_index // self.rotate_every
         return self._blocks_for_epoch(epoch)[agent]
 
-    def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
+    def _edges_for_round(self, round_index: int) -> frozenset:
+        epoch = round_index // self.rotate_every
+        cached = self._epoch_edges
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
         edges = frozenset(
             (a, b)
             for a, b in self.topology.edges
             if self._block_of(a, round_index) == self._block_of(b, round_index)
         )
+        self._epoch_edges = (epoch, edges)
+        return edges
+
+    def _build_state(self, round_index: int) -> EnvironmentState:
         return EnvironmentState(
-            enabled_agents=frozenset(self.topology.agent_ids),
-            available_edges=edges,
+            enabled_agents=self._all_agents,
+            available_edges=self._edges_for_round(round_index),
             round_index=round_index,
         )
+
+    def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
+        state = self._build_state(round_index)
+        # Plain advances invalidate the delta base: an interleaved caller
+        # may have crossed an epoch boundary the delta tracking never saw.
+        self._last_round = None
+        return state
+
+    def advance_with_delta(self, round_index, rng):
+        previous_edges = (
+            self._epoch_edges[1] if self._epoch_edges is not None else None
+        )
+        state = self._build_state(round_index)
+        if self._last_round != round_index - 1 or previous_edges is None:
+            delta = None
+        elif previous_edges is state.available_edges:
+            delta = EMPTY_DELTA
+        else:
+            delta = EnvironmentDelta.between(
+                self._all_agents,
+                previous_edges,
+                self._all_agents,
+                state.available_edges,
+            )
+        self._last_round = round_index
+        return state, delta
 
     def describe(self) -> str:
         return (
@@ -117,7 +169,13 @@ class TargetedCrashAdversary(Environment):
     the remainder of each period, the fairness assumption still holds; but
     any algorithm that relies on a distinguished coordinator among the
     targets is starved for most of the computation.
+
+    Only two enabled sets ever occur (targets down / everyone up); both
+    are cached, and the reported delta is the target set toggling at the
+    phase boundaries.
     """
+
+    reports_deltas = True
 
     def __init__(
         self,
@@ -135,20 +193,43 @@ class TargetedCrashAdversary(Environment):
         self.targets = frozenset(targets)
         self.period = period
         self.down_rounds = down_rounds
+        self._all_agents = frozenset(topology.agent_ids)
+        self._survivors = frozenset(
+            a for a in topology.agent_ids if a not in self.targets
+        )
+        self._last_round: int | None = None
+
+    def reset(self) -> None:
+        self._last_round = None
+
+    def _in_down_phase(self, round_index: int) -> bool:
+        return (round_index % self.period) < self.down_rounds
 
     def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
-        in_down_phase = (round_index % self.period) < self.down_rounds
-        if in_down_phase:
-            enabled = frozenset(
-                a for a in self.topology.agent_ids if a not in self.targets
-            )
-        else:
-            enabled = frozenset(self.topology.agent_ids)
+        enabled = (
+            self._survivors if self._in_down_phase(round_index) else self._all_agents
+        )
         return EnvironmentState(
             enabled_agents=enabled,
             available_edges=self.topology.edges,
             round_index=round_index,
         )
+
+    def advance_with_delta(self, round_index, rng):
+        state = self.advance(round_index, rng)
+        if self._last_round != round_index - 1:
+            delta = None
+        else:
+            down_now = self._in_down_phase(round_index)
+            down_before = self._in_down_phase(round_index - 1)
+            if down_now == down_before:
+                delta = EMPTY_DELTA
+            elif down_now:
+                delta = EnvironmentDelta(agents_disabled=self.targets)
+            else:
+                delta = EnvironmentDelta(agents_enabled=self.targets)
+        self._last_round = round_index
+        return state, delta
 
     def describe(self) -> str:
         return (
@@ -171,7 +252,12 @@ class BlackoutAdversary(Environment):
     environment prevents all agents from changing state").  Between
     blackouts the system is fully available.  The escape postulate is
     respected because blackouts always end.
+
+    Only two states ever occur (dark / fully up); the reported delta is
+    everything toggling at the blackout boundaries.
     """
+
+    reports_deltas = True
 
     def __init__(self, topology: Topology, period: int = 10, blackout_rounds: int = 5):
         super().__init__(topology)
@@ -179,20 +265,51 @@ class BlackoutAdversary(Environment):
             raise EnvironmentError_("blackout_rounds must be in [0, period)")
         self.period = period
         self.blackout_rounds = blackout_rounds
+        self._all_agents = frozenset(topology.agent_ids)
+        self._nobody: frozenset[int] = frozenset()
+        self._no_edges: frozenset = frozenset()
+        self._last_round: int | None = None
+
+    def reset(self) -> None:
+        self._last_round = None
+
+    def _in_blackout(self, round_index: int) -> bool:
+        return (round_index % self.period) < self.blackout_rounds
 
     def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
-        in_blackout = (round_index % self.period) < self.blackout_rounds
-        if in_blackout:
+        if self._in_blackout(round_index):
             return EnvironmentState(
-                enabled_agents=frozenset(),
-                available_edges=frozenset(),
+                enabled_agents=self._nobody,
+                available_edges=self._no_edges,
                 round_index=round_index,
             )
         return EnvironmentState(
-            enabled_agents=frozenset(self.topology.agent_ids),
+            enabled_agents=self._all_agents,
             available_edges=self.topology.edges,
             round_index=round_index,
         )
+
+    def advance_with_delta(self, round_index, rng):
+        state = self.advance(round_index, rng)
+        if self._last_round != round_index - 1:
+            delta = None
+        else:
+            dark_now = self._in_blackout(round_index)
+            dark_before = self._in_blackout(round_index - 1)
+            if dark_now == dark_before:
+                delta = EMPTY_DELTA
+            elif dark_now:
+                delta = EnvironmentDelta(
+                    edges_down=self.topology.edges,
+                    agents_disabled=self._all_agents,
+                )
+            else:
+                delta = EnvironmentDelta(
+                    edges_up=self.topology.edges,
+                    agents_enabled=self._all_agents,
+                )
+        self._last_round = round_index
+        return state, delta
 
     def describe(self) -> str:
         return f"blackout ({self.blackout_rounds}/{self.period} rounds dark)"
@@ -212,7 +329,12 @@ class EdgeBudgetAdversary(Environment):
     degrades roughly inversely with the budget, which experiment E1 uses
     to quantify the "speed up or slow down with available resources"
     claim.
+
+    The per-round delta is the diff between consecutive round-robin
+    windows — at most ``2 · budget`` edges regardless of the topology.
     """
+
+    reports_deltas = True
 
     def __init__(self, topology: Topology, budget: int = 1):
         super().__init__(topology)
@@ -220,8 +342,33 @@ class EdgeBudgetAdversary(Environment):
             raise EnvironmentError_("budget must be at least 1")
         self.budget = budget
         self._ordered_edges = sorted(topology.edges)
+        self._all_agents = frozenset(topology.agent_ids)
+        self._previous: tuple[int, frozenset] | None = None
+
+    def reset(self) -> None:
+        self._previous = None
 
     def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
+        state = self._build_state(round_index)
+        self._previous = None
+        return state
+
+    def advance_with_delta(self, round_index, rng):
+        previous = self._previous
+        state = self._build_state(round_index)
+        if previous is None or previous[0] != round_index - 1:
+            delta = None
+        else:
+            delta = EnvironmentDelta.between(
+                self._all_agents,
+                previous[1],
+                self._all_agents,
+                state.available_edges,
+            )
+        self._previous = (round_index, state.available_edges)
+        return state, delta
+
+    def _build_state(self, round_index: int) -> EnvironmentState:
         if not self._ordered_edges:
             edges: frozenset = frozenset()
         else:
@@ -232,7 +379,7 @@ class EdgeBudgetAdversary(Environment):
             ]
             edges = frozenset(chosen)
         return EnvironmentState(
-            enabled_agents=frozenset(self.topology.agent_ids),
+            enabled_agents=self._all_agents,
             available_edges=edges,
             round_index=round_index,
         )

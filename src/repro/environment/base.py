@@ -14,7 +14,18 @@ This module defines:
   available");
 * :class:`EnvironmentState` — one concrete ``G``: the set of enabled agents
   and the set of currently available edges, together with the group
-  structure (connected components) it induces;
+  structure (connected components) it induces.  Derived views
+  (:meth:`EnvironmentState.effective_edges`, the communication groups) are
+  computed lazily and memoized on the frozen state, so repeated queries in
+  one round never recompute;
+* :class:`EnvironmentDelta` — what changed between two consecutive
+  environment states (edges up/down, agents enabled/disabled).
+  Environments that can report their churn as a delta set
+  :attr:`Environment.reports_deltas` and implement
+  :meth:`Environment.advance_with_delta`, which lets the simulation layer
+  maintain connectivity incrementally
+  (:mod:`repro.environment.connectivity`) instead of re-walking the whole
+  graph every round;
 * :class:`Environment` — the abstract driver that produces a (possibly
   adversarial, possibly random) sequence of environment states.
 
@@ -31,7 +42,13 @@ from typing import Iterable, Sequence
 
 from ..core.errors import EnvironmentError_
 
-__all__ = ["Topology", "EnvironmentState", "Environment"]
+__all__ = [
+    "Topology",
+    "EnvironmentState",
+    "EnvironmentDelta",
+    "EMPTY_DELTA",
+    "Environment",
+]
 
 Edge = tuple[int, int]
 
@@ -66,6 +83,7 @@ class Topology:
             normalized.add(_normalize_edge(a, b))
         self.edges: frozenset[Edge] = frozenset(normalized)
         self._adjacency: dict[int, frozenset[int]] | None = None
+        self._is_connected: bool | None = None
 
     # -- queries --------------------------------------------------------------
 
@@ -95,9 +113,16 @@ class Topology:
         return _normalize_edge(a, b) in self.edges
 
     def is_connected(self) -> bool:
-        """Return True when the fixed graph is connected."""
-        components = connected_components(set(self.agent_ids), self.edges)
-        return len(components) <= 1
+        """Return True when the fixed graph is connected.
+
+        The verdict is computed once and cached on the immutable topology:
+        spec validation and the baselines query it repeatedly, and the
+        BFS over a large graph is not free.
+        """
+        if self._is_connected is None:
+            components = connected_components(set(self.agent_ids), self.edges)
+            self._is_connected = len(components) <= 1
+        return self._is_connected
 
     def is_complete(self) -> bool:
         """Return True when every pair of agents is joined by an edge."""
@@ -186,22 +211,127 @@ def connected_components(
     ]
 
 
+class EnvironmentDelta:
+    """What changed from one environment state to the next.
+
+    A delta is the exact symmetric difference between two consecutive
+    states: edges that became available / unavailable and agents that
+    became enabled / disabled.  Environments that know their own churn
+    report one per round (:meth:`Environment.advance_with_delta`), which
+    is what lets the connectivity layer update communication groups in
+    O(|delta|) instead of re-walking the graph.
+
+    Field order is not semantically meaningful; each field may hold any
+    iterable of edges / agent ids (consumers only iterate and test
+    emptiness).
+    """
+
+    __slots__ = ("edges_down", "edges_up", "agents_disabled", "agents_enabled")
+
+    def __init__(
+        self,
+        edges_down: Iterable[Edge] = (),
+        edges_up: Iterable[Edge] = (),
+        agents_disabled: Iterable[int] = (),
+        agents_enabled: Iterable[int] = (),
+    ):
+        self.edges_down = edges_down
+        self.edges_up = edges_up
+        self.agents_disabled = agents_disabled
+        self.agents_enabled = agents_enabled
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing changed (the state is identical to the last)."""
+        return not (
+            self.edges_down
+            or self.edges_up
+            or self.agents_disabled
+            or self.agents_enabled
+        )
+
+    @classmethod
+    def between(
+        cls,
+        previous_enabled: frozenset[int],
+        previous_edges: frozenset[Edge],
+        enabled: frozenset[int],
+        edges: frozenset[Edge],
+    ) -> "EnvironmentDelta":
+        """Delta between two (enabled, available-edges) snapshots.
+
+        Returns the shared :data:`EMPTY_DELTA` when nothing changed, so
+        quiet rounds allocate nothing.
+        """
+        if previous_enabled is enabled or previous_enabled == enabled:
+            agents_disabled: Iterable[int] = ()
+            agents_enabled: Iterable[int] = ()
+        else:
+            agents_disabled = previous_enabled - enabled
+            agents_enabled = enabled - previous_enabled
+        if previous_edges is edges or previous_edges == edges:
+            edges_down: Iterable[Edge] = ()
+            edges_up: Iterable[Edge] = ()
+        else:
+            edges_down = previous_edges - edges
+            edges_up = edges - previous_edges
+        if not (agents_disabled or agents_enabled or edges_down or edges_up):
+            return EMPTY_DELTA
+        return cls(edges_down, edges_up, agents_disabled, agents_enabled)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EnvironmentDelta(-{len(tuple(self.edges_down))}e "
+            f"+{len(tuple(self.edges_up))}e "
+            f"-{len(tuple(self.agents_disabled))}a "
+            f"+{len(tuple(self.agents_enabled))}a)"
+        )
+
+
+#: The delta of a round in which nothing changed.
+EMPTY_DELTA = EnvironmentDelta()
+
+
 @dataclass(frozen=True)
 class EnvironmentState:
-    """One environment state ``G``: who is enabled and who can talk to whom."""
+    """One environment state ``G``: who is enabled and who can talk to whom.
+
+    The state itself is two frozensets; everything derived from them —
+    the effective edges, the communication groups in either representation
+    — is a *lazy view*: computed on first request and memoized on the
+    instance (via ``object.__setattr__``, the frozen-dataclass idiom), so
+    schedulers, engines and probes can all query the same state without
+    repeating the filter or the component walk.
+
+    The simulation layer's connectivity tracker
+    (:class:`repro.environment.connectivity.ConnectivityTracker`) can
+    pre-install maintained component views on a state, in which case the
+    group accessors serve those instead of computing from scratch; the
+    installed views are always equal to what the from-scratch computation
+    would produce (pinned by the differential test suite).
+    """
 
     enabled_agents: frozenset[int]
     available_edges: frozenset[Edge]
     round_index: int = 0
 
     def effective_edges(self) -> frozenset[Edge]:
-        """Edges whose both endpoints are enabled (only these support steps)."""
-        enabled = self.enabled_agents
-        return frozenset(
-            edge
-            for edge in self.available_edges
-            if edge[0] in enabled and edge[1] in enabled
-        )
+        """Edges whose both endpoints are enabled (only these support steps).
+
+        Computed once per state and memoized: ``communication_groups()``,
+        ``communication_group_tuples()`` and every ``can_communicate``-style
+        consumer share one filtered set instead of rebuilding it per call.
+        """
+        memo = self.__dict__.get("_effective_edges")
+        if memo is None:
+            enabled = self.enabled_agents
+            memo = frozenset(
+                edge
+                for edge in self.available_edges
+                if edge[0] in enabled and edge[1] in enabled
+            )
+            object.__setattr__(self, "_effective_edges", memo)
+        return memo
 
     def communication_groups(self) -> list[frozenset[int]]:
         """Connected components of enabled agents under available edges.
@@ -210,7 +340,13 @@ class EnvironmentState:
         actions and does not change state, so it belongs to no acting
         group this round.
         """
-        return connected_components(self.enabled_agents, self.effective_edges())
+        memo = self.__dict__.get("_communication_groups")
+        if memo is None:
+            memo = [
+                frozenset(members) for members in self.communication_group_tuples()
+            ]
+            object.__setattr__(self, "_communication_groups", memo)
+        return memo
 
     def communication_group_tuples(self) -> list[tuple[int, ...]]:
         """The communication groups as sorted member tuples (hot-path form).
@@ -220,7 +356,51 @@ class EnvironmentState:
         :class:`~repro.agents.group.Group` stores — so schedulers can
         build their groups without materialising a frozenset per
         component."""
-        return connected_component_tuples(self.enabled_agents, self.effective_edges())
+        memo = self.__dict__.get("_component_tuples")
+        if memo is None:
+            maintained = self.__dict__.get("_maintained_components")
+            if maintained is not None:
+                memo = maintained.component_tuples(self)
+            else:
+                memo = connected_component_tuples(
+                    self.enabled_agents, self.effective_edges()
+                )
+            object.__setattr__(self, "_component_tuples", memo)
+        return memo
+
+    def maintained_scheduler_groups(self):
+        """The maintained, interned per-component group objects, or None.
+
+        Populated (indirectly) by the connectivity tracker when the
+        simulation runs with an incremental environment; schedulers that
+        act on whole components use it to reuse group objects for
+        components unchanged since the previous round.  Callers must treat
+        the returned list as read-only.
+        """
+        maintained = self.__dict__.get("_maintained_components")
+        if maintained is None:
+            return None
+        return maintained.scheduler_groups(self)
+
+    def _adopt_view_memos(self, previous: "EnvironmentState") -> None:
+        """Copy ``previous``'s memoized derived views onto this state.
+
+        Only valid when this state is known to be semantically identical
+        to ``previous`` (an empty :class:`EnvironmentDelta` between them);
+        the engines use it so that quiet rounds never recompute a view
+        some earlier round already paid for."""
+        source = previous.__dict__
+        own = self.__dict__
+        for key in (
+            "_effective_edges",
+            "_communication_groups",
+            "_component_tuples",
+            "_maintained_components",
+        ):
+            if key not in own:
+                memo = source.get(key)
+                if memo is not None:
+                    object.__setattr__(self, key, memo)
 
     def can_communicate(self, a: int, b: int) -> bool:
         """Return True when agents ``a`` and ``b`` are enabled and share an
@@ -251,6 +431,12 @@ class Environment(ABC):
     topology's edges.
     """
 
+    #: True when this environment implements :meth:`advance_with_delta`
+    #: with real per-round deltas.  The engines only attempt incremental
+    #: connectivity maintenance for environments that declare it; every
+    #: other environment keeps the classic from-scratch path.
+    reports_deltas: bool = False
+
     def __init__(self, topology: Topology):
         self.topology = topology
 
@@ -262,6 +448,24 @@ class Environment(ABC):
     @abstractmethod
     def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
         """Produce the environment state for round ``round_index``."""
+
+    def advance_with_delta(
+        self, round_index: int, rng: random.Random
+    ) -> tuple[EnvironmentState, EnvironmentDelta | None]:
+        """Produce the next state together with the delta from the last one.
+
+        The state (and every random draw behind it) is exactly what
+        :meth:`advance` would have produced — reporting a delta never
+        changes the random stream, so seeded runs are byte-identical in
+        either mode.  A ``None`` delta means "unknown": the first round
+        after construction or :meth:`reset`, or an environment that cannot
+        (or does not care to) track its own churn.  Consumers treat None
+        as "resynchronize from the full state".
+
+        The default implementation delegates to :meth:`advance` and always
+        reports None.
+        """
+        return self.advance(round_index, rng), None
 
     def reset(self) -> None:
         """Reset any internal state before a new simulation run.

@@ -18,7 +18,13 @@ import random
 
 from ..core.errors import EnvironmentError_
 from ..registry import register_environment
-from .base import Environment, EnvironmentState, Topology
+from .base import (
+    EMPTY_DELTA,
+    Environment,
+    EnvironmentDelta,
+    EnvironmentState,
+    Topology,
+)
 
 __all__ = [
     "StaticEnvironment",
@@ -35,14 +41,39 @@ class StaticEnvironment(Environment):
     This is the degenerate case in which a dynamic distributed system
     behaves like a classical static one; baselines such as the repeated
     global snapshot are at their best here.
+
+    The enabled set never changes, so it is built once and shared by every
+    round's state, and :meth:`advance_with_delta` reports an empty delta
+    after the first round — a static run's connectivity is computed
+    exactly once.
     """
 
+    reports_deltas = True
+
+    def __init__(self, topology: Topology):
+        super().__init__(topology)
+        self._all_agents: frozenset[int] | None = None
+        self._last_round: int | None = None
+
+    def reset(self) -> None:
+        self._last_round = None
+
     def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
+        if self._all_agents is None:
+            self._all_agents = frozenset(self.topology.agent_ids)
         return EnvironmentState(
-            enabled_agents=frozenset(self.topology.agent_ids),
+            enabled_agents=self._all_agents,
             available_edges=self.topology.edges,
             round_index=round_index,
         )
+
+    def advance_with_delta(self, round_index, rng):
+        state = self.advance(round_index, rng)
+        delta = (
+            EMPTY_DELTA if self._last_round == round_index - 1 else None
+        )
+        self._last_round = round_index
+        return state, delta
 
     def fairness_predicates(self):
         return tuple(f"edge {edge} available" for edge in sorted(self.topology.edges))
@@ -71,6 +102,8 @@ class RandomChurnEnvironment(Environment):
         Probability that an agent is enabled in a given round.
     """
 
+    reports_deltas = True
+
     def __init__(
         self,
         topology: Topology,
@@ -91,16 +124,56 @@ class RandomChurnEnvironment(Environment):
         # random stream is identical to iterating topology.edges directly
         # — just without re-walking the set's hash table every round.
         self._edge_sequence = tuple(self.topology.edges)
+        # Shared all-enabled set for rounds in which every agent's draw
+        # passes (every round when agent_up_probability is 1).  Built by
+        # the same ascending-id insertion order a fresh construction uses,
+        # so sharing it never changes iteration order.
+        self._all_agents = frozenset(self.topology.agent_ids)
+        self._previous: tuple[frozenset, frozenset] | None = None
+
+    def reset(self) -> None:
+        self._previous = None
 
     def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
+        state, _ = self._advance(round_index, rng)
+        self._previous = None
+        return state
+
+    def advance_with_delta(self, round_index, rng):
+        state, previous = self._advance(round_index, rng)
+        if previous is None:
+            delta = None
+        else:
+            delta = EnvironmentDelta.between(
+                previous[0], previous[1], state.enabled_agents, state.available_edges
+            )
+        self._previous = (state.enabled_agents, state.available_edges)
+        return state, delta
+
+    def _advance(self, round_index: int, rng: random.Random):
+        # One uniform draw per agent, then one per edge, in a fixed order —
+        # exactly the stream the filtering loops below consume.  When every
+        # agent passes (agent_up_probability 1), the draws are still made
+        # (stream parity) but the comparisons and the list build are not:
+        # draw() is in [0, 1), so ``draw() < 1`` never filters anything.
         draw = rng.random
         agent_up = self.agent_up_probability
+        if agent_up >= 1.0:
+            for _ in self.topology.agent_ids:
+                draw()
+            enabled = self._all_agents
+        else:
+            up_agents = [
+                agent for agent in self.topology.agent_ids if draw() < agent_up
+            ]
+            enabled = (
+                self._all_agents
+                if len(up_agents) == self.topology.num_agents
+                else frozenset(up_agents)
+            )
         edge_up = self.edge_up_probability
-        enabled = frozenset(
-            agent for agent in self.topology.agent_ids if draw() < agent_up
-        )
         edges = frozenset(edge for edge in self._edge_sequence if draw() < edge_up)
-        return EnvironmentState(enabled, edges, round_index)
+        return EnvironmentState(enabled, edges, round_index), self._previous
 
     def fairness_predicates(self):
         if self.edge_up_probability > 0 and self.agent_up_probability > 0:
@@ -127,7 +200,13 @@ class MarkovChurnEnvironment(Environment):
     longer outages — a link stays broken until repaired, an agent stays
     dark until it finds power — while still satisfying ``Q_E`` with
     probability one as long as the recovery probability is positive.
+
+    The Markov chain is naturally incremental: the per-round delta is
+    exactly the set of edges and agents whose state flipped, collected
+    during the transition sweep at no extra draw.
     """
+
+    reports_deltas = True
 
     def __init__(
         self,
@@ -152,32 +231,72 @@ class MarkovChurnEnvironment(Environment):
         self.agent_recovery_probability = agent_recovery_probability
         self._edge_up: dict = {}
         self._agent_up: dict = {}
+        self._previous: tuple[frozenset, frozenset] | None = None
         self.reset()
 
     def reset(self) -> None:
         self._edge_up = {edge: True for edge in self.topology.edges}
         self._agent_up = {agent: True for agent in self.topology.agent_ids}
+        self._previous = None
 
     def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
+        state, _ = self._advance(round_index, rng)
+        self._previous = None
+        return state
+
+    def advance_with_delta(self, round_index, rng):
+        state, flips = self._advance(round_index, rng)
+        if self._previous is None:
+            delta = None
+        elif any(flips):
+            edges_down, edges_up, agents_disabled, agents_enabled = flips
+            delta = EnvironmentDelta(
+                edges_down, edges_up, agents_disabled, agents_enabled
+            )
+        else:
+            delta = EMPTY_DELTA
+        self._previous = (state.enabled_agents, state.available_edges)
+        return state, delta
+
+    def _advance(self, round_index: int, rng: random.Random):
+        edges_down: list = []
+        edges_up: list = []
+        agents_disabled: list = []
+        agents_enabled: list = []
         for edge, up in self._edge_up.items():
             if up:
                 if rng.random() < self.edge_failure_probability:
                     self._edge_up[edge] = False
+                    edges_down.append(edge)
             else:
                 if rng.random() < self.edge_recovery_probability:
                     self._edge_up[edge] = True
+                    edges_up.append(edge)
         for agent, up in self._agent_up.items():
             if up:
                 if rng.random() < self.agent_failure_probability:
                     self._agent_up[agent] = False
+                    agents_disabled.append(agent)
             else:
                 if rng.random() < self.agent_recovery_probability:
                     self._agent_up[agent] = True
-        return EnvironmentState(
-            enabled_agents=frozenset(a for a, up in self._agent_up.items() if up),
-            available_edges=frozenset(e for e, up in self._edge_up.items() if up),
+                    agents_enabled.append(agent)
+        previous = self._previous
+        if previous is not None and not (
+            edges_down or edges_up or agents_disabled or agents_enabled
+        ):
+            # Nothing flipped: reuse the previous round's sets (identical
+            # content, identical construction) instead of re-filtering.
+            enabled, edges = previous
+        else:
+            enabled = frozenset(a for a, up in self._agent_up.items() if up)
+            edges = frozenset(e for e, up in self._edge_up.items() if up)
+        state = EnvironmentState(
+            enabled_agents=enabled,
+            available_edges=edges,
             round_index=round_index,
         )
+        return state, (edges_down, edges_up, agents_disabled, agents_enabled)
 
     def describe(self) -> str:
         return (
@@ -210,7 +329,13 @@ class PeriodicDutyCycleEnvironment(Environment):
     With ``duty_cycle >= 0.5 + 1/period`` every pair of adjacent agents is
     guaranteed overlapping wake windows regardless of phases, which keeps
     the assumption ``Q_E`` satisfied deterministically.
+
+    The schedule repeats with the period, so the enabled set and the
+    round-to-round toggle delta are cached per phase residue: after the
+    first period every round is served from the cache in O(|toggles|).
     """
+
+    reports_deltas = True
 
     def __init__(
         self,
@@ -242,22 +367,58 @@ class PeriodicDutyCycleEnvironment(Environment):
         if len(phases) != topology.num_agents:
             raise EnvironmentError_("one phase per agent is required")
         self.phases = list(phases)
+        # Wake state depends only on round_index % period, so both the
+        # enabled sets and the per-round toggle deltas are cacheable by
+        # residue.  The cached frozensets were built by the construction
+        # below on their first use, so sharing them across periods keeps
+        # iteration order identical to building them fresh.
+        self._enabled_by_residue: dict[int, frozenset[int]] = {}
+        self._delta_by_residue: dict[int, EnvironmentDelta] = {}
+        self._last_round: int | None = None
+
+    def reset(self) -> None:
+        self._last_round = None
 
     def _is_awake(self, agent: int, round_index: int) -> bool:
         position = (round_index - self.phases[agent]) % self.period
         return position < self.wake_rounds
 
+    def _enabled_at(self, round_index: int) -> frozenset[int]:
+        residue = round_index % self.period
+        enabled = self._enabled_by_residue.get(residue)
+        if enabled is None:
+            enabled = frozenset(
+                agent
+                for agent in self.topology.agent_ids
+                if self._is_awake(agent, round_index)
+            )
+            self._enabled_by_residue[residue] = enabled
+        return enabled
+
     def advance(self, round_index: int, rng: random.Random) -> EnvironmentState:
-        enabled = frozenset(
-            agent
-            for agent in self.topology.agent_ids
-            if self._is_awake(agent, round_index)
-        )
         return EnvironmentState(
-            enabled_agents=enabled,
+            enabled_agents=self._enabled_at(round_index),
             available_edges=self.topology.edges,
             round_index=round_index,
         )
+
+    def advance_with_delta(self, round_index, rng):
+        state = self.advance(round_index, rng)
+        if self._last_round != round_index - 1:
+            delta = None
+        else:
+            residue = round_index % self.period
+            delta = self._delta_by_residue.get(residue)
+            if delta is None:
+                delta = EnvironmentDelta.between(
+                    self._enabled_at(round_index - 1),
+                    self.topology.edges,
+                    state.enabled_agents,
+                    self.topology.edges,
+                )
+                self._delta_by_residue[residue] = delta
+        self._last_round = round_index
+        return state, delta
 
     def describe(self) -> str:
         return f"periodic duty cycle (period {self.period}, duty {self.duty_cycle})"

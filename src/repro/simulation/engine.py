@@ -56,7 +56,8 @@ from ..core.algorithm import SelfSimilarAlgorithm
 from ..core.errors import SimulationError
 from ..core.multiset import Multiset, MutableMultiset
 from ..core.relation import STUTTER_JUDGEMENT, StepJudgement, StepKind
-from ..environment.base import Environment
+from ..environment.base import Environment, EnvironmentState, connected_component_tuples
+from ..environment.connectivity import ConnectivityTracker
 from .protocol import Probe, RoundRecord, run_engine
 from .result import SimulationResult
 
@@ -104,10 +105,24 @@ class Simulator:
         states change only through executed group steps; code that mutates
         ``Agent.state`` directly between rounds must use
         ``incremental=False`` (or will be caught by ``cross_check``).
+    incremental_environment:
+        When True (default), and the environment reports per-round deltas
+        (:attr:`Environment.reports_deltas`), the simulator maintains the
+        communication groups incrementally across rounds with a
+        :class:`~repro.environment.connectivity.ConnectivityTracker`
+        (when the scheduler consumes components) and propagates memoized
+        environment views across unchanged rounds.  The environment's
+        random draws and the produced states are identical either way —
+        this flag only selects how connectivity is computed.  When False,
+        every round recomputes the components from scratch: the reference
+        mode the incremental environment layer is measured and
+        cross-checked against, mirroring ``incremental=False``.
     cross_check:
         Debug flag.  When True (and ``incremental``), every round the
         maintained multiset, fingerprint and objective are verified
-        against a full recomputation from the agent states, raising
+        against a full recomputation from the agent states — and, when
+        the environment layer is incremental, the maintained communication
+        groups against a from-scratch component walk — raising
         :class:`SimulationError` on any divergence.
     """
 
@@ -120,6 +135,7 @@ class Simulator:
         seed: int | None = None,
         record_trace: bool = True,
         incremental: bool = True,
+        incremental_environment: bool = True,
         cross_check: bool = False,
     ):
         if len(initial_values) != environment.num_agents:
@@ -137,8 +153,26 @@ class Simulator:
         self.seed = seed
         self.record_trace = record_trace
         self.incremental = incremental
+        self.incremental_environment = incremental_environment
         self.cross_check = cross_check
         self.initial_values = list(initial_values)
+
+        # Incremental environment layer: only environments that report
+        # deltas can be tracked, and the tracker itself is only worth its
+        # per-round upkeep when the scheduler consumes communication
+        # groups (pairwise gossip, for one, never looks at components).
+        self._use_environment_delta = (
+            incremental_environment and environment.reports_deltas
+        )
+        self._tracker: ConnectivityTracker | None = None
+        if self._use_environment_delta and getattr(
+            self.scheduler, "uses_communication_groups", False
+        ):
+            self._tracker = ConnectivityTracker(
+                environment.topology, group_factory=Group
+            )
+        self._previous_environment_state: EnvironmentState | None = None
+        self._stutter_tuples: dict[int, tuple[StepJudgement, ...]] = {}
 
         self._rng = random.Random(seed)
         self._round_index = 0
@@ -191,6 +225,31 @@ class Simulator:
         self.environment.reset()
         self._maintained = MutableMultiset(self._initial_multiset)
         self._objective_value = None
+        if self._tracker is not None:
+            self._tracker.reset()
+        self._previous_environment_state = None
+
+    def _advance_environment(self, round_index: int) -> EnvironmentState:
+        """One environment transition, maintaining the incremental views.
+
+        The random draws are identical in every mode; what differs is
+        whether the new state's derived views (components, effective
+        edges) are maintained from the reported delta or recomputed
+        lazily from scratch.
+        """
+        if not self._use_environment_delta:
+            return self.environment.advance(round_index, self._rng)
+        environment_state, delta = self.environment.advance_with_delta(
+            round_index, self._rng
+        )
+        if self._tracker is not None:
+            self._tracker.observe(environment_state, delta)
+        elif delta is not None and delta.is_empty:
+            previous = self._previous_environment_state
+            if previous is not None:
+                environment_state._adopt_view_memos(previous)
+        self._previous_environment_state = environment_state
+        return environment_state
 
     def _execute_round(self, round_index: int) -> RoundRecord:
         """Execute one round — one environment transition, one scheduled
@@ -203,18 +262,36 @@ class Simulator:
         mode everything is recomputed from the agent states, exactly as
         the pre-incremental engine did.
         """
-        environment_state = self.environment.advance(round_index, self._rng)
+        environment_state = self._advance_environment(round_index)
         scheduled = self.scheduler.schedule(environment_state, self._rng)
-        _validate_partition(scheduled, self.environment.num_agents)
 
         incremental = self.incremental
-        agents = self.agents
-        algorithm = self.algorithm
-        rng = self._rng
         # Singleton groups dominate sparse rounds; when the algorithm
         # declares that lone agents always stutter (and draw no
         # randomness), their step-rule calls can be skipped outright.
-        skip_singletons = incremental and algorithm.singleton_stutters
+        skip_singletons = incremental and self.algorithm.singleton_stutters
+
+        tracker = self._tracker
+        if tracker is not None and scheduled is tracker.scheduler_groups(
+            environment_state
+        ):
+            # The scheduled list *is* the maintained component partition:
+            # disjoint and in-range by construction, so the O(n)
+            # validation pass is unnecessary — and the non-singleton
+            # components are already known, so the round loop touches
+            # O(active) groups instead of iterating every singleton.
+            if self.cross_check:
+                self._verify_maintained_components(environment_state)
+            if skip_singletons:
+                return self._execute_maintained_round(
+                    round_index, scheduled, tracker
+                )
+        else:
+            _validate_partition(scheduled, self.environment.num_agents)
+
+        agents = self.agents
+        algorithm = self.algorithm
+        rng = self._rng
         groups: list[Group] = []
         judgements: list[StepJudgement] = []
         removed: list = []
@@ -275,6 +352,98 @@ class Simulator:
             groups=tuple(groups),
             judgements=tuple(judgements),
         )
+
+    def _execute_maintained_round(
+        self,
+        round_index: int,
+        scheduled: Sequence[Group],
+        tracker: ConnectivityTracker,
+    ) -> RoundRecord:
+        """Round execution over the maintained component partition.
+
+        Semantically identical to the generic loop in
+        :meth:`_execute_round` — same groups in the same order, same
+        judgements, same state deltas, same random draws — but the
+        singleton components (which all stutter, by the algorithm's
+        ``singleton_stutters`` declaration) are pre-filled instead of
+        iterated, so the loop runs over the round's active groups only.
+        """
+        agents = self.agents
+        apply_group_step = self.algorithm.apply_group_step
+        rng = self._rng
+        stutter = STUTTER_JUDGEMENT
+        improvement = StepKind.IMPROVEMENT
+        judgements: list[StepJudgement] | None = None
+        removed: list = []
+        added: list = []
+        clean = True
+        try:
+            for index, group in tracker.nonsingleton_groups():
+                members = group.members
+                states_after, judgement = apply_group_step(
+                    [agents[member].state for member in members],
+                    rng,
+                    fast_stutter=True,
+                )
+                if judgement is not stutter and judgement.kind is not StepKind.STUTTER:
+                    if judgement.kind is not improvement:
+                        clean = False
+                    group_removed, group_added = group.install(agents, states_after)
+                    removed.extend(group_removed)
+                    added.extend(group_added)
+                    if judgements is None:
+                        judgements = [stutter] * len(scheduled)
+                    judgements[index] = judgement
+        except BaseException:
+            # Same contract as the generic loop: earlier groups already
+            # installed their states, so fold what was applied before
+            # re-raising (see :meth:`_execute_round`).
+            if removed or added:
+                self._maintained.apply_delta(removed, added)
+                self._objective_value = None
+            raise
+
+        multiset, objective, converged = self._fold_round(removed, added, clean)
+        if judgements is None:
+            # All-stutter round: share one cached all-stutter tuple per
+            # partition size instead of rebuilding it every quiet round.
+            judgements_tuple = self._stutter_judgements(len(scheduled))
+        else:
+            judgements_tuple = tuple(judgements)
+        return RoundRecord(
+            round_index=round_index,
+            multiset=multiset,
+            objective=objective,
+            converged=converged,
+            # The tracker shares one tuple per partition: records of quiet
+            # rounds reference the same groups tuple instead of copying.
+            groups=tracker.groups_tuple(),
+            judgements=judgements_tuple,
+        )
+
+    def _stutter_judgements(self, size: int) -> tuple[StepJudgement, ...]:
+        """A shared all-stutter judgements tuple of the given length."""
+        cached = self._stutter_tuples.get(size)
+        if cached is None:
+            cached = (STUTTER_JUDGEMENT,) * size
+            if len(self._stutter_tuples) < 64:
+                self._stutter_tuples[size] = cached
+        return cached
+
+    def _verify_maintained_components(
+        self, environment_state: EnvironmentState
+    ) -> None:
+        """Debug cross-check: maintained components == from-scratch walk."""
+        expected = connected_component_tuples(
+            environment_state.enabled_agents, environment_state.effective_edges()
+        )
+        maintained = environment_state.communication_group_tuples()
+        if maintained != expected:
+            raise SimulationError(
+                "incremental connectivity diverged from the from-scratch "
+                f"component walk at round {environment_state.round_index}: "
+                f"maintained {maintained!r} vs actual {expected!r}"
+            )
 
     def _fold_round(
         self, removed: list, added: list, clean: bool

@@ -53,7 +53,7 @@ from ..core.errors import SimulationError
 from ..core.multiset import Multiset, MutableMultiset
 from ..core.algorithm import SelfSimilarAlgorithm
 from ..core.relation import StepJudgement, StepKind
-from ..environment.base import Environment
+from ..environment.base import Environment, EnvironmentState
 from .protocol import Probe, RoundRecord, run_engine
 from .result import SimulationResult
 
@@ -94,6 +94,13 @@ class MergeMessagePassingSimulator:
         Seed for reproducibility.  When None, an explicit seed is drawn
         once and recorded as :attr:`seed` (and in the result metadata), so
         every run — including "unseeded" ones — is reproducible.
+    incremental_environment:
+        When True (default) and the environment reports per-round deltas,
+        rounds whose delta is empty reuse the previous state's memoized
+        effective-edge view instead of re-filtering the edge set.  The
+        random stream and all results are identical either way; False
+        selects the from-scratch reference mode, mirroring the
+        synchronous engine's flag.
     """
 
     #: One-sided merges are pair steps by construction: the result's
@@ -109,6 +116,7 @@ class MergeMessagePassingSimulator:
         initial_values: Sequence[Any],
         loss_probability: float = 0.0,
         seed: int | None = None,
+        incremental_environment: bool = True,
     ):
         if len(initial_values) != environment.num_agents:
             raise SimulationError(
@@ -126,6 +134,11 @@ class MergeMessagePassingSimulator:
         self.environment = environment
         self.loss_probability = loss_probability
         self.seed = seed
+        self.incremental_environment = incremental_environment
+        self._use_environment_delta = (
+            incremental_environment and environment.reports_deltas
+        )
+        self._previous_environment_state: EnvironmentState | None = None
         self._rng = random.Random(seed)
         self.states: list[Hashable] = algorithm.initial_states(list(initial_values))
         self._initial_states = list(self.states)
@@ -218,6 +231,28 @@ class MergeMessagePassingSimulator:
 
     # -- execution --------------------------------------------------------------
 
+    def _advance_environment(self, round_index: int) -> EnvironmentState:
+        """One environment transition, with view reuse across quiet rounds.
+
+        When the environment reports an empty delta, the new state is
+        semantically identical to the previous one, so the previous
+        state's memoized effective-edge view is adopted instead of being
+        re-filtered — the per-round send loop then starts from the exact
+        same frozenset object (identical iteration order, identical
+        random stream).
+        """
+        if not self._use_environment_delta:
+            return self.environment.advance(round_index, self._rng)
+        environment_state, delta = self.environment.advance_with_delta(
+            round_index, self._rng
+        )
+        if delta is not None and delta.is_empty:
+            previous = self._previous_environment_state
+            if previous is not None:
+                environment_state._adopt_view_memos(previous)
+        self._previous_environment_state = environment_state
+        return environment_state
+
     def _execute_round(self, round_index: int) -> RoundRecord:
         """Execute one round — sends, losses, one-sided merge deliveries —
         and record what happened.
@@ -231,7 +266,7 @@ class MergeMessagePassingSimulator:
             self._objective_value = self.algorithm.objective(
                 self._maintained.snapshot()
             )
-        environment_state = self.environment.advance(round_index, self._rng)
+        environment_state = self._advance_environment(round_index)
         states = self.states
         enforce = self.algorithm.enforce
         conserves = self.algorithm.function.conserves

@@ -88,6 +88,39 @@ class TestCheckRegression:
         failures = bench_engine.check_regression(report, baseline, 0.30)
         assert any("memory" in failure for failure in failures)
 
+    def _with_workload(self, report, rps, speedup, num_agents=10_000):
+        report["workloads"] = {
+            "sparse_churn_random_pair": {
+                "num_agents": num_agents,
+                "rounds": 30,
+                "incremental_rounds_per_sec": rps,
+                "full_recompute_rounds_per_sec": rps / speedup,
+                "speedup": speedup,
+            }
+        }
+        return report
+
+    def test_workload_regression_fails(self):
+        baseline = self._with_workload(_report(100.0, 5.0), 80.0, 3.0)
+        regressed = self._with_workload(_report(100.0, 5.0), 30.0, 1.2)
+        failures = bench_engine.check_regression(regressed, baseline, 0.30)
+        assert len(failures) == 1
+        assert "sparse_churn_random_pair" in failures[0]
+
+    def test_workload_slow_hardware_alone_passes(self):
+        baseline = self._with_workload(_report(100.0, 5.0), 80.0, 3.0)
+        slower = self._with_workload(_report(100.0, 5.0), 40.0, 3.0)
+        assert bench_engine.check_regression(slower, baseline, 0.30) == []
+
+    def test_workloads_below_min_n_are_not_gated(self):
+        baseline = self._with_workload(_report(100.0, 5.0), 80.0, 3.0,
+                                       num_agents=300)
+        regressed = self._with_workload(_report(100.0, 5.0), 10.0, 1.0,
+                                        num_agents=300)
+        assert bench_engine.check_regression(
+            regressed, baseline, 0.30, min_n=10_000
+        ) == []
+
     def test_same_out_and_check_path_gates_against_old_baseline(self, tmp_path):
         # Regenerating the baseline in place must still compare against
         # the *previous* contents, not the just-written report.
@@ -95,7 +128,7 @@ class TestCheckRegression:
         path.write_text(json.dumps(_report(10_000_000.0, 1_000.0)))
         status = bench_engine.main(
             ["--sizes", "10000:2", "--repeats", "1", "--no-memory",
-             "--out", str(path), "--check", str(path)]
+             "--no-workloads", "--out", str(path), "--check", str(path)]
         )
         assert status == 1  # nothing real reaches 10M rps; the old baseline won
 
@@ -105,17 +138,18 @@ class TestHarnessFlags:
         out = tmp_path / "report.json"
         status = bench_engine.main(
             ["--sizes", "50:5", "--repeats", "1", "--no-memory",
-             "--out", str(out)]
+             "--no-workloads", "--out", str(out)]
         )
         assert status == 0
         report = json.loads(out.read_text())
         assert report["memory"] == []
+        assert report["workloads"] == {}
         assert report["results"][0]["num_agents"] == 50
 
     def test_memory_size_flag_controls_the_measurement(self, tmp_path, capsys):
         out = tmp_path / "report.json"
         status = bench_engine.main(
-            ["--sizes", "50:5", "--repeats", "1",
+            ["--sizes", "50:5", "--repeats", "1", "--no-workloads",
              "--memory-size", "60:4", "--out", str(out)]
         )
         assert status == 0

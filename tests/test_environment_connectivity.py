@@ -1,0 +1,372 @@
+"""Differential suite for the incremental environment layer.
+
+Pins the central contract of the O(Δ) environment work: for every
+environment family, over long runs of churn,
+
+* the per-round :class:`EnvironmentDelta` reported by
+  ``advance_with_delta`` is exactly the symmetric difference between
+  consecutive states, and reporting it does not perturb the random
+  stream (a twin environment driven through plain ``advance`` produces
+  identical states *and* an identical RNG state);
+* the :class:`ConnectivityTracker`'s maintained components are identical
+  — members and order — to a from-scratch
+  :func:`connected_component_tuples` walk of the same state, including
+  agent-disable edge cases and components that split and re-merge;
+* component/group identity is reused across quiet rounds (the allocation
+  contract behind the scheduler's group interning).
+
+The engine-level byte-parity of ``incremental_environment`` modes is
+pinned separately (:mod:`tests.test_incremental_parity`).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.agents.group import Group
+from repro.environment.adversary import (
+    BlackoutAdversary,
+    EdgeBudgetAdversary,
+    RotatingPartitionAdversary,
+    TargetedCrashAdversary,
+)
+from repro.environment.base import (
+    EMPTY_DELTA,
+    EnvironmentDelta,
+    EnvironmentState,
+    connected_component_tuples,
+)
+from repro.environment.connectivity import ConnectivityTracker
+from repro.environment.dynamics import (
+    MarkovChurnEnvironment,
+    PeriodicDutyCycleEnvironment,
+    RandomChurnEnvironment,
+    StaticEnvironment,
+)
+from repro.environment.graphs import (
+    complete_graph,
+    grid_graph,
+    line_graph,
+    random_connected_graph,
+    ring_graph,
+)
+from repro.environment.mobility import RandomWaypointEnvironment
+
+# Each factory returns a fresh environment; names document what aspect of
+# the delta/connectivity machinery the family stresses.
+ENVIRONMENTS = {
+    # static: one resync, then empty deltas forever
+    "static": lambda: StaticEnvironment(ring_graph(24)),
+    # sparse churn on a low-degree graph: the static-adjacency fast path,
+    # pair splits/merges dominating
+    "churn-sparse-ring": lambda: RandomChurnEnvironment(
+        ring_graph(40), edge_up_probability=0.15
+    ),
+    # dense churn on a complete graph: the dynamic-adjacency path, with
+    # deletions dominating round over round
+    "churn-dense-complete": lambda: RandomChurnEnvironment(
+        complete_graph(18), edge_up_probability=0.55
+    ),
+    # agent churn: enables/disables interleaved with edge churn
+    "churn-agents": lambda: RandomChurnEnvironment(
+        grid_graph(5, 5), edge_up_probability=0.4, agent_up_probability=0.7
+    ),
+    "churn-agents-dense": lambda: RandomChurnEnvironment(
+        complete_graph(14), edge_up_probability=0.3, agent_up_probability=0.6
+    ),
+    # markov churn: temporally correlated outages, flip-list deltas
+    "markov": lambda: MarkovChurnEnvironment(
+        random_connected_graph(30, extra_edge_probability=0.08, seed=5),
+        edge_failure_probability=0.25,
+        edge_recovery_probability=0.35,
+        agent_failure_probability=0.1,
+        agent_recovery_probability=0.5,
+    ),
+    # duty cycle: pure agent-toggle deltas, edges always available
+    "duty-cycle": lambda: PeriodicDutyCycleEnvironment(
+        line_graph(30), period=7, duty_cycle=0.45, seed=11
+    ),
+    "duty-cycle-dense": lambda: PeriodicDutyCycleEnvironment(
+        complete_graph(16), period=5, duty_cycle=0.55, seed=3
+    ),
+    # mobility: whole contact graph drifts every round, battery disables
+    "mobility": lambda: RandomWaypointEnvironment(
+        16,
+        arena_size=40.0,
+        range_radius=14.0,
+        speed=6.0,
+        battery_capacity=5.0,
+        drain_per_round=1.0,
+        recharge_per_round=1.5,
+        seed=7,
+    ),
+    # adversaries: epoch-boundary bulk deltas, phase toggles, blackouts
+    "rotating-partition": lambda: RotatingPartitionAdversary(
+        complete_graph(20), num_blocks=3, rotate_every=4, seed=2
+    ),
+    "targeted-crash": lambda: TargetedCrashAdversary(
+        ring_graph(20), targets=[0, 7, 13], period=6, down_rounds=3
+    ),
+    "blackout": lambda: BlackoutAdversary(grid_graph(4, 5), period=5, blackout_rounds=2),
+    "edge-budget": lambda: EdgeBudgetAdversary(ring_graph(25), budget=4),
+}
+
+ROUNDS = 160
+
+
+def from_scratch(state: EnvironmentState) -> list[tuple[int, ...]]:
+    return connected_component_tuples(state.enabled_agents, state.effective_edges())
+
+
+@pytest.mark.parametrize("name", sorted(ENVIRONMENTS))
+def test_deltas_are_exact_and_stream_preserving(name):
+    environment = ENVIRONMENTS[name]()
+    twin = ENVIRONMENTS[name]()
+    assert environment.reports_deltas
+    rng = random.Random(99)
+    twin_rng = random.Random(99)
+    previous = None
+    for round_index in range(ROUNDS):
+        state, delta = environment.advance_with_delta(round_index, rng)
+        twin_state = twin.advance(round_index, twin_rng)
+        # Same states whether or not a delta is requested...
+        assert state.enabled_agents == twin_state.enabled_agents
+        assert state.available_edges == twin_state.available_edges
+        # ...and the same number and order of random draws.
+        assert rng.getstate() == twin_rng.getstate()
+        if previous is not None:
+            assert delta is not None, f"{name} lost delta tracking mid-run"
+            assert set(delta.edges_down) == set(
+                previous.available_edges - state.available_edges
+            )
+            assert set(delta.edges_up) == set(
+                state.available_edges - previous.available_edges
+            )
+            assert set(delta.agents_disabled) == set(
+                previous.enabled_agents - state.enabled_agents
+            )
+            assert set(delta.agents_enabled) == set(
+                state.enabled_agents - previous.enabled_agents
+            )
+        previous = state
+
+
+@pytest.mark.parametrize("name", sorted(ENVIRONMENTS))
+def test_incremental_connectivity_matches_from_scratch(name):
+    environment = ENVIRONMENTS[name]()
+    tracker = ConnectivityTracker(environment.topology)
+    rng = random.Random(4242)
+    for round_index in range(ROUNDS):
+        state, delta = environment.advance_with_delta(round_index, rng)
+        tracker.observe(state, delta)
+        assert tracker.component_tuples(state) == from_scratch(state), (
+            f"{name}: maintained components diverged at round {round_index}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(ENVIRONMENTS))
+def test_state_group_views_serve_maintained_components(name):
+    environment = ENVIRONMENTS[name]()
+    tracker = ConnectivityTracker(environment.topology, group_factory=Group)
+    rng = random.Random(17)
+    for round_index in range(80):
+        state, delta = environment.advance_with_delta(round_index, rng)
+        tracker.observe(state, delta)
+        expected = from_scratch(state)
+        assert state.communication_group_tuples() == expected
+        assert [set(g) for g in state.communication_groups()] == [
+            set(t) for t in expected
+        ]
+        groups = state.maintained_scheduler_groups()
+        assert groups is not None
+        assert [group.members for group in groups] == expected
+        # Non-singleton view: correct groups at correct positions.
+        assert [
+            (index, group)
+            for index, group in enumerate(groups)
+            if len(group) > 1
+        ] == tracker.nonsingleton_groups()
+
+
+def test_group_objects_reused_across_rounds():
+    environment = RandomChurnEnvironment(ring_graph(30), edge_up_probability=0.1)
+    tracker = ConnectivityTracker(environment.topology, group_factory=Group)
+    rng = random.Random(3)
+    seen_singletons: dict[int, int] = {}
+    for round_index in range(120):
+        state, delta = environment.advance_with_delta(round_index, rng)
+        tracker.observe(state, delta)
+        for group in state.maintained_scheduler_groups():
+            assert isinstance(group, Group)
+            if len(group.members) == 1:
+                agent = group.members[0]
+                # A lone agent keeps one interned group object for the
+                # whole run, no matter how often it joins and leaves
+                # larger components in between.
+                if agent in seen_singletons:
+                    assert seen_singletons[agent] == id(group)
+                else:
+                    seen_singletons[agent] = id(group)
+
+
+def test_quiet_round_shares_group_list():
+    environment = StaticEnvironment(ring_graph(12))
+    tracker = ConnectivityTracker(environment.topology, group_factory=Group)
+    rng = random.Random(0)
+    state0, delta0 = environment.advance_with_delta(0, rng)
+    tracker.observe(state0, delta0)
+    first = state0.maintained_scheduler_groups()
+    first_tuple = tracker.groups_tuple()
+    state1, delta1 = environment.advance_with_delta(1, rng)
+    assert delta1 is EMPTY_DELTA
+    tracker.observe(state1, delta1)
+    assert state1.maintained_scheduler_groups() is first
+    assert tracker.groups_tuple() is first_tuple
+
+
+class _ScriptedEnvironment:
+    """Drives the tracker through a scripted split / re-merge scenario."""
+
+    def __init__(self, topology, scripts):
+        self.topology = topology
+        self.scripts = scripts  # list of (enabled, edges)
+
+    def states(self):
+        previous = None
+        for index, (enabled, edges) in enumerate(self.scripts):
+            state = EnvironmentState(
+                enabled_agents=frozenset(enabled),
+                available_edges=frozenset(edges),
+                round_index=index,
+            )
+            if previous is None:
+                delta = None
+            else:
+                delta = EnvironmentDelta.between(
+                    previous.enabled_agents,
+                    previous.available_edges,
+                    state.enabled_agents,
+                    state.available_edges,
+                )
+            yield state, delta
+            previous = state
+
+
+def test_scripted_split_and_remerge():
+    # A 6-agent chain that splits into three pieces, loses an agent in the
+    # middle, re-merges, and finally reconnects through a revived agent.
+    chain = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+    everyone = range(6)
+    scripts = [
+        (everyone, chain),                            # one component
+        (everyone, [(0, 1), (3, 4)]),                 # split into 0-1 / 2 / 3-4 / 5
+        (everyone, chain),                            # re-merge into one
+        ([0, 1, 2, 4, 5], chain),                     # agent 3 disabled: split
+        ([0, 1, 2, 4, 5], [(0, 1), (1, 2), (4, 5)]),  # edges around the hole drop
+        (everyone, chain),                            # everything returns
+        ([], []),                                     # blackout
+        (everyone, chain),                            # recovery
+    ]
+    environment = _ScriptedEnvironment(
+        ring_graph(6), scripts  # topology is only used for sizing
+    )
+    tracker = ConnectivityTracker(environment.topology, group_factory=Group)
+    for state, delta in environment.states():
+        tracker.observe(state, delta)
+        assert tracker.component_tuples(state) == from_scratch(state)
+
+
+def test_resync_after_none_delta_mid_run():
+    environment = RandomChurnEnvironment(ring_graph(20), edge_up_probability=0.3)
+    tracker = ConnectivityTracker(environment.topology)
+    rng = random.Random(8)
+    for round_index in range(40):
+        state, delta = environment.advance_with_delta(round_index, rng)
+        if round_index == 20:
+            delta = None  # simulate an environment losing track mid-run
+        tracker.observe(state, delta)
+        assert tracker.component_tuples(state) == from_scratch(state)
+
+
+def test_tracker_reset_forces_resync():
+    environment = RandomChurnEnvironment(ring_graph(16), edge_up_probability=0.4)
+    tracker = ConnectivityTracker(environment.topology)
+    rng = random.Random(12)
+    for round_index in range(10):
+        state, delta = environment.advance_with_delta(round_index, rng)
+        tracker.observe(state, delta)
+    tracker.reset()
+    environment.reset()
+    rng = random.Random(12)
+    for round_index in range(10):
+        state, delta = environment.advance_with_delta(round_index, rng)
+        tracker.observe(state, delta)
+        assert tracker.component_tuples(state) == from_scratch(state)
+
+
+def test_stale_state_falls_back_to_from_scratch():
+    environment = RandomChurnEnvironment(ring_graph(10), edge_up_probability=0.5)
+    tracker = ConnectivityTracker(environment.topology, group_factory=Group)
+    rng = random.Random(1)
+    old_state, old_delta = environment.advance_with_delta(0, rng)
+    tracker.observe(old_state, old_delta)
+    new_state, new_delta = environment.advance_with_delta(1, rng)
+    tracker.observe(new_state, new_delta)
+    # The superseded state still answers truthfully (served from scratch).
+    assert tracker.component_tuples(old_state) == from_scratch(old_state)
+    assert old_state.maintained_scheduler_groups() is None
+
+
+def test_plain_advance_invalidates_delta_base():
+    environment = RandomChurnEnvironment(ring_graph(12), edge_up_probability=0.4)
+    rng = random.Random(5)
+    environment.advance_with_delta(0, rng)
+    environment.advance(1, rng)  # interleaved plain call
+    _, delta = environment.advance_with_delta(2, rng)
+    # The environment must not fabricate a delta across the untracked
+    # round; None forces consumers to resynchronize.
+    assert delta is None
+
+
+def test_rotating_partition_interleaved_advance_does_not_corrupt_deltas():
+    # Regression: the epoch-edge cache is shared between advance() and
+    # advance_with_delta(); a plain advance() that crosses an epoch
+    # boundary must invalidate the delta base, or the next
+    # advance_with_delta() would diff against the wrong epoch (observed
+    # as an EMPTY delta right after a rotation, i.e. silently wrong
+    # maintained components).
+    environment = RotatingPartitionAdversary(
+        complete_graph(9), num_blocks=3, rotate_every=4, seed=0
+    )
+    tracker = ConnectivityTracker(environment.topology)
+    rng = random.Random(0)
+    for round_index in range(4):  # epoch 0
+        state, delta = environment.advance_with_delta(round_index, rng)
+        tracker.observe(state, delta)
+    environment.advance(4, rng)  # interleaved plain call crosses the epoch
+    state, delta = environment.advance_with_delta(4, rng)
+    assert delta is None  # base invalidated, consumers resynchronize
+    tracker.observe(state, delta)
+    assert tracker.component_tuples(state) == from_scratch(state)
+
+
+def test_environment_state_memoizes_derived_views():
+    state = EnvironmentState(
+        enabled_agents=frozenset([0, 1, 2, 3]),
+        available_edges=frozenset([(0, 1), (2, 3), (1, 4)]),
+    )
+    assert state.effective_edges() is state.effective_edges()
+    assert state.communication_group_tuples() is state.communication_group_tuples()
+    assert state.communication_groups() is state.communication_groups()
+    assert state.communication_group_tuples() == [(0, 1), (2, 3)]
+
+
+def test_topology_is_connected_cached():
+    topology = ring_graph(50)
+    assert topology.is_connected()
+    assert topology._is_connected is True  # cached verdict
+    disconnected = grid_graph(2, 2)
+    # sanity: cache does not confuse instances
+    assert disconnected.is_connected()

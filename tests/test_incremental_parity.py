@@ -132,9 +132,119 @@ def _assert_identical(incremental, full):
 @pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
 @pytest.mark.parametrize("case", sorted(CASES))
 def test_incremental_matches_full_recompute(case, scheduler_name):
+    # Fully incremental engine (round state + environment layer) vs the
+    # fully from-scratch reference: two independent code paths, one
+    # byte-identical result.
     incremental = _run(case, scheduler_name, seed=7, incremental=True)
-    full = _run(case, scheduler_name, seed=7, incremental=False)
+    full = _run(
+        case,
+        scheduler_name,
+        seed=7,
+        incremental=False,
+        incremental_environment=False,
+    )
     _assert_identical(incremental, full)
+
+
+@pytest.mark.parametrize("case", ["minimum", "sorting", "sum", "hull"])
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+def test_environment_mode_parity_matrix(case, scheduler_name):
+    # The incremental-environment flag must be independent of the
+    # incremental-round-state flag: all four combinations are
+    # byte-identical.
+    reference = _run(
+        case,
+        scheduler_name,
+        seed=13,
+        incremental=False,
+        incremental_environment=False,
+    )
+    for incremental in (True, False):
+        for incremental_environment in (True, False):
+            result = _run(
+                case,
+                scheduler_name,
+                seed=13,
+                incremental=incremental,
+                incremental_environment=incremental_environment,
+            )
+            _assert_identical(result, reference)
+
+
+@pytest.mark.parametrize("case", ["minimum", "block-sorting", "average"])
+def test_cross_check_covers_maintained_components(case):
+    # cross_check with the incremental environment verifies the maintained
+    # communication groups against a from-scratch walk every round.
+    checked = _run(
+        case,
+        "maximal",
+        seed=19,
+        incremental=True,
+        incremental_environment=True,
+        cross_check=True,
+    )
+    reference = _run(
+        case,
+        "maximal",
+        seed=19,
+        incremental=False,
+        incremental_environment=False,
+    )
+    _assert_identical(checked, reference)
+
+
+def test_environment_parity_across_environment_families():
+    # The incremental environment layer must be byte-identical for every
+    # delta-reporting environment family, not just churn.
+    from repro.environment.adversary import (
+        BlackoutAdversary,
+        EdgeBudgetAdversary,
+        RotatingPartitionAdversary,
+        TargetedCrashAdversary,
+    )
+    from repro.environment.dynamics import (
+        MarkovChurnEnvironment,
+        PeriodicDutyCycleEnvironment,
+    )
+    from repro.environment.graphs import complete_graph, grid_graph, line_graph
+    from repro.environment.mobility import RandomWaypointEnvironment
+
+    environments = {
+        "static": lambda: StaticEnvironment(ring_graph(8)),
+        "markov": lambda: MarkovChurnEnvironment(
+            ring_graph(8), 0.3, 0.4, 0.15, 0.5
+        ),
+        "duty": lambda: PeriodicDutyCycleEnvironment(
+            line_graph(8), period=5, duty_cycle=0.5, seed=2
+        ),
+        "duty-dense": lambda: PeriodicDutyCycleEnvironment(
+            complete_graph(8), period=4, duty_cycle=0.6, seed=4
+        ),
+        "mobility": lambda: RandomWaypointEnvironment(
+            8, arena_size=25.0, range_radius=10.0, speed=5.0,
+            battery_capacity=4.0, seed=6,
+        ),
+        "rotating": lambda: RotatingPartitionAdversary(
+            complete_graph(8), num_blocks=2, rotate_every=3, seed=1
+        ),
+        "crash": lambda: TargetedCrashAdversary(
+            ring_graph(8), targets=[0, 3], period=5, down_rounds=3
+        ),
+        "blackout": lambda: BlackoutAdversary(
+            grid_graph(2, 4), period=4, blackout_rounds=1
+        ),
+        "edge-budget": lambda: EdgeBudgetAdversary(ring_graph(8), budget=2),
+    }
+    for name, build in environments.items():
+        def run(incremental_environment):
+            return Simulator(
+                minimum_algorithm(),
+                build(),
+                initial_values=[9, 4, 7, 1, 8, 3, 6, 2],
+                seed=23,
+                incremental_environment=incremental_environment,
+            ).run(max_rounds=120)
+        _assert_identical(run(True), run(False))
 
 
 @pytest.mark.parametrize("case", sorted(CASES))
