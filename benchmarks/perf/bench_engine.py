@@ -27,6 +27,10 @@ while the collective state stays large.
   n under ``tracemalloc``, reporting the peak traced allocation.  The
   ``"none"`` mode's peak must stay flat in the number of rounds — that is
   the bounded-memory contract of the streaming Engine/Probe redesign.
+* **Checkpoint overhead**: the same ``history="none"`` run with and
+  without a rolling :class:`~repro.simulation.probes.CheckpointProbe`
+  (``every=100``), reporting the rounds/sec cost of durability.  The
+  contract is <5% at the default cadence, gated like the other workloads.
 
 Results are written as JSON (default ``benchmarks/perf/BENCH_engine.json``)
 so CI can archive the perf trajectory PR over PR, and the ``--check`` mode
@@ -46,6 +50,7 @@ import json
 import pathlib
 import platform
 import sys
+import tempfile
 import time
 import tracemalloc
 
@@ -70,6 +75,16 @@ QUICK_SIZES = ((100, 200), (1_000, 40))
 #: (num_agents, rounds) of the history-mode memory measurement.
 MEMORY_SIZE = (10_000, 60)
 QUICK_MEMORY_SIZE = (10_000, 20)
+
+#: (num_agents, rounds, checkpoint cadence) of the durability measurement.
+#: The cadence is the documented default (every=100); rounds cover several
+#: checkpoints so the cost is averaged over the cadence, not one write.
+CHECKPOINT_SIZE = (1_000, 400, 100)
+QUICK_CHECKPOINT_SIZE = (1_000, 200, 100)
+
+#: Maximum tolerated rounds/sec cost of rolling checkpoints at the
+#: default cadence (the "durability is effectively free" contract).
+CHECKPOINT_OVERHEAD_BUDGET = 0.05
 
 EDGE_UP_PROBABILITY = 0.05
 SEED = 2024
@@ -261,6 +276,58 @@ def run_memory_benchmark(num_agents: int, rounds: int) -> dict:
     }
 
 
+def measure_checkpoint_overhead(num_agents: int, rounds: int, every: int,
+                                repeats: int) -> dict:
+    """Rounds/sec of the flagship run with vs. without rolling checkpoints.
+
+    Both arms execute the identical ``history="none"`` driver run
+    (``stop_at_convergence=False`` pins the round count); the checkpointed
+    arm adds one :class:`CheckpointProbe` writing real files to a
+    temporary directory — serialization and atomic-replace I/O included,
+    because that is what a durable production run pays.
+    """
+    from repro.simulation.probes import CheckpointProbe
+
+    def timed_run(probes) -> float:
+        best = 0.0
+        for _ in range(repeats):
+            simulator = build_simulator(num_agents)
+            simulator.initial_snapshot()
+            time.sleep(0.3)
+            start = time.perf_counter()
+            simulator.run(
+                max_rounds=rounds,
+                stop_at_convergence=False,
+                history="none",
+                probes=probes(),
+            )
+            elapsed = time.perf_counter() - start
+            best = max(best, rounds / elapsed)
+        return best
+
+    plain = timed_run(lambda: None)
+    with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as directory:
+        checkpointed = timed_run(
+            lambda: [CheckpointProbe(every=every, directory=directory)]
+        )
+    overhead = 1.0 - checkpointed / plain if plain else 0.0
+    entry = {
+        "num_agents": num_agents,
+        "rounds": rounds,
+        "every": every,
+        "plain_rounds_per_sec": round(plain, 2),
+        "checkpointed_rounds_per_sec": round(checkpointed, 2),
+        "overhead_fraction": round(overhead, 4),
+        "budget_fraction": CHECKPOINT_OVERHEAD_BUDGET,
+    }
+    print(
+        f"checkpoint n={num_agents:>6} every={every}: plain {plain:>9.1f} rps | "
+        f"checkpointed {checkpointed:>9.1f} rps | overhead {overhead:>6.2%} "
+        f"(budget {CHECKPOINT_OVERHEAD_BUDGET:.0%})"
+    )
+    return entry
+
+
 def measure_workload(name: str, build, num_agents: int, rounds: int,
                      repeats: int) -> dict:
     """One named workload: both engine modes plus environment-layer shares."""
@@ -294,9 +361,11 @@ def measure_workload(name: str, build, num_agents: int, rounds: int,
 
 
 def run_benchmark(sizes, repeats: int, memory_size, quick: bool = False,
-                  with_workloads: bool = True) -> dict:
-    """Measure the flagship sizes, the named workloads and (when
-    ``memory_size`` is not None) the history-mode memory peaks."""
+                  with_workloads: bool = True,
+                  checkpoint_size=None) -> dict:
+    """Measure the flagship sizes, the named workloads, (when
+    ``memory_size`` is not None) the history-mode memory peaks and (when
+    ``checkpoint_size`` is not None) the checkpoint overhead."""
     results = []
     for num_agents, rounds in sizes:
         incremental = measure_rounds_per_sec(num_agents, rounds, True, repeats)
@@ -347,6 +416,11 @@ def run_benchmark(sizes, repeats: int, memory_size, quick: bool = False,
         "workloads": workloads,
         "memory": (
             [run_memory_benchmark(*memory_size)] if memory_size is not None else []
+        ),
+        "checkpoint": (
+            measure_checkpoint_overhead(*checkpoint_size, repeats)
+            if checkpoint_size is not None
+            else None
         ),
     }
 
@@ -422,6 +496,24 @@ def check_regression(report: dict, baseline: dict,
             gate(f"workload {name} (n={entry['num_agents']})", entry, reference)
     if compared == 0:
         failures.append("no overlapping sizes between this run and the baseline")
+    # The durability contract: rolling checkpoints at the default cadence
+    # must cost <5% rounds/sec.  The overhead fraction is a same-machine
+    # ratio (like the speedup), so it is hardware-independent by
+    # construction; the committed baseline only relaxes the gate if it
+    # itself recorded a higher overhead (then regression is measured
+    # against that, tolerance applied).
+    checkpoint = report.get("checkpoint")
+    if checkpoint is not None:
+        budget = checkpoint.get("budget_fraction", CHECKPOINT_OVERHEAD_BUDGET)
+        baseline_checkpoint = baseline.get("checkpoint") or {}
+        baseline_overhead = baseline_checkpoint.get("overhead_fraction", 0.0)
+        ceiling = max(budget, baseline_overhead * (1.0 + tolerance))
+        if checkpoint["overhead_fraction"] > ceiling:
+            failures.append(
+                f"checkpoint overhead {checkpoint['overhead_fraction']:.1%} "
+                f"exceeds the ceiling {ceiling:.1%} (budget {budget:.0%}, "
+                f"baseline {baseline_overhead:.1%})"
+            )
     # The memory contract is part of the gate: bounded-memory mode must
     # actually be bounded (far below full retention at this scale).
     for entry in report.get("memory", []):
@@ -464,6 +556,8 @@ def main(argv=None) -> int:
     parser.add_argument("--no-workloads", action="store_true",
                         help="skip the named scheduler/environment-diversity "
                              "workloads and measure only the flagship sizes")
+    parser.add_argument("--no-checkpoint", action="store_true",
+                        help="skip the checkpoint-overhead measurement")
     parser.add_argument("--check", type=pathlib.Path, default=None,
                         metavar="BASELINE",
                         help="fail (exit 1) if incremental rounds/sec regresses "
@@ -492,12 +586,18 @@ def main(argv=None) -> int:
     if args.check is not None:
         baseline = json.loads(args.check.read_text())
 
+    if args.no_checkpoint:
+        checkpoint_size = None
+    else:
+        checkpoint_size = QUICK_CHECKPOINT_SIZE if args.quick else CHECKPOINT_SIZE
+
     report = run_benchmark(
         sizes,
         max(1, args.repeats),
         memory_size,
         quick=args.quick,
         with_workloads=not args.no_workloads,
+        checkpoint_size=checkpoint_size,
     )
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(report, indent=2) + "\n")

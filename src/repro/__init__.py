@@ -85,6 +85,7 @@ from .algorithms import (
 from .simulation import (
     BatchResult,
     BatchRunner,
+    CheckpointProbe,
     ConvergenceProbe,
     Engine,
     HistoryProbe,
@@ -93,12 +94,14 @@ from .simulation import (
     ObjectiveProbe,
     Probe,
     RoundRecord,
+    RunCheckpoint,
     SimulationResult,
     Simulator,
     StatsProbe,
     TemporalProbe,
     TemporalProperty,
     aggregate,
+    resume_run,
     run_engine,
     run_repeated,
     sweep,
@@ -157,6 +160,9 @@ __all__ = [
     "TemporalProperty",
     "StatsProbe",
     "JSONLSink",
+    "CheckpointProbe",
+    "RunCheckpoint",
+    "resume_run",
     "run_engine",
     "Experiment",
     "ExperimentBuilder",

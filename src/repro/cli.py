@@ -10,6 +10,8 @@ experiments are JSON specs, dispatched through the registries and the
     python -m repro run spec.json --seed 3 --workers 4 --json
     python -m repro run spec.json --history none --jsonl rounds-{seed}.jsonl \
         --probe temporal
+    python -m repro run spec.json --checkpoint-every 100 --checkpoint-dir ckpts
+    python -m repro resume ckpts/minimum-seed0/latest.json
     python -m repro sweep spec.json --param environment_params.edge_up_probability \
         --values 0.1,0.3,1.0
 
@@ -59,7 +61,7 @@ ALGORITHMS = (
 ENVIRONMENTS = ("static", "churn", "line", "partition", "blackout", "mobility")
 
 #: Spec-driven subcommands (anything else falls through to the legacy parser).
-SUBCOMMANDS = ("run", "list", "sweep")
+SUBCOMMANDS = ("run", "list", "sweep", "resume")
 
 #: ``repro list`` sections, in display order.
 _LIST_KINDS = (
@@ -230,6 +232,12 @@ def build_spec_parser() -> argparse.ArgumentParser:
     run.add_argument("--jsonl", type=str, default=None, metavar="PATH",
                      help="stream per-round JSON lines to PATH "
                           "(shorthand for --probe jsonl; {seed} is substituted)")
+    run.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                     help="write a resumable run checkpoint every N rounds "
+                          "(shorthand for --probe checkpoint)")
+    run.add_argument("--checkpoint-dir", type=str, default=None, metavar="DIR",
+                     help="directory for rolling checkpoints (default: "
+                          "checkpoints/; implies --checkpoint-every 100)")
     run.add_argument("--json", action="store_true", help="print the batch result as JSON")
     run.add_argument("--verbose", action="store_true",
                      help="also print the trace-level specification check per run")
@@ -237,6 +245,17 @@ def build_spec_parser() -> argparse.ArgumentParser:
     listing = subparsers.add_parser("list", help="list registered building blocks")
     listing.add_argument("kind", nargs="?", choices=_LIST_KINDS,
                          help="one registry (default: all)")
+
+    resume = subparsers.add_parser(
+        "resume",
+        help="resume a checkpointed run to completion (byte-identical to "
+             "the uninterrupted run)",
+    )
+    resume.add_argument("checkpoint", type=pathlib.Path,
+                        help="path to a run checkpoint written by "
+                             "--checkpoint-every (e.g. .../latest.json)")
+    resume.add_argument("--json", action="store_true",
+                        help="print the completed SimulationResult as JSON")
 
     sweep = subparsers.add_parser("sweep", help="run a parameter sweep of a spec")
     sweep.add_argument("spec", type=pathlib.Path, help="path to an ExperimentSpec JSON file")
@@ -301,6 +320,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     probe_entries = [_parse_probe_flag(text) for text in (args.probes or [])]
     if args.jsonl is not None:
         probe_entries.append({"probe": "jsonl", "path": args.jsonl})
+    if args.checkpoint_every is not None or args.checkpoint_dir is not None:
+        checkpoint_entry: dict = {
+            "probe": "checkpoint",
+            "directory": args.checkpoint_dir or "checkpoints",
+        }
+        if args.checkpoint_every is not None:
+            checkpoint_entry["every"] = args.checkpoint_every
+        probe_entries.append(checkpoint_entry)
     if probe_entries:
         overrides["probes"] = list(spec.probes) + probe_entries
     if overrides:
@@ -377,6 +404,44 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .simulation.checkpoint import RunCheckpoint
+
+    try:
+        checkpoint = RunCheckpoint.load(args.checkpoint)
+    except OSError as error:
+        raise SystemExit(f"cannot read checkpoint {args.checkpoint}: {error}")
+    except SpecificationError as error:
+        raise SystemExit(f"invalid checkpoint {args.checkpoint}: {error}")
+    if checkpoint.spec is None:
+        raise SystemExit(
+            f"checkpoint {args.checkpoint} embeds no experiment spec; only "
+            "checkpoints written by spec-driven runs (repro run "
+            "--checkpoint-every) can be resumed from the command line"
+        )
+    try:
+        spec = ExperimentSpec.from_dict(checkpoint.spec)
+        result = spec.resume(checkpoint)
+    except SpecificationError as error:
+        raise SystemExit(str(error))
+
+    if args.json:
+        print(result.to_json(indent=2))
+    else:
+        print(f"experiment:  {spec.label} (seed {checkpoint.seed}, resumed "
+              f"from round {checkpoint.driver.rounds_executed})")
+        status = (
+            f"converged at round {result.convergence_round}"
+            if result.converged
+            else f"did not converge in {result.rounds_executed} rounds"
+        )
+        print(f"  {status}; output {result.output!r} "
+              f"(expected {result.expected_output!r})")
+        for probe_name, payload in (result.probes or {}).items():
+            print(f"    probe {probe_name}: {json.dumps(payload)}")
+    return 0 if result.converged and result.correct else 1
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _load_spec(args.spec)
     if len(args.params) != len(args.value_lists):
@@ -408,6 +473,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "resume":
+            return _cmd_resume(args)
         return _cmd_sweep(args)
     return _legacy_main(argv)
 

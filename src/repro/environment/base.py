@@ -38,7 +38,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from ..core.errors import EnvironmentError_
 
@@ -473,6 +473,36 @@ class Environment(ABC):
         The default implementation does nothing; stateful environments
         (mobility, adversaries with epochs) override it.
         """
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The environment's mutable evolution state as JSON-safe data.
+
+        Whatever future :meth:`advance` calls depend on beyond the
+        construction parameters and the round index must be here: the
+        Markov chain's current up/down sets, mobile agents' positions and
+        batteries.  The default is empty — correct for every environment
+        whose states are a pure function of the round index (static, duty
+        cycles, the adversaries) or of fresh per-round draws (random
+        churn).  Delta-reporting bases (the previous round's snapshot) are
+        deliberately *not* state: :meth:`load_state` drops them, the next
+        ``advance_with_delta`` reports None, and the consumer
+        resynchronizes — same states, same random draws, same results.
+        """
+        return {}
+
+    def load_state(self, state: Mapping) -> None:
+        """Restore :meth:`state_dict` output into this environment.
+
+        The restored environment continues at identical random draw order:
+        after this call, ``advance_with_delta(round_index, rng)`` produces
+        exactly the states the uninterrupted environment would have.  The
+        default implementation resets (which is the whole restoration for
+        stateless environments and clears the delta base for all);
+        stateful overrides call it first, then apply their state.
+        """
+        self.reset()
 
     def describe(self) -> str:
         """One-line description used in benchmark reports."""

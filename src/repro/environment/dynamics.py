@@ -298,6 +298,41 @@ class MarkovChurnEnvironment(Environment):
         )
         return state, (edges_down, edges_up, agents_disabled, agents_enabled)
 
+    def state_dict(self) -> dict:
+        # The chain's current up/down assignment decides which transition
+        # probability each future draw is compared against, so it is the
+        # one piece of evolution state a checkpoint must carry.  Stored
+        # sparsely (down sets only; everything starts up).
+        return {
+            "edges_down": sorted(
+                list(edge) for edge, up in self._edge_up.items() if not up
+            ),
+            "agents_down": sorted(
+                agent for agent, up in self._agent_up.items() if not up
+            ),
+        }
+
+    def load_state(self, state) -> None:
+        # reset() rebuilds both tables from the topology in construction
+        # order — the same iteration order the per-round transition sweep
+        # walks — then the down sets are applied on top (flipping values
+        # never changes dict order, so the draw sequence is identical to
+        # the uninterrupted run's).
+        super().load_state(state)
+        for a, b in state.get("edges_down", ()):
+            edge = (a, b)
+            if edge not in self._edge_up:
+                raise EnvironmentError_(
+                    f"checkpointed edge {edge} is not in this topology"
+                )
+            self._edge_up[edge] = False
+        for agent in state.get("agents_down", ()):
+            if agent not in self._agent_up:
+                raise EnvironmentError_(
+                    f"checkpointed agent {agent} is not in this topology"
+                )
+            self._agent_up[agent] = False
+
     def describe(self) -> str:
         return (
             f"markov churn (edge fail {self.edge_failure_probability}/"
@@ -419,6 +454,26 @@ class PeriodicDutyCycleEnvironment(Environment):
                 self._delta_by_residue[residue] = delta
         self._last_round = round_index
         return state, delta
+
+    def state_dict(self) -> dict:
+        # The schedule is a pure function of the round index *given the
+        # phases* — but the phases themselves may have been drawn from an
+        # unseeded generator at construction, so the checkpoint carries
+        # them rather than trusting a reconstruction to re-roll the same.
+        return {"phases": list(self.phases)}
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        phases = state.get("phases")
+        if phases is not None and list(phases) != self.phases:
+            if len(phases) != self.topology.num_agents:
+                raise EnvironmentError_(
+                    "checkpoint carries one phase per agent; got "
+                    f"{len(phases)} for {self.topology.num_agents} agents"
+                )
+            self.phases = [int(phase) for phase in phases]
+            self._enabled_by_residue = {}
+            self._delta_by_residue = {}
 
     def describe(self) -> str:
         return f"periodic duty cycle (period {self.period}, duty {self.duty_cycle})"

@@ -105,6 +105,13 @@ class RandomWaypointEnvironment(Environment):
         self.battery_capacity = battery_capacity
         self.drain_per_round = drain_per_round
         self.recharge_per_round = recharge_per_round
+        if seed is None:
+            # Draw the placement seed explicitly: reset() re-rolls the
+            # initial world from this value, so an "unseeded" environment
+            # must still pin one — otherwise reset() produces a different
+            # arena than the construction did and a reset run diverges
+            # from a fresh one.
+            seed = random.randrange(2**63)
         self.seed = seed
         self._agents: list[MobileAgent] = []
         self._previous: tuple[frozenset, frozenset] | None = None
@@ -196,6 +203,48 @@ class RandomWaypointEnvironment(Environment):
             available_edges=frozenset(edges),
             round_index=round_index,
         )
+
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        # Positions, waypoints and batteries are the whole mobility state;
+        # every future draw (waypoint re-rolls) and every future contact
+        # graph follows from them plus the engine's RNG.  Floats survive
+        # the JSON round trip exactly (shortest-repr); an infinite battery
+        # (no battery model) is stored as None.
+        return {
+            "agents": [
+                [
+                    agent.x,
+                    agent.y,
+                    agent.target_x,
+                    agent.target_y,
+                    None if math.isinf(agent.battery) else agent.battery,
+                ]
+                for agent in self._agents
+            ]
+        }
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        agents = state.get("agents")
+        if agents is None:
+            return
+        if len(agents) != self.num_agents:
+            raise EnvironmentError_(
+                f"checkpoint carries {len(agents)} mobile agents for "
+                f"{self.num_agents}"
+            )
+        self._agents = [
+            MobileAgent(
+                x=x,
+                y=y,
+                target_x=target_x,
+                target_y=target_y,
+                battery=math.inf if battery is None else battery,
+            )
+            for x, y, target_x, target_y, battery in agents
+        ]
 
     # -- reporting ------------------------------------------------------------
 

@@ -403,7 +403,14 @@ class ExperimentSpec:
                 # the history field, or the legacy record_trace mapping —
                 # rather than silently reverting to full retention.
                 params["history"] = self.effective_history
-            instances.append(PROBES.build(name, **params))
+            instance = PROBES.build(name, **params)
+            attach_spec = getattr(instance, "attach_spec", None)
+            if attach_spec is not None:
+                # Checkpoint-writing probes embed the originating spec in
+                # every file, so `repro resume <path>` can rebuild the
+                # whole run from the checkpoint alone.
+                attach_spec(self)
+            instances.append(instance)
         return instances
 
     @property
@@ -441,6 +448,23 @@ class ExperimentSpec:
     def run(self, seed: int | None = None) -> SimulationResult:
         """Build and run one simulation (``seed`` defaults to the first seed)."""
         return self.build(seed).run(**self.run_kwargs())
+
+    def resume(self, checkpoint) -> SimulationResult:
+        """Resume a checkpointed run of this spec to completion.
+
+        ``checkpoint`` is a
+        :class:`~repro.simulation.checkpoint.RunCheckpoint` or a path to
+        one.  The simulator is rebuilt for the checkpoint's seed, restored,
+        and driven with this spec's stopping policy and a fresh instance of
+        its probe pipeline (whose states the checkpoint restores) — the
+        completed :class:`SimulationResult` is byte-identical to the
+        uninterrupted run's.
+        """
+        from .simulation.checkpoint import RunCheckpoint
+
+        checkpoint = RunCheckpoint.load(checkpoint)
+        simulator = self.build(checkpoint.seed)
+        return simulator.run(**self.run_kwargs(), resume_from=checkpoint)
 
     def run_all(self) -> list[SimulationResult]:
         """Run the experiment once per declared seed, in order."""

@@ -1,6 +1,13 @@
 """Simulation of self-similar algorithms under dynamic environments."""
 
 from .batch import BatchItem, BatchResult, BatchRunner, run_callables
+from .checkpoint import (
+    DriverState,
+    EngineCheckpoint,
+    RoundState,
+    RunCheckpoint,
+    resume_run,
+)
 from .engine import Simulator
 from .messaging import MergeMessagePassingSimulator
 from .metrics import (
@@ -11,6 +18,7 @@ from .metrics import (
     statistics_from_payloads,
 )
 from .probes import (
+    CheckpointProbe,
     ConvergenceProbe,
     JSONLSink,
     ObjectiveProbe,
@@ -18,7 +26,7 @@ from .probes import (
     TemporalProbe,
     TemporalProperty,
 )
-from .protocol import Engine, HistoryProbe, Probe, RoundRecord, run_engine
+from .protocol import Engine, HistoryProbe, Probe, RoundRecord, RunContext, run_engine
 from .result import SimulationResult
 from .runner import SweepPoint, run_repeated, sweep
 
@@ -27,6 +35,13 @@ __all__ = [
     "BatchResult",
     "BatchRunner",
     "run_callables",
+    "CheckpointProbe",
+    "DriverState",
+    "EngineCheckpoint",
+    "RoundState",
+    "RunCheckpoint",
+    "RunContext",
+    "resume_run",
     "Engine",
     "Probe",
     "HistoryProbe",

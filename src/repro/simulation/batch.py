@@ -27,11 +27,14 @@ different semantics.
 from __future__ import annotations
 
 import json
+import pathlib
 import traceback
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
+from ..core.errors import SpecificationError
+from .checkpoint import RunCheckpoint
 from .metrics import (
     RunStatistics,
     aggregate_records,
@@ -49,6 +52,12 @@ __all__ = ["BatchItem", "BatchResult", "BatchRunner", "run_callables"]
 #: Executor backends the runner knows how to drive.
 BACKENDS = ("process", "thread", "serial")
 
+#: Name of the batch manifest written into a checkpoint directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Identifies batch manifests (the ``format`` key of the JSON object).
+MANIFEST_FORMAT = "repro-batch-manifest"
+
 
 def _execute_payload(payload: tuple[dict, int]) -> dict:
     """Run one (spec dict, seed) work unit — the function shipped to workers.
@@ -62,6 +71,43 @@ def _execute_payload(payload: tuple[dict, int]) -> dict:
 
     spec = ExperimentSpec.from_dict(spec_data)
     return spec.run(seed).to_dict()
+
+
+def _execute_durable_payload(payload: tuple[dict, int, str]) -> dict:
+    """Run one fault-tolerant work unit (its spec carries a checkpoint probe).
+
+    Idempotent by construction, which is the whole resume story:
+
+    * a persisted ``result.json`` means the unit already completed — load
+      and return it, byte for byte (resume skips completed units);
+    * otherwise, a ``latest.json`` engine checkpoint means the unit was
+      in flight when the batch died — restore and finish it (the result
+      is byte-identical to an uninterrupted run of the unit);
+    * otherwise, run the unit from the start.
+
+    The completed result is persisted atomically before it is returned,
+    so a retry or a batch resume can always trust what it finds.
+    """
+    spec_data, seed, unit_dir_text = payload
+    from ..experiment import ExperimentSpec
+
+    unit_dir = pathlib.Path(unit_dir_text)
+    result_path = unit_dir / "result.json"
+    if result_path.exists():
+        return json.loads(result_path.read_text())
+
+    spec = ExperimentSpec.from_dict(spec_data)
+    latest = sorted((unit_dir / "engine").glob("*/latest.json"))
+    if latest:
+        result = spec.resume(RunCheckpoint.load(latest[0]))
+    else:
+        result = spec.run(seed)
+    data = result.to_dict()
+    unit_dir.mkdir(parents=True, exist_ok=True)
+    temporary = result_path.with_name(result_path.name + ".tmp")
+    temporary.write_text(json.dumps(data))
+    temporary.replace(result_path)
+    return data
 
 
 @dataclass(frozen=True)
@@ -195,65 +241,205 @@ class BatchRunner:
         boundaries as dictionaries), ``"thread"`` (parallel I/O, shared
         interpreter) or ``"serial"`` (in-process, deterministic ordering,
         no pool — the debugging mode).
+    retries:
+        How many times a failed work unit is re-attempted before its
+        failure is recorded (default 0 — fail on first error, the classic
+        behaviour).  With a checkpoint directory, a retried unit restores
+        from its latest engine checkpoint instead of starting over.
     """
 
-    def __init__(self, max_workers: int | None = None, backend: str = "process"):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        backend: str = "process",
+        retries: int = 0,
+    ):
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.max_workers = max_workers
         self.backend = backend
+        self.retries = retries
 
     # -- execution -------------------------------------------------------------
 
     def run(
-        self, specs: "ExperimentSpec | Iterable[ExperimentSpec]"
+        self,
+        specs: "ExperimentSpec | Iterable[ExperimentSpec]",
+        checkpoint_dir: str | pathlib.Path | None = None,
+        checkpoint_every: int = 100,
     ) -> BatchResult:
         """Run every (spec, seed) pair; one item per pair, in declaration order.
 
         A raising work unit records its traceback in the corresponding
         :class:`BatchItem` instead of aborting the batch — a 200-point
         sweep should not lose 199 results to one bad configuration.
+
+        With ``checkpoint_dir`` the batch becomes *durable*: each unit
+        gets a private subdirectory holding rolling engine checkpoints
+        (written by an injected
+        :class:`~repro.simulation.probes.CheckpointProbe` every
+        ``checkpoint_every`` rounds) and its persisted result, and the
+        directory gains a manifest describing the whole batch.  If the
+        process dies mid-sweep, :meth:`resume` on the same directory
+        completes the batch: finished units are loaded from their
+        persisted results, in-flight units restore from their latest
+        checkpoint, and the merged :class:`BatchResult` is identical to
+        what the uninterrupted batch would have produced.
         """
         from ..experiment import ExperimentSpec
 
         if isinstance(specs, ExperimentSpec):
             specs = [specs]
-        units: list[tuple[str, dict, int]] = []
+        units: list[tuple[str, dict, int, str | None]] = []
+        base = None if checkpoint_dir is None else pathlib.Path(checkpoint_dir)
         for spec in specs:
             spec.validate()
-            data = spec.to_dict()
+            if base is None:
+                data = spec.to_dict()
+                for seed in spec.seeds:
+                    units.append((spec.label, data, seed, None))
+                continue
             for seed in spec.seeds:
-                units.append((spec.label, data, seed))
+                unit_dir = base / f"unit-{len(units):04d}"
+                durable = spec.with_updates(
+                    {
+                        "probes": list(spec.probes)
+                        + [
+                            {
+                                "probe": "checkpoint",
+                                "every": checkpoint_every,
+                                "directory": str(unit_dir / "engine"),
+                            }
+                        ]
+                    }
+                )
+                units.append((spec.label, durable.to_dict(), seed, str(unit_dir)))
 
-        payloads = [(data, seed) for _, data, seed in units]
-        outcomes = self._map(_execute_payload, payloads)
+        if base is not None:
+            self._write_manifest(base, units, checkpoint_every)
+        return self._execute_units(units)
 
-        items = []
-        for (label, data, seed), (result, error) in zip(units, outcomes):
-            items.append(
-                BatchItem(label=label, seed=seed, spec=data, result=result, error=error)
+    def resume(self, checkpoint_dir: str | pathlib.Path) -> BatchResult:
+        """Finish an interrupted durable batch from its checkpoint directory.
+
+        Re-executes the manifest's units through the same idempotent path
+        as :meth:`run`: completed units return their persisted results
+        untouched, interrupted units restore from their latest engine
+        checkpoint (or start over if they died before the first one), and
+        the merged result equals the uninterrupted batch's.
+        """
+        base = pathlib.Path(checkpoint_dir)
+        manifest_path = base / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except OSError as error:
+            raise SpecificationError(
+                f"cannot resume batch from {base}: {error}"
+            ) from error
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise SpecificationError(
+                f"{manifest_path} is not a batch manifest "
+                f"(format {manifest.get('format')!r})"
             )
-        return BatchResult(items)
+        units = [
+            (unit["label"], unit["spec"], unit["seed"], unit["unit_dir"])
+            for unit in manifest["units"]
+        ]
+        return self._execute_units(units)
 
     def run_grid(
-        self, base: "ExperimentSpec", grid: Mapping[str, Sequence[Any]]
+        self,
+        base: "ExperimentSpec",
+        grid: Mapping[str, Sequence[Any]],
+        checkpoint_dir: str | pathlib.Path | None = None,
+        checkpoint_every: int = 100,
     ) -> BatchResult:
         """Expand ``grid`` against ``base`` (see
         :func:`repro.experiment.expand_grid`) and run the whole sweep."""
         from ..experiment import expand_grid
 
-        return self.run(expand_grid(base, grid))
+        return self.run(
+            expand_grid(base, grid),
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+        )
 
     # -- internals -------------------------------------------------------------
+
+    def _execute_units(
+        self, units: Sequence[tuple[str, dict, int, str | None]]
+    ) -> BatchResult:
+        payloads = []
+        durable = False
+        for _, data, seed, unit_dir in units:
+            if unit_dir is None:
+                payloads.append((data, seed))
+            else:
+                durable = True
+                payloads.append((data, seed, unit_dir))
+        fn = _execute_durable_payload if durable else _execute_payload
+        outcomes = self._map(fn, payloads)
+
+        items = []
+        for (label, data, seed, _), (result, error) in zip(units, outcomes):
+            items.append(
+                BatchItem(label=label, seed=seed, spec=data, result=result, error=error)
+            )
+        return BatchResult(items)
+
+    @staticmethod
+    def _write_manifest(
+        base: pathlib.Path,
+        units: Sequence[tuple[str, dict, int, str | None]],
+        checkpoint_every: int,
+    ) -> None:
+        base.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "checkpoint_every": checkpoint_every,
+            "units": [
+                {
+                    "index": index,
+                    "label": label,
+                    "seed": seed,
+                    "spec": data,
+                    "unit_dir": unit_dir,
+                }
+                for index, (label, data, seed, unit_dir) in enumerate(units)
+            ],
+        }
+        path = base / MANIFEST_NAME
+        if path.exists():
+            # The durable workers trust whatever persisted state they find
+            # in their unit directories, so pointing a *different* batch
+            # at a used directory would silently serve the old batch's
+            # results.  The same batch is fine — run() on its own
+            # directory is resume().
+            existing = json.loads(path.read_text())
+            if existing != manifest:
+                raise SpecificationError(
+                    f"{base} already holds a different batch (its manifest "
+                    "does not match these specs); resume() that batch, or "
+                    "use a fresh checkpoint directory"
+                )
+            return
+        temporary = path.with_name(path.name + ".tmp")
+        temporary.write_text(json.dumps(manifest, indent=2))
+        temporary.replace(path)
 
     def _map(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
     ) -> list[tuple[Any, str | None]]:
         """Apply ``fn`` to every payload, capturing per-unit failures."""
         if self.backend == "serial" or len(payloads) <= 1:
-            return [_guard(fn, payload) for payload in payloads]
+            return [_guard(fn, payload, self.retries) for payload in payloads]
         with self._executor() as pool:
-            futures = [pool.submit(_guard, fn, payload) for payload in payloads]
+            futures = [
+                pool.submit(_guard, fn, payload, self.retries)
+                for payload in payloads
+            ]
             return [future.result() for future in futures]
 
     def _executor(self) -> Executor:
@@ -262,18 +448,28 @@ class BatchRunner:
         return ThreadPoolExecutor(max_workers=self.max_workers)
 
 
-def _guard(fn: Callable[[Any], Any], payload: Any) -> tuple[Any, str | None]:
-    """Run one unit, converting an exception into a recorded traceback."""
-    try:
-        return fn(payload), None
-    except Exception:  # noqa: BLE001 - any worker failure becomes data
-        return None, traceback.format_exc()
+def _guard(
+    fn: Callable[[Any], Any], payload: Any, retries: int = 0
+) -> tuple[Any, str | None]:
+    """Run one unit, converting an exception into a recorded traceback.
+
+    ``retries`` extra attempts run before the failure is recorded; the
+    traceback kept is the last attempt's.
+    """
+    error = None
+    for _ in range(retries + 1):
+        try:
+            return fn(payload), None
+        except Exception:  # noqa: BLE001 - any worker failure becomes data
+            error = traceback.format_exc()
+    return None, error
 
 
 def run_callables(
     jobs: Sequence[Callable[[], SimulationResult]],
     max_workers: int | None = None,
     backend: str = "serial",
+    return_exceptions: bool = False,
 ) -> list[SimulationResult]:
     """Execute in-process simulation thunks and return their results in order.
 
@@ -282,11 +478,41 @@ def run_callables(
     and environment objects in closures and delegate the execution loop
     here.  Closures cannot cross process boundaries, so the backends are
     ``"serial"`` (default) and ``"thread"``.
+
+    Failure handling mirrors :class:`BatchRunner`'s per-unit capture: each
+    job's outcome is recorded independently, so one raising job never
+    discards the others' completed work.  With ``return_exceptions`` the
+    outcomes come back as a mixed list (results and exception objects, in
+    job order).  Without it, the first failing job's exception is raised —
+    but only after every job has finished.  The one behavioural difference
+    that remains between the backends: ``"serial"`` stops at the first
+    failure (later jobs never start), while ``"thread"`` always runs every
+    job to completion before reporting the earliest failure.
     """
     if backend not in ("serial", "thread"):
         raise ValueError(f"run_callables backend must be serial or thread, got {backend!r}")
     if backend == "serial" or len(jobs) <= 1:
-        return [job() for job in jobs]
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        futures = [pool.submit(job) for job in jobs]
-        return [future.result() for future in futures]
+        if not return_exceptions:
+            return [job() for job in jobs]
+        outcomes = [_call_guarded(job) for job in jobs]
+    else:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(_call_guarded, job) for job in jobs]
+            outcomes = [future.result() for future in futures]
+
+    if return_exceptions:
+        return [result if error is None else error for result, error in outcomes]
+    for _, error in outcomes:
+        if error is not None:
+            raise error
+    return [result for result, _ in outcomes]
+
+
+def _call_guarded(
+    job: Callable[[], SimulationResult]
+) -> tuple[SimulationResult | None, Exception | None]:
+    """Run one thunk, capturing its exception instead of propagating."""
+    try:
+        return job(), None
+    except Exception as error:  # noqa: BLE001 - reported to the caller
+        return None, error

@@ -58,6 +58,17 @@ from ..core.multiset import Multiset, MutableMultiset
 from ..core.relation import STUTTER_JUDGEMENT, StepJudgement, StepKind
 from ..environment.base import Environment, EnvironmentState, connected_component_tuples
 from ..environment.connectivity import ConnectivityTracker
+from .checkpoint import (
+    EngineCheckpoint,
+    RoundState,
+    RunCheckpoint,
+    decode_rng_state,
+    decode_state,
+    encode_rng_state,
+    encode_state,
+    engine_checkpoint_of,
+    rebuilt_multiset,
+)
 from .protocol import Probe, RoundRecord, run_engine
 from .result import SimulationResult
 
@@ -172,10 +183,7 @@ class Simulator:
                 environment.topology, group_factory=Group
             )
         self._previous_environment_state: EnvironmentState | None = None
-        self._stutter_tuples: dict[int, tuple[StepJudgement, ...]] = {}
 
-        self._rng = random.Random(seed)
-        self._round_index = 0
         initial_states = algorithm.initial_states(self.initial_values)
         self.agents: list[Agent] = [
             Agent(agent_id=index, state=state)
@@ -185,10 +193,53 @@ class Simulator:
         self._target = algorithm.target(initial_states)
         self._target_size = len(self._target)
         self._target_fingerprint = self._target.fingerprint()
-        self._maintained = MutableMultiset(self._initial_multiset)
-        # Lazily initialised (first round / run start) so that building a
-        # simulator never evaluates the objective.
-        self._objective_value: float | None = None
+        # The entire mutable run state — RNG, round index, maintained
+        # multiset, maintained objective, quiet-round tuple cache — lives
+        # in one explicit object, which is what checkpoint()/restore()
+        # serialize.  (The objective stays lazily initialised so that
+        # building a simulator never evaluates it.)
+        self._state = RoundState(seed, self._initial_multiset)
+
+    # -- the explicit run state (see RoundState) -------------------------------
+    # Attribute-style access is kept so call sites (and the parity test
+    # suite's references) read naturally; the state object is the single
+    # owner.
+
+    @property
+    def _rng(self) -> random.Random:
+        return self._state.rng
+
+    @_rng.setter
+    def _rng(self, value: random.Random) -> None:
+        self._state.rng = value
+
+    @property
+    def _round_index(self) -> int:
+        return self._state.round_index
+
+    @_round_index.setter
+    def _round_index(self, value: int) -> None:
+        self._state.round_index = value
+
+    @property
+    def _maintained(self) -> MutableMultiset:
+        return self._state.maintained
+
+    @_maintained.setter
+    def _maintained(self, value: MutableMultiset) -> None:
+        self._state.maintained = value
+
+    @property
+    def _objective_value(self) -> float | None:
+        return self._state.objective_value
+
+    @_objective_value.setter
+    def _objective_value(self, value: float | None) -> None:
+        self._state.objective_value = value
+
+    @property
+    def _stutter_tuples(self) -> dict[int, tuple[StepJudgement, ...]]:
+        return self._state.stutter_tuples
 
     # -- state access ----------------------------------------------------------
 
@@ -218,14 +269,85 @@ class Simulator:
 
     def reset(self) -> None:
         """Restore the initial configuration (same seed, same initial values)."""
-        self._rng = random.Random(self.seed)
-        self._round_index = 0
+        self._state.reset(self.seed, self._initial_multiset)
         for agent in self.agents:
             agent.reset()
         self.environment.reset()
-        self._maintained = MutableMultiset(self._initial_multiset)
-        self._objective_value = None
         if self._tracker is not None:
+            self._tracker.reset()
+        self._previous_environment_state = None
+
+    # -- checkpoint / restore ---------------------------------------------------
+
+    def checkpoint(self) -> EngineCheckpoint:
+        """Serialize the run state at the current round boundary.
+
+        Everything the continuation depends on is captured exactly: agent
+        states (and their participation counters), the RNG state, the
+        maintained objective value (whose float summation history is not
+        recomputable), and the environment's own mutable state.  Derived
+        structure — the maintained multiset, the connectivity tracker —
+        is rebuilt deterministically on restore.
+        """
+        state = self._state
+        return EngineCheckpoint(
+            engine="simulator",
+            seed=self.seed,
+            round_index=state.round_index,
+            rng_state=encode_rng_state(state.rng.getstate()),
+            agent_states=[encode_state(agent.state) for agent in self.agents],
+            objective_value=encode_state(state.objective_value),
+            agent_counters=[
+                [agent.steps_participated, agent.steps_changed]
+                for agent in self.agents
+            ],
+            environment=self.environment.state_dict(),
+        )
+
+    def restore(self, checkpoint: EngineCheckpoint | RunCheckpoint | dict) -> None:
+        """Restore a checkpoint into this (identically-constructed) engine.
+
+        The continued run is byte-identical to the uninterrupted one: same
+        random draws, same round records, same maintained objective.  The
+        checkpoint must come from the same configuration — engine kind,
+        seed and agent count are verified.
+        """
+        if isinstance(checkpoint, RunCheckpoint):
+            checkpoint = checkpoint.engine
+        checkpoint = engine_checkpoint_of(checkpoint)
+        if checkpoint.engine != "simulator":
+            raise SimulationError(
+                f"cannot restore a {checkpoint.engine!r} checkpoint into "
+                "the synchronous Simulator"
+            )
+        if checkpoint.seed != self.seed:
+            raise SimulationError(
+                f"checkpoint was taken under seed {checkpoint.seed}, but "
+                f"this simulator runs seed {self.seed}; restore requires an "
+                "identically-constructed engine"
+            )
+        if len(checkpoint.agent_states) != len(self.agents):
+            raise SimulationError(
+                f"checkpoint holds {len(checkpoint.agent_states)} agent "
+                f"states for {len(self.agents)} agents"
+            )
+        state = self._state
+        state.rng.setstate(decode_rng_state(checkpoint.rng_state))
+        state.round_index = checkpoint.round_index
+        counters = checkpoint.agent_counters or [None] * len(self.agents)
+        for agent, encoded, counter in zip(
+            self.agents, checkpoint.agent_states, counters
+        ):
+            agent.state = decode_state(encoded)
+            if counter is not None:
+                agent.steps_participated, agent.steps_changed = counter
+        self.environment.load_state(checkpoint.environment)
+        state.maintained = rebuilt_multiset(self.current_states())
+        state.objective_value = decode_state(checkpoint.objective_value)
+        if self._tracker is not None:
+            # The tracker resynchronizes from the next observed state —
+            # the deterministic rebuild recipe; maintained components are
+            # pinned equal to the from-scratch walk either way.
             self._tracker.reset()
         self._previous_environment_state = None
 
@@ -449,10 +571,11 @@ class Simulator:
         self, removed: list, added: list, clean: bool
     ) -> tuple[Multiset, float, bool]:
         """Fold one round's state delta into the maintained round state."""
-        maintained = self._maintained
-        if self._objective_value is None:
+        state = self._state
+        maintained = state.maintained
+        if state.objective_value is None:
             # First use: price the objective once, on the pre-delta bag.
-            self._objective_value = self.algorithm.objective(maintained.snapshot())
+            state.objective_value = self.algorithm.objective(maintained.snapshot())
         if removed or added:
             try:
                 maintained.apply_delta(removed, added)
@@ -466,7 +589,7 @@ class Simulator:
         if clean and self.algorithm.objective.supports_delta:
             multiset = maintained.snapshot()
             objective = self.algorithm.objective_delta(
-                self._objective_value, multiset, removed, added
+                state.objective_value, multiset, removed, added
             )
         else:
             # No exact delta available (hull/circle objectives), or the
@@ -476,7 +599,7 @@ class Simulator:
             # float summations match the reference path bit for bit.
             multiset = Multiset(self.current_states())
             objective = self.algorithm.objective(multiset)
-        self._objective_value = objective
+        state.objective_value = objective
 
         # The maintained bag's fingerprint is O(1); on fallback rounds the
         # fresh multiset's would cost an O(distinct) walk just to
@@ -583,6 +706,7 @@ class Simulator:
         on_round: Callable[[RoundRecord], bool | None] | None = None,
         probes: Sequence[Probe] | None = None,
         history: str | None = None,
+        resume_from: RunCheckpoint | None = None,
     ) -> SimulationResult:
         """Run the simulation and return a :class:`SimulationResult`.
 
@@ -591,7 +715,10 @@ class Simulator:
         records from :meth:`steps`, applies the stopping policy and feeds
         the probe pipeline; see its docstring for the ``max_rounds``,
         ``stop_at_convergence``, ``extra_rounds_after_convergence``,
-        ``on_round``, ``probes`` and ``history`` parameters.
+        ``on_round``, ``probes``, ``history`` and ``resume_from``
+        parameters.  With ``resume_from``, the checkpointed engine state
+        is restored first and the completed result is byte-identical to
+        the uninterrupted run's.
 
         ``history`` defaults to ``"full"`` (the classic result with its
         complete trace), or ``"objective"`` when the simulator was built
@@ -600,6 +727,8 @@ class Simulator:
         """
         if history is None:
             history = "full" if self.record_trace else "objective"
+        if resume_from is not None:
+            self.restore(resume_from)
         return run_engine(
             self,
             max_rounds=max_rounds,
@@ -608,6 +737,7 @@ class Simulator:
             on_round=on_round,
             probes=probes,
             history=history,
+            resume_from=resume_from,
         )
 
 

@@ -54,6 +54,17 @@ from ..core.multiset import Multiset, MutableMultiset
 from ..core.algorithm import SelfSimilarAlgorithm
 from ..core.relation import StepJudgement, StepKind
 from ..environment.base import Environment, EnvironmentState
+from .checkpoint import (
+    EngineCheckpoint,
+    RoundState,
+    RunCheckpoint,
+    decode_rng_state,
+    decode_state,
+    encode_rng_state,
+    encode_state,
+    engine_checkpoint_of,
+    rebuilt_multiset,
+)
 from .protocol import Probe, RoundRecord, run_engine
 from .result import SimulationResult
 
@@ -139,17 +150,17 @@ class MergeMessagePassingSimulator:
             incremental_environment and environment.reports_deltas
         )
         self._previous_environment_state: EnvironmentState | None = None
-        self._rng = random.Random(seed)
         self.states: list[Hashable] = algorithm.initial_states(list(initial_values))
         self._initial_states = list(self.states)
         self._target = algorithm.target(self.states)
         self.messages_sent = 0
         self.messages_delivered = 0
-        self._round_index = 0
-        self._maintained = MutableMultiset(self.states)
-        # Lazily initialised (first round / run start) so that building a
-        # simulator never evaluates the objective.
-        self._objective_value: float | None = None
+        # The mutable run state — RNG, round index, maintained multiset,
+        # maintained objective — as one explicit object, shared shape
+        # with the synchronous engine; checkpoint()/restore() serialize
+        # it.  (The objective stays lazily initialised so that building a
+        # simulator never evaluates it.)
+        self._state = RoundState(seed, self.states)
         # Incremental objective maintenance requires that every applied
         # merge respected the conservation law; that is only guaranteed
         # when enforcement checks each delivery (Simulator's equivalent is
@@ -177,6 +188,36 @@ class MergeMessagePassingSimulator:
         # topologies cannot grow memory without bound.
         self._pair_groups: dict[tuple[int, int], Group] = {}
         self._pair_group_cap = 65536
+
+    # -- the explicit run state (see RoundState) --------------------------------
+
+    @property
+    def _rng(self) -> random.Random:
+        return self._state.rng
+
+    @_rng.setter
+    def _rng(self, value: random.Random) -> None:
+        self._state.rng = value
+
+    @property
+    def _round_index(self) -> int:
+        return self._state.round_index
+
+    @_round_index.setter
+    def _round_index(self, value: int) -> None:
+        self._state.round_index = value
+
+    @property
+    def _maintained(self) -> MutableMultiset:
+        return self._state.maintained
+
+    @property
+    def _objective_value(self) -> float | None:
+        return self._state.objective_value
+
+    @_objective_value.setter
+    def _objective_value(self, value: float | None) -> None:
+        self._state.objective_value = value
 
     # -- the Engine protocol ----------------------------------------------------
 
@@ -228,6 +269,73 @@ class MergeMessagePassingSimulator:
             "messages_delivered": self.messages_delivered,
             "seed": self.seed,
         }
+
+    # -- lifecycle: reset, checkpoint, restore ----------------------------------
+
+    def reset(self) -> None:
+        """Restore the initial configuration (same seed, same initial values)."""
+        self.states = list(self._initial_states)
+        self._state.reset(self.seed, self.states)
+        self.environment.reset()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self._previous_environment_state = None
+
+    def checkpoint(self) -> EngineCheckpoint:
+        """Serialize the run state at the current round boundary.
+
+        Mirrors :meth:`Simulator.checkpoint`; the messaging runtime
+        additionally records its send/delivery totals (result metadata).
+        The conservation and pair-group memos are pure caches and refill
+        on demand after restore.
+        """
+        state = self._state
+        return EngineCheckpoint(
+            engine="messaging",
+            seed=self.seed,
+            round_index=state.round_index,
+            rng_state=encode_rng_state(state.rng.getstate()),
+            agent_states=[encode_state(value) for value in self.states],
+            objective_value=encode_state(state.objective_value),
+            environment=self.environment.state_dict(),
+            counters={
+                "messages_sent": self.messages_sent,
+                "messages_delivered": self.messages_delivered,
+            },
+        )
+
+    def restore(self, checkpoint: EngineCheckpoint | RunCheckpoint | dict) -> None:
+        """Restore a checkpoint into this (identically-constructed) engine;
+        the continued run is byte-identical to the uninterrupted one."""
+        if isinstance(checkpoint, RunCheckpoint):
+            checkpoint = checkpoint.engine
+        checkpoint = engine_checkpoint_of(checkpoint)
+        if checkpoint.engine != "messaging":
+            raise SimulationError(
+                f"cannot restore a {checkpoint.engine!r} checkpoint into "
+                "the message-passing simulator"
+            )
+        if checkpoint.seed != self.seed:
+            raise SimulationError(
+                f"checkpoint was taken under seed {checkpoint.seed}, but "
+                f"this simulator runs seed {self.seed}; restore requires an "
+                "identically-constructed engine"
+            )
+        if len(checkpoint.agent_states) != len(self.states):
+            raise SimulationError(
+                f"checkpoint holds {len(checkpoint.agent_states)} agent "
+                f"states for {len(self.states)} agents"
+            )
+        state = self._state
+        state.rng.setstate(decode_rng_state(checkpoint.rng_state))
+        state.round_index = checkpoint.round_index
+        self.states = [decode_state(value) for value in checkpoint.agent_states]
+        self.environment.load_state(checkpoint.environment)
+        state.maintained = rebuilt_multiset(self.states)
+        state.objective_value = decode_state(checkpoint.objective_value)
+        self.messages_sent = checkpoint.counters.get("messages_sent", 0)
+        self.messages_delivered = checkpoint.counters.get("messages_delivered", 0)
+        self._previous_environment_state = None
 
     # -- execution --------------------------------------------------------------
 
@@ -390,6 +498,7 @@ class MergeMessagePassingSimulator:
         on_round: Callable[[RoundRecord], bool | None] | None = None,
         probes: Sequence[Probe] | None = None,
         history: str = "full",
+        resume_from: RunCheckpoint | None = None,
     ) -> SimulationResult:
         """Run the asynchronous computation and return a
         :class:`SimulationResult`.
@@ -397,11 +506,14 @@ class MergeMessagePassingSimulator:
         Delegates to the shared engine driver
         (:func:`repro.simulation.protocol.run_engine`), so this runtime
         carries the same stopping policy (``stop_at_convergence``,
-        ``extra_rounds_after_convergence``, ``on_round``) and the same
-        probe pipeline (``probes``, ``history``) as the synchronous
+        ``extra_rounds_after_convergence``, ``on_round``), the same
+        probe pipeline (``probes``, ``history``) and the same
+        checkpoint/resume semantics (``resume_from``) as the synchronous
         :class:`~repro.simulation.engine.Simulator` — see the driver's
         docstring for the parameters.
         """
+        if resume_from is not None:
+            self.restore(resume_from)
         return run_engine(
             self,
             max_rounds=max_rounds,
@@ -410,4 +522,5 @@ class MergeMessagePassingSimulator:
             on_round=on_round,
             probes=probes,
             history=history,
+            resume_from=resume_from,
         )

@@ -34,6 +34,7 @@ their payloads under ``SimulationResult.probes`` (which
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -42,7 +43,8 @@ from ..core.errors import SpecificationError
 from ..core.multiset import Multiset
 from ..registry import register_probe
 from ..temporal.online import OnlineFormula, OPERATORS, online
-from .protocol import Engine, HistoryProbe, Probe, RoundRecord
+from .checkpoint import RunCheckpoint, decode_state, encode_state
+from .protocol import Engine, HistoryProbe, Probe, RoundRecord, RunContext
 from .result import jsonify
 
 __all__ = [
@@ -53,6 +55,7 @@ __all__ = [
     "TemporalProbe",
     "StatsProbe",
     "JSONLSink",
+    "CheckpointProbe",
 ]
 
 
@@ -115,6 +118,26 @@ class ObjectiveProbe(Probe):
             payload["trajectory"] = jsonify(self._trajectory)
         return payload
 
+    def state_dict(self) -> dict:
+        return {
+            "trajectory": [encode_state(value) for value in self._trajectory],
+            "initial": encode_state(self._initial),
+            "last": encode_state(self._last),
+            "minimum": encode_state(self._minimum),
+            "maximum": encode_state(self._maximum),
+            "decreases": self._decreases,
+            "rounds": self._rounds,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._trajectory = [decode_state(value) for value in state["trajectory"]]
+        self._initial = decode_state(state["initial"])
+        self._last = decode_state(state["last"])
+        self._minimum = decode_state(state["minimum"])
+        self._maximum = decode_state(state["maximum"])
+        self._decreases = state["decreases"]
+        self._rounds = state["rounds"]
+
 
 @register_probe("convergence")
 class ConvergenceProbe(Probe):
@@ -162,6 +185,22 @@ class ConvergenceProbe(Probe):
             "stayed_at_target": not self._left_target_after_convergence,
             "at_target_at_end": self._last_converged,
         }
+
+    def state_dict(self) -> dict:
+        # The engine reference is a live resource, re-bound by
+        # on_start/on_resume; everything else is plain data.
+        return {
+            "convergence_round": self._convergence_round,
+            "rounds": self._rounds,
+            "left_target": self._left_target_after_convergence,
+            "last_converged": self._last_converged,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._convergence_round = state["convergence_round"]
+        self._rounds = state["rounds"]
+        self._left_target_after_convergence = state["left_target"]
+        self._last_converged = state["last_converged"]
 
 
 # -- temporal-logic probe -------------------------------------------------------
@@ -395,6 +434,31 @@ class TemporalProbe(Probe):
     def on_finish(self) -> dict:
         return {"complete": self._complete, "verdicts": self.verdicts()}
 
+    def state_dict(self) -> dict:
+        # Each online formula's fold state is O(1) plain data; the
+        # predicates themselves are re-resolved against the engine on
+        # resume (on_start builds fresh formulas, then the fold state is
+        # loaded into them).
+        return {
+            "complete": self._complete,
+            "formulas": {
+                name: formula.state_dict()
+                for name, formula in self._formulas.items()
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._complete = state["complete"]
+        saved = state["formulas"]
+        if set(saved) != set(self._formulas):
+            raise SpecificationError(
+                "checkpointed temporal properties "
+                f"{sorted(saved)} do not match the declared ones "
+                f"{sorted(self._formulas)}"
+            )
+        for name, formula_state in saved.items():
+            self._formulas[name].load_state(formula_state)
+
 
 @register_probe("stats")
 class StatsProbe(Probe):
@@ -461,6 +525,31 @@ class StatsProbe(Probe):
         from .metrics import statistics_from_payloads
 
         return statistics_from_payloads([self.on_finish()])
+
+    def state_dict(self) -> dict:
+        # Cross-run accumulators *and* the current run's progress: a
+        # resumed run must neither double-count itself nor lose the rounds
+        # it already observed.  (The default on_resume calls on_start —
+        # which counts a new run — then load_state, which restores the
+        # true run count.)
+        return {
+            "runs": self._runs,
+            "convergence_rounds": list(self._convergence_rounds),
+            "group_steps": self._group_steps,
+            "improving_steps": self._improving_steps,
+            "correct_runs": self._correct_runs,
+            "run_convergence_round": self._run_convergence_round,
+            "run_rounds": self._run_rounds,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._runs = state["runs"]
+        self._convergence_rounds = list(state["convergence_rounds"])
+        self._group_steps = state["group_steps"]
+        self._improving_steps = state["improving_steps"]
+        self._correct_runs = state["correct_runs"]
+        self._run_convergence_round = state["run_convergence_round"]
+        self._run_rounds = state["run_rounds"]
 
 
 @register_probe("jsonl")
@@ -541,3 +630,174 @@ class JSONLSink(Probe):
             self._file.close()
             self._file = None
         return {"path": str(self._path), "lines": self._lines}
+
+    def state_dict(self) -> dict:
+        # state_dict() is called exactly when a checkpoint captures the
+        # run, and the recorded line count is only honest if those lines
+        # are durably on disk: after a hard kill (no exception unwind, no
+        # close()) anything still in the user-space buffer is lost and
+        # the checkpoint would claim more lines than the file holds —
+        # making it unresumable.  Flush and fsync before reporting.
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        return {"lines": self._lines}
+
+    def on_resume(self, engine: Engine, state: dict | None) -> None:
+        """Reattach to the sink file, appending from the checkpointed offset.
+
+        The first ``lines`` lines of the existing file are kept and
+        anything after them is truncated away — a crashed run may have
+        streamed rounds past the checkpoint it is being resumed from, and
+        those rounds are about to be re-emitted.  The resumed file is
+        byte-identical to an uninterrupted run's.
+        """
+        if state is None:
+            self.on_start(engine)
+            return
+        self._path = pathlib.Path(
+            self._path_template.format(
+                seed=engine.seed, algorithm=engine.algorithm.name
+            )
+        )
+        expected = int(state["lines"])
+        try:
+            with self._path.open("r") as handle:
+                kept = [next(handle) for _ in range(expected)]
+        except OSError as error:
+            raise SpecificationError(
+                f"cannot resume jsonl sink {self._path}: {error} (the "
+                "partial stream written before the checkpoint is required)"
+            ) from error
+        except StopIteration:
+            raise SpecificationError(
+                f"cannot resume jsonl sink {self._path}: the file holds "
+                f"fewer than the checkpointed {expected} lines"
+            ) from None
+        self._file = self._path.open("w")
+        self._file.writelines(kept)
+        self._lines = expected
+
+
+@register_probe("checkpoint")
+class CheckpointProbe(Probe):
+    """Rolling run checkpoints: every ``every`` rounds, the whole run to disk.
+
+    The probe is a run-level observer: :meth:`on_attach` hands it the
+    driver's :class:`~repro.simulation.protocol.RunContext`, and each
+    write snapshots the engine (``Engine.checkpoint()``), the driver's
+    live counters and every sibling probe's ``state_dict()`` into one
+    :class:`~repro.simulation.checkpoint.RunCheckpoint` — taken from
+    :meth:`on_round_end`, after the full probe pipeline has observed the
+    round, so the snapshot is resume-clean.  When the probe was built by
+    the experiment layer, the originating spec rides along in the file and
+    ``repro resume <path>`` (or
+    :func:`~repro.simulation.checkpoint.resume_run`) needs nothing else.
+
+    Files land in ``<directory>/<algorithm>-seed<seed>/`` as
+    ``round-<NNNNNNNN>.json`` plus a ``latest.json`` copy (both written
+    atomically), so per-seed runs of a batch never collide and "the most
+    recent checkpoint" is always one known filename.  A final checkpoint
+    is written when the run completes (``final=False`` disables it), which
+    makes every finished run resumable into exactly itself.
+    """
+
+    name = "checkpoint"
+
+    def __init__(
+        self,
+        every: int = 100,
+        directory: str | pathlib.Path = "checkpoints",
+        final: bool = True,
+    ):
+        if int(every) < 1:
+            raise SpecificationError(
+                f"checkpoint probe needs every >= 1, got {every!r}"
+            )
+        self.every = int(every)
+        self.directory = pathlib.Path(str(directory))
+        self.final = bool(final)
+        self._context: RunContext | None = None
+        self._spec_data: dict | None = None
+        self._run_dir: pathlib.Path | None = None
+        self._written = 0
+        self._last_round: int | None = None
+        self._since = 0
+
+    def attach_spec(self, spec) -> None:
+        """Embed the originating experiment spec in every written file
+        (called by :meth:`ExperimentSpec.build_probes`)."""
+        self._spec_data = spec.to_dict()
+
+    def on_attach(self, context: RunContext) -> None:
+        self._context = context
+
+    def on_start(self, engine: Engine) -> None:
+        self._run_dir = self.directory / f"{engine.algorithm.name}-seed{engine.seed}"
+        self._written = 0
+        self._last_round = None
+        self._since = 0
+
+    def on_resume(self, engine: Engine, state: dict | None) -> None:
+        self.on_start(engine)
+        if state is not None:
+            self._written = state["written"]
+            self._last_round = state["last_round"]
+            self._since = state["since"]
+
+    def state_dict(self) -> dict:
+        return {
+            "written": self._written,
+            "last_round": self._last_round,
+            "since": self._since,
+        }
+
+    def on_round_end(self, record: RoundRecord) -> None:
+        self._since += 1
+        if self._since >= self.every:
+            self._write(self._context.progress.rounds_executed)
+
+    def on_stream_end(self) -> None:
+        # The final checkpoint is taken when the round loop ends but
+        # before any on_complete hook runs: completion effects (a stats
+        # probe counting the run, a sink's closing line) are irreversible,
+        # so a snapshot containing them would replay them on resume.
+        if self.final and self._context is not None:
+            rounds = self._context.progress.rounds_executed
+            if self._last_round != rounds:
+                self._write(rounds)
+
+    def on_finish(self) -> dict:
+        return {
+            "directory": str(self._run_dir),
+            "every": self.every,
+            "checkpoints_written": self._written,
+            "last_checkpoint_round": self._last_round,
+        }
+
+    # -- internals --------------------------------------------------------------
+
+    def _write(self, rounds_executed: int) -> None:
+        # Advance the cadence counters *before* capturing: the snapshot
+        # must record the state the uninterrupted run carries forward
+        # (counted write, cadence restarted), or a resumed run would
+        # immediately re-write and drift the payload.
+        self._since = 0
+        self._written += 1
+        self._last_round = rounds_executed
+        checkpoint = self._context.checkpoint()
+        if self._spec_data is not None:
+            checkpoint.spec = self._spec_data
+        self._store(checkpoint, rounds_executed)
+
+    def _store(self, checkpoint: RunCheckpoint, rounds_executed: int) -> None:
+        """Persist one checkpoint (tests override this to capture in memory)."""
+        # Serialize once, write twice: the latest.json copy is the same
+        # bytes, and serialization dominates the write cost.
+        text = checkpoint.to_json()
+        self._run_dir.mkdir(parents=True, exist_ok=True)
+        for name in (f"round-{rounds_executed:08d}.json", "latest.json"):
+            path = self._run_dir / name
+            temporary = path.with_name(path.name + ".tmp")
+            temporary.write_text(text)
+            temporary.replace(path)

@@ -52,6 +52,13 @@ from ..core.errors import SpecificationError
 from ..core.multiset import Multiset
 from ..core.relation import StepJudgement, StepKind
 from ..temporal.trace import Trace
+from .checkpoint import (
+    DriverState,
+    EngineCheckpoint,
+    RunCheckpoint,
+    decode_state,
+    encode_state,
+)
 from .result import SimulationResult
 
 __all__ = [
@@ -60,6 +67,7 @@ __all__ = [
     "Engine",
     "Probe",
     "HistoryProbe",
+    "RunContext",
     "run_engine",
 ]
 
@@ -174,6 +182,49 @@ class Engine(Protocol):
         engine-side counters like delivered messages are final)."""
         ...
 
+    def checkpoint(self) -> EngineCheckpoint:
+        """Serialize the engine's mutable run state at the current round
+        boundary (agent states, RNG state, maintained objective,
+        environment state) as JSON-round-trippable data."""
+        ...
+
+    def restore(self, checkpoint: EngineCheckpoint) -> None:
+        """Restore a checkpoint into this (identically-constructed)
+        engine; the continued run is byte-identical to the uninterrupted
+        one."""
+        ...
+
+
+@dataclass
+class RunContext:
+    """What the driver exposes to probes that observe the *run*, not just
+    its records.
+
+    ``progress`` is the driver's live :class:`DriverState` (mutated in
+    place as the run advances); ``observers`` is the full probe pipeline
+    in driver order.  :meth:`checkpoint` snapshots everything into a
+    :class:`RunCheckpoint` — the engine's serialized state, a copy of the
+    driver state, and every probe's ``state_dict()`` — which is how
+    :class:`~repro.simulation.probes.CheckpointProbe` writes a resumable
+    run without the driver knowing anything about files or cadence.
+    """
+
+    engine: Engine
+    observers: tuple["Probe", ...]
+    progress: DriverState
+    policy: dict
+
+    def checkpoint(self) -> RunCheckpoint:
+        return RunCheckpoint(
+            engine=self.engine.checkpoint(),
+            driver=self.progress.copy(),
+            probe_states=[
+                {"name": probe.name, "state": probe.state_dict()}
+                for probe in self.observers
+            ],
+            policy=dict(self.policy),
+        )
+
 
 class Probe:
     """Base class of the observation pipeline.
@@ -192,6 +243,12 @@ class Probe:
     #: Key under which the probe's payload appears in ``result.probes``.
     name = "probe"
 
+    def on_attach(self, context: RunContext) -> None:
+        """The driver is about to run; ``context`` stays valid for the
+        whole run.  Most probes ignore it — only run-level observers
+        (checkpointing) need the engine, the pipeline and the live
+        driver state."""
+
     def on_start(self, engine: Engine) -> None:
         """A run is beginning on ``engine``; reset per-run state here."""
 
@@ -200,6 +257,45 @@ class Probe:
 
     def on_round(self, record: RoundRecord) -> None:
         """Observe one executed round."""
+
+    def on_round_end(self, record: RoundRecord) -> None:
+        """Called after *every* observer's :meth:`on_round` for the round.
+
+        This is the checkpoint-safe position: all probe state already
+        reflects the round, so a snapshot taken here resumes cleanly.
+        The driver skips the second dispatch pass entirely when no
+        attached probe overrides this hook."""
+
+    def on_stream_end(self) -> None:
+        """The driver's round loop has ended normally; :meth:`on_complete`
+        has *not* run yet for any probe.
+
+        This is where a final run snapshot belongs: completion hooks fold
+        irreversible effects into probe state (a stats probe counts the
+        finished run, a sink emits its closing line), so a checkpoint
+        taken any later would replay them on resume.  Only run-level
+        observers override this."""
+
+    def state_dict(self) -> dict | None:
+        """The probe's resumable state as JSON-safe data (None = stateless).
+
+        Everything a resumed run needs to finish with a byte-identical
+        payload must be here; derived caches and live resources (open
+        files, engine references) must not."""
+        return None
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (no-op for stateless probes)."""
+
+    def on_resume(self, engine: Engine, state: dict | None) -> None:
+        """A checkpointed run is resuming on ``engine``.
+
+        The default start-then-load sequence fits probes whose per-run
+        state is plain data; probes holding resources (streaming sinks)
+        override it to reattach instead of starting fresh."""
+        self.on_start(engine)
+        if state is not None:
+            self.load_state(state)
 
     def on_complete(self, complete: bool) -> None:
         """Learn whether the observed prefix is a complete computation
@@ -262,6 +358,39 @@ class HistoryProbe(Probe):
         if self.history != "none":
             self._trajectory.append(record.objective)
 
+    def state_dict(self) -> dict:
+        # Retention is the probe's whole job, so its checkpoint *is* the
+        # retained history: under "full" that means every observed
+        # multiset (checkpoint size grows with the trace — exactly the
+        # runs the reduced modes exist for).
+        return {
+            "history": self.history,
+            "states": [
+                [encode_state(value) for value in multiset]
+                for multiset in self._states
+            ],
+            "trajectory": [encode_state(value) for value in self._trajectory],
+            "objective_initial": encode_state(self._initial_objective),
+            "objective_final": encode_state(self._final_objective),
+            "rounds": self._rounds,
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state.get("history") != self.history:
+            raise SpecificationError(
+                f"checkpoint retains history={state.get('history')!r} but "
+                f"this run declares history={self.history!r}; resume with "
+                "the retention mode the checkpoint was taken under"
+            )
+        self._states = [
+            Multiset(decode_state(value) for value in elements)
+            for elements in state["states"]
+        ]
+        self._trajectory = [decode_state(value) for value in state["trajectory"]]
+        self._initial_objective = decode_state(state["objective_initial"])
+        self._final_objective = decode_state(state["objective_final"])
+        self._rounds = state["rounds"]
+
     def build_history(
         self, complete: bool, final_multiset: Multiset
     ) -> tuple[Trace[Multiset], list[float]]:
@@ -302,6 +431,7 @@ def run_engine(
     on_round: Callable[[RoundRecord], bool | None] | None = None,
     probes: Sequence[Probe] | None = None,
     history: str = "full",
+    resume_from: RunCheckpoint | None = None,
 ) -> SimulationResult:
     """Drive any :class:`Engine` to a :class:`SimulationResult`.
 
@@ -331,6 +461,15 @@ def run_engine(
     history:
         Retention mode of the implicit history probe (ignored when the
         caller supplies a :class:`HistoryProbe`).
+    resume_from:
+        A :class:`RunCheckpoint` to continue from instead of starting a
+        fresh run.  The engine must already hold the checkpointed state
+        (``Engine.restore``; the engines' ``run()`` wrappers do this) and
+        the probe pipeline must match the one the checkpoint was taken
+        under — alignment is verified by probe name.  ``max_rounds`` and
+        the rest of the stopping policy count from the *original* run
+        start, so a resumed run executes exactly the rounds the
+        interrupted one still had left.
     """
     probe_list = list(probes or ())
     history_probe = next(
@@ -339,57 +478,146 @@ def run_engine(
     if history_probe is None:
         history_probe = HistoryProbe(history)
     observers = [history_probe] + [p for p in probe_list if p is not history_probe]
+    # The post-round pass exists only for run-level observers
+    # (checkpointing); with none attached the per-round cost is one
+    # truth test on an empty list.
+    post_round = [
+        probe
+        for probe in observers
+        if type(probe).on_round_end is not Probe.on_round_end
+    ]
+    stream_end = [
+        probe
+        for probe in observers
+        if type(probe).on_stream_end is not Probe.on_stream_end
+    ]
 
     records = None
     started: list[Probe] = []
     try:
+        progress = DriverState()
+        context = RunContext(
+            engine=engine,
+            observers=tuple(observers),
+            progress=progress,
+            policy={
+                "max_rounds": max_rounds,
+                "stop_at_convergence": stop_at_convergence,
+                "extra_rounds_after_convergence": extra_rounds_after_convergence,
+                "history": history_probe.history,
+            },
+        )
         for probe in observers:
-            probe.on_start(engine)
-            started.append(probe)
+            probe.on_attach(context)
 
-        initial_multiset, initial_objective = engine.initial_snapshot()
-        for probe in observers:
-            probe.on_initial(initial_multiset, initial_objective)
+        if resume_from is None:
+            for probe in observers:
+                probe.on_start(engine)
+                started.append(probe)
 
-        group_steps = 0
-        improving_steps = 0
-        stutter_steps = 0
-        invalid_steps = 0
+            initial_multiset, initial_objective = engine.initial_snapshot()
+            for probe in observers:
+                probe.on_initial(initial_multiset, initial_objective)
+            if initial_multiset == engine.target:
+                progress.convergence_round = 0
+        else:
+            # A checkpoint is only byte-identically resumable under the
+            # stopping policy it was taken under; a silent mismatch would
+            # finish the run with different semantics than it started
+            # with.  (The history mode is validated by the history probe's
+            # load_state; checkpoints from older formats carry no policy
+            # and skip the check.)
+            saved_policy = resume_from.policy
+            if saved_policy:
+                for key, value in context.policy.items():
+                    if key in saved_policy and saved_policy[key] != value:
+                        raise SpecificationError(
+                            f"checkpoint was taken under {key}="
+                            f"{saved_policy[key]!r} but this run declares "
+                            f"{key}={value!r}; resume with the stopping "
+                            "policy the checkpoint was taken under"
+                        )
+            saved = resume_from.probe_states
+            if len(saved) != len(observers):
+                raise SpecificationError(
+                    f"checkpoint carries {len(saved)} probe state(s) but "
+                    f"this run attaches {len(observers)}; resume with the "
+                    "probe pipeline the checkpoint was taken under"
+                )
+            for probe, entry in zip(observers, saved):
+                if entry.get("name") != probe.name:
+                    raise SpecificationError(
+                        f"checkpoint probe {entry.get('name')!r} does not "
+                        f"match attached probe {probe.name!r}; resume with "
+                        "the probe pipeline the checkpoint was taken under"
+                    )
+                probe.on_resume(engine, entry.get("state"))
+                started.append(probe)
+            saved_driver = resume_from.driver
+            progress.rounds_executed = saved_driver.rounds_executed
+            progress.group_steps = saved_driver.group_steps
+            progress.improving_steps = saved_driver.improving_steps
+            progress.stutter_steps = saved_driver.stutter_steps
+            progress.invalid_steps = saved_driver.invalid_steps
+            progress.largest_group = saved_driver.largest_group
+            progress.convergence_round = saved_driver.convergence_round
+            progress.stopped_by_callback = saved_driver.stopped_by_callback
+
         # Engines whose execution style fixes the collaboration width
         # report it as a floor (one-sided merges are pair steps even in
         # merge-free runs).
-        largest_group = getattr(engine, "largest_group_floor", 0)
-        convergence_round: int | None = (
-            0 if initial_multiset == engine.target else None
+        progress.largest_group = max(
+            progress.largest_group, getattr(engine, "largest_group_floor", 0)
         )
-        rounds_after_convergence = 0
-        rounds_executed = 0
-        stopped_by_callback = False
+        # Not checkpointed: whenever convergence happened, every round
+        # executed since was an after-convergence round.
+        if progress.convergence_round is not None and stop_at_convergence:
+            rounds_after_convergence = (
+                progress.rounds_executed - progress.convergence_round
+            )
+        else:
+            rounds_after_convergence = 0
 
         records = engine.steps()
-        for round_index in range(max_rounds):
-            if convergence_round is not None and stop_at_convergence:
+        # A callback-stopped run already ended; resuming its final
+        # checkpoint must re-assemble the finished result, not execute
+        # the rounds the callback declined.
+        round_range = (
+            range(0)
+            if progress.stopped_by_callback
+            else range(progress.rounds_executed, max_rounds)
+        )
+        for round_index in round_range:
+            if progress.convergence_round is not None and stop_at_convergence:
                 if rounds_after_convergence >= extra_rounds_after_convergence:
                     break
                 rounds_after_convergence += 1
 
             record = next(records)
-            rounds_executed += 1
-            group_steps += record.group_steps
-            improving_steps += record.improving_steps
-            stutter_steps += record.stutter_steps
-            invalid_steps += record.invalid_steps
-            largest_group = max(largest_group, record.largest_group)
+            progress.rounds_executed += 1
+            progress.group_steps += record.group_steps
+            progress.improving_steps += record.improving_steps
+            progress.stutter_steps += record.stutter_steps
+            progress.invalid_steps += record.invalid_steps
+            progress.largest_group = max(
+                progress.largest_group, record.largest_group
+            )
 
             for probe in observers:
                 probe.on_round(record)
 
-            if convergence_round is None and record.converged:
-                convergence_round = round_index + 1
+            if progress.convergence_round is None and record.converged:
+                progress.convergence_round = round_index + 1
+
+            for probe in post_round:
+                probe.on_round_end(record)
 
             if on_round is not None and on_round(record):
-                stopped_by_callback = True
+                progress.stopped_by_callback = True
                 break
+
+        for probe in stream_end:
+            probe.on_stream_end()
     except BaseException:
         # A failing setup step or round (a bad probe configuration, an
         # enforcement violation, a callback error) must not leak probe
@@ -407,8 +635,15 @@ def run_engine(
         if records is not None:
             records.close()
 
+    convergence_round = progress.convergence_round
+    rounds_executed = progress.rounds_executed
+    group_steps = progress.group_steps
+    improving_steps = progress.improving_steps
+    stutter_steps = progress.stutter_steps
+    invalid_steps = progress.invalid_steps
+    largest_group = progress.largest_group
     converged = convergence_round is not None
-    complete = engine.trace_complete(converged, stopped_by_callback)
+    complete = engine.trace_complete(converged, progress.stopped_by_callback)
     final_states = engine.current_states()
     final_multiset = Multiset(final_states)
     trace, objective_trajectory = history_probe.build_history(complete, final_multiset)

@@ -61,6 +61,24 @@ class OnlineFormula:
     def __init__(self, *predicates: Predicate):
         self._predicates = predicates
 
+    def state_dict(self) -> dict:
+        """The evaluator's O(1) fold state as JSON-safe data.
+
+        Every concrete operator keeps only booleans/None, so the generic
+        capture — all instance attributes except the predicates (which are
+        live callables, re-resolved by whoever rebuilds the formula) — is
+        exact, and a restored evaluator continues the fold bit for bit.
+        """
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if key != "_predicates" and not callable(value)
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (predicates are untouched)."""
+        self.__dict__.update(state)
+
 
 class _Always(OnlineFormula):
     """``□P``: the predicate holds in every observed state."""

@@ -6,7 +6,9 @@ import pytest
 
 from repro import BatchRunner, ExperimentSpec, Simulator, minimum_algorithm
 from repro.environment import RandomChurnEnvironment, complete_graph
+from repro.registry import register_probe
 from repro.simulation.batch import BatchResult, run_callables
+from repro.simulation.protocol import Probe
 
 VALUES = [5, 3, 9, 1, 7, 2, 8, 4]
 
@@ -152,3 +154,222 @@ class TestRunCallables:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="serial or thread"):
             run_callables([], backend="process")
+
+    def test_thread_backend_completes_every_job_before_raising(self):
+        # The historic bug: future.result() propagated the first worker
+        # exception immediately and the completed siblings' results were
+        # lost with it.  Failures are now captured per job; the earliest
+        # one (by job order) is raised only after every job finished.
+        finished: list[int] = []
+
+        def ok(index):
+            def job():
+                result = hand_wired(0)
+                finished.append(index)
+                return result
+
+            return job
+
+        def bad():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_callables([ok(0), bad, ok(2)], backend="thread", max_workers=2)
+        assert sorted(finished) == [0, 2]
+
+    def test_return_exceptions_keeps_the_batch(self):
+        def bad():
+            raise RuntimeError("boom")
+
+        jobs = [lambda: hand_wired(0), bad, lambda: hand_wired(2)]
+        outcomes = run_callables(
+            jobs, backend="thread", max_workers=2, return_exceptions=True
+        )
+        assert outcomes[0].metadata["seed"] == 0
+        assert isinstance(outcomes[1], RuntimeError)
+        assert outcomes[2].metadata["seed"] == 2
+        serial = run_callables(jobs, backend="serial", return_exceptions=True)
+        assert isinstance(serial[1], RuntimeError)
+        assert serial[2].metadata["seed"] == 2
+
+
+# -- durable batches: checkpoints, retry, resume --------------------------------
+
+
+#: Shared switch for the crash-injection probe: armed, it kills the worker
+#: mid-run after the configured number of rounds (simulating a crash /
+#: preemption); tests disarm it before resuming.
+_CRASH = {"armed": False}
+
+
+@register_probe("test-crash-after")
+class CrashAfterProbe(Probe):
+    """Raises inside the run loop after ``rounds`` rounds while armed."""
+
+    name = "test-crash-after"
+
+    def __init__(self, rounds: int = 5):
+        self.rounds = rounds
+        self._seen = 0
+
+    def on_start(self, engine):
+        self._seen = 0
+
+    def on_round(self, record):
+        self._seen += 1
+        if _CRASH["armed"] and self._seen >= self.rounds:
+            raise RuntimeError("injected worker crash")
+
+    def state_dict(self):
+        return {"seen": self._seen}
+
+    def load_state(self, state):
+        self._seen = state["seen"]
+
+
+def _durable_specs():
+    healthy = minimum_spec(name="healthy", seeds=(0, 1))
+    sentinel = minimum_spec(
+        name="sentinel",
+        seeds=(3,),
+        environment_params={"edge_up_probability": 0.1},
+        probes=({"probe": "test-crash-after", "rounds": 7},),
+    )
+    return [healthy, sentinel]
+
+
+def _comparable(item):
+    """A batch item's result minus the checkpoint probe's payload (whose
+    directory string necessarily differs between batch directories)."""
+    result = dict(item.result)
+    probes = dict(result.get("probes") or {})
+    probes.pop("checkpoint", None)
+    if probes:
+        result["probes"] = probes
+    else:
+        result.pop("probes", None)
+    return (item.label, item.seed, result)
+
+
+def test_batch_resume_after_worker_crash(tmp_path):
+    # Uninterrupted reference: same specs, crash probe disarmed.
+    _CRASH["armed"] = False
+    reference = BatchRunner(backend="serial").run(
+        _durable_specs(), checkpoint_dir=tmp_path / "reference", checkpoint_every=5
+    )
+    assert not reference.failures()
+
+    # Crashing sweep: the sentinel unit dies mid-run, after its engine
+    # wrote at least one rolling checkpoint.
+    _CRASH["armed"] = True
+    try:
+        crashed = BatchRunner(backend="serial").run(
+            _durable_specs(), checkpoint_dir=tmp_path / "live", checkpoint_every=5
+        )
+    finally:
+        _CRASH["armed"] = False
+    assert [item.label for item in crashed.failures()] == ["sentinel"]
+    assert "injected worker crash" in crashed.failures()[0].error
+    completed = [item for item in crashed if item.ok]
+    assert [item.label for item in completed] == ["healthy", "healthy"]
+
+    sentinel_dir = tmp_path / "live" / "unit-0002"
+    checkpoints = list((sentinel_dir / "engine").glob("*/latest.json"))
+    assert checkpoints, "the crashed unit should have left an engine checkpoint"
+    assert not (sentinel_dir / "result.json").exists()
+
+    # Resume: completed units come back from their persisted results,
+    # the crashed unit restores from its latest checkpoint, and the
+    # merged batch equals the uninterrupted one.
+    resumed = BatchRunner(backend="serial").resume(tmp_path / "live")
+    assert not resumed.failures()
+    assert [item.result for item in resumed if item.label == "healthy"] == [
+        item.result for item in crashed if item.label == "healthy"
+    ]
+    assert list(map(_comparable, resumed)) == list(map(_comparable, reference))
+
+
+def test_retries_restore_from_latest_checkpoint(tmp_path):
+    # First attempt crashes mid-run; the per-unit retry picks the unit
+    # back up from its rolling checkpoint inside the same batch call.
+    _CRASH["armed"] = True
+
+    original = CrashAfterProbe.on_round
+
+    def crash_once(self, record):
+        self._seen += 1
+        if _CRASH["armed"] and self._seen >= self.rounds:
+            _CRASH["armed"] = False
+            raise RuntimeError("injected worker crash")
+
+    CrashAfterProbe.on_round = crash_once
+    try:
+        batch = BatchRunner(backend="serial", retries=1).run(
+            _durable_specs(), checkpoint_dir=tmp_path / "retry", checkpoint_every=5
+        )
+    finally:
+        CrashAfterProbe.on_round = original
+        _CRASH["armed"] = False
+    assert not batch.failures()
+
+    reference = BatchRunner(backend="serial").run(
+        _durable_specs(), checkpoint_dir=tmp_path / "reference", checkpoint_every=5
+    )
+    assert list(map(_comparable, batch)) == list(map(_comparable, reference))
+
+
+def test_durable_batch_matches_plain_batch(tmp_path):
+    specs = [minimum_spec(name="plain", seeds=(0, 1, 2))]
+    plain = BatchRunner(backend="serial").run(specs)
+    durable = BatchRunner(backend="serial").run(
+        specs, checkpoint_dir=tmp_path / "durable", checkpoint_every=50
+    )
+    for a, b in zip(plain, durable):
+        result = dict(b.result)
+        result.pop("probes", None)
+        assert a.result == result
+        assert a.seed == b.seed and a.label == b.label
+
+
+def test_resume_of_completed_batch_is_idempotent(tmp_path):
+    specs = [minimum_spec(name="idem", seeds=(0, 1))]
+    first = BatchRunner(backend="serial").run(
+        specs, checkpoint_dir=tmp_path / "idem", checkpoint_every=20
+    )
+    again = BatchRunner(backend="serial").resume(tmp_path / "idem")
+    assert [item.result for item in again] == [item.result for item in first]
+
+
+def test_resume_rejects_a_non_batch_directory(tmp_path):
+    from repro import SpecificationError
+
+    with pytest.raises(SpecificationError, match="cannot resume batch"):
+        BatchRunner(backend="serial").resume(tmp_path / "nothing-here")
+
+
+def test_run_refuses_a_directory_holding_a_different_batch(tmp_path):
+    # Durable workers trust persisted unit results, so pointing a
+    # *different* batch at a used directory must fail loudly instead of
+    # silently serving the old batch's results.
+    from repro import SpecificationError
+
+    directory = tmp_path / "reused"
+    BatchRunner(backend="serial").run(
+        [minimum_spec(name="first", seeds=(0,))], checkpoint_dir=directory
+    )
+    other = minimum_spec(
+        name="first", seeds=(0,),
+        environment_params={"edge_up_probability": 0.9},
+    )
+    with pytest.raises(SpecificationError, match="different batch"):
+        BatchRunner(backend="serial").run([other], checkpoint_dir=directory)
+    # The *same* batch is fine: run() on its own directory is resume().
+    again = BatchRunner(backend="serial").run(
+        [minimum_spec(name="first", seeds=(0,))], checkpoint_dir=directory
+    )
+    assert not again.failures()
+
+
+def test_negative_retries_rejected():
+    with pytest.raises(ValueError, match="retries"):
+        BatchRunner(retries=-1)
