@@ -15,6 +15,13 @@ experiments are JSON specs, dispatched through the registries and the
     python -m repro sweep spec.json --param environment_params.edge_up_probability \
         --values 0.1,0.3,1.0
 
+The experiment service (see :mod:`repro.service`) rides the same specs::
+
+    python -m repro serve --port 8765 --data-dir service-data
+    python -m repro submit spec.json --wait --json
+    python -m repro submit spec.json --events      # live probe payloads
+    python -m repro status run-0001 --json
+
 The original positional interface is kept as a compatibility layer and is
 itself rebuilt on top of specs — ``repro minimum --agents 10 --churn 0.3``
 constructs the equivalent :class:`~repro.experiment.ExperimentSpec` and
@@ -39,7 +46,7 @@ from typing import Sequence
 
 from .core.errors import SpecificationError
 from .experiment import ExperimentSpec
-from .registry import available
+from .registry import available, load_plugins
 from .simulation.batch import BatchItem, BatchResult, BatchRunner
 from .verification import check_specification
 
@@ -61,7 +68,7 @@ ALGORITHMS = (
 ENVIRONMENTS = ("static", "churn", "line", "partition", "blackout", "mobility")
 
 #: Spec-driven subcommands (anything else falls through to the legacy parser).
-SUBCOMMANDS = ("run", "list", "sweep", "resume")
+SUBCOMMANDS = ("run", "list", "sweep", "resume", "serve", "submit", "status")
 
 #: ``repro list`` sections, in display order.
 _LIST_KINDS = (
@@ -109,6 +116,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--k", type=int, default=3, help="k for kth-smallest")
     parser.add_argument(
         "--verbose", action="store_true", help="also print the trace-level specification check"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the SimulationResult as JSON"
     )
     return parser
 
@@ -191,6 +201,10 @@ def _legacy_main(argv: Sequence[str] | None) -> int:
         raise SystemExit(str(error))
     result = simulator.run(max_rounds=spec.max_rounds)
 
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0 if result.converged and result.correct else 1
+
     print(f"algorithm:    {simulator.algorithm.name}")
     print(f"environment:  {simulator.environment.describe()}")
     print(f"inputs:       {list(values)}")
@@ -267,6 +281,55 @@ def build_spec_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=None,
                        help="process-pool size (default: in-process serial execution)")
     sweep.add_argument("--json", action="store_true", help="print the batch result as JSON")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the experiment service (HTTP submission, live event "
+             "streams, content-addressed result cache)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port (0 picks an ephemeral port)")
+    serve.add_argument("--data-dir", type=pathlib.Path, default=pathlib.Path("service-data"),
+                       help="durable state: jobs, checkpoints, result cache "
+                            "(default: ./service-data)")
+    serve.add_argument("--checkpoint-every", type=int, default=25, metavar="N",
+                       help="rolling engine checkpoint cadence for queued runs")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="per-unit retry budget (each retry resumes from "
+                            "the latest checkpoint)")
+    serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a spec to a running experiment service"
+    )
+    submit.add_argument("spec", type=pathlib.Path, help="path to an ExperimentSpec JSON file")
+    submit.add_argument("--url", default="http://127.0.0.1:8765", help="service base URL")
+    submit.add_argument("--param", action="append", dest="params", default=None,
+                        help="sweep: dotted override path (repeatable, "
+                             "pairs with --values)")
+    submit.add_argument("--values", action="append", dest="value_lists", default=None,
+                        help="sweep: comma-separated values for the matching --param")
+    submit.add_argument("--force", action="store_true",
+                        help="bypass the result cache and in-flight dedup")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the run finishes and print its results")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait timeout in seconds (default 300)")
+    submit.add_argument("--events", action="store_true",
+                        help="stream the run's probe payloads (JSON lines) "
+                             "to stdout while waiting")
+    submit.add_argument("--json", action="store_true",
+                        help="print the job record / final status as JSON")
+
+    status = subparsers.add_parser(
+        "status", help="query a run (or the whole service) by URL"
+    )
+    status.add_argument("run_id", nargs="?", default=None,
+                        help="run id (default: list every run and the health "
+                             "summary)")
+    status.add_argument("--url", default="http://127.0.0.1:8765", help="service base URL")
+    status.add_argument("--json", action="store_true", help="print raw JSON")
     return parser
 
 
@@ -463,10 +526,151 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if not batch.failures() else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .service import ExperimentService
+
+    service = ExperimentService(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        checkpoint_every=args.checkpoint_every,
+        retries=args.retries,
+        verbose=args.verbose,
+    )
+    try:
+        service.start()
+    except (SpecificationError, OSError) as error:
+        raise SystemExit(f"cannot start service: {error}")
+    print(f"repro service listening on {service.url} (data: {args.data_dir})",
+          flush=True)
+
+    shutdown = threading.Event()
+
+    def request_stop(signum, frame):  # pragma: no cover - signal path
+        shutdown.set()
+
+    signal.signal(signal.SIGTERM, request_stop)
+    signal.signal(signal.SIGINT, request_stop)
+    shutdown.wait()
+    print("repro service draining (checkpointing in-flight run)...", flush=True)
+    service.stop(drain=True)
+    print("repro service stopped", flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    spec = _load_spec(args.spec)
+    grid = None
+    if args.params or args.value_lists:
+        if len(args.params or ()) != len(args.value_lists or ()):
+            raise SystemExit("each --param needs a matching --values list")
+        grid = {
+            param: [_parse_sweep_value(part) for part in values.split(",") if part.strip()]
+            for param, values in zip(args.params, args.value_lists)
+        }
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit(spec, grid=grid, force=args.force)
+        if args.events and job["status"] not in ("done", "failed"):
+            for event in client.events(job["id"]):
+                print(json.dumps(event["data"]), flush=True)
+        if args.wait or args.events:
+            record = client.wait(job["id"], timeout=args.timeout)
+        else:
+            record = job
+    except ServiceError as error:
+        raise SystemExit(str(error))
+
+    if args.json:
+        print(json.dumps(record, indent=2))
+    elif record is job:
+        dedup = " (joined in-flight run)" if job.get("deduplicated") else ""
+        cached = " [cache hit: served without executing]" if job.get("cached") else ""
+        print(f"run {job['id']}: {job['status']}{dedup}{cached}")
+        print(f"  fingerprint {job['fingerprint']}")
+        print(f"  follow: repro status {job['id']} --url {args.url}")
+    else:
+        print(f"run {record['id']}: {record['status']}"
+              + (" [cache hit]" if record.get("cached") else ""))
+        for unit in record.get("results") or []:
+            outcome = unit["result"]
+            status = (
+                f"converged at round {outcome['convergence_round']}"
+                if outcome["converged"]
+                else f"did not converge in {outcome['rounds_executed']} rounds"
+            )
+            print(f"  {unit['label']} seed {unit['seed']}: {status}; "
+                  f"output {outcome['output']!r} (expected {outcome['expected_output']!r})")
+        if record.get("error"):
+            print(record["error"], file=sys.stderr)
+
+    if record is job and record["status"] not in ("done", "failed"):
+        return 0
+    if record["status"] != "done":
+        return 1
+    results = record.get("results") or []
+    ok = all(
+        unit["error"] is None
+        and unit["result"]["converged"]
+        and unit["result"]["correct"]
+        for unit in results
+    )
+    return 0 if ok or not results else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.run_id is None:
+            health = client.health()
+            runs = client.runs()
+            if args.json:
+                print(json.dumps({"health": health, "runs": runs}, indent=2))
+            else:
+                jobs = ", ".join(f"{k}={v}" for k, v in sorted(health["jobs"].items()))
+                cache = health["cache"]
+                print(f"service {args.url}: {health['status']}"
+                      + (" (draining)" if health["draining"] else ""))
+                print(f"  jobs: {jobs or '(none)'}")
+                print(f"  cache: {cache['entries']} entries, "
+                      f"{cache['hits']} hits, {cache['misses']} misses")
+                for job in runs:
+                    print(f"  {job['id']}: {job['status']}"
+                          + (" [cached]" if job["cached"] else ""))
+            return 0
+        record = client.status(args.run_id)
+    except ServiceError as error:
+        raise SystemExit(str(error))
+    if args.json:
+        print(json.dumps(record, indent=2))
+    else:
+        print(f"run {record['id']}: {record['status']}"
+              + (" [cached]" if record.get("cached") else ""))
+        print(f"  fingerprint {record['fingerprint']}")
+        if record.get("error"):
+            print(f"  error:\n{record['error']}")
+        for unit in record.get("results") or []:
+            outcome = unit["result"]
+            print(f"  {unit['label']} seed {unit['seed']}: "
+                  f"converged={outcome['converged']} output={outcome['output']!r}")
+    return 0 if record["status"] != "failed" else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit status."""
     if argv is None:
         argv = sys.argv[1:]
+    try:
+        load_plugins()
+    except SpecificationError as error:
+        raise SystemExit(str(error))
     if argv and argv[0] in SUBCOMMANDS:
         args = build_spec_parser().parse_args(argv)
         if args.command == "run":
@@ -475,6 +679,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_list(args)
         if args.command == "resume":
             return _cmd_resume(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "status":
+            return _cmd_status(args)
         return _cmd_sweep(args)
     return _legacy_main(argv)
 

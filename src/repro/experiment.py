@@ -32,6 +32,7 @@ seed for seed.
 from __future__ import annotations
 
 import copy
+import hashlib
 import json
 import random
 from dataclasses import dataclass, field, fields
@@ -278,6 +279,30 @@ class ExperimentSpec:
     def to_json(self, indent: int | None = 2) -> str:
         """Serialize to JSON text."""
         return json.dumps(self.to_dict(), indent=indent)
+
+    def canonical_json(self) -> str:
+        """The spec as canonical JSON: sorted keys, minimal separators.
+
+        Two specs describing the same experiment — however their JSON was
+        keyed, indented or whitespaced on the way in — canonicalize to the
+        same text, which is what makes :meth:`fingerprint` a usable
+        content address.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def fingerprint(self) -> str:
+        """SHA-256 content address of the canonical spec JSON.
+
+        Seeded specs are deterministic end to end, so the fingerprint
+        identifies the *result* as well as the spec: it is the cache key
+        of the experiment service's content-addressed result cache (two
+        submissions with equal fingerprints are one simulation).  Any
+        semantic field change — a seed, a parameter, the round cap —
+        changes the digest; formatting choices never do.
+        """
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
 
     @classmethod
     def from_json(cls, text: str) -> "ExperimentSpec":

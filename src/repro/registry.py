@@ -38,7 +38,9 @@ instance) fit the same declarative mold:
 
 from __future__ import annotations
 
+import importlib
 import inspect
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
@@ -60,6 +62,9 @@ __all__ = [
     "register_value_generator",
     "register_probe",
     "available",
+    "load_plugins",
+    "PLUGIN_GROUP",
+    "PLUGIN_ENV_VAR",
 ]
 
 
@@ -223,6 +228,92 @@ def available() -> dict[str, list[str]]:
         "value_generators": VALUE_GENERATORS.available(),
         "probes": PROBES.available(),
     }
+
+
+# -- third-party plugin discovery ------------------------------------------------
+
+#: Entry-point group external packages register their plugin modules under.
+PLUGIN_GROUP = "repro.plugins"
+
+#: Environment variable naming extra plugin modules (comma-separated
+#: importable module names) — the offline-friendly path: no packaging
+#: metadata needed, just a module on ``sys.path``.
+PLUGIN_ENV_VAR = "REPRO_PLUGINS"
+
+#: Plugin sources already loaded this process (idempotence guard: the
+#: ``@register_*`` decorators reject duplicate names, so a plugin module
+#: must take effect exactly once however many times discovery runs).
+_LOADED_PLUGINS: set[str] = set()
+
+
+def load_plugins(
+    group: str = PLUGIN_GROUP, env_var: str | None = PLUGIN_ENV_VAR
+) -> list[str]:
+    """Discover and import third-party plugin modules.
+
+    The chirp ``directory.register`` idiom: an external package makes its
+    algorithms, environments, schedulers, graphs, value generators and
+    probes spec-addressable simply by *importing* — its module body applies
+    the ``@register_*`` decorators, exactly like the built-in packages do.
+    Two discovery channels feed this loader:
+
+    * entry points in the ``repro.plugins`` group (standard packaging
+      metadata — ``[project.entry-points."repro.plugins"]`` in a
+      plugin's ``pyproject.toml``);
+    * the ``REPRO_PLUGINS`` environment variable, a comma-separated list
+      of importable module names, for plugins that are just a file on
+      ``sys.path`` (no installation step, works offline).
+
+    Loading is idempotent per process; a plugin that fails to import or
+    registers a duplicate name raises :class:`SpecificationError` naming
+    the offending source.  Returns the sources newly loaded by this call.
+    """
+    loaded: list[str] = []
+
+    try:
+        from importlib.metadata import entry_points
+    except ImportError:  # pragma: no cover - importlib.metadata is 3.8+
+        entry_points = None
+    if entry_points is not None:
+        try:
+            found = entry_points(group=group)
+        except TypeError:  # pragma: no cover - pre-3.10 selection API
+            found = entry_points().get(group, ())
+        for point in found:
+            key = f"entry-point:{point.name}"
+            if key in _LOADED_PLUGINS:
+                continue
+            try:
+                point.load()
+            except SpecificationError:
+                raise
+            except Exception as error:
+                raise SpecificationError(
+                    f"cannot load repro plugin entry point {point.name!r} "
+                    f"({point.value}): {error}"
+                ) from error
+            _LOADED_PLUGINS.add(key)
+            loaded.append(key)
+
+    names = os.environ.get(env_var, "") if env_var else ""
+    for name in (part.strip() for part in names.split(",")):
+        if not name:
+            continue
+        key = f"module:{name}"
+        if key in _LOADED_PLUGINS:
+            continue
+        try:
+            importlib.import_module(name)
+        except SpecificationError:
+            raise
+        except Exception as error:
+            raise SpecificationError(
+                f"cannot import repro plugin module {name!r} "
+                f"(from ${env_var}): {error}"
+            ) from error
+        _LOADED_PLUGINS.add(key)
+        loaded.append(key)
+    return loaded
 
 
 def values_adapter(attribute: str) -> Callable[[Any, Sequence], list]:

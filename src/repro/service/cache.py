@@ -1,0 +1,100 @@
+"""The content-addressed result cache: the "millions of users" lever.
+
+Seeded experiment specs are deterministic end to end (PRs 1–5 pin this
+byte for byte), so a run's results are a pure function of the spec — and
+:meth:`ExperimentSpec.fingerprint` (SHA-256 of the canonical spec JSON)
+is a usable content address for them.  The cache maps fingerprints to
+the per-seed result dictionaries a completed job produced:
+
+* **read-through** — ``POST /runs`` consults the cache before queuing;
+  a hit answers with byte-identical result JSON and *zero* engine
+  rounds, turning repeat traffic into O(1) disk lookups;
+* **write-behind** — the job queue stores every successful run's results
+  after completion, atomically (``.tmp`` + ``rename``), so a crash
+  mid-write never leaves a readable-but-corrupt entry.
+
+Entries are sharded two hex characters deep (``cache/ab/abcdef....json``)
+so a hot cache never piles a million files into one directory.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from typing import Any
+
+from ..core.errors import SpecificationError
+
+__all__ = ["ResultCache"]
+
+#: ``format`` key identifying a cache entry file.
+ENTRY_FORMAT = "repro-cache-entry"
+
+
+class ResultCache:
+    """A directory of result JSON keyed by spec fingerprint."""
+
+    def __init__(self, directory: str | pathlib.Path):
+        self.directory = pathlib.Path(directory)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fingerprint: str) -> pathlib.Path:
+        if not fingerprint or any(c not in "0123456789abcdef" for c in fingerprint):
+            raise SpecificationError(
+                f"not a spec fingerprint: {fingerprint!r} (expected the "
+                "lowercase hex SHA-256 of the canonical spec JSON)"
+            )
+        return self.directory / fingerprint[:2] / f"{fingerprint}.json"
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self._path(fingerprint).exists()
+
+    def get(self, fingerprint: str) -> dict | None:
+        """The stored entry for ``fingerprint``, or None (counts hit/miss)."""
+        path = self._path(fingerprint)
+        try:
+            text = path.read_text()
+        except OSError:
+            with self._lock:
+                self.misses += 1
+            return None
+        entry = json.loads(text)
+        if entry.get("format") != ENTRY_FORMAT:
+            raise SpecificationError(
+                f"{path} is not a result cache entry "
+                f"(format {entry.get('format')!r})"
+            )
+        with self._lock:
+            self.hits += 1
+        return entry
+
+    def put(self, fingerprint: str, spec: dict, results: list[dict]) -> dict:
+        """Store one completed job's per-seed results under its fingerprint.
+
+        The write is atomic and last-writer-wins; since the key is a
+        content address of a deterministic computation, concurrent
+        writers are by construction writing the same value.
+        """
+        entry = {
+            "format": ENTRY_FORMAT,
+            "fingerprint": fingerprint,
+            "spec": spec,
+            "results": results,
+        }
+        path = self._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_name(path.name + ".tmp")
+        temporary.write_text(json.dumps(entry))
+        temporary.replace(path)
+        return entry
+
+    def stats(self) -> dict[str, Any]:
+        """Hit/miss counters plus the number of persisted entries."""
+        entries = 0
+        if self.directory.exists():
+            entries = sum(1 for _ in self.directory.glob("*/*.json"))
+        with self._lock:
+            return {"entries": entries, "hits": self.hits, "misses": self.misses}

@@ -1,0 +1,176 @@
+"""A small blocking client for the experiment service (stdlib only).
+
+``repro submit`` / ``repro status`` and the test suite talk to the
+service through this module; programmatic users can too::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    job = client.submit(spec)                      # ExperimentSpec or dict
+    for event in client.events(job["id"]):         # live probe payloads
+        print(event["data"])
+    final = client.wait(job["id"])
+    results = final["results"]
+
+Everything is ``urllib.request``; errors the server reports as JSON come
+back as :class:`ServiceError` carrying the HTTP status and payload.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Iterator, Mapping
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from ..core.errors import SpecificationError
+from ..experiment import ExperimentSpec
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """An error reported by (or while reaching) the experiment service."""
+
+    def __init__(self, message: str, status: int | None = None, payload: Any = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client for one :class:`ExperimentService`."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # -- transport ---------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Any = None) -> Any:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(self.base_url + path, data=data, headers=headers, method=method)
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as error:
+            payload: Any = None
+            message = f"{method} {path} -> HTTP {error.code}"
+            try:
+                payload = json.loads(error.read().decode("utf-8"))
+                message = f"{message}: {payload.get('error', payload)}"
+            except Exception:  # pragma: no cover - non-JSON error body
+                pass
+            raise ServiceError(message, status=error.code, payload=payload) from error
+        except URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {error.reason}"
+            ) from error
+
+    # -- API ---------------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def registry(self) -> dict:
+        return self._request("GET", "/registry")
+
+    def cache_stats(self) -> dict:
+        return self._request("GET", "/cache")
+
+    def runs(self) -> list[dict]:
+        return self._request("GET", "/runs")["runs"]
+
+    def submit(
+        self,
+        spec: ExperimentSpec | Mapping[str, Any],
+        grid: Mapping[str, list] | None = None,
+        force: bool = False,
+    ) -> dict:
+        """Submit one spec (or sweep); returns the job record.
+
+        The record's ``deduplicated`` flag reports a joined in-flight
+        job, ``cached`` a run answered from the result cache without
+        executing a single engine round.
+        """
+        if isinstance(spec, ExperimentSpec):
+            spec_data = spec.to_dict()
+        elif isinstance(spec, Mapping):
+            spec_data = dict(spec)
+        else:
+            raise SpecificationError(
+                f"submit() needs an ExperimentSpec or a spec dict, got {spec!r}"
+            )
+        body: dict[str, Any] = {"spec": spec_data}
+        if grid:
+            body["grid"] = {path: list(choices) for path, choices in grid.items()}
+        if force:
+            body["force"] = True
+        return self._request("POST", "/runs", body)
+
+    def status(self, run_id: str) -> dict:
+        """One job's status; includes ``results`` once the job is done."""
+        return self._request("GET", f"/runs/{run_id}")
+
+    def wait(self, run_id: str, timeout: float = 60.0, poll: float = 0.05) -> dict:
+        """Block until the job reaches a terminal status (or raise)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(run_id)
+            if record["status"] in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"run {run_id} still {record['status']!r} after {timeout:.1f}s"
+                )
+            time.sleep(poll)
+
+    def results(self, run_id: str, timeout: float = 60.0) -> list[dict]:
+        """Wait for the job and return its per-unit result records."""
+        record = self.wait(run_id, timeout=timeout)
+        if record["status"] != "done":
+            raise ServiceError(
+                f"run {run_id} failed:\n{record.get('error')}", payload=record
+            )
+        return record["results"]
+
+    def events(self, run_id: str, offset: str | int | None = None) -> Iterator[dict]:
+        """Iterate the run's Server-Sent Events as ``{"id", "data"}`` dicts.
+
+        ``data`` is the parsed probe payload — line for line what a JSONL
+        sink would have written for the same run.  The iterator follows
+        the stream live and ends when the server sends its ``end`` event.
+        ``offset`` resumes mid-stream (``"unit:line"``, or a line number
+        in unit 0).
+        """
+        path = f"/runs/{run_id}/events"
+        if offset is not None:
+            path += f"?offset={offset}"
+        request = Request(self.base_url + path, headers={"Accept": "text/event-stream"})
+        try:
+            response = urlopen(request, timeout=self.timeout)
+        except HTTPError as error:
+            raise ServiceError(
+                f"GET {path} -> HTTP {error.code}", status=error.code
+            ) from error
+        with response:
+            name, event_id, data = "message", None, []
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith("event:"):
+                    name = line[len("event:") :].strip()
+                elif line.startswith("id:"):
+                    event_id = line[len("id:") :].strip()
+                elif line.startswith("data:"):
+                    data.append(line[len("data:") :].strip())
+                elif not line:
+                    if name == "end":
+                        return
+                    if data:
+                        yield {"id": event_id, "data": json.loads("\n".join(data))}
+                    name, event_id, data = "message", None, []

@@ -1,0 +1,516 @@
+"""The durable job queue behind the experiment service.
+
+A submitted spec (or sweep) becomes a :class:`Job`: a persisted record
+plus a private directory in which the run executes as a *durable*
+:class:`~repro.simulation.batch.BatchRunner` batch — per-unit checkpoint
+directories, rolling engine checkpoints, idempotent persisted results.
+That reuse is the whole fault-tolerance story:
+
+* a worker crash loses nothing: on the next start the job is re-queued
+  and ``BatchRunner.resume`` loads completed units from their persisted
+  results and restores in-flight units from their latest
+  :class:`~repro.simulation.checkpoint.EngineCheckpoint`;
+* a graceful drain (SIGTERM on ``repro serve``) asks the in-flight run —
+  through the injected :class:`~repro.service.streams.ServiceSinkProbe`
+  — to write one more rolling checkpoint and raise
+  :class:`JobInterrupted` at the next round boundary; the job goes back
+  to ``queued`` and the worker stops;
+* completed results are written behind the content-addressed
+  :class:`~repro.service.cache.ResultCache`, so the *next* identical
+  submission never reaches this module at all.
+
+Everything on disk is plain JSON written atomically; the in-memory parts
+(queue, broker channels) rebuild from it on start.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import queue
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.errors import SpecificationError
+from ..experiment import ExperimentSpec, expand_grid
+from ..simulation.batch import MANIFEST_NAME, BatchRunner
+from .cache import ResultCache
+from .streams import BROKER, EventBroker
+
+__all__ = [
+    "Job",
+    "JobInterrupted",
+    "JobQueue",
+    "JobStore",
+    "Submission",
+    "JOB_STATUSES",
+]
+
+#: ``format`` key identifying a persisted job record.
+JOB_FORMAT = "repro-service-job"
+
+#: The job lifecycle.  ``queued`` → ``running`` → ``done``/``failed``;
+#: a drained or crashed ``running`` job returns to ``queued``.
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+
+class JobInterrupted(BaseException):
+    """Cooperative stop of an in-flight run (drain), raised at a round
+    boundary right after a rolling checkpoint was written.
+
+    A ``BaseException`` on purpose: the batch layer's per-unit failure
+    capture and retry loop handle ``Exception`` — an interruption is not
+    a failure and must pass straight through to the worker loop.
+    """
+
+
+@dataclass(frozen=True)
+class Submission:
+    """The ``POST /runs`` envelope, validated: one spec, optionally a grid.
+
+    The wire format accepts either a bare :class:`ExperimentSpec` JSON
+    object or ``{"spec": {...}, "grid": {...}, "force": bool}``; ``grid``
+    maps dotted override paths to value lists and expands exactly like
+    ``repro sweep`` (:func:`repro.experiment.expand_grid`).  ``force``
+    bypasses the result cache and in-flight dedup (it never participates
+    in the fingerprint — forcing a run must not change its identity).
+    """
+
+    spec: ExperimentSpec
+    grid: Mapping[str, list] | None = None
+    force: bool = False
+
+    @classmethod
+    def from_payload(cls, data: Any) -> "Submission":
+        if not isinstance(data, Mapping):
+            raise SpecificationError(
+                "a submission must be a JSON object (an experiment spec, "
+                "or {'spec': ..., 'grid': ..., 'force': ...})"
+            )
+        data = dict(data)
+        if "spec" not in data:
+            # A bare spec object.
+            return cls(spec=ExperimentSpec.from_dict(data))
+        spec_data = data.pop("spec")
+        grid = data.pop("grid", None)
+        force = bool(data.pop("force", False))
+        if data:
+            raise SpecificationError(
+                f"unknown submission fields {sorted(data)}; known: "
+                "spec, grid, force"
+            )
+        if grid is not None:
+            if not isinstance(grid, Mapping) or not all(
+                isinstance(choices, list) for choices in grid.values()
+            ):
+                raise SpecificationError(
+                    "a submission grid must map dotted override paths to "
+                    f"JSON lists of values, got {grid!r}"
+                )
+        spec = ExperimentSpec.from_dict(spec_data)
+        submission = cls(spec=spec, grid=dict(grid) if grid else None, force=force)
+        submission.expanded()  # fail fast on a bad grid path
+        return submission
+
+    def expanded(self) -> list[ExperimentSpec]:
+        """The specs this submission runs (grid expansion, in grid order)."""
+        if not self.grid:
+            return [self.spec]
+        return expand_grid(self.spec, self.grid)
+
+    def unit_count(self) -> int:
+        """How many (spec, seed) work units the submission fans out to."""
+        return sum(len(spec.seeds) for spec in self.expanded())
+
+    def fingerprint(self) -> str:
+        """Content address of the submission (cache key).
+
+        A bare spec fingerprints as itself — byte-equal to
+        :meth:`ExperimentSpec.fingerprint` — so offline callers can
+        predict the service's cache key; a sweep folds the canonical grid
+        into the digest.
+        """
+        if not self.grid:
+            return self.spec.fingerprint()
+        canonical = json.dumps(
+            {"grid": self.grid, "spec": self.spec.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> dict:
+        data: dict[str, Any] = {"spec": self.spec.to_dict()}
+        if self.grid:
+            data["grid"] = {path: list(choices) for path, choices in self.grid.items()}
+        return data
+
+
+@dataclass
+class Job:
+    """One submission's lifecycle record (persisted as ``job.json``)."""
+
+    id: str
+    fingerprint: str
+    submission: dict
+    status: str = "queued"
+    cached: bool = False
+    channels: tuple = ()
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "format": JOB_FORMAT,
+            "id": self.id,
+            "fingerprint": self.fingerprint,
+            "submission": self.submission,
+            "status": self.status,
+            "cached": self.cached,
+            "channels": list(self.channels),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Job":
+        if data.get("format") != JOB_FORMAT:
+            raise SpecificationError(
+                f"not a service job record (format {data.get('format')!r})"
+            )
+        return cls(
+            id=data["id"],
+            fingerprint=data["fingerprint"],
+            submission=dict(data["submission"]),
+            status=data["status"],
+            cached=bool(data.get("cached", False)),
+            channels=tuple(data.get("channels", ())),
+            error=data.get("error"),
+        )
+
+    def summary(self) -> dict:
+        """The status JSON the HTTP API serves (results ride separately)."""
+        return {
+            "id": self.id,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "cached": self.cached,
+            "units": len(self.channels),
+            "error": self.error,
+        }
+
+
+def _atomic_write(path: pathlib.Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.with_name(path.name + ".tmp")
+    temporary.write_text(text)
+    temporary.replace(path)
+
+
+class JobStore:
+    """Persisted jobs under one directory; the single process-local index.
+
+    Layout: ``<directory>/<job id>/job.json`` (the record),
+    ``.../results.json`` (per-seed results once done) and ``.../batch/``
+    (the durable BatchRunner directory the run executes in).  Records are
+    loaded once at construction — the service owns its data directory
+    exclusively — and every mutation is saved back atomically.
+    """
+
+    def __init__(self, directory: str | pathlib.Path):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        for record in sorted(self.directory.glob("*/job.json")):
+            job = Job.from_dict(json.loads(record.read_text()))
+            self._jobs[job.id] = job
+
+    # -- paths -------------------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> pathlib.Path:
+        return self.directory / job_id
+
+    def batch_dir(self, job_id: str) -> pathlib.Path:
+        return self.job_dir(job_id) / "batch"
+
+    def results_path(self, job_id: str) -> pathlib.Path:
+        return self.job_dir(job_id) / "results.json"
+
+    # -- records -----------------------------------------------------------------
+
+    def new_job(
+        self,
+        fingerprint: str,
+        submission: dict,
+        channels: tuple = (),
+        status: str = "queued",
+        cached: bool = False,
+    ) -> Job:
+        with self._lock:
+            index = len(self._jobs) + 1
+            while f"run-{index:04d}" in self._jobs:
+                index += 1
+            job = Job(
+                id=f"run-{index:04d}",
+                fingerprint=fingerprint,
+                submission=submission,
+                status=status,
+                cached=cached,
+                channels=channels,
+            )
+            self._jobs[job.id] = job
+        self.save(job)
+        return job
+
+    def save(self, job: Job) -> None:
+        if job.status not in JOB_STATUSES:
+            raise SpecificationError(
+                f"unknown job status {job.status!r}; known: {JOB_STATUSES}"
+            )
+        _atomic_write(
+            self.job_dir(job.id) / "job.json", json.dumps(job.to_dict(), indent=2)
+        )
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._jobs)
+
+    def jobs(self) -> list[Job]:
+        return [self.get(job_id) for job_id in self.ids()]
+
+    def find_active(self, fingerprint: str) -> Job | None:
+        """A queued/running job with this fingerprint (in-flight dedup)."""
+        for job in self.jobs():
+            if job.fingerprint == fingerprint and job.status in ("queued", "running"):
+                return job
+        return None
+
+    # -- results -----------------------------------------------------------------
+
+    def save_results(self, job_id: str, results: list[dict]) -> None:
+        _atomic_write(self.results_path(job_id), json.dumps(results))
+
+    def load_results(self, job_id: str) -> list[dict] | None:
+        try:
+            return json.loads(self.results_path(job_id).read_text())
+        except OSError:
+            return None
+
+
+class JobQueue:
+    """The single-worker execution loop: jobs in order, durably, resumably.
+
+    One worker thread executes jobs sequentially through a serial-backend
+    :class:`BatchRunner` (``retries`` re-attempts per unit, restoring
+    from the latest engine checkpoint).  Serial execution is what makes
+    the live event stream faithful — units publish to their broker
+    channels from the worker thread in round order — and repeat traffic
+    is the cache's job, not the pool's.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        cache: ResultCache,
+        token: str,
+        broker: EventBroker | None = None,
+        checkpoint_every: int = 25,
+        retries: int = 1,
+    ):
+        self.store = store
+        self.cache = cache
+        self.token = token
+        self.broker = broker if broker is not None else BROKER
+        self.checkpoint_every = int(checkpoint_every)
+        self.retries = int(retries)
+        self._queue: queue.Queue[str | None] = queue.Queue()
+        self._worker: threading.Thread | None = None
+        self._draining = threading.Event()
+        self.executed_jobs = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Re-queue unfinished jobs from disk and start the worker."""
+        self._draining.clear()
+        self.broker.end_drain(self.token)
+        for job in self.store.jobs():
+            if job.status in ("queued", "running"):
+                job.status = "queued"
+                self.store.save(job)
+                self._queue.put(job.id)
+        self._worker = threading.Thread(
+            target=self._run_worker, name="repro-service-worker", daemon=True
+        )
+        self._worker.start()
+
+    def drain(self, timeout: float | None = 30.0) -> None:
+        """Stop gracefully: no new jobs, in-flight run checkpoints and yields.
+
+        The broker's drain flag makes the in-flight run's service sink
+        write a rolling checkpoint and raise :class:`JobInterrupted` at
+        the next round boundary; the interrupted job returns to
+        ``queued`` and the next :meth:`start` on the same directory
+        resumes it from that checkpoint.
+        """
+        self._draining.set()
+        self.broker.begin_drain(self.token)
+        self._queue.put(None)
+        if self._worker is not None:
+            self._worker.join(timeout=timeout)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    # -- submission --------------------------------------------------------------
+
+    def channel_name(self, job_id: str, unit_index: int) -> str:
+        return f"{self.token}/{job_id}/unit-{unit_index:04d}"
+
+    def submit(self, submission: Submission) -> tuple[Job, bool]:
+        """Admit one submission; returns ``(job, created)``.
+
+        Dedup order: an identical in-flight job is joined (no new job), a
+        cache hit is answered as an immediately-``done`` job holding the
+        cached results and zero engine rounds, and only then is a fresh
+        job queued.  ``force`` skips both short-circuits.
+        """
+        if self.draining:
+            raise SpecificationError(
+                "the service is draining and accepts no new submissions"
+            )
+        fingerprint = submission.fingerprint()
+        if not submission.force:
+            active = self.store.find_active(fingerprint)
+            if active is not None:
+                return active, False
+            entry = self.cache.get(fingerprint)
+            if entry is not None:
+                job = self.store.new_job(
+                    fingerprint,
+                    submission.to_dict(),
+                    channels=(),
+                    status="done",
+                    cached=True,
+                )
+                self.store.save_results(job.id, entry["results"])
+                return job, True
+        units = submission.unit_count()
+        job = self.store.new_job(fingerprint, submission.to_dict())
+        job.channels = tuple(
+            self.channel_name(job.id, index) for index in range(units)
+        )
+        self.store.save(job)
+        self._queue.put(job.id)
+        return job, True
+
+    # -- execution ---------------------------------------------------------------
+
+    def _run_worker(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            try:
+                self._process(job_id)
+            except JobInterrupted:
+                # Drain: the job already went back to "queued"; stop
+                # pulling work — the queue resumes on the next start().
+                return
+            except Exception:  # pragma: no cover - defensive: _process records
+                traceback.print_exc()
+
+    def _durable_entries(self, job: Job):
+        """The probe entries a durable unit carries: live stream first,
+        then the (payload-silenced) checkpoint writer.
+
+        The checkpoint directory must stay at ``<unit>/engine`` — that is
+        where the batch layer's idempotent worker looks for
+        ``latest.json`` when it restores an in-flight unit.
+        """
+
+        def entries(spec: ExperimentSpec, seed: int, unit_dir: pathlib.Path):
+            index = int(unit_dir.name.rsplit("-", 1)[1])
+            return [
+                {"probe": "service-sink", "channel": job.channels[index]},
+                {
+                    "probe": "checkpoint",
+                    "every": self.checkpoint_every,
+                    "directory": str(unit_dir / "engine"),
+                    "publish": False,
+                },
+            ]
+
+        return entries
+
+    def _process(self, job_id: str) -> None:
+        job = self.store.get(job_id)
+        if job is None or job.status not in ("queued", "running"):
+            return
+        job.status = "running"
+        job.error = None
+        self.store.save(job)
+
+        try:
+            submission = Submission.from_payload(job.submission)
+            specs = submission.expanded()
+        except SpecificationError:
+            job.status = "failed"
+            job.error = traceback.format_exc()
+            self.store.save(job)
+            self._close_channels(job)
+            return
+
+        batch_dir = self.store.batch_dir(job.id)
+        # Units persisted before a restart never re-run, so their
+        # channels will not be re-opened: close them or late subscribers
+        # would wait forever on a stream that already ended.
+        for index, channel in enumerate(job.channels):
+            if (batch_dir / f"unit-{index:04d}" / "result.json").exists():
+                self.broker.close(channel)
+
+        runner = BatchRunner(backend="serial", retries=self.retries)
+        try:
+            if (batch_dir / MANIFEST_NAME).exists():
+                batch = runner.resume(batch_dir)
+            else:
+                batch = runner.run(
+                    specs,
+                    checkpoint_dir=batch_dir,
+                    checkpoint_every=self.checkpoint_every,
+                    durable_probes=self._durable_entries(job),
+                )
+        except JobInterrupted:
+            job.status = "queued"
+            self.store.save(job)
+            raise
+        except Exception:
+            job.status = "failed"
+            job.error = traceback.format_exc()
+            self.store.save(job)
+            self._close_channels(job)
+            return
+
+        self.executed_jobs += 1
+        failures = batch.failures()
+        if failures:
+            job.status = "failed"
+            job.error = failures[0].error
+        else:
+            results = [item.to_dict() for item in batch]
+            self.store.save_results(job.id, results)
+            self.cache.put(job.fingerprint, job.submission, results)
+            job.status = "done"
+        self.store.save(job)
+        self._close_channels(job)
+
+    def _close_channels(self, job: Job) -> None:
+        for channel in job.channels:
+            self.broker.close(channel)

@@ -1,0 +1,348 @@
+"""The stdlib HTTP front of the experiment service (``repro serve``).
+
+One :class:`ExperimentService` owns a data directory and exposes:
+
+=======  =====================  ==================================================
+method   path                   meaning
+=======  =====================  ==================================================
+POST     ``/runs``              submit a spec or sweep (JSON body); answers with
+                                the job record — deduplicated against identical
+                                in-flight jobs and served from the result cache
+                                when the fingerprint is already known
+GET      ``/runs``              all job summaries
+GET      ``/runs/<id>``         one job's status (plus results once done)
+GET      ``/runs/<id>/events``  the run's probe payloads, live, as Server-Sent
+                                Events (replayable via ``Last-Event-ID`` or
+                                ``?offset=``)
+GET      ``/healthz``           liveness, drain state, job counts, cache stats
+GET      ``/cache``             result-cache statistics
+GET      ``/registry``          every registered building block, per kind
+=======  =====================  ==================================================
+
+The server is :class:`http.server.ThreadingHTTPServer` — no third-party
+dependency, no event loop — because the work is elsewhere: requests only
+touch the job store, the result cache and the event broker, while the
+single :class:`~repro.service.jobs.JobQueue` worker thread executes runs.
+SSE handlers each occupy one daemon thread blocking on the broker, which
+is plenty for an experiment service's handful of live watchers.
+
+Event identity on the wire: a job fans out to one broker channel per
+(spec, seed) work unit, and the SSE stream concatenates the unit streams
+in order.  Event ids are ``"<unit>:<line>"``; a client resuming with
+``Last-Event-ID: 2:17`` replays from line 18 of unit 2.  Lines a process
+restart dropped from the in-memory history are skipped, never renumbered
+— offsets stay meaningful across reconnects, retries and restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+from ..core.errors import SpecificationError
+from ..registry import available, load_plugins
+from .cache import ResultCache
+from .jobs import JobQueue, JobStore, Submission
+from .streams import BROKER, EventBroker
+
+__all__ = ["ExperimentService"]
+
+
+def _parse_offset(text: str) -> tuple[int, int]:
+    """Parse an SSE position: ``"unit:line"``, or ``"line"`` in unit 0."""
+    unit_text, separator, line_text = text.partition(":")
+    try:
+        if not separator:
+            return 0, int(unit_text)
+        return int(unit_text), int(line_text)
+    except ValueError:
+        raise SpecificationError(
+            f"not an event offset: {text!r} (expected 'line' or 'unit:line')"
+        ) from None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> "ExperimentService":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.service.verbose:  # pragma: no cover - diagnostic output
+            super().log_message(format, *args)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(raw.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise SpecificationError(f"request body is not JSON: {error}") from error
+
+    # -- routes ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path.rstrip("/")
+        try:
+            if path == "/healthz":
+                self._send_json(200, self.service.health())
+            elif path == "/cache":
+                self._send_json(200, self.service.cache.stats())
+            elif path == "/registry":
+                self._send_json(200, available())
+            elif path == "/runs" or path == "":
+                jobs = [job.summary() for job in self.service.store.jobs()]
+                self._send_json(200, {"runs": jobs})
+            elif path.startswith("/runs/") and path.endswith("/events"):
+                self._stream_events(path[len("/runs/") : -len("/events")])
+            elif path.startswith("/runs/"):
+                self._job_status(path[len("/runs/") :])
+            else:
+                self._error(404, f"unknown path {path!r}")
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path.rstrip("/")
+        if path != "/runs":
+            self._error(404, f"unknown path {path!r}")
+            return
+        try:
+            submission = Submission.from_payload(self._read_body())
+        except SpecificationError as error:
+            self._error(400, str(error))
+            return
+        if self.service.queue.draining:
+            self._error(503, "service is draining; resubmit after restart")
+            return
+        try:
+            job, created = self.service.queue.submit(submission)
+        except SpecificationError as error:
+            self._error(503, str(error))
+            return
+        payload = dict(job.summary())
+        payload["deduplicated"] = not created
+        payload["events"] = f"/runs/{job.id}/events"
+        self._send_json(201 if created else 200, payload)
+
+    def _job_status(self, job_id: str) -> None:
+        job = self.service.store.get(job_id)
+        if job is None:
+            self._error(404, f"unknown run {job_id!r}")
+            return
+        payload = dict(job.summary())
+        payload["submission"] = job.submission
+        results = self.service.store.load_results(job.id)
+        if results is not None:
+            payload["results"] = results
+        self._send_json(200, payload)
+
+    # -- server-sent events ------------------------------------------------------
+
+    def _write_event(self, event_id: str | None, data: str, name: str | None = None) -> None:
+        parts = []
+        if name is not None:
+            parts.append(f"event: {name}\n")
+        if event_id is not None:
+            parts.append(f"id: {event_id}\n")
+        parts.append(f"data: {data}\n\n")
+        self.wfile.write("".join(parts).encode("utf-8"))
+        self.wfile.flush()
+
+    def _stream_events(self, job_id: str) -> None:
+        service = self.service
+        job = service.store.get(job_id)
+        if job is None:
+            self._error(404, f"unknown run {job_id!r}")
+            return
+        query = urlsplit(self.path).query
+        position = self.headers.get("Last-Event-ID")
+        start_unit, start_line = 0, 0
+        try:
+            for part in query.split("&"):
+                if part.startswith("offset="):
+                    start_unit, start_line = _parse_offset(part[len("offset=") :])
+            if position is not None:
+                # Resume *after* the last event the client saw.
+                unit, line = _parse_offset(position)
+                start_unit, start_line = unit, line + 1
+        except SpecificationError as error:
+            self._error(400, str(error))
+            return
+
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+
+        def live() -> bool:
+            current = service.store.get(job_id)
+            return current is not None and current.status in ("queued", "running")
+
+        stop = service.stopping
+        try:
+            for unit in range(start_unit, len(job.channels)):
+                channel = job.channels[unit]
+                offset = start_line if unit == start_unit else 0
+                if live():
+                    for index, line in service.broker.subscribe(
+                        channel, offset=offset, stop=stop, poll_interval=0.1
+                    ):
+                        self._write_event(f"{unit}:{index}", line)
+                    if stop():
+                        break
+                else:
+                    # Terminal job: replay whatever history remains, never
+                    # block on a channel no run will publish to again.
+                    base, lines, _closed = service.broker.snapshot(channel)
+                    for index, line in enumerate(lines, start=base):
+                        if index >= offset:
+                            self._write_event(f"{unit}:{index}", line)
+            final = service.store.get(job_id)
+            summary = final.summary() if final is not None else {"id": job_id}
+            self._write_event(None, json.dumps(summary), name="end")
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    service: "ExperimentService"
+
+
+class ExperimentService:
+    """A long-running experiment service bound to one data directory.
+
+    The directory is the whole durable state — job records, per-job
+    durable batch directories, results, the content-addressed cache — so
+    stopping the process (gracefully or not) and starting a new service
+    on the same directory continues exactly where the old one stopped:
+    unfinished jobs re-queue and resume from their latest engine
+    checkpoints.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`url` reports the
+    bound address after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | pathlib.Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        checkpoint_every: int = 25,
+        retries: int = 1,
+        broker: EventBroker | None = None,
+        verbose: bool = False,
+    ):
+        self.data_dir = pathlib.Path(data_dir)
+        self.host = host
+        self.requested_port = int(port)
+        self.verbose = bool(verbose)
+        self.broker = broker if broker is not None else BROKER
+        #: Channel-namespace prefix: several services in one process (the
+        #: test suite) must not share drain flags or event channels.
+        self.token = hashlib.sha256(
+            str(self.data_dir.resolve()).encode("utf-8")
+        ).hexdigest()[:12]
+        self.store = JobStore(self.data_dir / "jobs")
+        self.cache = ResultCache(self.data_dir / "cache")
+        self.queue = JobQueue(
+            store=self.store,
+            cache=self.cache,
+            token=self.token,
+            broker=self.broker,
+            checkpoint_every=checkpoint_every,
+            retries=retries,
+        )
+        self._server: _Server | None = None
+        self._thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "ExperimentService":
+        """Load plugins, re-queue unfinished jobs, bind and serve."""
+        if self._server is not None:
+            raise SpecificationError("service is already running")
+        load_plugins()
+        self._stopping.clear()
+        self.queue.start()
+        self._server = _Server((self.host, self.requested_port), _Handler)
+        self._server.service = self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Stop serving; with ``drain`` (default) checkpoint in-flight work.
+
+        Draining asks the running unit — through the broker's drain flag
+        and its service sink — to write one more rolling checkpoint and
+        yield at the next round boundary; the interrupted job goes back
+        to ``queued`` on disk.  Without ``drain`` the HTTP server stops
+        immediately and any in-flight run is abandoned to its latest
+        periodic checkpoint (the crash-like path; durability is the same,
+        only the final partial round of progress differs).
+        """
+        if drain:
+            self.queue.drain(timeout=timeout)
+        self._stopping.set()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def stopping(self) -> bool:
+        """True once :meth:`stop` began (SSE handlers poll this)."""
+        return self._stopping.is_set()
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise SpecificationError("service is not running")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- introspection -----------------------------------------------------------
+
+    def health(self) -> dict:
+        counts: dict[str, int] = {}
+        for job in self.store.jobs():
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return {
+            "status": "ok",
+            "draining": self.queue.draining,
+            "jobs": counts,
+            "executed_jobs": self.queue.executed_jobs,
+            "cache": self.cache.stats(),
+        }

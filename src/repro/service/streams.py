@@ -1,0 +1,334 @@
+"""Live probe streaming: the event broker and the service sink probe.
+
+The JSONL sink (:class:`~repro.simulation.probes.JSONLSink`) streams a
+run's observation payloads to a *file*; the experiment service needs the
+same lines on a *byte stream* a concurrent HTTP handler can read while
+the run executes.  :class:`ServiceSinkProbe` is that generalization: it
+emits the exact same payload dictionaries (the shared
+``stream_*_payload`` builders in :mod:`repro.simulation.probes`) either
+to any writable stream, or to a named channel of an in-process
+:class:`EventBroker` that Server-Sent-Events handlers subscribe to.
+
+The broker keeps per-channel line history with a base offset, so
+
+* late subscribers replay a run's whole stream and then follow it live;
+* a resumed run truncates its channel back to the checkpointed line
+  count — exactly the JSONL sink's crashed-run surplus-line handling —
+  and keeps appending at stable indices, which is what makes SSE
+  ``Last-Event-ID`` reconnection offsets meaningful across retries and
+  even server restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Callable, Iterator
+
+from ..core.errors import SpecificationError
+from ..core.multiset import Multiset
+from ..registry import register_probe
+from ..simulation.protocol import Engine, Probe, RoundRecord, RunContext
+from ..simulation.probes import (
+    stream_finish_payload,
+    stream_initial_payload,
+    stream_round_payload,
+    stream_start_payload,
+)
+
+__all__ = ["EventBroker", "ServiceSinkProbe", "BROKER"]
+
+
+class _Channel:
+    """One run's event stream: an append-only line log with a base offset."""
+
+    def __init__(self, condition: threading.Condition):
+        self.base = 0
+        self.lines: list[str] = []
+        self.closed = False
+        self.condition = condition
+
+    @property
+    def end(self) -> int:
+        """Index one past the last published line."""
+        return self.base + len(self.lines)
+
+
+class EventBroker:
+    """Thread-safe pub/sub of line streams, keyed by channel name.
+
+    Publishers (probes running inside job-queue workers) append lines;
+    subscribers (SSE handlers) iterate from an offset, blocking until new
+    lines arrive or the channel closes.  Channels are created on first
+    use and survive until :meth:`drop`, so a subscriber arriving after a
+    short run still replays the whole stream.
+
+    ``begin_drain``/``end_drain`` mark channel prefixes as draining —
+    the cooperative-stop flag :class:`ServiceSinkProbe` polls so an
+    in-flight run can checkpoint and yield when its service shuts down.
+    """
+
+    def __init__(self):
+        self._condition = threading.Condition()
+        self._channels: dict[str, _Channel] = {}
+        self._draining: set[str] = set()
+
+    def _channel(self, name: str) -> _Channel:
+        with self._condition:
+            channel = self._channels.get(name)
+            if channel is None:
+                channel = self._channels[name] = _Channel(self._condition)
+            return channel
+
+    # -- publishing ------------------------------------------------------------
+
+    def publish(self, name: str, line: str) -> int:
+        """Append one line; returns its stable index in the stream."""
+        channel = self._channel(name)
+        with self._condition:
+            if channel.closed:
+                raise SpecificationError(
+                    f"event channel {name!r} is closed; a finished run's "
+                    "stream cannot grow"
+                )
+            channel.lines.append(line)
+            index = channel.end - 1
+            self._condition.notify_all()
+            return index
+
+    def truncate(self, name: str, count: int) -> None:
+        """Keep only the first ``count`` lines of the channel.
+
+        A resuming run calls this with its checkpointed line count: lines
+        streamed past the checkpoint are about to be re-emitted (the
+        JSONL sink's surplus-line rule).  When the process restarted and
+        the in-memory history is gone, the channel's base advances to
+        ``count`` instead, so re-emitted lines keep their original
+        indices.
+        """
+        if count < 0:
+            raise SpecificationError(f"cannot truncate channel to {count} lines")
+        channel = self._channel(name)
+        with self._condition:
+            channel.closed = False
+            if count <= channel.base:
+                channel.base = count
+                channel.lines = []
+            elif count <= channel.end:
+                del channel.lines[count - channel.base :]
+            else:
+                # History was lost (fresh process); future lines continue
+                # at the checkpointed offset.
+                channel.base = count
+                channel.lines = []
+            self._condition.notify_all()
+
+    def close(self, name: str) -> None:
+        """Mark the channel complete; subscribers drain and stop."""
+        channel = self._channel(name)
+        with self._condition:
+            channel.closed = True
+            self._condition.notify_all()
+
+    def drop(self, name: str) -> None:
+        """Forget a channel and its history entirely."""
+        with self._condition:
+            self._channels.pop(name, None)
+            self._condition.notify_all()
+
+    # -- subscribing -----------------------------------------------------------
+
+    def history(self, name: str) -> list[str]:
+        """The channel's currently-buffered lines (oldest first)."""
+        channel = self._channel(name)
+        with self._condition:
+            return list(channel.lines)
+
+    def snapshot(self, name: str) -> tuple[int, list[str], bool]:
+        """Atomically read ``(base offset, buffered lines, closed)``."""
+        channel = self._channel(name)
+        with self._condition:
+            return channel.base, list(channel.lines), channel.closed
+
+    def subscribe(
+        self,
+        name: str,
+        offset: int = 0,
+        stop: Callable[[], bool] | None = None,
+        poll_interval: float = 0.25,
+    ) -> Iterator[tuple[int, str]]:
+        """Yield ``(index, line)`` from ``offset`` until the channel closes.
+
+        Blocks waiting for new lines; ``stop`` is polled every
+        ``poll_interval`` seconds so an HTTP handler can abandon the
+        subscription when its server shuts down.  Lines older than the
+        channel's base (lost to a process restart) are silently skipped —
+        the subscriber sees the honest remainder of the stream.
+        """
+        channel = self._channel(name)
+        position = max(0, offset)
+        while True:
+            with self._condition:
+                while True:
+                    if position < channel.base:
+                        position = channel.base
+                    if position < channel.end:
+                        batch = list(
+                            enumerate(
+                                channel.lines[position - channel.base :],
+                                start=position,
+                            )
+                        )
+                        position = channel.end
+                        break
+                    if channel.closed:
+                        return
+                    if stop is not None and stop():
+                        return
+                    self._condition.wait(timeout=poll_interval)
+            yield from batch
+
+    # -- cooperative drain -----------------------------------------------------
+
+    def begin_drain(self, prefix: str) -> None:
+        """Ask every run publishing under ``prefix`` to checkpoint and stop."""
+        with self._condition:
+            self._draining.add(prefix)
+            self._condition.notify_all()
+
+    def end_drain(self, prefix: str) -> None:
+        with self._condition:
+            self._draining.discard(prefix)
+
+    def draining(self, name: str) -> bool:
+        """True when ``name`` falls under a draining prefix."""
+        with self._condition:
+            return any(name.startswith(prefix) for prefix in self._draining)
+
+
+#: The process-wide default broker.  Probes are rebuilt from plain spec
+#: data inside job-queue workers, so a channel *name* is the only handle
+#: that crosses that boundary — it must resolve somewhere global.  The
+#: experiment service namespaces its channels by a per-data-directory
+#: token, so several services in one process never collide.
+BROKER = EventBroker()
+
+
+@register_probe("service-sink")
+class ServiceSinkProbe(Probe):
+    """The JSONL sink generalized to any byte stream.
+
+    Emits exactly the lines :class:`~repro.simulation.probes.JSONLSink`
+    would write for the same run — same payload builders, same order —
+    but to one of:
+
+    * ``stream``: any object with ``write(str)`` (programmatic use:
+      a socket file, an ``io.StringIO``, ``sys.stdout``);
+    * ``channel``: a named :class:`EventBroker` channel (the declarative,
+      JSON-spec-safe form the experiment service injects; workers rebuild
+      the probe from its name and find the broker in-process).
+
+    The probe checkpoints its line count and, on resume, truncates the
+    channel back to it before re-emitting — byte-for-byte the JSONL
+    sink's resume-from-offset semantics, minus the file.  While its
+    channel's prefix is draining it checkpoints the run (via the sibling
+    checkpoint probe, if any) and raises
+    :class:`~repro.service.jobs.JobInterrupted` at the next round
+    boundary, which is how ``repro serve`` stops gracefully mid-run.
+    """
+
+    name = "service-sink"
+
+    def __init__(
+        self,
+        channel: str | None = None,
+        stream: Any = None,
+        include_states: bool = False,
+        broker: EventBroker | None = None,
+    ):
+        if (channel is None) == (stream is None):
+            raise SpecificationError(
+                "service-sink probe needs exactly one of channel= (broker "
+                "pub/sub) or stream= (any writable object)"
+            )
+        if stream is not None and not callable(getattr(stream, "write", None)):
+            raise SpecificationError(
+                f"service-sink stream must have a write() method, got {stream!r}"
+            )
+        self.channel = channel
+        self.stream = stream
+        self.include_states = bool(include_states)
+        self._broker = broker if broker is not None else BROKER
+        self._context: RunContext | None = None
+        self._lines = 0
+
+    # -- emission ---------------------------------------------------------------
+
+    def _emit(self, payload: dict) -> None:
+        line = json.dumps(payload)
+        if self.stream is not None:
+            self.stream.write(line + "\n")
+        else:
+            self._broker.publish(self.channel, line)
+        self._lines += 1
+
+    def on_attach(self, context: RunContext) -> None:
+        self._context = context
+
+    def on_start(self, engine: Engine) -> None:
+        if self.channel is not None:
+            # A fresh run owns its channel from line 0 (mirrors the JSONL
+            # sink reopening its path with mode "w").
+            self._broker.truncate(self.channel, 0)
+        self._lines = 0
+        self._emit(stream_start_payload(engine))
+
+    def on_initial(self, multiset: Multiset, objective: float) -> None:
+        self._emit(stream_initial_payload(multiset, objective, self.include_states))
+
+    def on_round(self, record: RoundRecord) -> None:
+        self._emit(stream_round_payload(record, self.include_states))
+
+    def on_round_end(self, record: RoundRecord) -> None:
+        # The graceful-drain hook: when this run's service is shutting
+        # down, snapshot the run right here (every probe has observed the
+        # round, so the checkpoint is resume-clean) and stop the worker.
+        if self.channel is not None and self._broker.draining(self.channel):
+            from .jobs import JobInterrupted
+
+            if self._context is not None:
+                for probe in self._context.observers:
+                    checkpoint_now = getattr(probe, "checkpoint_now", None)
+                    if checkpoint_now is not None:
+                        checkpoint_now()
+            raise JobInterrupted(
+                f"run draining after round {record.round_index}"
+            )
+
+    def on_complete(self, complete: bool) -> None:
+        self._emit(stream_finish_payload(complete))
+
+    def on_finish(self) -> None:
+        # Publishing no payload keeps the run's SimulationResult
+        # byte-identical to an offline run of the submitted spec — the
+        # service's cache/offline parity guarantee.  Closing the channel
+        # here (not in on_complete) also covers failed runs, so SSE
+        # subscribers never hang on a dead stream.
+        if self.channel is not None:
+            self._broker.close(self.channel)
+        return None
+
+    # -- checkpoint / resume -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"lines": self._lines}
+
+    def on_resume(self, engine: Engine, state: dict | None) -> None:
+        if state is None:
+            self.on_start(engine)
+            return
+        self._lines = int(state["lines"])
+        if self.channel is not None:
+            # Drop lines streamed past the checkpoint (they are about to
+            # be re-emitted) and keep appending at stable indices.
+            self._broker.truncate(self.channel, self._lines)

@@ -269,6 +269,9 @@ class BatchRunner:
         specs: "ExperimentSpec | Iterable[ExperimentSpec]",
         checkpoint_dir: str | pathlib.Path | None = None,
         checkpoint_every: int = 100,
+        durable_probes: Callable[
+            ["ExperimentSpec", int, pathlib.Path], Sequence
+        ] | None = None,
     ) -> BatchResult:
         """Run every (spec, seed) pair; one item per pair, in declaration order.
 
@@ -287,6 +290,14 @@ class BatchRunner:
         persisted results, in-flight units restore from their latest
         checkpoint, and the merged :class:`BatchResult` is identical to
         what the uninterrupted batch would have produced.
+
+        ``durable_probes`` customizes what a durable unit's spec carries:
+        called as ``(spec, seed, unit_dir)``, it returns the declarative
+        probe entries appended to the spec (replacing the default single
+        checkpoint-probe entry).  The experiment service uses it to add
+        its live event stream and to silence the checkpoint payload; the
+        returned entries are recorded in the manifest, so :meth:`resume`
+        rebuilds the exact same pipeline.
         """
         from ..experiment import ExperimentSpec
 
@@ -303,17 +314,18 @@ class BatchRunner:
                 continue
             for seed in spec.seeds:
                 unit_dir = base / f"unit-{len(units):04d}"
+                if durable_probes is None:
+                    entries: list = [
+                        {
+                            "probe": "checkpoint",
+                            "every": checkpoint_every,
+                            "directory": str(unit_dir / "engine"),
+                        }
+                    ]
+                else:
+                    entries = list(durable_probes(spec, seed, unit_dir))
                 durable = spec.with_updates(
-                    {
-                        "probes": list(spec.probes)
-                        + [
-                            {
-                                "probe": "checkpoint",
-                                "every": checkpoint_every,
-                                "directory": str(unit_dir / "engine"),
-                            }
-                        ]
-                    }
+                    {"probes": list(spec.probes) + entries}
                 )
                 units.append((spec.label, durable.to_dict(), seed, str(unit_dir)))
 

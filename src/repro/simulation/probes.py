@@ -56,7 +56,60 @@ __all__ = [
     "StatsProbe",
     "JSONLSink",
     "CheckpointProbe",
+    "stream_start_payload",
+    "stream_initial_payload",
+    "stream_round_payload",
+    "stream_finish_payload",
 ]
+
+
+# -- the streaming line protocol -------------------------------------------------
+#
+# One payload per observed event, shared by every byte-stream sink: the
+# JSONL file sink below and the experiment service's
+# :class:`~repro.service.streams.ServiceSinkProbe` emit these very
+# dictionaries, which is what makes an SSE stream of a run equal the JSONL
+# file of the same run line for line.
+
+
+def stream_start_payload(engine: Engine) -> dict:
+    """The stream's opening line: which run this is."""
+    return {
+        "event": "start",
+        "algorithm": engine.algorithm.name,
+        "seed": engine.seed,
+    }
+
+
+def stream_initial_payload(
+    multiset: Multiset, objective: float, include_states: bool = False
+) -> dict:
+    """The pre-run snapshot (trace position before round 0)."""
+    payload = {"event": "initial", "objective": jsonify(objective)}
+    if include_states:
+        payload["states"] = jsonify(list(multiset))
+    return payload
+
+
+def stream_round_payload(record: RoundRecord, include_states: bool = False) -> dict:
+    """One executed round."""
+    payload = {
+        "event": "round",
+        "round": record.round_index,
+        "objective": jsonify(record.objective),
+        "converged": record.converged,
+        "group_steps": record.group_steps,
+        "improving_steps": record.improving_steps,
+        "largest_group": record.largest_group,
+    }
+    if include_states:
+        payload["states"] = jsonify(list(record.multiset))
+    return payload
+
+
+def stream_finish_payload(complete: bool) -> dict:
+    """The stream's closing line: the driver's completeness verdict."""
+    return {"event": "finish", "complete": complete}
 
 
 register_probe("history")(HistoryProbe)
@@ -594,36 +647,16 @@ class JSONLSink(Probe):
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._file = self._path.open("w")
         self._lines = 0
-        self._emit(
-            {
-                "event": "start",
-                "algorithm": engine.algorithm.name,
-                "seed": engine.seed,
-            }
-        )
+        self._emit(stream_start_payload(engine))
 
     def on_initial(self, multiset: Multiset, objective: float) -> None:
-        payload = {"event": "initial", "objective": jsonify(objective)}
-        if self.include_states:
-            payload["states"] = jsonify(list(multiset))
-        self._emit(payload)
+        self._emit(stream_initial_payload(multiset, objective, self.include_states))
 
     def on_round(self, record: RoundRecord) -> None:
-        payload = {
-            "event": "round",
-            "round": record.round_index,
-            "objective": jsonify(record.objective),
-            "converged": record.converged,
-            "group_steps": record.group_steps,
-            "improving_steps": record.improving_steps,
-            "largest_group": record.largest_group,
-        }
-        if self.include_states:
-            payload["states"] = jsonify(list(record.multiset))
-        self._emit(payload)
+        self._emit(stream_round_payload(record, self.include_states))
 
     def on_complete(self, complete: bool) -> None:
-        self._emit({"event": "finish", "complete": complete})
+        self._emit(stream_finish_payload(complete))
 
     def on_finish(self) -> dict:
         if self._file is not None:
@@ -709,6 +742,7 @@ class CheckpointProbe(Probe):
         every: int = 100,
         directory: str | pathlib.Path = "checkpoints",
         final: bool = True,
+        publish: bool = True,
     ):
         if int(every) < 1:
             raise SpecificationError(
@@ -717,6 +751,7 @@ class CheckpointProbe(Probe):
         self.every = int(every)
         self.directory = pathlib.Path(str(directory))
         self.final = bool(final)
+        self.publish = bool(publish)
         self._context: RunContext | None = None
         self._spec_data: dict | None = None
         self._run_dir: pathlib.Path | None = None
@@ -767,13 +802,29 @@ class CheckpointProbe(Probe):
             if self._last_round != rounds:
                 self._write(rounds)
 
-    def on_finish(self) -> dict:
+    def on_finish(self) -> dict | None:
+        # ``publish=False`` keeps the run's result byte-identical to a
+        # checkpoint-free run of the same spec (the payload necessarily
+        # carries machine-local paths) — the experiment service relies on
+        # that for its cache/offline parity guarantee.
+        if not self.publish:
+            return None
         return {
             "directory": str(self._run_dir),
             "every": self.every,
             "checkpoints_written": self._written,
             "last_checkpoint_round": self._last_round,
         }
+
+    def checkpoint_now(self) -> None:
+        """Write a rolling checkpoint at the current round boundary.
+
+        Safe from any observer's ``on_round_end`` (the whole pipeline has
+        observed the round there); the experiment service's graceful drain
+        uses it to snapshot the in-flight run right before stopping it.
+        """
+        if self._context is not None and self._run_dir is not None:
+            self._write(self._context.progress.rounds_executed)
 
     # -- internals --------------------------------------------------------------
 

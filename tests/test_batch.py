@@ -340,6 +340,26 @@ def test_resume_of_completed_batch_is_idempotent(tmp_path):
     assert [item.result for item in again] == [item.result for item in first]
 
 
+def test_resume_of_completed_batch_executes_no_unit(tmp_path, monkeypatch):
+    # Every unit of a finished durable batch has a persisted result.json,
+    # so resuming it must re-merge those files without touching an engine:
+    # with execution booby-trapped, resume still returns the equal batch.
+    specs = [minimum_spec(name="noexec", seeds=(0, 1))]
+    first = BatchRunner(backend="serial").run(
+        specs, checkpoint_dir=tmp_path / "noexec", checkpoint_every=20
+    )
+    assert not first.failures()
+
+    def boom(*args, **kwargs):
+        raise AssertionError("a completed unit was re-executed")
+
+    monkeypatch.setattr(ExperimentSpec, "run", boom)
+    monkeypatch.setattr(ExperimentSpec, "resume", boom)
+    again = BatchRunner(backend="serial").resume(tmp_path / "noexec")
+    assert not again.failures()
+    assert [item.to_dict() for item in again] == [item.to_dict() for item in first]
+
+
 def test_resume_rejects_a_non_batch_directory(tmp_path):
     from repro import SpecificationError
 

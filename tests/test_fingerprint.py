@@ -1,0 +1,88 @@
+"""Canonical spec JSON and the content-address fingerprint.
+
+The service's result cache is only sound if the fingerprint is (a)
+invariant under every non-semantic presentation detail of the spec JSON —
+key order, whitespace, indentation, list-vs-tuple — and (b) sensitive to
+every semantic field.  These tests pin both directions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro import ExperimentSpec
+
+
+def churn_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        name="fingerprint-minimum",
+        algorithm="minimum",
+        environment="churn",
+        environment_params={"edge_up_probability": 0.3, "topology": "complete"},
+        initial_values=(9, 5, 7, 1),
+        seeds=(0, 1),
+        max_rounds=300,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base).validate()
+
+
+def test_fingerprint_is_sha256_of_canonical_json():
+    spec = churn_spec()
+    digest = hashlib.sha256(spec.canonical_json().encode("utf-8")).hexdigest()
+    assert spec.fingerprint() == digest
+    assert len(spec.fingerprint()) == 64
+    assert set(spec.fingerprint()) <= set("0123456789abcdef")
+
+
+def test_canonical_json_sorts_keys_and_strips_whitespace():
+    text = churn_spec().canonical_json()
+    data = json.loads(text)
+    assert list(data) == sorted(data)
+    assert ": " not in text and ", " not in text and "\n" not in text
+    # Canonicalization is a pure re-serialization: no data loss.
+    assert data == churn_spec().to_dict()
+
+
+def test_fingerprint_survives_json_presentation_changes():
+    spec = churn_spec()
+    reference = spec.fingerprint()
+
+    # Round-trip through pretty-printed JSON (indentation, key:value
+    # spacing) and through a reversed key order.
+    pretty = json.dumps(spec.to_dict(), indent=4)
+    assert ExperimentSpec.from_json(pretty).fingerprint() == reference
+
+    shuffled = json.loads(
+        json.dumps({key: spec.to_dict()[key] for key in reversed(list(spec.to_dict()))})
+    )
+    assert ExperimentSpec.from_dict(shuffled).fingerprint() == reference
+
+    # And the equal spec built independently agrees.
+    assert churn_spec().fingerprint() == reference
+
+
+def test_fingerprint_changes_with_every_semantic_field():
+    variants = {
+        "algorithm": churn_spec(algorithm="maximum"),
+        "algorithm_params": churn_spec(
+            algorithm="kth-smallest", algorithm_params={"k": 2}
+        ),
+        "environment": churn_spec(environment="static", environment_params={}),
+        "environment_params": churn_spec(
+            environment_params={"edge_up_probability": 0.4, "topology": "complete"}
+        ),
+        "initial_values": churn_spec(initial_values=(9, 5, 7, 2)),
+        "seeds": churn_spec(seeds=(0, 2)),
+        "max_rounds": churn_spec(max_rounds=301),
+        "scheduler": churn_spec(scheduler="single-group", scheduler_params={}),
+        "history": churn_spec(history="objective"),
+        "name": churn_spec(name="renamed"),
+        "probes": churn_spec(probes=({"probe": "stats"},)),
+    }
+    digests = {field: spec.fingerprint() for field, spec in variants.items()}
+    reference = churn_spec().fingerprint()
+    for field, digest in digests.items():
+        assert digest != reference, f"changing {field} must change the fingerprint"
+    assert len(set(digests.values())) == len(digests), "variants must not collide"

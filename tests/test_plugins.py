@@ -1,0 +1,94 @@
+"""Third-party plugin discovery (``repro.plugins`` entry points and the
+``REPRO_PLUGINS`` environment variable)."""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+
+import pytest
+
+from repro import ExperimentSpec, SpecificationError
+from repro.registry import VALUE_GENERATORS, load_plugins
+
+
+def _write_plugin(tmp_path, monkeypatch, name: str, body: str) -> None:
+    (tmp_path / f"{name}.py").write_text(textwrap.dedent(body))
+    monkeypatch.syspath_prepend(str(tmp_path))
+    monkeypatch.setenv("REPRO_PLUGINS", name)
+
+
+def test_env_var_plugin_registers_building_blocks(tmp_path, monkeypatch):
+    _write_plugin(
+        tmp_path,
+        monkeypatch,
+        "repro_test_plugin_values",
+        """
+        from repro.registry import register_value_generator
+
+        @register_value_generator("test-plugin-constant")
+        def constant_values(count: int = 4, value: int = 7):
+            \"\"\"A constant instance, registered from a plugin module.\"\"\"
+            return [value] * count
+        """,
+    )
+    loaded = load_plugins()
+    assert "module:repro_test_plugin_values" in loaded
+    assert "test-plugin-constant" in VALUE_GENERATORS
+    assert VALUE_GENERATORS.build("test-plugin-constant", count=3) == [7, 7, 7]
+
+    # The registered generator is immediately spec-addressable.
+    spec = ExperimentSpec(
+        algorithm="minimum",
+        value_generator="test-plugin-constant",
+        generator_params={"count": 3, "value": 7},
+        seeds=(0,),
+        max_rounds=100,
+    ).validate()
+    result = spec.run(0)
+    assert result.output == 7
+
+
+def test_loading_is_idempotent(tmp_path, monkeypatch):
+    _write_plugin(
+        tmp_path,
+        monkeypatch,
+        "repro_test_plugin_idempotent",
+        """
+        from repro.registry import register_value_generator
+
+        @register_value_generator("test-plugin-once")
+        def once(count: int = 2):
+            \"\"\"Registered exactly once however often discovery runs.\"\"\"
+            return list(range(count))
+        """,
+    )
+    first = load_plugins()
+    assert "module:repro_test_plugin_idempotent" in first
+    assert load_plugins() == [], "a second discovery pass must be a no-op"
+    assert "test-plugin-once" in VALUE_GENERATORS
+
+
+def test_broken_plugin_fails_loudly(tmp_path, monkeypatch):
+    _write_plugin(
+        tmp_path,
+        monkeypatch,
+        "repro_test_plugin_broken",
+        """
+        raise RuntimeError("plugin import exploded")
+        """,
+    )
+    with pytest.raises(SpecificationError, match="repro_test_plugin_broken"):
+        load_plugins()
+    # The failed source is not marked loaded: fixing it allows a retry.
+    sys.modules.pop("repro_test_plugin_broken", None)
+    (tmp_path / "repro_test_plugin_broken.py").write_text(
+        "from repro.registry import register_value_generator\n"
+    )
+    assert load_plugins() == ["module:repro_test_plugin_broken"]
+
+
+def test_missing_plugin_module_names_the_source(monkeypatch):
+    monkeypatch.setenv("REPRO_PLUGINS", "repro_no_such_plugin_module")
+    with pytest.raises(SpecificationError, match="repro_no_such_plugin_module"):
+        load_plugins()
