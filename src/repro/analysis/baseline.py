@@ -1,0 +1,137 @@
+"""Fingerprinted suppression baseline for the linter.
+
+Adopting a linter on a living codebase means deciding what to do with the
+findings that already exist.  The baseline records them as *fingerprints*
+— a hash of the rule, the file and the offending source line's content
+(plus an occurrence index for identical lines) — so that:
+
+* pre-existing, justified findings don't block CI;
+* the suppression survives unrelated edits (line numbers are not part of
+  the fingerprint);
+* editing the flagged line itself invalidates the suppression, so a
+  "justified" finding cannot silently mutate into an unjustified one;
+* any *new* finding fails immediately.
+
+``repro lint --update-baseline`` is the escape hatch: it rewrites the
+baseline from the current findings (to be used deliberately, with the
+diff reviewed — every entry is a standing exception to the determinism
+discipline).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Iterable, Sequence
+
+from .core import Finding
+
+__all__ = ["BASELINE_FORMAT", "Baseline", "fingerprint_findings"]
+
+#: Identifies baseline files (the ``format`` key of the JSON object).
+BASELINE_FORMAT = "repro-lint-baseline"
+
+#: Current baseline schema version.
+BASELINE_VERSION = 1
+
+
+def _fingerprint(finding: Finding, occurrence: int) -> str:
+    normalized = " ".join(finding.snippet.split())
+    material = f"{finding.rule}\x1f{finding.path}\x1f{normalized}\x1f{occurrence}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+def fingerprint_findings(findings: Sequence[Finding]) -> list[tuple[Finding, str]]:
+    """Pair every finding with its fingerprint.
+
+    Findings sharing (rule, path, normalized line content) are
+    disambiguated by their occurrence index in line order, so two
+    identical offending lines in one file get distinct fingerprints and
+    suppressing one does not suppress the other.
+    """
+    counters: dict[tuple[str, str, str], int] = {}
+    pairs: list[tuple[Finding, str]] = []
+    for finding in sorted(findings):
+        key = (finding.rule, finding.path, " ".join(finding.snippet.split()))
+        occurrence = counters.get(key, 0)
+        counters[key] = occurrence + 1
+        pairs.append((finding, _fingerprint(finding, occurrence)))
+    return pairs
+
+
+class Baseline:
+    """A set of suppressed finding fingerprints, JSON-round-trippable."""
+
+    def __init__(self, entries: Iterable[dict] | None = None):
+        self.entries: list[dict] = [dict(entry) for entry in (entries or ())]
+
+    @property
+    def fingerprints(self) -> set[str]:
+        return {entry["fingerprint"] for entry in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(
+            {
+                "fingerprint": fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "snippet": finding.snippet,
+                "message": finding.message,
+            }
+            for finding, fingerprint in fingerprint_findings(findings)
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "Baseline":
+        data = json.loads(pathlib.Path(path).read_text())
+        if not isinstance(data, dict) or data.get("format") != BASELINE_FORMAT:
+            raise ValueError(
+                f"{path} is not a lint baseline (expected format "
+                f"{BASELINE_FORMAT!r})"
+            )
+        return cls(data.get("suppressions") or ())
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        payload = {
+            "format": BASELINE_FORMAT,
+            "version": BASELINE_VERSION,
+            "suppressions": sorted(
+                self.entries,
+                key=lambda entry: (entry["path"], entry.get("line", 0), entry["rule"]),
+            ),
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    # -- application -------------------------------------------------------
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[dict]]:
+        """Partition findings into (active, suppressed) and report stale
+        baseline entries whose finding no longer exists."""
+        known = self.fingerprints
+        active: list[Finding] = []
+        suppressed: list[Finding] = []
+        seen: set[str] = set()
+        for finding, fingerprint in fingerprint_findings(findings):
+            if fingerprint in known:
+                suppressed.append(finding)
+                seen.add(fingerprint)
+            else:
+                active.append(finding)
+        stale = [
+            entry for entry in self.entries if entry["fingerprint"] not in seen
+        ]
+        return active, suppressed, stale

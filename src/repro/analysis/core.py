@@ -1,0 +1,283 @@
+"""The analyzer framework: findings, rules and per-module AST passes.
+
+A :class:`Rule` inspects one parsed module at a time through
+:meth:`Rule.check_module`; a :class:`ProjectRule` additionally sees the
+whole set of parsed modules at once through :meth:`ProjectRule.check_project`
+(for cross-file checks such as registration/protocol conformance).  The
+:class:`Analyzer` parses every file once into a :class:`ModuleInfo` —
+source lines, AST, a parent map and resolved import aliases — and hands
+the shared parse to every rule, so adding a rule never adds a parse.
+
+Rules are *scoped*: each carries ``include``/``exclude`` path prefixes
+(repo-relative, POSIX separators) deciding which modules it applies to.
+The defaults encode this codebase's layering (e.g. wall-clock reads are
+banned in engine/probe/checkpoint paths but fine in the service client);
+tests instantiate rules with ``include=()`` to apply them everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "ProjectRule",
+    "Analyzer",
+    "dotted_name",
+    "parse_module",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One reported violation, anchored to a file position.
+
+    ``snippet`` is the stripped source line the finding sits on; the
+    baseline fingerprints it (not the line number), so findings survive
+    unrelated edits above them.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+    snippet: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ModuleInfo:
+    """One parsed module plus the derived indexes every rule shares."""
+
+    def __init__(self, path: pathlib.Path, relpath: str, source: str):
+        self.path = path
+        #: Repo-relative POSIX path — what findings report and scopes match.
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=relpath)
+        #: child node -> parent node, for context-sensitive checks.
+        self.parents: dict[ast.AST, ast.AST] = {}
+        #: alias -> imported module name (``import time as t`` -> t: time).
+        self.module_aliases: dict[str, str] = {}
+        #: local name -> dotted origin (``from time import perf_counter`` ->
+        #: perf_counter: time.perf_counter).  Relative imports keep their
+        #: trailing module path (``from ..registry import register_probe``
+        #: -> register_probe: registry.register_probe).
+        self.imported_names: dict[str, str] = {}
+        #: nodes that live inside annotations (skipped by value rules).
+        self.annotation_nodes: set[ast.AST] = set()
+        self._index()
+
+    def _index(self) -> None:
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        self.module_aliases[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.names:
+                base = (node.module or "").lstrip(".").split(".")
+                base_name = ".".join(part for part in base if part)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    origin = f"{base_name}.{alias.name}" if base_name else alias.name
+                    self.imported_names[alias.asname or alias.name] = origin
+            for label in ("annotation", "returns"):
+                annotation = getattr(node, label, None)
+                if annotation is not None:
+                    for sub in ast.walk(annotation):
+                        self.annotation_nodes.add(sub)
+
+    # -- queries -----------------------------------------------------------
+
+    def line_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted path of a Name/Attribute, aliases unrolled.
+
+        ``dt.datetime.now`` resolves to ``datetime.datetime.now`` under
+        ``import datetime as dt``; a bare ``perf_counter`` resolves to
+        ``time.perf_counter`` under ``from time import perf_counter``.
+        """
+        name = dotted_name(node)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        origin = self.imported_names.get(head)
+        if origin is None and head in self.module_aliases:
+            origin = self.module_aliases[head]
+        if origin is not None:
+            return f"{origin}.{rest}" if rest else origin
+        return name
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """The canonical dotted path of a call's callee."""
+        return self.resolve(node.func)
+
+
+def parse_module(path: pathlib.Path, root: pathlib.Path) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo` (raises on syntax errors)."""
+    try:
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    return ModuleInfo(path=path, relpath=relpath, source=path.read_text())
+
+
+@dataclass
+class Rule:
+    """Base class of a per-module lint rule.
+
+    Subclasses set :attr:`rule_id` / :attr:`title` and override
+    :meth:`check_module`, appending :class:`Finding` objects via
+    :meth:`report`.  ``include``/``exclude`` are repo-relative POSIX path
+    prefixes; an empty ``include`` means "every module".
+    """
+
+    rule_id: str = "X000"
+    title: str = ""
+    include: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    findings: list[Finding] = field(default_factory=list)
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        path = module.relpath
+        if any(path.startswith(prefix) for prefix in self.exclude):
+            return False
+        return not self.include or any(
+            path.startswith(prefix) for prefix in self.include
+        )
+
+    def check_module(self, module: ModuleInfo) -> None:  # pragma: no cover
+        """Inspect one module (override in per-module rules)."""
+
+    def report(
+        self,
+        module: ModuleInfo,
+        node: ast.AST | None,
+        message: str,
+        *,
+        line: int | None = None,
+        column: int | None = None,
+    ) -> None:
+        lineno = line if line is not None else getattr(node, "lineno", 1)
+        col = column if column is not None else getattr(node, "col_offset", 0)
+        self.findings.append(
+            Finding(
+                path=module.relpath,
+                line=lineno,
+                column=col,
+                rule=self.rule_id,
+                message=message,
+                snippet=module.line_at(lineno),
+            )
+        )
+
+    def report_at(self, relpath: str, line: int, message: str, snippet: str = "") -> None:
+        """Report against a non-Python artifact (spec JSON, README)."""
+        self.findings.append(
+            Finding(
+                path=relpath,
+                line=line,
+                column=0,
+                rule=self.rule_id,
+                message=message,
+                snippet=snippet,
+            )
+        )
+
+
+@dataclass
+class ProjectRule(Rule):
+    """A rule that needs the whole module set at once (cross-file checks)."""
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo], root: pathlib.Path
+    ) -> None:  # pragma: no cover
+        """Inspect the project (override in project rules)."""
+
+
+class Analyzer:
+    """Run a rule set over a set of files and collect sorted findings."""
+
+    def __init__(self, rules: Iterable[Rule], root: pathlib.Path | str = "."):
+        self.rules = list(rules)
+        self.root = pathlib.Path(root)
+
+    def analyze(self, files: Iterable[pathlib.Path]) -> list[Finding]:
+        modules: list[ModuleInfo] = []
+        findings: list[Finding] = []
+        for path in files:
+            try:
+                modules.append(parse_module(path, self.root))
+            except SyntaxError as error:
+                try:
+                    relpath = path.resolve().relative_to(self.root.resolve()).as_posix()
+                except ValueError:
+                    relpath = path.as_posix()
+                findings.append(
+                    Finding(
+                        path=relpath,
+                        line=error.lineno or 1,
+                        column=(error.offset or 1) - 1,
+                        rule="E001",
+                        message=f"cannot parse file: {error.msg}",
+                        snippet=(error.text or "").strip(),
+                    )
+                )
+        for rule in self.rules:
+            rule.findings = []
+            for module in modules:
+                if rule.applies_to(module):
+                    rule.check_module(module)
+            if isinstance(rule, ProjectRule):
+                rule.check_project(modules, self.root)
+            findings.extend(rule.findings)
+        return sorted(findings)

@@ -1,0 +1,186 @@
+"""File collection, output formats and the ``repro lint`` entry point.
+
+Exit codes follow the convention smoke scripts expect:
+
+* **0** — clean (no non-baselined findings);
+* **1** — findings (or unparseable files);
+* **2** — usage error (missing path, unreadable baseline).
+
+Output formats:
+
+* ``text`` — ``path:line:col: RULE message`` plus a summary, for humans;
+* ``json`` — the findings, fingerprints and baseline bookkeeping as one
+  JSON object, for tooling;
+* ``github`` — ``::error`` workflow annotations, so CI findings land on
+  the offending diff lines in the pull-request view.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Callable, Sequence
+
+from .baseline import Baseline, fingerprint_findings
+from .core import Analyzer, Finding, Rule
+from .rules_determinism import determinism_rules
+from .rules_protocol import protocol_rules
+
+__all__ = ["LintUsageError", "all_rules", "collect_files", "run_lint"]
+
+#: Directory names never collected (fixture trees contain *planted*
+#: violations; cache/VCS trees contain no source of ours).
+EXCLUDED_DIR_NAMES = frozenset(
+    {".git", ".hypothesis", "__pycache__", "lint_fixtures", "node_modules"}
+)
+
+
+class LintUsageError(Exception):
+    """A command-line usage problem (reported with exit status 2)."""
+
+
+def all_rules() -> list[Rule]:
+    """The full default-scoped rule set (D-rules + P/C-rules)."""
+    return [*determinism_rules(), *protocol_rules()]
+
+
+def collect_files(
+    paths: Sequence[str | pathlib.Path], root: pathlib.Path
+) -> list[pathlib.Path]:
+    """Expand files/directories into the sorted list of ``.py`` files."""
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = set(candidate.relative_to(path).parts[:-1])
+                if parts & EXCLUDED_DIR_NAMES:
+                    continue
+                files.append(candidate)
+        else:
+            raise LintUsageError(f"no such file or directory: {raw}")
+    unique: dict[pathlib.Path, None] = {}
+    for path in files:
+        unique.setdefault(path.resolve(), None)
+    return sorted(unique)
+
+
+def _render_text(
+    active: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    stale: Sequence[dict],
+    emit: Callable[[str], None],
+) -> None:
+    for finding in active:
+        emit(finding.render())
+        if finding.snippet:
+            emit(f"    {finding.snippet}")
+    summary = f"{len(active)} finding{'s' if len(active) != 1 else ''}"
+    if suppressed:
+        summary += f", {len(suppressed)} baselined"
+    if stale:
+        summary += (
+            f", {len(stale)} stale baseline entr"
+            f"{'ies' if len(stale) != 1 else 'y'} (run --update-baseline)"
+        )
+    emit(summary)
+
+
+def _render_github(active: Sequence[Finding], emit: Callable[[str], None]) -> None:
+    for finding in active:
+        message = finding.message.replace("%", "%25").replace("\n", "%0A")
+        emit(
+            f"::error file={finding.path},line={finding.line},"
+            f"col={finding.column + 1},title=repro lint {finding.rule}::{message}"
+        )
+    emit(f"{len(active)} finding{'s' if len(active) != 1 else ''}")
+
+
+def _render_json(
+    active: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    stale: Sequence[dict],
+    emit: Callable[[str], None],
+) -> None:
+    fingerprints = dict(
+        (id(finding), fingerprint)
+        for finding, fingerprint in fingerprint_findings([*active, *suppressed])
+    )
+    emit(
+        json.dumps(
+            {
+                "findings": [
+                    {**finding.to_dict(), "fingerprint": fingerprints[id(finding)]}
+                    for finding in active
+                ],
+                "suppressed": [
+                    {**finding.to_dict(), "fingerprint": fingerprints[id(finding)]}
+                    for finding in suppressed
+                ],
+                "stale_baseline_entries": list(stale),
+            },
+            indent=2,
+        )
+    )
+
+
+def run_lint(
+    paths: Sequence[str | pathlib.Path] = ("src", "tests"),
+    *,
+    output_format: str = "text",
+    baseline_path: str | pathlib.Path | None = None,
+    update_baseline: bool = False,
+    root: str | pathlib.Path = ".",
+    rules: Sequence[Rule] | None = None,
+    emit: Callable[[str], None] = print,
+) -> int:
+    """Run the analyzer; returns the process exit status (0/1/2)."""
+    root = pathlib.Path(root)
+    try:
+        files = collect_files(paths, root)
+        if not files:
+            raise LintUsageError(
+                "nothing to lint: no Python files under "
+                + ", ".join(str(p) for p in paths)
+            )
+        baseline = Baseline()
+        if baseline_path is not None and not update_baseline:
+            baseline_file = pathlib.Path(baseline_path)
+            if not baseline_file.is_absolute():
+                baseline_file = root / baseline_file
+            if baseline_file.exists():
+                try:
+                    baseline = Baseline.load(baseline_file)
+                except (OSError, ValueError, json.JSONDecodeError) as error:
+                    raise LintUsageError(f"cannot read baseline: {error}")
+    except LintUsageError as error:
+        emit(f"repro lint: {error}")
+        return 2
+
+    findings = Analyzer(rules if rules is not None else all_rules(), root).analyze(
+        files
+    )
+
+    if update_baseline:
+        target = pathlib.Path(baseline_path or "lint_baseline.json")
+        if not target.is_absolute():
+            target = root / target
+        Baseline.from_findings(findings).save(target)
+        emit(
+            f"baseline updated: {len(findings)} suppression"
+            f"{'s' if len(findings) != 1 else ''} written to {target}"
+        )
+        return 0
+
+    active, suppressed, stale = baseline.split(findings)
+    if output_format == "github":
+        _render_github(active, emit)
+    elif output_format == "json":
+        _render_json(active, suppressed, stale, emit)
+    else:
+        _render_text(active, suppressed, stale, emit)
+    return 1 if active else 0

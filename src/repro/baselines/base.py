@@ -46,8 +46,12 @@ class Baseline(ABC):
         initial_values: Sequence[Any],
         max_rounds: int = 1000,
         seed: int | None = None,
+        rng: random.Random | None = None,
     ) -> BaselineResult:
-        """Execute the baseline under ``environment`` and return its result."""
+        """Execute the baseline under ``environment`` and return its result.
+
+        An explicit ``rng`` takes precedence over ``seed``;
+        ``rng=random.Random(s)`` and ``seed=s`` draw identically."""
 
     def describe(self) -> str:
         """One-line description for benchmark reports."""

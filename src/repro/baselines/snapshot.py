@@ -48,8 +48,9 @@ class SnapshotAggregationBaseline(Baseline):
         initial_values: Sequence[Any],
         max_rounds: int = 1000,
         seed: int | None = None,
+        rng: random.Random | None = None,
     ) -> BaselineResult:
-        rng = random.Random(seed)
+        rng = rng if rng is not None else random.Random(seed)
         num_agents = environment.num_agents
         environment.reset()
         answer = self.reduce_fn(list(initial_values))

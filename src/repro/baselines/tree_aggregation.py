@@ -59,8 +59,9 @@ class SpanningTreeAggregationBaseline(Baseline):
         initial_values: Sequence[Any],
         max_rounds: int = 1000,
         seed: int | None = None,
+        rng: random.Random | None = None,
     ) -> BaselineResult:
-        rng = random.Random(seed)
+        rng = rng if rng is not None else random.Random(seed)
         num_agents = environment.num_agents
         environment.reset()
         parent = self._build_tree(environment)

@@ -22,6 +22,14 @@ The experiment service (see :mod:`repro.service`) rides the same specs::
     python -m repro submit spec.json --events      # live probe payloads
     python -m repro status run-0001 --json
 
+The static determinism/protocol linter (see :mod:`repro.analysis`) ships
+as a subcommand too, so CI and pre-commit hooks need no extra tooling::
+
+    python -m repro lint src tests --baseline lint_baseline.json
+    python -m repro lint src --format github      # ::error annotations
+    python -m repro lint src tests --baseline lint_baseline.json \
+        --update-baseline                         # deliberate suppressions
+
 The original positional interface is kept as a compatibility layer and is
 itself rebuilt on top of specs — ``repro minimum --agents 10 --churn 0.3``
 constructs the equivalent :class:`~repro.experiment.ExperimentSpec` and
@@ -68,7 +76,7 @@ ALGORITHMS = (
 ENVIRONMENTS = ("static", "churn", "line", "partition", "blackout", "mobility")
 
 #: Spec-driven subcommands (anything else falls through to the legacy parser).
-SUBCOMMANDS = ("run", "list", "sweep", "resume", "serve", "submit", "status")
+SUBCOMMANDS = ("run", "list", "sweep", "resume", "serve", "submit", "status", "lint")
 
 #: ``repro list`` sections, in display order.
 _LIST_KINDS = (
@@ -321,6 +329,27 @@ def build_spec_parser() -> argparse.ArgumentParser:
                              "to stdout while waiting")
     submit.add_argument("--json", action="store_true",
                         help="print the job record / final status as JSON")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically check determinism & checkpoint-protocol "
+             "invariants (seeded RNG only, no unordered iteration into "
+             "results, codec-coverage of checkpointed state, ...)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src", "tests"],
+                      help="files or directories to analyze (default: src tests)")
+    lint.add_argument("--format", choices=("text", "json", "github"),
+                      default="text", dest="output_format",
+                      help="finding output format (github emits ::error "
+                           "workflow annotations)")
+    lint.add_argument("--baseline", type=pathlib.Path, default=None,
+                      metavar="FILE",
+                      help="fingerprinted suppression baseline; findings "
+                           "recorded there don't fail the run "
+                           "(e.g. lint_baseline.json)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline from the current findings "
+                           "and exit 0 (the escape hatch — review the diff)")
 
     status = subparsers.add_parser(
         "status", help="query a run (or the whole service) by URL"
@@ -623,6 +652,17 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if ok or not results else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import run_lint
+
+    return run_lint(
+        args.paths,
+        output_format=args.output_format,
+        baseline_path=args.baseline,
+        update_baseline=args.update_baseline,
+    )
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     from .service import ServiceClient, ServiceError
 
@@ -685,6 +725,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_submit(args)
         if args.command == "status":
             return _cmd_status(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         return _cmd_sweep(args)
     return _legacy_main(argv)
 

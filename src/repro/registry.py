@@ -138,6 +138,25 @@ class Registry:
         """Sorted names of everything registered."""
         return sorted(self._entries)
 
+    def items(self) -> list[tuple[str, RegistryEntry]]:
+        """Sorted ``(name, entry)`` pairs — full introspection of the
+        registry's contents (used by ``repro list`` tooling and the
+        static analyzer's registry-aware rules)."""
+        return sorted(self._entries.items())
+
+    def source_of(self, name: str) -> tuple[str, int] | None:
+        """``(file, line)`` where the factory registered under ``name`` is
+        defined, or None when the source is unavailable (C extensions,
+        interactively defined factories)."""
+        factory = self.entry(name).factory
+        try:
+            return (
+                inspect.getsourcefile(factory) or "",
+                inspect.getsourcelines(factory)[1],
+            )
+        except (OSError, TypeError):
+            return None
+
     def __contains__(self, name: object) -> bool:
         return name in self._entries
 

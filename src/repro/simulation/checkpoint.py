@@ -57,6 +57,9 @@ from ..geometry.point import Point
 
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "CODEC_SCALARS",
+    "CODEC_TAGS",
+    "codec_types",
     "encode_state",
     "decode_state",
     "encode_rng_state",
@@ -84,9 +87,30 @@ CHECKPOINT_VERSION = 1
 # unsupported type is an error at checkpoint time, not a silent corruption
 # at resume time.
 
+#: Scalar types JSON round-trips exactly without a tag.
+CODEC_SCALARS: tuple[type, ...] = (type(None), bool, int, float, str)
+
+#: The tagged-codec dispatch table: JSON tag -> container/exact type.
+#: This is the closed vocabulary of checkpointable state shapes; the
+#: static analyzer (rule C201 in :mod:`repro.analysis.rules_protocol`)
+#: reads it through :func:`codec_types`, so growing the codec
+#: automatically widens what the linter accepts.
+CODEC_TAGS: dict[str, type] = {
+    "t": tuple,
+    "s": frozenset,
+    "q": Fraction,
+    "p": Point,
+}
+
+
+def codec_types() -> tuple[type, ...]:
+    """Every type the tagged state codec can round-trip exactly."""
+    return CODEC_SCALARS + tuple(CODEC_TAGS.values())
+
+
 def encode_state(value: Hashable) -> Any:
     """Encode one agent state (or objective value) as tagged JSON data."""
-    if value is None or isinstance(value, (bool, int, float, str)):
+    if value is None or isinstance(value, CODEC_SCALARS):
         return value
     if isinstance(value, tuple):
         return {"t": [encode_state(item) for item in value]}
@@ -96,10 +120,12 @@ def encode_state(value: Hashable) -> Any:
         return {"q": [value.numerator, value.denominator]}
     if isinstance(value, Point):
         return {"p": [value.x, value.y]}
+    supported = ", ".join(
+        "None" if t is type(None) else t.__name__ for t in codec_types()
+    )
     raise SpecificationError(
         f"cannot checkpoint a state of type {type(value).__name__}: {value!r} "
-        "(supported: None, bool, int, float, str, tuple, frozenset, "
-        "Fraction, Point)"
+        f"(supported: {supported})"
     )
 
 

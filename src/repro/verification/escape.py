@@ -81,13 +81,16 @@ def audit_escape_obligation(
     algorithm: SelfSimilarAlgorithm,
     visited_states: Sequence[Sequence],
     favourable_environment: EnvironmentState,
+    rng: random.Random | None = None,
 ) -> EscapeAuditReport:
     """Audit PO-2 over a collection of visited agent-state vectors.
 
     ``favourable_environment`` should be an environment state in which the
     assumed predicates ``Q`` all hold (typically: every topology edge
     available and every agent enabled); the obligation says non-optimal
-    states must escape *that* kind of state.
+    states must escape *that* kind of state.  ``rng`` feeds the group
+    steps of randomized step rules; omitted, a fixed ``Random(0)`` keeps
+    the audit reproducible.
     """
     non_optimal = 0
     escapable = 0
@@ -95,7 +98,7 @@ def audit_escape_obligation(
         if algorithm.is_fixpoint(Multiset(list(states))):
             continue
         non_optimal += 1
-        if can_escape(algorithm, list(states), favourable_environment):
+        if can_escape(algorithm, list(states), favourable_environment, rng=rng):
             escapable += 1
     return EscapeAuditReport(
         algorithm_name=algorithm.name,

@@ -131,15 +131,17 @@ def search_local_to_global_violation(
     trials: int = 500,
     max_group_size: int = 5,
     seed: int = 0,
+    rng: random.Random | None = None,
 ) -> LocalToGlobalViolation | None:
     """Randomized search for a PO-3 violation.
 
     Random disjoint groups ``B`` and ``C`` are drawn, ``step_generator``
     proposes a transition for each, invalid proposals are discarded, and
     the surviving pairs are checked for composition.  Returns the first
-    violation found, or None.
+    violation found, or None.  An explicit ``rng`` takes precedence over
+    ``seed``: ``rng=random.Random(s)`` and ``seed=s`` draw identically.
     """
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     for _ in range(trials):
         size_b = rng.randint(1, max_group_size)
         size_c = rng.randint(1, max_group_size)

@@ -86,6 +86,7 @@ def explore_reachable_states(
     max_states: int = 20000,
     max_group_size: int | None = None,
     seed: int = 0,
+    rng: random.Random | None = None,
 ) -> ModelCheckReport:
     """Exhaustively explore the reachable state graph of a small instance.
 
@@ -112,7 +113,7 @@ def explore_reachable_states(
     if max_group_size is None:
         max_group_size = num_agents
     target = algorithm.function(Multiset(initial_states))
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
 
     groups: list[tuple[int, ...]] = []
     for size in range(2, max_group_size + 1):

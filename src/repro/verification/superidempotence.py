@@ -71,6 +71,7 @@ def audit_super_idempotence(
     trials: int = 300,
     max_size: int = 5,
     seed: int = 0,
+    rng: random.Random | None = None,
 ) -> SuperIdempotenceReport:
     """Randomized audit of idempotence and super-idempotence.
 
@@ -89,8 +90,11 @@ def audit_super_idempotence(
         Maximum size of each randomly drawn multiset.
     seed:
         Seed for reproducibility.
+    rng:
+        Explicit generator; takes precedence over ``seed`` when given
+        (``rng=random.Random(s)`` and ``seed=s`` draw identically).
     """
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
 
     idempotence_counterexample: Multiset | None = None
     super_counterexample: tuple[Multiset, Multiset] | None = None

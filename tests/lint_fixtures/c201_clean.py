@@ -1,0 +1,35 @@
+"""C201 near-miss negatives: checkpointed state encoded at capture time."""
+
+from fractions import Fraction
+from random import Random
+
+
+def encode_state(value):
+    return value
+
+
+def encode_rng_state(state):
+    return list(state)
+
+
+class EncodedState:
+    def __init__(self, seed):
+        self.members = set()
+        self.history = list()
+        self.rng = Random(seed)
+        self.total = Fraction(0)
+
+    def state_dict(self):
+        return {
+            "members": sorted(self.members),  # converted at capture
+            "history": self.history,  # list() construction: JSON-safe
+            "rng": encode_rng_state(self.rng.getstate()),  # sanctioned chain
+            "total": encode_state(self.total),  # tagged codec
+        }
+
+
+class NoCheckpoint:
+    """Sets galore, but no state_dict — nothing is persisted."""
+
+    def __init__(self):
+        self.members = set()

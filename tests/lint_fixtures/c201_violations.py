@@ -1,0 +1,26 @@
+"""Planted C201 positives: checkpointed state the codec cannot carry."""
+
+import collections
+from fractions import Fraction
+
+
+class LeakyState:
+    def __init__(self):
+        self.members = set()  # not representable
+        self.history = collections.deque()  # not representable
+        self.offsets = frozenset()  # codec type, but needs encode_state
+
+    def state_dict(self):
+        return {
+            "members": self.members,  # C201: raw set
+            "history": self.history,  # C201: raw deque
+            "offsets": self.offsets,  # C201: raw frozenset (untagged)
+        }
+
+
+class FractionLeak:
+    def reset(self):
+        self.total = Fraction(0)
+
+    def state_dict(self):
+        return {"total": self.total}  # C201: raw Fraction (untagged)

@@ -1,0 +1,22 @@
+"""D001 near-miss negatives: seeded-instance randomness only."""
+
+import random
+from random import Random  # importing the class is fine
+
+
+def roll_dice(rng: random.Random) -> int:
+    return rng.randint(1, 6)
+
+
+def make_generator(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def forward_optional_seed(seed=None):
+    # A *name* that may be None at runtime is not the syntactic
+    # ``random.Random()``/``random.Random(None)`` the rule flags.
+    return Random(seed)
+
+
+def state_surgery(rng: random.Random) -> tuple:
+    return rng.getstate()

@@ -1,0 +1,28 @@
+"""Planted D001 positives: draws from the process-global generator."""
+
+import random
+from random import randint  # D001: global-generator import
+
+
+def roll_dice():
+    return random.randint(1, 6)  # D001: global draw
+
+
+def shuffle_in_place(items):
+    random.shuffle(items)  # D001: global draw
+
+
+def reseed_the_world():
+    random.seed(42)  # D001: reseeding the global generator
+
+
+def make_unseeded_generator():
+    return random.Random()  # D001: OS-entropy seed
+
+
+def make_explicitly_unseeded_generator():
+    return random.Random(None)  # D001: OS-entropy seed, spelled out
+
+
+def imported_draw():
+    return randint(0, 9)  # D001: the import above was already flagged

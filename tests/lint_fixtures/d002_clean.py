@@ -1,0 +1,29 @@
+"""D002 near-miss negatives: sets consumed order-insensitively."""
+
+
+def iterate_sorted():
+    results = []
+    for item in sorted({"b", "a", "c"}):  # sorted first: deterministic
+        results.append(item)
+    return results
+
+
+def aggregate(values):
+    chosen = set(values)
+    return sum(chosen), len(chosen), min(chosen), max(chosen)
+
+
+def membership(values, needle):
+    return needle in set(values)
+
+
+def set_to_set(values):
+    return {v * 2 for v in set(values)}  # set -> set: order never observed
+
+
+def sorted_listing(values):
+    return sorted(list(set(values)))  # immediately re-sorted
+
+
+def genexp_into_sum(values):
+    return sum(v * 2 for v in set(values))

@@ -1,0 +1,27 @@
+"""Planted D002 positives: order-sensitive iteration over sets."""
+
+
+def iterate_literal():
+    results = []
+    for item in {"b", "a", "c"}:  # D002: for over a set literal
+        results.append(item)
+    return results
+
+
+def iterate_constructed(values):
+    chosen = set(values)
+    for item in chosen:  # D002: for over a set-typed local
+        yield item
+
+
+def listify(values):
+    return list(frozenset(values))  # D002: order-preserving conversion
+
+
+def joined(parts):
+    return ", ".join({p.strip() for p in parts})  # D002: join over a set
+
+
+def comprehension(values):
+    seen = set(values) | {0}
+    return [v * 2 for v in seen]  # D002: list comprehension over a set

@@ -1,0 +1,28 @@
+"""D003 near-miss negatives: timing without reading the wall clock."""
+
+import datetime
+import time
+
+
+def round_indexed_timing(round_index, period):
+    # Deterministic timing derives from the round counter, not the clock.
+    return round_index % period == 0
+
+
+def injected_clock(now):
+    # A caller-supplied timestamp is replayable.
+    return now + 1
+
+
+def fixed_datetime():
+    # Constructing a datetime is not *reading* the clock.
+    return datetime.datetime(2020, 1, 1)
+
+
+def pause(seconds):
+    time.sleep(seconds)  # sleep changes pacing, not observed state
+
+
+def named_like_a_clock(recorder):
+    # An attribute merely *named* time on another object is not time.time.
+    return recorder.time()

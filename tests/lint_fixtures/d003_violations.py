@@ -1,0 +1,28 @@
+"""Planted D003 positives: wall-clock reads in deterministic paths."""
+
+import datetime
+import time
+import time as clock
+from time import perf_counter
+
+import datetime as dt
+
+
+def stamp_plain():
+    return time.time()  # D003: wall-clock read
+
+
+def stamp_aliased_module():
+    return clock.monotonic()  # D003: alias does not hide the read
+
+
+def stamp_imported_name():
+    return perf_counter()  # D003: bare imported name resolves to time.*
+
+
+def stamp_datetime():
+    return datetime.datetime.now()  # D003: wall clock via datetime
+
+
+def stamp_aliased_datetime():
+    return dt.datetime.utcnow()  # D003: aliased datetime read

@@ -1,0 +1,26 @@
+"""D004 near-miss negatives: exactness preserved."""
+
+from fractions import Fraction
+
+
+def halve_exactly(value):
+    return value * Fraction(1, 2)
+
+
+def integer_arithmetic(total, count):
+    return Fraction(total, count)
+
+
+def annotated(value: float) -> float:
+    # Float *annotations* describe the boundary type; they are not values.
+    return value
+
+
+def objective_contract(make_objective):
+    # lower_bound/minimum_decrease are float-typed by the objective
+    # layer's declared contract.
+    return make_objective(lower_bound=0.0, minimum_decrease=1.0)
+
+
+def exact_equality(a, b):
+    return a == b

@@ -1,0 +1,19 @@
+"""Planted D004 positives: floats leaking into exact arithmetic."""
+
+from fractions import Fraction
+
+
+def halve(value):
+    return value * 0.5  # D004: float literal
+
+
+def coerce(value):
+    return float(value)  # D004: float() coercion
+
+
+def mixed_fraction():
+    return Fraction(1, 2) + 0.25  # D004: float literal beside a Fraction
+
+
+def tolerance_check(a, b):
+    return abs(a - b) < 1e-9  # D004: tolerance instead of exact equality

@@ -1,0 +1,19 @@
+"""D005 near-miss negatives: stable identities and non-ordering id use."""
+
+
+def sort_by_name(agents):
+    return sorted(agents, key=lambda agent: agent.name)
+
+
+def identity_check(left, right):
+    # Equality of id() is identity, not ordering — deterministic.
+    return id(left) == id(right)
+
+
+def dedupe_by_identity(agents):
+    # Using id() as a dict key never orders anything.
+    return {id(agent): agent for agent in agents}
+
+
+def mapped_but_not_ordered(agents):
+    return set(map(id, agents))

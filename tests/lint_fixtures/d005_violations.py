@@ -1,0 +1,17 @@
+"""Planted D005 positives: ordering keyed on object addresses."""
+
+
+def sort_by_address(agents):
+    return sorted(agents, key=id)  # D005: id as sort key
+
+
+def sort_in_place(agents):
+    agents.sort(key=lambda agent: id(agent))  # D005: id inside the key
+
+
+def address_sequence(agents):
+    return sorted(map(id, agents))  # D005: ordering mapped id() values
+
+
+def tie_break(left, right):
+    return left if id(left) < id(right) else right  # D005: id comparison

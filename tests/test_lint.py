@@ -1,0 +1,455 @@
+"""Tests for ``repro.analysis`` — the static determinism/protocol linter.
+
+Every rule ID is exercised against a golden fixture pair in
+``tests/lint_fixtures/``: one file of planted positives, one file of
+near-miss negatives the rule must *not* flag.  The fixtures live in a
+directory the runner's file collector excludes, so the planted
+violations never leak into real lint runs.  A final regression test runs
+the production configuration (``repro lint src tests`` against the
+committed baseline) and pins the suppression count.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import (
+    Analyzer,
+    Baseline,
+    Finding,
+    all_rules,
+    fingerprint_findings,
+    run_lint,
+)
+from repro.analysis.baseline import BASELINE_FORMAT
+from repro.analysis.rules_determinism import (
+    D001GlobalRandom,
+    D002UnorderedIteration,
+    D003WallClock,
+    D004FloatInExactPath,
+    D005IdOrdering,
+)
+from repro.analysis.rules_protocol import (
+    C201CodecCoverage,
+    P101ProtocolPairing,
+    P102RegistryDocDrift,
+)
+from repro.analysis.runner import EXCLUDED_DIR_NAMES, collect_files
+from repro.simulation.checkpoint import CODEC_TAGS, codec_types
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
+
+
+def run_rule(rule, *names):
+    files = [FIXTURES / name for name in names]
+    return Analyzer([rule], root=REPO_ROOT).analyze(files)
+
+
+# ---------------------------------------------------------------------------
+# determinism rules, one golden pair each
+# ---------------------------------------------------------------------------
+
+
+class TestD001GlobalRandom:
+    def test_planted_positives(self):
+        findings = run_rule(D001GlobalRandom(), "d001_violations.py")
+        assert [f.rule for f in findings] == ["D001"] * 7
+        assert {f.line for f in findings} == {4, 8, 12, 16, 20, 24, 28}
+
+    def test_near_miss_negatives(self):
+        assert run_rule(D001GlobalRandom(), "d001_clean.py") == []
+
+    def test_exclusions_scope_the_rule(self):
+        rule = D001GlobalRandom()
+        scoped = type("FakeModule", (), {})()
+        scoped.relpath = "src/repro/cli.py"
+        assert not rule.applies_to(scoped)
+        scoped.relpath = "src/repro/simulation/engine.py"
+        assert rule.applies_to(scoped)
+
+
+class TestD002UnorderedIteration:
+    def test_planted_positives(self):
+        findings = run_rule(D002UnorderedIteration(include=()), "d002_violations.py")
+        assert [f.rule for f in findings] == ["D002"] * 5
+        assert {f.line for f in findings} == {6, 13, 18, 22, 27}
+
+    def test_near_miss_negatives(self):
+        assert run_rule(D002UnorderedIteration(include=()), "d002_clean.py") == []
+
+
+class TestD003WallClock:
+    def test_planted_positives(self):
+        findings = run_rule(D003WallClock(include=()), "d003_violations.py")
+        assert [f.rule for f in findings] == ["D003"] * 5
+        assert {f.line for f in findings} == {12, 16, 20, 24, 28}
+
+    def test_alias_resolution_reaches_the_read(self):
+        findings = run_rule(D003WallClock(include=()), "d003_violations.py")
+        messages = " ".join(f.message for f in findings)
+        assert "time.monotonic" in messages  # via ``import time as clock``
+        assert "time.perf_counter" in messages  # via ``from time import ...``
+
+    def test_near_miss_negatives(self):
+        assert run_rule(D003WallClock(include=()), "d003_clean.py") == []
+
+
+class TestD004FloatInExactPath:
+    def test_planted_positives(self):
+        findings = run_rule(D004FloatInExactPath(include=()), "d004_violations.py")
+        assert [f.rule for f in findings] == ["D004"] * 4
+        assert {f.line for f in findings} == {7, 11, 15, 19}
+
+    def test_near_miss_negatives(self):
+        assert run_rule(D004FloatInExactPath(include=()), "d004_clean.py") == []
+
+
+class TestD005IdOrdering:
+    def test_planted_positives(self):
+        findings = run_rule(D005IdOrdering(include=()), "d005_violations.py")
+        assert all(f.rule == "D005" for f in findings)
+        # sorted(key=id), sort(key=lambda), sorted(map(id, ...)) and both
+        # sides of the ``id(a) < id(b)`` comparison.
+        assert len(findings) == 5
+        assert {f.line for f in findings} == {5, 9, 13, 17}
+
+    def test_near_miss_negatives(self):
+        assert run_rule(D005IdOrdering(include=()), "d005_clean.py") == []
+
+
+# ---------------------------------------------------------------------------
+# protocol rules
+# ---------------------------------------------------------------------------
+
+
+class TestP101ProtocolPairing:
+    def test_planted_positives(self):
+        findings = run_rule(P101ProtocolPairing(), "p101_violations.py")
+        assert [f.rule for f in findings] == ["P101"] * 5
+        messages = [f.message for f in findings]
+        assert any("half the checkpoint protocol" in m for m in messages)
+        assert any("does not declare" in m for m in messages)
+        assert any("without overriding" in m for m in messages)
+        assert any("no restore path" in m for m in messages)
+        assert any("never receive state" in m for m in messages)
+
+    def test_call_form_registration_is_seen(self):
+        findings = run_rule(P101ProtocolPairing(), "p101_violations.py")
+        assert any("restore-only" in f.message for f in findings)
+
+    def test_near_miss_negatives(self):
+        assert run_rule(P101ProtocolPairing(), "p101_clean.py") == []
+
+
+class TestP102RegistryDocDrift:
+    def make_root(self, tmp_path, spec, readme):
+        (tmp_path / "examples" / "specs").mkdir(parents=True)
+        (tmp_path / "examples" / "specs" / "demo.json").write_text(spec)
+        (tmp_path / "README.md").write_text(readme)
+        return tmp_path
+
+    def test_drift_is_reported(self, tmp_path):
+        root = self.make_root(
+            tmp_path,
+            json.dumps(
+                {
+                    "algorithm": "no-such-algorithm",
+                    "environment_params": {"topology": "no-such-graph"},
+                    "probes": ["no-such-probe"],
+                }
+            ),
+            '```json\n"algorithm": "no-such-algorithm"\n```\n'
+            "Run with --probe no-such-probe on examples/specs/missing.json\n",
+        )
+        findings = Analyzer([P102RegistryDocDrift()], root=root).analyze([])
+        assert [f.rule for f in findings] == ["P102"] * 6
+        spec_findings = [f for f in findings if f.path.endswith("demo.json")]
+        readme_findings = [f for f in findings if f.path == "README.md"]
+        assert len(spec_findings) == 3  # algorithm, topology, probe
+        assert len(readme_findings) == 3  # snippet, --probe, missing file
+
+    def test_registered_names_pass(self, tmp_path):
+        import repro.experiment  # noqa: F401 - populates the registries
+        from repro.registry import available
+
+        registries = available()
+        root = self.make_root(
+            tmp_path,
+            json.dumps(
+                {
+                    "algorithm": registries["algorithms"][0],
+                    "environment": registries["environments"][0],
+                    "probes": [registries["probes"][0]],
+                }
+            ),
+            f"Run with --probe {registries['probes'][0]}\n",
+        )
+        assert Analyzer([P102RegistryDocDrift()], root=root).analyze([]) == []
+
+
+class TestC201CodecCoverage:
+    def test_planted_positives(self):
+        findings = run_rule(C201CodecCoverage(), "c201_violations.py")
+        assert [f.rule for f in findings] == ["C201"] * 4
+        by_message = " ".join(f.message for f in findings)
+        # set/deque are outside the codec; frozenset/Fraction are codec
+        # types that still need the encode_state() wrapper.
+        assert "not in the tagged-codec dispatch table" in by_message
+        assert "wrap it with encode_state" in by_message
+        assert "self.history" in by_message and "deque" in by_message
+
+    def test_near_miss_negatives(self):
+        assert run_rule(C201CodecCoverage(), "c201_clean.py") == []
+
+    def test_codec_introspection_matches_dispatch(self):
+        names = {t.__name__ for t in codec_types()}
+        assert {"tuple", "frozenset", "Fraction", "Point"} <= names
+        assert set(CODEC_TAGS) == {"t", "s", "q", "p"}
+
+
+# ---------------------------------------------------------------------------
+# baseline fingerprints
+# ---------------------------------------------------------------------------
+
+
+def finding(line=10, snippet="x = random.random()", rule="D001", path="src/a.py"):
+    return Finding(
+        path=path, line=line, column=4, rule=rule, message="planted", snippet=snippet
+    )
+
+
+class TestBaseline:
+    def test_line_drift_keeps_the_suppression(self):
+        baseline = Baseline.from_findings([finding(line=10)])
+        active, suppressed, stale = baseline.split([finding(line=50)])
+        assert active == [] and len(suppressed) == 1 and stale == []
+
+    def test_editing_the_flagged_line_invalidates(self):
+        baseline = Baseline.from_findings([finding()])
+        active, suppressed, stale = baseline.split(
+            [finding(snippet="x = random.random()  # changed")]
+        )
+        assert len(active) == 1 and suppressed == [] and len(stale) == 1
+
+    def test_identical_lines_get_distinct_fingerprints(self):
+        twins = [finding(line=10), finding(line=20)]
+        fingerprints = [fp for _, fp in fingerprint_findings(twins)]
+        assert len(set(fingerprints)) == 2
+        # Suppressing one occurrence must not suppress both.
+        baseline = Baseline.from_findings([finding(line=10)])
+        active, suppressed, _ = baseline.split(twins)
+        assert len(active) == 1 and len(suppressed) == 1
+
+    def test_whitespace_is_normalized(self):
+        baseline = Baseline.from_findings([finding(snippet="x =  random.random()")])
+        active, suppressed, _ = baseline.split(
+            [finding(snippet="x = random.random()")]
+        )
+        assert active == [] and len(suppressed) == 1
+
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings([finding()])
+        path = baseline.save(tmp_path / "baseline.json")
+        loaded = Baseline.load(path)
+        assert loaded.fingerprints == baseline.fingerprints
+        data = json.loads(path.read_text())
+        assert data["format"] == BASELINE_FORMAT
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"suppressions": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+# ---------------------------------------------------------------------------
+# runner: collection, formats, exit codes
+# ---------------------------------------------------------------------------
+
+
+def write_module(root, relpath, source):
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+DIRTY = "import random\n\nTOKEN = random.random()\n"
+CLEAN = "import random\n\n\ndef draw(rng):\n    return rng.random()\n"
+
+
+class TestRunner:
+    def test_fixture_trees_are_never_collected(self, tmp_path):
+        write_module(tmp_path, "src/ok.py", CLEAN)
+        write_module(tmp_path, "src/lint_fixtures/planted.py", DIRTY)
+        files = collect_files(["src"], tmp_path)
+        assert [f.name for f in files] == ["ok.py"]
+        assert "lint_fixtures" in EXCLUDED_DIR_NAMES
+
+    def test_exit_0_on_clean_tree(self, tmp_path):
+        write_module(tmp_path, "src/ok.py", CLEAN)
+        assert run_lint(["src"], root=tmp_path, emit=lambda line: None) == 0
+
+    def test_exit_1_on_findings(self, tmp_path):
+        write_module(tmp_path, "src/bad.py", DIRTY)
+        lines = []
+        assert run_lint(["src"], root=tmp_path, emit=lines.append) == 1
+        assert any("D001" in line for line in lines)
+
+    def test_exit_1_on_syntax_error(self, tmp_path):
+        write_module(tmp_path, "src/broken.py", "def broken(:\n")
+        lines = []
+        assert run_lint(["src"], root=tmp_path, emit=lines.append) == 1
+        assert any("E001" in line for line in lines)
+
+    def test_exit_2_on_missing_path(self, tmp_path):
+        lines = []
+        assert run_lint(["no-such-dir"], root=tmp_path, emit=lines.append) == 2
+        assert any("no such file" in line for line in lines)
+
+    def test_exit_2_on_unreadable_baseline(self, tmp_path):
+        write_module(tmp_path, "src/ok.py", CLEAN)
+        (tmp_path / "baseline.json").write_text("{not json")
+        code = run_lint(
+            ["src"],
+            root=tmp_path,
+            baseline_path="baseline.json",
+            emit=lambda line: None,
+        )
+        assert code == 2
+
+    def test_update_baseline_then_clean(self, tmp_path):
+        write_module(tmp_path, "src/bad.py", DIRTY)
+        assert (
+            run_lint(
+                ["src"],
+                root=tmp_path,
+                baseline_path="baseline.json",
+                update_baseline=True,
+                emit=lambda line: None,
+            )
+            == 0
+        )
+        assert len(Baseline.load(tmp_path / "baseline.json")) == 1
+        code = run_lint(
+            ["src"],
+            root=tmp_path,
+            baseline_path="baseline.json",
+            emit=lambda line: None,
+        )
+        assert code == 0
+
+    def test_github_format_annotations(self, tmp_path):
+        write_module(tmp_path, "src/bad.py", DIRTY)
+        lines = []
+        run_lint(["src"], root=tmp_path, output_format="github", emit=lines.append)
+        annotation = lines[0]
+        assert annotation.startswith("::error file=src/bad.py,line=3,")
+        assert "title=repro lint D001::" in annotation
+
+    def test_json_format(self, tmp_path):
+        write_module(tmp_path, "src/bad.py", DIRTY)
+        lines = []
+        run_lint(["src"], root=tmp_path, output_format="json", emit=lines.append)
+        payload = json.loads("\n".join(lines))
+        assert payload["suppressed"] == []
+        assert payload["stale_baseline_entries"] == []
+        (entry,) = payload["findings"]
+        assert entry["rule"] == "D001" and len(entry["fingerprint"]) == 16
+
+
+class TestCli:
+    def test_lint_subcommand(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        write_module(tmp_path, "src/bad.py", DIRTY)
+        assert main(["lint", "src"]) == 1
+        assert "D001" in capsys.readouterr().out
+        write_module(tmp_path, "src/bad.py", CLEAN)
+        assert main(["lint", "src"]) == 0
+
+    def test_lint_usage_error(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "no-such-dir"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# acceptance: the production configuration
+# ---------------------------------------------------------------------------
+
+
+class TestProductionRun:
+    def test_src_and_tests_are_clean_against_the_baseline(self):
+        lines = []
+        code = run_lint(
+            ["src", "tests"],
+            root=REPO_ROOT,
+            baseline_path="lint_baseline.json",
+            emit=lines.append,
+        )
+        assert code == 0, "\n".join(lines)
+
+    def test_baseline_is_small_and_justified(self):
+        baseline = Baseline.load(REPO_ROOT / "lint_baseline.json")
+        # Exactly the three draw-an-effective-seed sites; every entry is a
+        # standing exception, so growth here needs review.
+        assert len(baseline) == 3
+        assert len(baseline) <= 10
+        assert all(entry["rule"] == "D001" for entry in baseline.entries)
+        assert all(
+            "random.randrange(2**63)" in entry["snippet"]
+            for entry in baseline.entries
+        )
+
+    def test_synthetic_pr_with_global_rng_fails(self, tmp_path):
+        """A PR adding a global-RNG draw to src/ must fail the lint job."""
+        write_module(
+            tmp_path,
+            "src/repro/sneaky.py",
+            "import random\n\n\ndef jitter():\n    return random.random()\n",
+        )
+        assert run_lint(["src"], root=tmp_path, emit=lambda line: None) == 1
+
+    def test_synthetic_pr_with_unserializable_state_fails(self, tmp_path):
+        """A PR checkpointing a raw set must fail the lint job."""
+        write_module(
+            tmp_path,
+            "src/repro/sneaky_env.py",
+            "class Env:\n"
+            "    def __init__(self):\n"
+            "        self.members = set()\n"
+            "\n"
+            "    def state_dict(self):\n"
+            "        return {'members': self.members}\n",
+        )
+        assert run_lint(["src"], root=tmp_path, emit=lambda line: None) == 1
+
+
+# ---------------------------------------------------------------------------
+# registry introspection added for the linter
+# ---------------------------------------------------------------------------
+
+
+class TestRegistryIntrospection:
+    def test_items_are_sorted_pairs(self):
+        import repro.experiment  # noqa: F401 - populates the registries
+        from repro.registry import ALGORITHMS
+
+        items = ALGORITHMS.items()
+        assert items == sorted(items)
+        assert all(isinstance(name, str) for name, _ in items)
+
+    def test_source_of_points_into_the_repo(self):
+        import repro.experiment  # noqa: F401
+        from repro.registry import ALGORITHMS
+
+        name, _ = ALGORITHMS.items()[0]
+        location = ALGORITHMS.source_of(name)
+        assert location is not None
+        path, line = location
+        assert path.endswith(".py") and line >= 1
