@@ -1,0 +1,411 @@
+"""Project-wide call graph over the shared :class:`ModuleInfo` parses.
+
+The graph indexes every function-like object in the analyzed module set —
+module-level ``def``s, methods (including those inherited through
+AST-visible base classes), closures and lambdas — as a
+:class:`FunctionInfo` carrying its lexical scope chain and bound names.
+:meth:`CallGraph.resolve_call` maps a call site back to a
+:class:`FunctionInfo` when the callee is statically visible:
+
+* a local/closure name bound to a ``def`` or ``lambda`` in an enclosing
+  scope;
+* a module-level function of the same module;
+* an imported name whose origin module is part of the analyzed set
+  (relative and absolute ``from`` imports both resolve by matching the
+  origin's module path against analyzed relpaths, preferring the module
+  closest to the importer);
+* ``self.method(...)`` through the class body and its AST-visible bases;
+* instantiation of a project class (resolved to ``__init__``).
+
+Decorators are transparent: a decorated ``def`` still resolves by name —
+effect inference deliberately analyzes the undecorated body, because the
+registration decorators in this codebase return the function unchanged.
+Anything else (calling a parameter, a subscript, the result of another
+call) is *dynamic dispatch* and stays unresolved; the effect pass maps
+those to the conservative ``unknown-callee`` effect.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .core import ModuleInfo, dotted_name
+
+__all__ = ["FunctionInfo", "CallGraph", "scope_locals", "function_parameters"]
+
+#: How deep the AST base-class walk goes when looking up inherited methods.
+_BASE_DEPTH = 4
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def function_parameters(node: ast.AST) -> list[str]:
+    """Ordered parameter names of a def/lambda (all binding kinds)."""
+    args = node.args
+    names = [arg.arg for arg in args.posonlyargs]
+    names.extend(arg.arg for arg in args.args)
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    names.extend(arg.arg for arg in args.kwonlyargs)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _binds_in_scope(node: ast.AST) -> Iterable[str]:
+    """Names bound by one statement/expression, *excluding* nested scopes."""
+    if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+        yield node.id
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        yield node.name
+    elif isinstance(node, ast.Import):
+        for alias in node.names:
+            yield alias.asname or alias.name.split(".")[0]
+    elif isinstance(node, ast.ImportFrom):
+        for alias in node.names:
+            if alias.name != "*":
+                yield alias.asname or alias.name
+
+
+def scope_locals(node: ast.AST) -> set[str]:
+    """Every name bound inside a function body (params, targets, nested
+    defs, comprehension/``with``/``except`` targets, walrus), minus names
+    declared ``global``/``nonlocal``."""
+    bound: set[str] = set(function_parameters(node))
+    declared_elsewhere: set[str] = set()
+    body = node.body if isinstance(node.body, list) else [node.body]
+
+    def visit(current: ast.AST) -> None:
+        for child in ast.iter_child_nodes(current):
+            bound.update(_binds_in_scope(child))
+            if isinstance(child, (ast.Global, ast.Nonlocal)):
+                declared_elsewhere.update(child.names)
+            if isinstance(child, _FUNCTION_NODES + (ast.ClassDef,)):
+                continue  # nested scope binds its own names
+            visit(child)
+
+    for statement in body:
+        bound.update(_binds_in_scope(statement))
+        if isinstance(statement, (ast.Global, ast.Nonlocal)):
+            declared_elsewhere.update(statement.names)
+        if not isinstance(statement, _FUNCTION_NODES + (ast.ClassDef,)):
+            visit(statement)
+    return bound - declared_elsewhere
+
+
+@dataclass
+class FunctionInfo:
+    """One function-like scope in the call graph."""
+
+    module: ModuleInfo
+    node: ast.AST  # FunctionDef | AsyncFunctionDef | Lambda
+    name: str  # "<lambda>" for anonymous lambdas
+    qualname: str  # e.g. "minimum_algorithm.group_step"
+    class_name: str | None = None  # nearest enclosing class, if a method
+    parent: "FunctionInfo | None" = None  # lexically enclosing function
+    params: list[str] = field(default_factory=list)
+    locals: set[str] = field(default_factory=set)
+    #: local name -> nested def/lambda bound to it in this scope.
+    local_functions: dict[str, ast.AST] = field(default_factory=dict)
+
+    @property
+    def relpath(self) -> str:
+        return self.module.relpath
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+    def closure_scopes(self) -> Iterable["FunctionInfo"]:
+        scope = self.parent
+        while scope is not None:
+            yield scope
+            scope = scope.parent
+
+    def __hash__(self) -> int:  # identity — one info per AST node
+        return id(self.node)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class CallGraph:
+    """Function index + call resolution over a set of parsed modules."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.modules = list(modules)
+        #: every FunctionInfo, keyed by AST node identity.
+        self.by_node: dict[int, FunctionInfo] = {}
+        #: relpath -> module-level function name -> info.
+        self.module_level: dict[str, dict[str, FunctionInfo]] = {}
+        #: (relpath, class name) -> method name -> info.
+        self.methods: dict[tuple[str, str], dict[str, FunctionInfo]] = {}
+        #: class simple name -> (module, ClassDef); first definition wins.
+        self.classes: dict[str, tuple[ModuleInfo, ast.ClassDef]] = {}
+        #: simple name -> module-level infos across the project.
+        self.by_simple_name: dict[str, list[FunctionInfo]] = {}
+        for module in self.modules:
+            self._index_module(module)
+
+    # -- construction ------------------------------------------------------
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        self.module_level.setdefault(module.relpath, {})
+
+        def walk(node: ast.AST, enclosing: FunctionInfo | None, class_name: str | None, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    self.classes.setdefault(child.name, (module, child))
+                    self.methods.setdefault((module.relpath, child.name), {})
+                    walk(child, enclosing, child.name, f"{prefix}{child.name}.")
+                elif isinstance(child, _FUNCTION_NODES):
+                    name = getattr(child, "name", "<lambda>")
+                    info = self._add_function(
+                        module, child, name, f"{prefix}{name}", class_name, enclosing
+                    )
+                    walk(child, info, None, f"{prefix}{name}.")
+                else:
+                    # ``name = lambda ...`` binds a function to a local name.
+                    if isinstance(child, ast.Assign) and isinstance(child.value, ast.Lambda):
+                        targets = [
+                            t.id for t in child.targets if isinstance(t, ast.Name)
+                        ]
+                        if targets:
+                            name = targets[0]
+                            info = self._add_function(
+                                module,
+                                child.value,
+                                name,
+                                f"{prefix}{name}",
+                                class_name,
+                                enclosing,
+                            )
+                            walk(child.value, info, None, f"{prefix}{name}.")
+                            continue
+                    walk(child, enclosing, class_name, prefix)
+
+        walk(module.tree, None, None, "")
+
+    def _add_function(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        name: str,
+        qualname: str,
+        class_name: str | None,
+        enclosing: FunctionInfo | None,
+    ) -> FunctionInfo:
+        if id(node) in self.by_node:
+            return self.by_node[id(node)]
+        info = FunctionInfo(
+            module=module,
+            node=node,
+            name=name,
+            qualname=qualname,
+            class_name=class_name,
+            parent=enclosing,
+            params=function_parameters(node),
+            locals=scope_locals(node),
+        )
+        self.by_node[id(node)] = info
+        if enclosing is not None:
+            enclosing.local_functions.setdefault(name, node)
+        elif class_name is not None:
+            self.methods.setdefault((module.relpath, class_name), {})[name] = info
+        else:
+            self.module_level[module.relpath][name] = info
+            self.by_simple_name.setdefault(name, []).append(info)
+        # Lambdas anywhere still get an anonymous entry so higher-order
+        # arguments (``sorted(key=lambda ...)``) resolve to them.
+        return info
+
+    # -- lookups -----------------------------------------------------------
+
+    def function_for(self, node: ast.AST) -> FunctionInfo | None:
+        return self.by_node.get(id(node))
+
+    def lookup_class(self, module: ModuleInfo, name: str) -> tuple[ModuleInfo, ast.ClassDef] | None:
+        """A class by simple or imported name, seen from ``module``."""
+        origin = module.imported_names.get(name)
+        if origin is not None:
+            target = self._module_for_origin(origin, module)
+            if target is not None:
+                for child in ast.iter_child_nodes(target.tree):
+                    if isinstance(child, ast.ClassDef) and child.name == origin.rsplit(".", 1)[-1]:
+                        return target, child
+        found = self.classes.get(name)
+        if found is not None and (origin is None or found[1].name == origin.rsplit(".", 1)[-1]):
+            return found
+        return None
+
+    def lookup_method(
+        self, module: ModuleInfo, classdef: ast.ClassDef, name: str, depth: int = 0
+    ) -> FunctionInfo | None:
+        """A method by name, walking AST-visible bases depth-first."""
+        info = self.methods.get((module.relpath, classdef.name), {}).get(name)
+        if info is not None:
+            return info
+        if depth >= _BASE_DEPTH:
+            return None
+        for base in classdef.bases:
+            base_name = dotted_name(base)
+            if base_name is None:
+                continue
+            found = self.lookup_class(module, base_name.rsplit(".", 1)[-1])
+            if found is None:
+                continue
+            base_module, base_def = found
+            if base_def is classdef:
+                continue
+            inherited = self.lookup_method(base_module, base_def, name, depth + 1)
+            if inherited is not None:
+                return inherited
+        return None
+
+    def lookup_name(self, caller: FunctionInfo, name: str) -> FunctionInfo | None:
+        """Resolve a bare name at a call/argument site to a function.
+
+        Checks the caller's own ``def``/lambda bindings, then each
+        enclosing function scope, then module level, then project-wide
+        imports.  Returns None for anything else (a data local, a
+        builtin, an external import …).
+        """
+        node = caller.local_functions.get(name)
+        if node is not None:
+            return self.by_node.get(id(node))
+        if name in caller.locals:
+            return None  # a data local shadows any outer function
+        for scope in caller.closure_scopes():
+            node = scope.local_functions.get(name)
+            if node is not None:
+                return self.by_node.get(id(node))
+            if name in scope.locals:
+                return None
+        info = self.module_level.get(caller.relpath, {}).get(name)
+        if info is not None:
+            return info
+        return self.resolve_import(caller.module, name)
+
+    def resolve_import(self, module: ModuleInfo, name: str) -> FunctionInfo | None:
+        """Resolve an imported name to a module-level project function."""
+        origin = module.imported_names.get(name)
+        if origin is None:
+            return None
+        target = self._module_for_origin(origin, module)
+        tail = origin.rsplit(".", 1)[-1]
+        if target is not None:
+            return self.module_level.get(target.relpath, {}).get(tail)
+        # Origin module not analyzed: fall back to a unique project-wide
+        # match on the simple name (ambiguity stays unresolved).
+        candidates = self.by_simple_name.get(tail, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def _module_for_origin(self, origin: str, importer: ModuleInfo) -> ModuleInfo | None:
+        """The analyzed module an import origin points into.
+
+        ``registry.register_probe`` (a relative import seen from
+        ``src/repro/agents/scheduler.py``) matches any analyzed module
+        whose relpath ends in ``registry.py``; ties go to the module
+        sharing the longest path prefix with the importer.
+        """
+        parts = origin.split(".")
+        best: ModuleInfo | None = None
+        best_score = -1
+        for take in range(len(parts), 0, -1):
+            suffix = "/".join(parts[:take]) + ".py"
+            for module in self.modules:
+                if module.relpath == suffix or module.relpath.endswith("/" + suffix):
+                    score = _common_prefix_len(module.relpath, importer.relpath)
+                    if score > best_score:
+                        best, best_score = module, score
+            if best is not None:
+                return best
+        return None
+
+    def resolve_call(self, caller: FunctionInfo, call: ast.Call) -> FunctionInfo | None:
+        """The project function a call resolves to, else None.
+
+        Handles bare names, ``self.method(...)``, imported names and
+        project-class instantiation (resolved to ``__init__``).  A None
+        result means the effect pass must classify the callee itself
+        (stdlib, builtin, dynamic dispatch …).
+        """
+        func = call.func
+        if isinstance(func, ast.Lambda):
+            return self.function_for(func)
+        if isinstance(func, ast.Name):
+            if func.id == "cls" and caller.params[:1] == ["cls"] and caller.class_name:
+                classdef = self._classdef_in(caller.module, caller.class_name)
+                if classdef is not None:
+                    return self.lookup_method(caller.module, classdef, "__init__")
+                return None
+            target = self.lookup_name(caller, func.id)
+            if target is not None:
+                return target
+            found = self.lookup_class(caller.module, func.id)
+            if found is not None:
+                module, classdef = found
+                return self.lookup_method(module, classdef, "__init__")
+            return None
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Call)
+                and isinstance(func.value.func, ast.Name)
+                and func.value.func.id == "super"
+                and caller.class_name
+            ):
+                classdef = self._classdef_in(caller.module, caller.class_name)
+                if classdef is not None:
+                    for base in classdef.bases:
+                        base_name = dotted_name(base)
+                        if base_name is None:
+                            continue
+                        found = self.lookup_class(
+                            caller.module, base_name.rsplit(".", 1)[-1]
+                        )
+                        if found is not None:
+                            inherited = self.lookup_method(found[0], found[1], func.attr)
+                            if inherited is not None:
+                                return inherited
+                return None
+            if isinstance(func.value, ast.Name) and func.value.id == "self" and caller.class_name:
+                # Find the class definition in the caller's module.
+                found = self.methods.get((caller.relpath, caller.class_name))
+                if found is not None and func.attr in found:
+                    return found[func.attr]
+                classdef = self._classdef_in(caller.module, caller.class_name)
+                if classdef is not None:
+                    return self.lookup_method(caller.module, classdef, func.attr)
+                return None
+            dotted = caller.module.resolve(func)
+            if dotted is not None and "." in dotted:
+                head, tail = dotted.rsplit(".", 1)
+                # ``SomeClass.method(...)`` on an imported/project class.
+                found = self.lookup_class(caller.module, head.rsplit(".", 1)[-1])
+                if found is not None:
+                    return self.lookup_method(found[0], found[1], tail)
+                # ``module.function(...)`` where module is analyzed.
+                target = self._module_for_origin(head, caller.module)
+                if target is not None:
+                    return self.module_level.get(target.relpath, {}).get(tail)
+        return None
+
+    def _classdef_in(self, module: ModuleInfo, name: str) -> ast.ClassDef | None:
+        for child in ast.iter_child_nodes(module.tree):
+            if isinstance(child, ast.ClassDef) and child.name == name:
+                return child
+        return None
+
+
+def _common_prefix_len(a: str, b: str) -> int:
+    parts_a, parts_b = a.split("/"), b.split("/")
+    count = 0
+    for x, y in zip(parts_a, parts_b):
+        if x != y:
+            break
+        count += 1
+    return count

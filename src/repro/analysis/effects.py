@@ -1,0 +1,839 @@
+"""Interprocedural effect inference on top of :class:`CallGraph`.
+
+Each function gets a *direct* effect record — what its own body does —
+and a *transitive* summary: the union of direct effects over every
+project function reachable through resolved calls (cycle-safe, so
+mutual recursion is fine).  Effects carry the file/line/function they
+originate in, so a purity finding on ``step`` anchors at the offending
+line of the helper three calls down.
+
+Effect kinds
+------------
+
+=================  ====================================================
+``attr-write``     ``self.x = …`` (or mutating ``self.x`` in place)
+                   outside ``__init__``-family methods
+``param-mutate``   writing through / mutating a parameter
+``global-write``   rebinding or mutating module-level state
+``nonlocal-write`` rebinding or mutating an enclosing scope's local
+``global-read``    reading module-level state (violating only when some
+                   project code *mutates* that name — constants are fine)
+``closure-read``   reading an enclosing scope's local (violating only
+                   when that local is nonlocal-mutated somewhere)
+``rng``            drawing from an RNG that is not a parameter or a
+                   locally-constructed generator (``random.random()``,
+                   ``self._rng.random()``, a captured generator …)
+``io``             filesystem/network/process/console interaction
+``time``           wall-clock or monotonic clock reads
+``unknown-callee`` dynamic dispatch the graph cannot see through:
+                   calling a parameter, a subscript, ``exec``/``eval``,
+                   or an unresolvable bare name
+``opaque-call``    calling a *configuration capture* — a callable held
+                   in ``self``/a closure (e.g. an objective function the
+                   factory was built with).  Recorded, but rules treat it
+                   as trusted: the captured callable is itself checked at
+                   its own registration site.
+=================  ====================================================
+
+Writes to ``self`` inside ``__init__``/``__post_init__``/``__new__``
+are initialization of a fresh object, not shared-state mutation, and are
+not recorded — so instantiating a project class is pure unless its
+constructor touches globals or does I/O.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .callgraph import CallGraph, FunctionInfo
+from .core import ModuleInfo, dotted_name
+from .rules_determinism import GLOBAL_RANDOM_FUNCTIONS, WALL_CLOCK_CALLS
+
+__all__ = ["Effect", "EffectAnalysis"]
+
+ATTR_WRITE = "attr-write"
+PARAM_MUTATE = "param-mutate"
+GLOBAL_WRITE = "global-write"
+NONLOCAL_WRITE = "nonlocal-write"
+GLOBAL_READ = "global-read"
+CLOSURE_READ = "closure-read"
+RNG = "rng"
+IO = "io"
+TIME = "time"
+UNKNOWN_CALLEE = "unknown-callee"
+OPAQUE_CALL = "opaque-call"
+
+#: Methods whose constructors count as plain initialization.
+_INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__", "__set_name__"})
+
+#: In-place container/object mutators, classified by their receiver root.
+MUTATING_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "rotate",
+        "setdefault",
+        "sort",
+        "update",
+        "write",
+        "writelines",
+    }
+)
+
+#: Filesystem-touching methods — I/O no matter what the receiver is.
+_FS_METHODS = frozenset(
+    {
+        "chmod",
+        "exists",
+        "glob",
+        "hardlink_to",
+        "is_dir",
+        "is_file",
+        "iterdir",
+        "mkdir",
+        "open",
+        "read_bytes",
+        "read_text",
+        "rename",
+        "replace",
+        "rglob",
+        "rmdir",
+        "stat",
+        "symlink_to",
+        "touch",
+        "unlink",
+        "write_bytes",
+        "write_text",
+    }
+)
+
+#: Stdlib modules whose calls are assumed effect-free.
+_PURE_MODULES = frozenset(
+    {
+        "abc",
+        "array",
+        "base64",
+        "binascii",
+        "bisect",
+        "cmath",
+        "collections",
+        "copy",
+        "dataclasses",
+        "decimal",
+        "enum",
+        "fractions",
+        "functools",
+        "hashlib",
+        "heapq",
+        "itertools",
+        "json",
+        "math",
+        "numbers",
+        "operator",
+        "re",
+        "statistics",
+        "string",
+        "struct",
+        "textwrap",
+        "types",
+        "typing",
+        "unicodedata",
+    }
+)
+
+#: Stdlib modules whose calls are I/O by nature.
+_IO_MODULES = frozenset(
+    {
+        "http",
+        "io",
+        "logging",
+        "os",
+        "pathlib",
+        "selectors",
+        "shutil",
+        "signal",
+        "socket",
+        "socketserver",
+        "ssl",
+        "subprocess",
+        "sys",
+        "tempfile",
+        "urllib",
+    }
+)
+
+_PURE_BUILTINS = frozenset(
+    {
+        "abs", "all", "any", "ascii", "bin", "bool", "bytearray", "bytes",
+        "callable", "chr", "classmethod", "complex", "dict", "divmod",
+        "enumerate", "filter", "float", "format", "frozenset", "getattr",
+        "hasattr", "hash", "hex", "id", "int", "isinstance", "issubclass",
+        "iter", "len", "list", "map", "max", "memoryview", "min", "next",
+        "object", "oct", "ord", "pow", "property", "range", "repr",
+        "reversed", "round", "set", "slice", "sorted", "staticmethod",
+        "str", "sum", "super", "tuple", "type", "vars", "zip",
+    }
+)
+
+_IO_BUILTINS = frozenset({"breakpoint", "input", "open", "print"})
+_DYNAMIC_BUILTINS = frozenset({"__import__", "compile", "eval", "exec"})
+
+_RNG_DRAWS = frozenset(GLOBAL_RANDOM_FUNCTIONS) - {"seed"}
+
+
+@dataclass(frozen=True, order=True)
+class Effect:
+    """One inferred side effect, anchored where it happens."""
+
+    path: str
+    line: int
+    kind: str
+    detail: str
+    function: str  # qualname of the function whose body does it
+
+    def describe(self) -> str:
+        return f"{self.kind} of {self.detail} in {self.function} ({self.path}:{self.line})"
+
+
+@dataclass
+class _Record:
+    effects: frozenset[Effect]
+    callees: tuple[FunctionInfo, ...]
+
+
+class EffectAnalysis:
+    """Lazy per-function effect records + transitive summaries."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.graph = CallGraph(modules)
+        self._records: dict[int, _Record] = {}
+        self._summaries: dict[int, tuple[Effect, ...]] = {}
+        #: relpath -> module-level *data* names (not defs/classes/imports).
+        self.module_globals: dict[str, set[str]] = {}
+        self._mutated_globals: set[str] | None = None
+        self._mutated_closures: set[str] | None = None
+        for module in modules:
+            self.module_globals[module.relpath] = self._top_level_data_names(module)
+
+    @staticmethod
+    def _top_level_data_names(module: ModuleInfo) -> set[str]:
+        names: set[str] = set()
+        for node in ast.iter_child_nodes(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+            elif isinstance(node, (ast.For, ast.While, ast.If, ast.Try, ast.With)):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                        names.add(sub.id)
+        # A ``name = lambda`` binding is a function, not data.
+        for node in ast.iter_child_nodes(module.tree):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.discard(target.id)
+        return names
+
+    # -- public API --------------------------------------------------------
+
+    def direct_effects(self, fn: FunctionInfo) -> frozenset[Effect]:
+        return self._record(fn).effects
+
+    def callees(self, fn: FunctionInfo) -> tuple[FunctionInfo, ...]:
+        return self._record(fn).callees
+
+    def reachable(self, fn: FunctionInfo) -> list[FunctionInfo]:
+        """Every project function reachable from ``fn`` (cycle-safe)."""
+        seen: dict[int, FunctionInfo] = {}
+        stack = [fn]
+        while stack:
+            current = stack.pop()
+            if id(current.node) in seen:
+                continue
+            seen[id(current.node)] = current
+            stack.extend(self._record(current).callees)
+        return list(seen.values())
+
+    def summary(self, fn: FunctionInfo) -> tuple[Effect, ...]:
+        """Transitive effect summary: union over the reachable set.
+
+        Effects are context-free, so the summary of a (mutually)
+        recursive function is simply the union over its strongly
+        connected reachable set — no fixpoint iteration needed.
+        """
+        cached = self._summaries.get(id(fn.node))
+        if cached is None:
+            effects: set[Effect] = set()
+            for reached in self.reachable(fn):
+                effects.update(self._record(reached).effects)
+            cached = tuple(sorted(effects))
+            self._summaries[id(fn.node)] = cached
+        return cached
+
+    def is_mutated_global(self, detail: str) -> bool:
+        """Does any project function (or top-level statement) mutate it?"""
+        self._ensure_project_mutations()
+        return detail in (self._mutated_globals or ())
+
+    def is_mutated_closure(self, detail: str) -> bool:
+        self._ensure_project_mutations()
+        return detail in (self._mutated_closures or ())
+
+    # -- internals ---------------------------------------------------------
+
+    def _record(self, fn: FunctionInfo) -> _Record:
+        record = self._records.get(id(fn.node))
+        if record is None:
+            record = _DirectEffectPass(self, fn).run()
+            self._records[id(fn.node)] = record
+        return record
+
+    def _ensure_project_mutations(self) -> None:
+        if self._mutated_globals is not None:
+            return
+        mutated_globals: set[str] = set()
+        mutated_closures: set[str] = set()
+        for info in list(self.graph.by_node.values()):
+            for effect in self._record(info).effects:
+                if effect.kind == GLOBAL_WRITE:
+                    mutated_globals.add(effect.detail)
+                elif effect.kind == NONLOCAL_WRITE:
+                    mutated_closures.add(effect.detail)
+        for module in self.graph.modules:
+            mutated_globals.update(self._top_level_mutations(module))
+        self._mutated_globals = mutated_globals
+        self._mutated_closures = mutated_closures
+
+    def _top_level_mutations(self, module: ModuleInfo) -> Iterable[str]:
+        """Module-level ``X += …`` / ``X.append(…)`` count as mutation."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if any(
+                isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                for a in module.ancestors(node)
+            ):
+                continue
+            if isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+                yield f"{module.relpath}::{node.target.id}"
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATING_METHODS
+                and isinstance(node.func.value, ast.Name)
+            ):
+                yield f"{module.relpath}::{node.func.value.id}"
+
+    def global_key(self, module: ModuleInfo, name: str) -> str:
+        """Canonical ``relpath::name`` key for a module-level binding,
+        resolving imported names back to the defining module."""
+        if name in self.module_globals.get(module.relpath, ()):
+            return f"{module.relpath}::{name}"
+        origin = module.imported_names.get(name)
+        if origin is not None:
+            parts = origin.split(".")
+            if len(parts) > 1:
+                target = self.graph._module_for_origin(".".join(parts[:-1]), module)
+                if target is not None:
+                    return f"{target.relpath}::{parts[-1]}"
+            return f"ext::{origin}"
+        return f"{module.relpath}::{name}"
+
+
+# ---------------------------------------------------------------------------
+# direct-effect extraction
+# ---------------------------------------------------------------------------
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+class _DirectEffectPass:
+    """One function body -> its direct effects + resolved callees."""
+
+    def __init__(self, analysis: EffectAnalysis, fn: FunctionInfo):
+        self.analysis = analysis
+        self.graph = analysis.graph
+        self.fn = fn
+        self.module = fn.module
+        self.effects: set[Effect] = set()
+        self.callees: dict[int, FunctionInfo] = {}
+        self.globals_declared: set[str] = set()
+        self.nonlocals_declared: set[str] = set()
+        self.aliases: dict[str, tuple[str, str]] = {}  # name -> (kind, detail)
+        self._in_init = fn.name in _INIT_METHODS
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> _Record:
+        body = self.fn.node.body
+        statements = body if isinstance(body, list) else [body]
+        self._collect_declarations(statements)
+        self._collect_aliases(statements)
+        for statement in statements:
+            self.visit(statement)
+        return _Record(
+            effects=frozenset(self.effects), callees=tuple(self.callees.values())
+        )
+
+    def _collect_declarations(self, statements: list[ast.AST]) -> None:
+        def walk(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.Global):
+                    self.globals_declared.update(child.names)
+                elif isinstance(child, ast.Nonlocal):
+                    self.nonlocals_declared.update(child.names)
+                elif not isinstance(child, _SCOPE_NODES):
+                    walk(child)
+
+        for statement in statements:
+            if isinstance(statement, ast.Global):
+                self.globals_declared.update(statement.names)
+            elif isinstance(statement, ast.Nonlocal):
+                self.nonlocals_declared.update(statement.names)
+            elif not isinstance(statement, _SCOPE_NODES):
+                walk(statement)
+
+    def _collect_aliases(self, statements: list[ast.AST]) -> None:
+        """``x = param`` / ``x = self.attr`` — mutating ``x`` then mutates
+        the aliased root.  Two passes so one-step chains resolve."""
+        simple: list[tuple[str, ast.AST]] = []
+
+        def scan(node: ast.AST) -> None:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and isinstance(
+                    node.value, (ast.Name, ast.Attribute)
+                ):
+                    simple.append((target.id, node.value))
+
+        def walk(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                scan(child)
+                if not isinstance(child, _SCOPE_NODES):
+                    walk(child)
+
+        for statement in statements:
+            if not isinstance(statement, _SCOPE_NODES):
+                scan(statement)
+                walk(statement)
+        for _ in range(2):
+            for name, value in simple:
+                root = self._root_of(value)
+                if root is None:
+                    continue
+                kind, detail = self.classify(root)
+                if kind in ("param", "closure", "global"):
+                    self.aliases[name] = (kind, detail)
+                elif kind == "self" and isinstance(value, ast.Attribute):
+                    self.aliases[name] = ("self-attr", _first_attr(value))
+                elif kind == "alias":
+                    self.aliases[name] = self.aliases[root]
+
+    # -- classification ----------------------------------------------------
+
+    def classify(self, name: str) -> tuple[str, str]:
+        """Where a bare name lives, seen from this function.
+
+        Kinds: ``self``, ``param``, ``alias`` (of a param/self
+        attr/global/closure), ``local``, ``function`` (a visible def),
+        ``closure``, ``global`` (module-level data, canonical key),
+        ``code`` (module-level def/class or resolvable project import),
+        ``module`` (an imported module alias), ``external`` (an import we
+        cannot see into), ``builtin``.
+        """
+        fn = self.fn
+        if name in self.globals_declared:
+            return "global", self.analysis.global_key(self.module, name)
+        if name in self.nonlocals_declared:
+            return "closure", self._closure_key(name)
+        if name == "self" and fn.params[:1] == ["self"]:
+            return "self", "self"
+        if name in fn.local_functions:
+            return "function", name
+        if name in fn.params:
+            return "param", name
+        if name in self.aliases:
+            return "alias", name
+        if name in fn.locals:
+            return "local", name
+        for scope in fn.closure_scopes():
+            if name in scope.local_functions:
+                return "function", name
+            if name in scope.locals:
+                return "closure", self._closure_key(name, scope)
+        if name in self.graph.module_level.get(self.module.relpath, {}):
+            return "code", name
+        classdef = self.graph._classdef_in(self.module, name)
+        if classdef is not None:
+            return "code", name
+        if name in self.analysis.module_globals.get(self.module.relpath, ()):
+            return "global", f"{self.module.relpath}::{name}"
+        origin = self.module.imported_names.get(name)
+        if origin is not None:
+            info = self.graph.resolve_import(self.module, name)
+            if info is not None:
+                return "code", name
+            found = self.graph.lookup_class(self.module, name)
+            if found is not None:
+                return "code", name
+            parts = origin.split(".")
+            if len(parts) > 1:
+                target = self.graph._module_for_origin(".".join(parts[:-1]), self.module)
+                if target is not None:
+                    if parts[-1] in self.analysis.module_globals.get(target.relpath, ()):
+                        return "global", f"{target.relpath}::{parts[-1]}"
+                    return "code", name
+            return "external", origin
+        if name in self.module.module_aliases:
+            return "module", self.module.module_aliases[name]
+        return "builtin", name
+
+    def _closure_key(self, name: str, scope: FunctionInfo | None = None) -> str:
+        if scope is None:
+            for candidate in self.fn.closure_scopes():
+                if name in candidate.locals:
+                    scope = candidate
+                    break
+        if scope is None:
+            return f"{self.fn.relpath}::?::{name}"
+        return f"{scope.relpath}::{scope.qualname}::{name}"
+
+    def _root_of(self, node: ast.AST) -> str | None:
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    # -- effect emission ---------------------------------------------------
+
+    def add(self, node: ast.AST, kind: str, detail: str) -> None:
+        self.effects.add(
+            Effect(
+                path=self.fn.relpath,
+                line=getattr(node, "lineno", self.fn.line),
+                kind=kind,
+                detail=detail,
+                function=self.fn.qualname,
+            )
+        )
+
+    def _add_edge(self, target: FunctionInfo | None) -> None:
+        if target is not None and target.node is not self.fn.node:
+            self.callees.setdefault(id(target.node), target)
+
+    # -- traversal ---------------------------------------------------------
+
+    def visit(self, node: ast.AST) -> None:
+        if node in self.module.annotation_nodes:
+            return
+        if isinstance(node, _SCOPE_NODES):
+            return  # nested scopes are separate functions/classes
+        handler = getattr(self, f"_visit_{type(node).__name__}", None)
+        if handler is not None:
+            handler(node)
+        else:
+            self.generic_visit(node)
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+    def _visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._handle_store(target)
+        self.visit(node.value)
+
+    def _visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._handle_store(node.target)
+            self.visit(node.value)
+
+    def _visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._handle_store(node.target)
+        if isinstance(node.target, ast.Name):
+            # ``x += …`` reads x too; a bare local read has no effect but a
+            # global/closure augmented read should still register as a read.
+            self._visit_Name(ast.copy_location(ast.Name(id=node.target.id, ctx=ast.Load()), node))
+        self.visit(node.value)
+
+    def _visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._handle_store(target)
+
+    def _visit_Name(self, node: ast.Name) -> None:
+        if not isinstance(node.ctx, ast.Load):
+            return
+        kind, detail = self.classify(node.id)
+        if kind == "global":
+            self.add(node, GLOBAL_READ, detail)
+        elif kind == "closure":
+            self.add(node, CLOSURE_READ, detail)
+
+    def _visit_Attribute(self, node: ast.Attribute) -> None:
+        # Attribute *loads* are effect-free in themselves; the root name
+        # decides whether it is a global/closure read.
+        self.visit(node.value)
+
+    def _visit_Lambda(self, node: ast.Lambda) -> None:  # pragma: no cover
+        return
+
+    def _visit_Call(self, node: ast.Call) -> None:
+        resolved = self.graph.resolve_call(self.fn, node)
+        if resolved is not None:
+            self._add_edge(resolved)
+        else:
+            self._classify_unresolved_call(node)
+        # Higher-order arguments execute: a function-valued argument
+        # (named helper or inline lambda) becomes a call edge too.
+        for value in [*node.args, *(kw.value for kw in node.keywords)]:
+            if isinstance(value, ast.Lambda):
+                self._add_edge(self.graph.function_for(value))
+            elif isinstance(value, ast.Name):
+                self._add_edge(self.graph.lookup_name(self.fn, value.id))
+            self.visit(value)
+        if isinstance(node.func, (ast.Attribute, ast.Subscript)):
+            self.visit(node.func.value)
+        elif isinstance(node.func, ast.Call):
+            self.visit(node.func)
+
+    def _visit_Global(self, node: ast.Global) -> None:
+        return
+
+    def _visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        return
+
+    # -- stores ------------------------------------------------------------
+
+    def _handle_store(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._handle_store(element)
+            return
+        if isinstance(target, ast.Starred):
+            self._handle_store(target.value)
+            return
+        if isinstance(target, ast.Name):
+            if target.id in self.globals_declared:
+                self.add(target, GLOBAL_WRITE, self.analysis.global_key(self.module, target.id))
+            elif target.id in self.nonlocals_declared:
+                self.add(target, NONLOCAL_WRITE, self._closure_key(target.id))
+            return  # plain local rebind
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._mutation_through(target, target)
+            if isinstance(target, ast.Subscript):
+                self.visit(target.slice)
+            # The receiver expression itself may read globals.
+            inner = target.value
+            while isinstance(inner, (ast.Attribute, ast.Subscript)):
+                inner = inner.value
+            if isinstance(inner, ast.Name) and isinstance(inner.ctx, ast.Load):
+                pass  # classification already happened in _mutation_through
+
+    def _mutation_through(self, node: ast.AST, anchor: ast.AST) -> None:
+        """A store/mutating call through an Attribute/Subscript chain."""
+        root = self._root_of(node)
+        if root is None:
+            return
+        kind, detail = self.classify(root)
+        if kind == "alias":
+            kind, detail = self.aliases[root]
+            if kind == "self-attr":
+                if not self._in_init:
+                    self.add(anchor, ATTR_WRITE, detail)
+                return
+        if kind == "self":
+            attr = _first_attr(node) if isinstance(node, (ast.Attribute, ast.Subscript)) else None
+            if attr is not None and not self._in_init:
+                self.add(anchor, ATTR_WRITE, attr)
+        elif kind == "param":
+            self.add(anchor, PARAM_MUTATE, detail)
+        elif kind == "closure":
+            self.add(anchor, NONLOCAL_WRITE, detail)
+        elif kind in ("global", "module", "external", "code"):
+            if kind == "global":
+                key = detail
+            elif kind == "external":
+                key = f"ext::{detail}"
+            elif kind == "module":
+                key = f"ext::{detail}"
+            else:
+                key = f"{self.fn.relpath}::{root}"
+            self.add(anchor, GLOBAL_WRITE, key)
+        # plain locals: building up a local value is pure
+
+    # -- calls -------------------------------------------------------------
+
+    def _classify_unresolved_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            self._classify_name_call(node, func.id)
+        elif isinstance(func, ast.Attribute):
+            self._classify_attribute_call(node, func)
+        else:
+            self.add(node, UNKNOWN_CALLEE, ast.unparse(func) if hasattr(ast, "unparse") else "<dynamic>")
+
+    def _classify_name_call(self, node: ast.Call, name: str) -> None:
+        kind, detail = self.classify(name)
+        if kind == "code":
+            return  # a project def/class we could not link (e.g. no __init__)
+        if kind == "builtin":
+            if name in _PURE_BUILTINS:
+                return
+            if name in _IO_BUILTINS:
+                self.add(node, IO, name)
+            elif name in _DYNAMIC_BUILTINS:
+                self.add(node, UNKNOWN_CALLEE, name)
+            elif name in ("setattr", "delattr"):
+                self._setattr_mutation(node)
+            elif name[:1].isupper():
+                return  # unknown constructor — assume plain construction
+            else:
+                self.add(node, UNKNOWN_CALLEE, name)
+            return
+        if kind == "external":
+            self._classify_external(node, detail)
+            return
+        if kind == "module":
+            self._classify_external(node, detail)
+            return
+        if kind == "param":
+            if name == "cls" and self.fn.params[:1] == ["cls"]:
+                return  # classmethod constructor dispatch — plain construction
+            self.add(node, UNKNOWN_CALLEE, f"call through parameter '{name}'")
+            return
+        if kind == "alias":
+            alias_kind, alias_detail = self.aliases[name]
+            if alias_kind in ("self-attr", "closure"):
+                self.add(node, OPAQUE_CALL, f"{name} (configured callable)")
+            elif alias_kind == "param":
+                self.add(node, UNKNOWN_CALLEE, f"call through parameter '{alias_detail}'")
+            else:
+                self.add(node, UNKNOWN_CALLEE, name)
+            return
+        if kind == "closure":
+            self.add(node, OPAQUE_CALL, f"{name} (captured callable)")
+            return
+        if kind == "global":
+            self.add(node, GLOBAL_READ, detail)
+            self.add(node, UNKNOWN_CALLEE, f"call through module-level '{name}'")
+            return
+        if kind == "local":
+            self.add(node, UNKNOWN_CALLEE, f"call through local '{name}'")
+            return
+        if kind == "self":
+            self.add(node, UNKNOWN_CALLEE, "call through self")
+
+    def _classify_attribute_call(self, node: ast.Call, func: ast.Attribute) -> None:
+        dotted = self.module.resolve(func)
+        method = func.attr
+        root = self._root_of(func)
+        root_kind, root_detail = self.classify(root) if root is not None else ("builtin", "")
+        if root_kind in ("module", "external"):
+            if dotted is not None:
+                self._classify_external(node, dotted)
+            return
+        if method in _FS_METHODS and root_kind != "builtin":
+            self.add(node, IO, dotted or method)
+            return
+        if method in _RNG_DRAWS:
+            self._classify_rng(node, func, root_kind, root_detail)
+            return
+        if method == "seed":
+            if root_kind == "param":
+                self.add(node, PARAM_MUTATE, root_detail)
+            elif root_kind != "local":
+                self._classify_rng(node, func, root_kind, root_detail)
+            return
+        if method in MUTATING_METHODS:
+            self._mutation_through(func.value, node)
+            return
+        if isinstance(func.value, ast.Name) and func.value.id == "self":
+            # An unresolved ``self.x(...)`` — a callable field, not a
+            # method: configuration dispatch.
+            self.add(node, OPAQUE_CALL, f"self.{method} (configured callable)")
+            return
+        # Any other method on a value: assumed a pure data method.
+
+    def _classify_rng(
+        self, node: ast.Call, func: ast.Attribute, root_kind: str, root_detail: str
+    ) -> None:
+        if root_kind in ("param", "local", "function"):
+            return  # a threaded-in or locally constructed generator
+        if root_kind == "alias":
+            alias_kind, alias_detail = self.aliases.get(root_detail, ("", ""))
+            if alias_kind == "param":
+                return
+            root_kind, root_detail = alias_kind, alias_detail
+        receiver = dotted_name(func.value) or root_detail or "<rng>"
+        self.add(node, RNG, f"{func.attr} on {receiver}")
+
+    def _classify_external(self, node: ast.Call, dotted: str) -> None:
+        head = dotted.split(".", 1)[0]
+        tail = dotted.rsplit(".", 1)[-1]
+        if dotted in WALL_CLOCK_CALLS:
+            self.add(node, TIME, dotted)
+        elif head == "time":
+            self.add(node, TIME, dotted)
+        elif head == "datetime":
+            if dotted in WALL_CLOCK_CALLS:
+                self.add(node, TIME, dotted)
+        elif head == "random":
+            if tail in _RNG_DRAWS or tail == "seed":
+                self.add(node, RNG, f"{tail} on the module-level generator")
+        elif head in _IO_MODULES:
+            self.add(node, IO, dotted)
+        elif head in _PURE_MODULES:
+            return
+        elif head == "threading":
+            return  # constructing locks/threads is effect-free in itself
+        elif tail in _RNG_DRAWS:
+            self.add(node, RNG, f"{tail} on {dotted}")
+        elif any(segment[:1].isupper() for segment in dotted.split(".")):
+            return  # constructor/classmethod of an external class
+        else:
+            self.add(node, UNKNOWN_CALLEE, dotted)
+
+    def _setattr_mutation(self, node: ast.Call) -> None:
+        if not node.args:
+            return
+        target = node.args[0]
+        if isinstance(target, ast.Name):
+            kind, detail = self.classify(target.id)
+            if kind == "self":
+                if not self._in_init:
+                    attr = "?"
+                    if len(node.args) > 1 and isinstance(node.args[1], ast.Constant):
+                        attr = str(node.args[1].value)
+                    self.add(node, ATTR_WRITE, attr)
+            elif kind == "param":
+                self.add(node, PARAM_MUTATE, detail)
+            elif kind == "global":
+                self.add(node, GLOBAL_WRITE, detail)
+            elif kind == "closure":
+                self.add(node, NONLOCAL_WRITE, detail)
+
+
+def _first_attr(node: ast.AST) -> str:
+    """The attribute directly on the root name: ``self.a.b[0].c`` -> ``a``."""
+    chain: list[str] = []
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+        node = node.value
+    return chain[-1] if chain else "?"

@@ -12,21 +12,45 @@ Output formats:
 * ``json`` — the findings, fingerprints and baseline bookkeeping as one
   JSON object, for tooling;
 * ``github`` — ``::error`` workflow annotations, so CI findings land on
-  the offending diff lines in the pull-request view.
+  the offending diff lines in the pull-request view;
+* ``sarif`` — a SARIF 2.1.0 run (one artifact per lint invocation) for
+  code-scanning upload; baselined findings ride along as suppressed
+  results, so the artifact shows the full picture.
+
+``repro lint --explain RULE`` prints a rule's rationale (its docstring)
+plus the violating/clean golden fixture pair from
+``tests/lint_fixtures/``; ``--prune`` (with ``--baseline``) drops
+baseline fingerprints that no longer match any finding.
 """
 
 from __future__ import annotations
 
+import inspect
 import json
 import pathlib
 from typing import Callable, Sequence
 
 from .baseline import Baseline, fingerprint_findings
 from .core import Analyzer, Finding, Rule
+from .rules_concurrency import concurrency_rules
 from .rules_determinism import determinism_rules
 from .rules_protocol import protocol_rules
+from .rules_purity import purity_rules
 
-__all__ = ["LintUsageError", "all_rules", "collect_files", "run_lint"]
+__all__ = [
+    "LintUsageError",
+    "all_rules",
+    "collect_files",
+    "rule_catalog",
+    "run_explain",
+    "run_lint",
+]
+
+#: The SARIF 2.1.0 schema location (embedded in every report).
+SARIF_SCHEMA_URI = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
 
 #: Directory names never collected (fixture trees contain *planted*
 #: violations; cache/VCS trees contain no source of ours).
@@ -40,8 +64,18 @@ class LintUsageError(Exception):
 
 
 def all_rules() -> list[Rule]:
-    """The full default-scoped rule set (D-rules + P/C-rules)."""
-    return [*determinism_rules(), *protocol_rules()]
+    """The full default-scoped rule set (D + P/C + S + R rules)."""
+    return [
+        *determinism_rules(),
+        *protocol_rules(),
+        *purity_rules(),
+        *concurrency_rules(),
+    ]
+
+
+def rule_catalog() -> dict[str, Rule]:
+    """Every known rule keyed by its id (for ``--explain`` and SARIF)."""
+    return {rule.rule_id: rule for rule in all_rules()}
 
 
 def collect_files(
@@ -128,18 +162,125 @@ def _render_json(
     )
 
 
+def _render_sarif(
+    active: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    emit: Callable[[str], None],
+) -> None:
+    """One SARIF 2.1.0 run: active findings as errors, baselined ones as
+    externally-suppressed results."""
+    catalog = rule_catalog()
+    used_rules = sorted({f.rule for f in [*active, *suppressed]})
+    rule_index = {rule_id: index for index, rule_id in enumerate(used_rules)}
+    fingerprints = dict(
+        (id(finding), fingerprint)
+        for finding, fingerprint in fingerprint_findings([*active, *suppressed])
+    )
+
+    def rule_entry(rule_id: str) -> dict:
+        rule = catalog.get(rule_id)
+        title = rule.title if rule is not None else "unparseable file"
+        doc = inspect.getdoc(type(rule)) if rule is not None else None
+        entry: dict = {
+            "id": rule_id,
+            "shortDescription": {"text": title},
+            "defaultConfiguration": {"level": "error"},
+        }
+        if doc:
+            entry["fullDescription"] = {"text": doc.split("\n\n")[0]}
+        return entry
+
+    def result(finding: Finding, suppress: bool) -> dict:
+        data: dict = {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproLint/v1": fingerprints[id(finding)]},
+        }
+        if suppress:
+            data["suppressions"] = [{"kind": "external"}]
+        return data
+
+    emit(
+        json.dumps(
+            {
+                "$schema": SARIF_SCHEMA_URI,
+                "version": "2.1.0",
+                "runs": [
+                    {
+                        "tool": {
+                            "driver": {
+                                "name": "repro-lint",
+                                "informationUri": "https://example.invalid/repro",
+                                "rules": [rule_entry(r) for r in used_rules],
+                            }
+                        },
+                        "results": [
+                            *(result(f, False) for f in active),
+                            *(result(f, True) for f in suppressed),
+                        ],
+                    }
+                ],
+            },
+            indent=2,
+        )
+    )
+
+
+def run_explain(
+    rule_id: str,
+    *,
+    root: str | pathlib.Path = ".",
+    emit: Callable[[str], None] = print,
+) -> int:
+    """Print a rule's rationale plus its golden fixture pair; 0/2."""
+    root = pathlib.Path(root)
+    rule = rule_catalog().get(rule_id.upper())
+    if rule is None:
+        known = ", ".join(sorted(rule_catalog()))
+        emit(f"repro lint: unknown rule {rule_id!r}; known rules: {known}")
+        return 2
+    emit(f"{rule.rule_id} — {rule.title}")
+    doc = inspect.getdoc(type(rule))
+    if doc:
+        emit("")
+        emit(doc)
+    fixtures = root / "tests" / "lint_fixtures"
+    for label, suffix in (("violating", "_violations.py"), ("clean", "_clean.py")):
+        example = fixtures / f"{rule.rule_id.lower()}{suffix}"
+        if example.exists():
+            emit("")
+            emit(f"--- {label} example ({example.name}) ---")
+            emit(example.read_text().rstrip())
+    return 0
+
+
 def run_lint(
     paths: Sequence[str | pathlib.Path] = ("src", "tests"),
     *,
     output_format: str = "text",
     baseline_path: str | pathlib.Path | None = None,
     update_baseline: bool = False,
+    prune_baseline: bool = False,
     root: str | pathlib.Path = ".",
     rules: Sequence[Rule] | None = None,
     emit: Callable[[str], None] = print,
 ) -> int:
     """Run the analyzer; returns the process exit status (0/1/2)."""
     root = pathlib.Path(root)
+    baseline_file: pathlib.Path | None = None
     try:
         files = collect_files(paths, root)
         if not files:
@@ -147,6 +288,10 @@ def run_lint(
                 "nothing to lint: no Python files under "
                 + ", ".join(str(p) for p in paths)
             )
+        if prune_baseline and update_baseline:
+            raise LintUsageError("--prune and --update-baseline are exclusive")
+        if prune_baseline and baseline_path is None:
+            raise LintUsageError("--prune requires --baseline")
         baseline = Baseline()
         if baseline_path is not None and not update_baseline:
             baseline_file = pathlib.Path(baseline_path)
@@ -157,6 +302,8 @@ def run_lint(
                     baseline = Baseline.load(baseline_file)
                 except (OSError, ValueError, json.JSONDecodeError) as error:
                     raise LintUsageError(f"cannot read baseline: {error}")
+            elif prune_baseline:
+                raise LintUsageError(f"no such baseline: {baseline_file}")
     except LintUsageError as error:
         emit(f"repro lint: {error}")
         return 2
@@ -177,8 +324,27 @@ def run_lint(
         return 0
 
     active, suppressed, stale = baseline.split(findings)
+    if prune_baseline and baseline_file is not None:
+        stale_fingerprints = {entry["fingerprint"] for entry in stale}
+        if stale_fingerprints:
+            kept = [
+                entry
+                for entry in baseline.entries
+                if entry["fingerprint"] not in stale_fingerprints
+            ]
+            Baseline(kept).save(baseline_file)
+            emit(
+                f"baseline pruned: {len(stale_fingerprints)} stale entr"
+                f"{'ies' if len(stale_fingerprints) != 1 else 'y'} removed, "
+                f"{len(kept)} kept"
+            )
+        else:
+            emit("baseline pruned: nothing stale")
+        stale = []
     if output_format == "github":
         _render_github(active, emit)
+    elif output_format == "sarif":
+        _render_sarif(active, suppressed, emit)
     elif output_format == "json":
         _render_json(active, suppressed, stale, emit)
     else:

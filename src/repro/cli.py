@@ -338,10 +338,11 @@ def build_spec_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*", default=["src", "tests"],
                       help="files or directories to analyze (default: src tests)")
-    lint.add_argument("--format", choices=("text", "json", "github"),
+    lint.add_argument("--format", choices=("text", "json", "github", "sarif"),
                       default="text", dest="output_format",
                       help="finding output format (github emits ::error "
-                           "workflow annotations)")
+                           "workflow annotations; sarif emits a SARIF 2.1.0 "
+                           "run for code-scanning upload)")
     lint.add_argument("--baseline", type=pathlib.Path, default=None,
                       metavar="FILE",
                       help="fingerprinted suppression baseline; findings "
@@ -350,6 +351,12 @@ def build_spec_parser() -> argparse.ArgumentParser:
     lint.add_argument("--update-baseline", action="store_true",
                       help="rewrite the baseline from the current findings "
                            "and exit 0 (the escape hatch — review the diff)")
+    lint.add_argument("--prune", action="store_true",
+                      help="with --baseline: drop stale fingerprints that no "
+                           "longer match any finding, keep the rest")
+    lint.add_argument("--explain", metavar="RULE", default=None,
+                      help="print a rule's rationale and its golden "
+                           "violating/clean fixture pair, then exit")
 
     status = subparsers.add_parser(
         "status", help="query a run (or the whole service) by URL"
@@ -653,13 +660,16 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .analysis import run_lint
+    from .analysis import run_explain, run_lint
 
+    if args.explain is not None:
+        return run_explain(args.explain)
     return run_lint(
         args.paths,
         output_format=args.output_format,
         baseline_path=args.baseline,
         update_baseline=args.update_baseline,
+        prune_baseline=args.prune,
     )
 
 

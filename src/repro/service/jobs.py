@@ -273,6 +273,23 @@ class JobStore:
             self.job_dir(job.id) / "job.json", json.dumps(job.to_dict(), indent=2)
         )
 
+    def update(self, job: Job, **changes: Any) -> Job:
+        """Apply field changes under the store lock, then persist.
+
+        The worker thread advances job lifecycles while HTTP handler
+        threads serve ``job.summary()`` from the same records; funnelling
+        every mutation through here keeps the record transition atomic
+        with respect to those readers.
+        """
+        for name in changes:
+            if not hasattr(job, name):
+                raise SpecificationError(f"unknown job field {name!r}")
+        with self._lock:
+            for name, value in changes.items():
+                setattr(job, name, value)
+        self.save(job)
+        return job
+
     def get(self, job_id: str) -> Job | None:
         with self._lock:
             return self._jobs.get(job_id)
@@ -332,7 +349,14 @@ class JobQueue:
         self._queue: queue.Queue[str | None] = queue.Queue()
         self._worker: threading.Thread | None = None
         self._draining = threading.Event()
-        self.executed_jobs = 0
+        self._lock = threading.Lock()
+        self._executed_jobs = 0
+
+    @property
+    def executed_jobs(self) -> int:
+        """Jobs fully executed by the worker (read by health endpoints)."""
+        with self._lock:
+            return self._executed_jobs
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -342,8 +366,7 @@ class JobQueue:
         self.broker.end_drain(self.token)
         for job in self.store.jobs():
             if job.status in ("queued", "running"):
-                job.status = "queued"
-                self.store.save(job)
+                self.store.update(job, status="queued")
                 self._queue.put(job.id)
         self._worker = threading.Thread(
             target=self._run_worker, name="repro-service-worker", daemon=True
@@ -404,10 +427,10 @@ class JobQueue:
                 return job, True
         units = submission.unit_count()
         job = self.store.new_job(fingerprint, submission.to_dict())
-        job.channels = tuple(
-            self.channel_name(job.id, index) for index in range(units)
+        self.store.update(
+            job,
+            channels=tuple(self.channel_name(job.id, index) for index in range(units)),
         )
-        self.store.save(job)
         self._queue.put(job.id)
         return job, True
 
@@ -454,17 +477,13 @@ class JobQueue:
         job = self.store.get(job_id)
         if job is None or job.status not in ("queued", "running"):
             return
-        job.status = "running"
-        job.error = None
-        self.store.save(job)
+        self.store.update(job, status="running", error=None)
 
         try:
             submission = Submission.from_payload(job.submission)
             specs = submission.expanded()
         except SpecificationError:
-            job.status = "failed"
-            job.error = traceback.format_exc()
-            self.store.save(job)
+            self.store.update(job, status="failed", error=traceback.format_exc())
             self._close_channels(job)
             return
 
@@ -488,27 +507,23 @@ class JobQueue:
                     durable_probes=self._durable_entries(job),
                 )
         except JobInterrupted:
-            job.status = "queued"
-            self.store.save(job)
+            self.store.update(job, status="queued")
             raise
         except Exception:
-            job.status = "failed"
-            job.error = traceback.format_exc()
-            self.store.save(job)
+            self.store.update(job, status="failed", error=traceback.format_exc())
             self._close_channels(job)
             return
 
-        self.executed_jobs += 1
+        with self._lock:
+            self._executed_jobs += 1
         failures = batch.failures()
         if failures:
-            job.status = "failed"
-            job.error = failures[0].error
+            self.store.update(job, status="failed", error=failures[0].error)
         else:
             results = [item.to_dict() for item in batch]
             self.store.save_results(job.id, results)
             self.cache.put(job.fingerprint, job.submission, results)
-            job.status = "done"
-        self.store.save(job)
+            self.store.update(job, status="done")
         self._close_channels(job)
 
     def _close_channels(self, job: Job) -> None:

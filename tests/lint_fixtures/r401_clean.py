@@ -1,0 +1,38 @@
+"""Near-miss R401 negatives: consistent locking, or no shared mutation."""
+
+import threading
+
+
+class TightCounter:
+    """Every access to mutable state happens under the lock."""
+
+    def __init__(self, label):
+        self._lock = threading.Lock()
+        self._count = 0
+        self.label = label  # set once in __init__, read-only after
+
+    def increment(self):
+        with self._lock:
+            self._count += 1
+
+    def decrement(self):
+        with self._lock:
+            self._count -= 1
+
+    def value(self):
+        with self._lock:
+            return self._count
+
+    def describe(self):
+        # Reading immutable configuration needs no lock.
+        return f"counter {self.label}"
+
+
+class Lockless:
+    """No lock at all — R401 judges discipline, not its absence."""
+
+    def __init__(self):
+        self.items = []
+
+    def push(self, item):
+        self.items.append(item)

@@ -1,0 +1,36 @@
+"""Planted R401 positives: unguarded access to majority-guarded attributes."""
+
+import threading
+
+
+class LeakyCounter:
+    """Guards ``_count`` almost everywhere — which is exactly the bug."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._log = []
+
+    def increment(self):
+        with self._lock:
+            self._count += 1
+
+    def decrement(self):
+        with self._lock:
+            self._count -= 1
+
+    def reset(self):
+        self._count = 0  # R401: write without the lock two methods take
+
+    def snapshot(self):
+        with self._lock:
+            self._log.append(self._count)
+
+    def flush(self):
+        with self._lock:
+            entries = list(self._log)
+            self._log.clear()
+        return entries
+
+    def peek_log(self):
+        return list(self._log)  # R401: read outside the lock

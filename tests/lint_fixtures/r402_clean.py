@@ -1,0 +1,25 @@
+"""Near-miss R402 negatives: snapshot under the lock, publish outside it."""
+
+import threading
+
+
+class PoliteQueue:
+    """Critical section only covers our state; broker calls run unlocked."""
+
+    def __init__(self, broker):
+        self._lock = threading.Lock()
+        self.broker = broker
+        self._pending = []
+
+    def push(self, channel, payload):
+        with self._lock:
+            self._pending.append(payload)
+        self.broker.publish(channel, payload)  # lock already released
+
+    def shutdown(self, channels):
+        with self._lock:
+            drained = list(self._pending)
+            self._pending.clear()
+        for channel in channels:
+            self.broker.close(channel)
+        return drained

@@ -1,0 +1,25 @@
+"""Planted R402 positives: broker calls made while holding a lock."""
+
+import threading
+
+
+class NoisyQueue:
+    """Publishes into the broker from inside its own critical section."""
+
+    def __init__(self, broker):
+        self._lock = threading.Lock()
+        self.broker = broker
+        self._pending = []
+
+    def push(self, channel, payload):
+        with self._lock:
+            self._pending.append(payload)
+            self.broker.publish(channel, payload)  # R402: lock held
+
+    def shutdown(self, channels):
+        with self._lock:
+            drained = list(self._pending)
+            self._pending.clear()
+            for channel in channels:
+                self.broker.close(channel)  # R402: lock held
+        return drained

@@ -1,0 +1,26 @@
+"""Near-miss R403 negatives: per-instance state, immutables, ClassVar."""
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+
+class PrivateScratch:
+    """Mutable state lives in __init__, immutables may stay in the body."""
+
+    DEFAULT_LIMIT = 128  # immutable class constant — fine
+    KNOWN_KINDS = ("fast", "exact")  # tuples are immutable — fine
+    registry: ClassVar[dict] = {}  # explicitly declared shared — intentional
+
+    def __init__(self):
+        self.cache = {}
+        self.history = []
+
+    def remember(self, key, value):
+        self.cache[key] = value
+        self.history.append(key)
+
+
+@dataclass
+class ScratchRecord:
+    name: str = "scratch"
+    entries: list = field(default_factory=list)  # the dataclass-safe spelling

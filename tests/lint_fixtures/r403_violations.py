@@ -1,0 +1,16 @@
+"""Planted R403 positives: mutable class-level defaults."""
+
+from collections import deque
+
+
+class SharedScratch:
+    """Every instance — and every thread — shares these objects."""
+
+    cache = {}  # R403: one dict for all instances
+    history = []  # R403: one list for all instances
+    seen = set()  # R403: one set for all instances
+    backlog = deque()  # R403: one deque for all instances
+
+    def remember(self, key, value):
+        self.cache[key] = value
+        self.history.append(key)

@@ -1,0 +1,44 @@
+"""Near-miss S301 negatives: pure rules that *look* like the positives."""
+
+from repro.core.algorithm import SelfSimilarAlgorithm
+from repro.registry import register_algorithm
+
+_LOWER_BOUND = 0  # a module constant is fine: nothing ever mutates it
+
+
+def _shifted_minimum(states):
+    return min(states) + _LOWER_BOUND  # reading an immutable global is pure
+
+
+def _pure_step(states, rng):
+    # Drawing from the *threaded* rng parameter is sanctioned.
+    pivot = rng.randrange(len(states))
+    smallest = _shifted_minimum(states)
+    return [smallest if i == pivot else s for i, s in enumerate(states)]
+
+
+@register_algorithm("pure-min")
+def pure_minimum(partial=False):
+    def group_step(states, rng):
+        if partial:  # reading captured factory *configuration* is fine
+            return _pure_step(states, rng)
+        return [min(states)] * len(states)
+
+    return SelfSimilarAlgorithm(
+        group_step=group_step,
+        fast_judge=lambda states: len(set(states)) <= 1,
+    )
+
+
+@register_algorithm("memo-class")
+class MemoClassRule:
+    """Class-style algorithm whose memo attribute is declared sanctioned."""
+
+    _analysis_memo_attrs = ("_minimum_cache",)
+
+    def step(self, states, rng):
+        self._minimum_cache = min(states)  # sanctioned memo write
+        return [self._minimum_cache] * len(states)
+
+    def judge(self, states):
+        return min(states) == max(states)

@@ -1,0 +1,47 @@
+"""Planted S301 positives: registered rules with transitively impure helpers."""
+
+import random
+import time
+
+from repro.core.algorithm import SelfSimilarAlgorithm
+from repro.registry import register_algorithm
+
+_CACHE = {}  # the hidden channel the helpers below leak through
+
+
+def _memoized_minimum(states):
+    key = tuple(states)
+    if key not in _CACHE:  # S301: reads mutated module state
+        _CACHE[key] = min(states)  # S301: writes module state
+    return _CACHE[key]
+
+
+def _jittered(value):
+    return value + random.random()  # S301: global-generator draw in a helper
+
+
+def _stamped(states):
+    return [time.time()] + list(states)  # S301: wall-clock read in a helper
+
+
+def _step(states, rng):
+    # The step itself looks innocent; every impurity hides one call down.
+    smallest = _memoized_minimum(states)
+    return [_jittered(smallest)] * len(_stamped(states))
+
+
+@register_algorithm("impure-min")
+def impure_minimum():
+    return SelfSimilarAlgorithm(group_step=_step)
+
+
+@register_algorithm("impure-class")
+class ImpureClassRule:
+    """Class-style algorithm memoizing into an undeclared attribute."""
+
+    def step(self, states, rng):
+        self._last_states = tuple(states)  # S301: not in _analysis_memo_attrs
+        return sorted(states)
+
+    def judge(self, states):
+        return min(states) == max(states)

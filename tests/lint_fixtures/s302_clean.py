@@ -1,0 +1,22 @@
+"""Near-miss S302 negatives: deltas that only consume engine-passed state."""
+
+_UNIT = 1  # immutable module constant — reading it is fine
+
+
+class HonestObjective:
+    """Delta computed purely from the engine-passed arguments."""
+
+    def objective_delta(self, before, after, removed, added):
+        delta = self.objective.delta(removed, added)  # config dispatch is trusted
+        if delta is None:
+            return self.objective(after)
+        return before + delta * _UNIT
+
+
+def make_weighted_objective(per_agent):
+    # Capturing immutable factory configuration in the delta closure is
+    # exactly how this codebase parameterizes objectives.
+    return dict(
+        delta_fn=lambda removed, added: sum(per_agent(a) for a in added)
+        - sum(per_agent(r) for r in removed),
+    )

@@ -1,0 +1,26 @@
+"""Planted S302 positives: objective deltas reading hidden state."""
+
+_CALIBRATION = {"offset": 0}  # mutated below — no longer a constant
+
+
+def recalibrate(offset):
+    _CALIBRATION["offset"] = offset
+
+
+class DriftingObjective:
+    """An objective delta that consumes state the engine never passed."""
+
+    def objective_delta(self, before, after, removed, added):
+        self._delta_calls = getattr(self, "_delta_calls", 0) + 1  # S302: self write
+        shift = _CALIBRATION["offset"]  # S302: reads a mutated global
+        return before + sum(added) - sum(removed) + shift
+
+
+def make_offset_objective(offsets):
+    def bump(step):
+        offsets.append(step)  # mutates the captured list
+
+    return dict(
+        delta_fn=lambda removed, added: sum(added) - sum(removed) + offsets[-1],
+        on_step=bump,
+    )  # S302: delta_fn reads a closure the sibling mutates

@@ -1,0 +1,19 @@
+"""Near-miss S303 negatives: deterministic functions of (state, rng)."""
+
+from repro.agents.group import Group
+from repro.agents.scheduler import Scheduler
+from repro.registry import register_scheduler
+
+
+@register_scheduler("halving")
+class HalvingScheduler(Scheduler):
+    """Reads self *configuration*; draws only from the rng parameter."""
+
+    def __init__(self, min_size=2):
+        self.min_size = min_size  # set once, never mutated: config, not state
+
+    def schedule(self, environment_state, rng):
+        agents = sorted(environment_state.agents)
+        rng.shuffle(agents)  # the threaded-in rng is sanctioned
+        cut = max(self.min_size, len(agents) // 2)
+        return [Group.of(agents[:cut]), Group.of(agents[cut:])]

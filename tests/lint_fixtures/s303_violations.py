@@ -1,0 +1,30 @@
+"""Planted S303 positives: schedulers with hidden round-to-round state."""
+
+import random
+
+from repro.agents.group import Group
+from repro.agents.scheduler import Scheduler
+from repro.registry import register_scheduler
+
+
+@register_scheduler("sticky")
+class StickyScheduler(Scheduler):
+    """Remembers the previous partition — replay diverges immediately."""
+
+    def schedule(self, environment_state, rng):
+        self._round += 1  # S303: mutates self across rounds
+        agents = sorted(environment_state.agents)
+        if random.random() < 0.5:  # S303: non-parameter RNG
+            agents.reverse()
+        self._previous = agents  # S303: mutates self across rounds
+        return [Group.of(agents)]
+
+
+@register_scheduler("logging")
+class LoggingScheduler(Scheduler):
+    """Writes a trace file from inside the partition decision."""
+
+    def schedule(self, environment_state, rng):
+        groups = [Group.of(sorted(environment_state.agents))]
+        print(f"scheduled {len(groups)} groups")  # S303: I/O
+        return groups

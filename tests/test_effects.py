@@ -1,0 +1,423 @@
+"""Unit tests for ``repro.analysis.callgraph`` and ``repro.analysis.effects``.
+
+The S-rules in :mod:`repro.analysis.rules_purity` sit on top of these two
+passes, so their contract is pinned directly: call resolution across
+modules/classes/closures, transitive summaries through (mutual)
+recursion, the conservative ``unknown-callee`` fallback for dynamic
+dispatch, and decorator transparency.
+"""
+
+import ast
+import pathlib
+
+from repro.analysis.callgraph import CallGraph, function_parameters, scope_locals
+from repro.analysis.core import ModuleInfo
+from repro.analysis.effects import (
+    ATTR_WRITE,
+    GLOBAL_READ,
+    GLOBAL_WRITE,
+    IO,
+    OPAQUE_CALL,
+    PARAM_MUTATE,
+    RNG,
+    TIME,
+    UNKNOWN_CALLEE,
+    EffectAnalysis,
+)
+
+
+def modules_from(**sources):
+    """Build ModuleInfo objects from ``relpath_with__for_slash=source``."""
+    out = []
+    for key, source in sources.items():
+        relpath = key.replace("__", "/") + ".py"
+        out.append(ModuleInfo(pathlib.Path(relpath), relpath, source))
+    return out
+
+
+def analysis_of(**sources):
+    return EffectAnalysis(modules_from(**sources))
+
+
+def fn(analysis, relpath, name):
+    """Module-level function by name (dotted for methods)."""
+    graph = analysis.graph if isinstance(analysis, EffectAnalysis) else analysis
+    if "." in name:
+        class_name, method = name.split(".", 1)
+        return graph.methods[(relpath, class_name)][method]
+    return graph.module_level[relpath][name]
+
+
+def kinds(analysis, function):
+    return {effect.kind for effect in analysis.summary(function)}
+
+
+# ---------------------------------------------------------------------------
+# call graph: indexing and resolution
+# ---------------------------------------------------------------------------
+
+
+class TestCallGraphIndex:
+    def test_module_level_methods_and_nested_defs(self):
+        graph = CallGraph(
+            modules_from(
+                mod="""
+def outer():
+    def inner():
+        return 1
+    return inner()
+
+class Box:
+    def get(self):
+        return 1
+"""
+            )
+        )
+        outer = graph.module_level["mod.py"]["outer"]
+        assert outer.qualname == "outer"
+        assert "inner" in outer.local_functions
+        get = graph.methods[("mod.py", "Box")]["get"]
+        assert get.class_name == "Box" and get.qualname == "Box.get"
+
+    def test_lambda_bindings_are_indexed(self):
+        graph = CallGraph(modules_from(mod="double = lambda x: x * 2\n"))
+        info = graph.module_level["mod.py"]["double"]
+        assert info.name == "double" and isinstance(info.node, ast.Lambda)
+
+    def test_scope_locals_and_parameters(self):
+        tree = ast.parse(
+            "def f(a, b=1, *args, c, **kw):\n"
+            "    x = 1\n"
+            "    for y in a:\n"
+            "        pass\n"
+            "    global g\n"
+            "    g = 2\n"
+        )
+        node = tree.body[0]
+        assert function_parameters(node) == ["a", "b", "args", "c", "kw"]
+        locals_ = scope_locals(node)
+        assert {"a", "b", "args", "c", "kw", "x", "y"} <= locals_
+        assert "g" not in locals_  # declared global, not a local
+
+
+class TestCallResolution:
+    def test_bare_name_resolves_to_module_level(self):
+        analysis = analysis_of(
+            mod="""
+def helper():
+    return 1
+
+def entry():
+    return helper()
+"""
+        )
+        entry = fn(analysis, "mod.py", "entry")
+        helper = fn(analysis, "mod.py", "helper")
+        assert analysis.callees(entry) == (helper,)
+
+    def test_local_data_name_shadows_outer_function(self):
+        analysis = analysis_of(
+            mod="""
+def helper():
+    return 1
+
+def entry(table):
+    helper = table["helper"]
+    return helper()
+"""
+        )
+        entry = fn(analysis, "mod.py", "entry")
+        assert analysis.callees(entry) == ()
+        assert UNKNOWN_CALLEE in kinds(analysis, entry)
+
+    def test_import_resolves_across_modules(self):
+        analysis = analysis_of(
+            pkg__util="""
+def pure_helper(x):
+    return x + 1
+""",
+            pkg__entry="""
+from pkg.util import pure_helper
+
+def entry(x):
+    return pure_helper(x)
+""",
+        )
+        entry = fn(analysis, "pkg/entry.py", "entry")
+        helper = fn(analysis, "pkg/util.py", "pure_helper")
+        assert analysis.callees(entry) == (helper,)
+        assert kinds(analysis, entry) == set()
+
+    def test_self_method_and_instantiation_resolve(self):
+        analysis = analysis_of(
+            mod="""
+class Widget:
+    def __init__(self):
+        self.count = 0
+
+    def bump(self):
+        self.count += 1
+
+    def run(self):
+        self.bump()
+
+def build():
+    return Widget()
+"""
+        )
+        run = fn(analysis, "mod.py", "Widget.run")
+        bump = fn(analysis, "mod.py", "Widget.bump")
+        init = fn(analysis, "mod.py", "Widget.__init__")
+        assert analysis.callees(run) == (bump,)
+        assert ATTR_WRITE in kinds(analysis, run)  # via bump
+        build = fn(analysis, "mod.py", "build")
+        assert analysis.callees(build) == (init,)
+        # __init__ self-writes are fresh-object initialization, not effects.
+        assert kinds(analysis, build) == set()
+
+    def test_super_and_inherited_methods_resolve(self):
+        analysis = analysis_of(
+            mod="""
+class Base:
+    def greet(self):
+        print("hello")
+
+class Child(Base):
+    def greet(self):
+        super().greet()
+
+    def wave(self):
+        self.greet()
+"""
+        )
+        child_greet = fn(analysis, "mod.py", "Child.greet")
+        base_greet = fn(analysis, "mod.py", "Base.greet")
+        assert analysis.callees(child_greet) == (base_greet,)
+        assert IO in kinds(analysis, fn(analysis, "mod.py", "Child.wave"))
+
+    def test_classmethod_cls_call_is_own_constructor(self):
+        analysis = analysis_of(
+            mod="""
+class Group:
+    def __init__(self, members):
+        self.members = members
+
+    @classmethod
+    def of(cls, *members):
+        return cls(tuple(sorted(members)))
+"""
+        )
+        of = fn(analysis, "mod.py", "Group.of")
+        init = fn(analysis, "mod.py", "Group.__init__")
+        assert analysis.callees(of) == (init,)
+        assert kinds(analysis, of) == set()
+
+
+# ---------------------------------------------------------------------------
+# effect summaries: recursion, dynamic dispatch, decorators
+# ---------------------------------------------------------------------------
+
+
+class TestRecursion:
+    def test_direct_recursion_terminates_and_summarizes(self):
+        analysis = analysis_of(
+            mod="""
+import time
+
+def countdown(n):
+    if n <= 0:
+        return time.time()
+    return countdown(n - 1)
+"""
+        )
+        countdown = fn(analysis, "mod.py", "countdown")
+        assert countdown in analysis.reachable(countdown)
+        assert kinds(analysis, countdown) == {TIME}
+
+    def test_mutual_recursion_unions_both_bodies(self):
+        analysis = analysis_of(
+            mod="""
+import random
+
+_LOG = []
+
+def ping(n):
+    _LOG.append(n)
+    return pong(n - 1) if n else 0
+
+def pong(n):
+    return ping(n - random.random())
+"""
+        )
+        ping = fn(analysis, "mod.py", "ping")
+        pong = fn(analysis, "mod.py", "pong")
+        for entry in (ping, pong):
+            assert {GLOBAL_WRITE, RNG} <= kinds(analysis, entry)
+        assert {ping, pong} <= set(analysis.reachable(ping))
+
+
+class TestDynamicDispatch:
+    def test_calling_a_parameter_is_unknown_callee(self):
+        analysis = analysis_of(
+            mod="""
+def apply(fn, x):
+    return fn(x)
+"""
+        )
+        effects = analysis.summary(fn(analysis, "mod.py", "apply"))
+        (effect,) = [e for e in effects if e.kind == UNKNOWN_CALLEE]
+        assert "fn" in effect.detail
+
+    def test_subscript_call_is_unknown_callee(self):
+        analysis = analysis_of(
+            mod="""
+HANDLERS = {}
+
+def dispatch(name):
+    return HANDLERS[name]()
+"""
+        )
+        assert UNKNOWN_CALLEE in kinds(analysis, fn(analysis, "mod.py", "dispatch"))
+
+    def test_higher_order_argument_becomes_an_edge(self):
+        analysis = analysis_of(
+            mod="""
+import random
+
+def jitter(x):
+    return x + random.random()
+
+def entry(values):
+    return sorted(values, key=jitter)
+"""
+        )
+        entry = fn(analysis, "mod.py", "entry")
+        assert RNG in kinds(analysis, entry)
+
+    def test_captured_callable_is_opaque_not_unknown(self):
+        analysis = analysis_of(
+            mod="""
+class Runner:
+    def __init__(self, objective):
+        self.objective = objective
+
+    def score(self, state):
+        return self.objective(state)
+"""
+        )
+        score_kinds = kinds(analysis, fn(analysis, "mod.py", "Runner.score"))
+        assert OPAQUE_CALL in score_kinds
+        assert UNKNOWN_CALLEE not in score_kinds
+
+
+class TestDecorators:
+    def test_decorated_helper_still_resolves_by_name(self):
+        analysis = analysis_of(
+            mod="""
+import functools
+
+def trace(fn):
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        return fn(*args, **kwargs)
+    return wrapper
+
+@trace
+def impure_helper(state):
+    state["seen"] = True
+    return state
+
+def entry(state):
+    return impure_helper(state)
+"""
+        )
+        entry = fn(analysis, "mod.py", "entry")
+        helper = fn(analysis, "mod.py", "impure_helper")
+        assert helper in analysis.reachable(entry)
+        assert PARAM_MUTATE in kinds(analysis, entry)
+
+
+# ---------------------------------------------------------------------------
+# effect classification details
+# ---------------------------------------------------------------------------
+
+
+class TestClassification:
+    def test_global_read_only_counts_when_mutated(self):
+        analysis = analysis_of(
+            mod="""
+_CONSTANT = 7
+_CACHE = {}
+
+def read_constant():
+    return _CONSTANT
+
+def read_cache(key):
+    return _CACHE.get(key)
+
+def poke(key):
+    _CACHE[key] = 1
+"""
+        )
+        constant_reads = [
+            e
+            for e in analysis.summary(fn(analysis, "mod.py", "read_constant"))
+            if e.kind == GLOBAL_READ
+        ]
+        assert all(not analysis.is_mutated_global(e.detail) for e in constant_reads)
+        cache_reads = [
+            e
+            for e in analysis.summary(fn(analysis, "mod.py", "read_cache"))
+            if e.kind == GLOBAL_READ
+        ]
+        assert any(analysis.is_mutated_global(e.detail) for e in cache_reads)
+
+    def test_rng_on_parameter_is_clean(self):
+        analysis = analysis_of(
+            mod="""
+def draw(rng):
+    return rng.random()
+"""
+        )
+        assert kinds(analysis, fn(analysis, "mod.py", "draw")) == set()
+
+    def test_rng_on_module_generator_is_flagged(self):
+        analysis = analysis_of(
+            mod="""
+import random
+
+def draw():
+    return random.choice([1, 2])
+"""
+        )
+        assert RNG in kinds(analysis, fn(analysis, "mod.py", "draw"))
+
+    def test_io_and_time_via_stdlib(self):
+        analysis = analysis_of(
+            mod="""
+import os
+import time
+
+def stamp(path):
+    os.stat(path)
+    return time.monotonic()
+"""
+        )
+        assert {IO, TIME} <= kinds(analysis, fn(analysis, "mod.py", "stamp"))
+
+    def test_effects_carry_provenance(self):
+        analysis = analysis_of(
+            mod="""
+def deep():
+    print("hi")
+
+def mid():
+    return deep()
+
+def entry():
+    return mid()
+"""
+        )
+        (effect,) = analysis.summary(fn(analysis, "mod.py", "entry"))
+        assert effect.kind == IO and effect.function == "deep"
+        assert effect.path == "mod.py" and effect.line == 3

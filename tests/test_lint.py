@@ -30,12 +30,28 @@ from repro.analysis.rules_determinism import (
     D004FloatInExactPath,
     D005IdOrdering,
 )
+from repro.analysis.rules_concurrency import (
+    R401UnguardedSharedAttribute,
+    R402PublishUnderLock,
+    R403MutableClassDefault,
+)
 from repro.analysis.rules_protocol import (
     C201CodecCoverage,
     P101ProtocolPairing,
     P102RegistryDocDrift,
 )
-from repro.analysis.runner import EXCLUDED_DIR_NAMES, collect_files
+from repro.analysis.rules_purity import (
+    S301AlgorithmPurity,
+    S302ObjectiveDeltaPurity,
+    S303SchedulerDeterminism,
+)
+from repro.analysis.runner import (
+    EXCLUDED_DIR_NAMES,
+    SARIF_SCHEMA_URI,
+    collect_files,
+    rule_catalog,
+    run_explain,
+)
 from repro.simulation.checkpoint import CODEC_TAGS, codec_types
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -210,6 +226,110 @@ class TestC201CodecCoverage:
 
 
 # ---------------------------------------------------------------------------
+# purity rules (interprocedural effect analysis)
+# ---------------------------------------------------------------------------
+
+
+class TestS301AlgorithmPurity:
+    def test_planted_positives(self):
+        findings = run_rule(S301AlgorithmPurity(include=()), "s301_violations.py")
+        assert [f.rule for f in findings] == ["S301"] * 6
+        # The step looks innocent — every impurity anchors in a helper.
+        assert {f.line for f in findings} == {14, 15, 16, 20, 24, 43}
+        messages = " ".join(f.message for f in findings)
+        assert "via _memoized_minimum" in messages
+        assert "via _jittered" in messages
+        assert "via _stamped" in messages
+        assert "_analysis_memo_attrs" in messages  # the class-style write
+
+    def test_findings_name_the_registered_algorithm(self):
+        findings = run_rule(S301AlgorithmPurity(include=()), "s301_violations.py")
+        assert any("'impure-min'" in f.message for f in findings)
+        assert any("'impure-class'" in f.message for f in findings)
+
+    def test_near_miss_negatives(self):
+        # rng-parameter draws, constant closures, lambdas and declared
+        # memo attributes are all sanctioned.
+        assert run_rule(S301AlgorithmPurity(include=()), "s301_clean.py") == []
+
+
+class TestS302ObjectiveDeltaPurity:
+    def test_planted_positives(self):
+        findings = run_rule(S302ObjectiveDeltaPurity(include=()), "s302_violations.py")
+        assert [f.rule for f in findings] == ["S302"] * 3
+        assert {f.line for f in findings} == {14, 15, 24}
+        messages = " ".join(f.message for f in findings)
+        assert "mutated" in messages  # the _CALIBRATION global read
+        assert "closure variable" in messages  # the delta_fn= lambda
+
+    def test_near_miss_negatives(self):
+        assert run_rule(S302ObjectiveDeltaPurity(include=()), "s302_clean.py") == []
+
+
+class TestS303SchedulerDeterminism:
+    def test_planted_positives(self):
+        findings = run_rule(S303SchedulerDeterminism(include=()), "s303_violations.py")
+        assert [f.rule for f in findings] == ["S303"] * 4
+        assert {f.line for f in findings} == {15, 17, 19, 29}
+        messages = " ".join(f.message for f in findings)
+        assert "'sticky'" in messages and "'logging'" in messages
+        assert "randomness" in messages and "I/O" in messages
+
+    def test_near_miss_negatives(self):
+        # Reading self configuration and shuffling with the rng parameter
+        # are both deterministic in (state, rng).
+        assert run_rule(S303SchedulerDeterminism(include=()), "s303_clean.py") == []
+
+
+# ---------------------------------------------------------------------------
+# concurrency rules (lock discipline)
+# ---------------------------------------------------------------------------
+
+
+class TestR401UnguardedSharedAttribute:
+    def test_planted_positives(self):
+        findings = run_rule(
+            R401UnguardedSharedAttribute(include=()), "r401_violations.py"
+        )
+        assert [f.rule for f in findings] == ["R401"] * 2
+        assert {f.line for f in findings} == {23, 36}
+        messages = " ".join(f.message for f in findings)
+        assert "self._count" in messages  # the unguarded write
+        assert "self._log" in messages  # the unguarded read
+
+    def test_near_miss_negatives(self):
+        # All-guarded attrs, immutable config and lock-free classes pass.
+        assert (
+            run_rule(R401UnguardedSharedAttribute(include=()), "r401_clean.py") == []
+        )
+
+
+class TestR402PublishUnderLock:
+    def test_planted_positives(self):
+        findings = run_rule(R402PublishUnderLock(include=()), "r402_violations.py")
+        assert [f.rule for f in findings] == ["R402"] * 2
+        assert {f.line for f in findings} == {17, 24}
+        messages = " ".join(f.message for f in findings)
+        assert "publish()" in messages and "close()" in messages
+
+    def test_near_miss_negatives(self):
+        # Snapshot-under-lock, publish-after-release is the sanctioned shape.
+        assert run_rule(R402PublishUnderLock(include=()), "r402_clean.py") == []
+
+
+class TestR403MutableClassDefault:
+    def test_planted_positives(self):
+        findings = run_rule(R403MutableClassDefault(include=()), "r403_violations.py")
+        assert [f.rule for f in findings] == ["R403"] * 4
+        assert {f.line for f in findings} == {9, 10, 11, 12}
+
+    def test_near_miss_negatives(self):
+        # __init__ state, immutable constants, ClassVar annotations and
+        # dataclass default_factory are all fine.
+        assert run_rule(R403MutableClassDefault(include=()), "r403_clean.py") == []
+
+
+# ---------------------------------------------------------------------------
 # baseline fingerprints
 # ---------------------------------------------------------------------------
 
@@ -360,6 +480,173 @@ class TestRunner:
         assert entry["rule"] == "D001" and len(entry["fingerprint"]) == 16
 
 
+DIRTY_TOO = "import random\n\nSALT = random.randrange(10)\n"
+
+
+class TestSarifFormat:
+    def make_report(self, tmp_path):
+        """One active D001 plus one baselined D001 → a two-result run."""
+        write_module(tmp_path, "src/one.py", DIRTY)
+        run_lint(
+            ["src"],
+            root=tmp_path,
+            baseline_path="baseline.json",
+            update_baseline=True,
+            emit=lambda line: None,
+        )
+        write_module(tmp_path, "src/two.py", DIRTY_TOO)
+        lines = []
+        run_lint(
+            ["src"],
+            root=tmp_path,
+            baseline_path="baseline.json",
+            output_format="sarif",
+            emit=lines.append,
+        )
+        return json.loads("\n".join(lines))
+
+    def test_validates_against_the_sarif_schema(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(
+            (REPO_ROOT / "tests" / "sarif_2.1.0_subset.schema.json").read_text()
+        )
+        jsonschema.validate(self.make_report(tmp_path), schema)
+
+    def test_run_structure(self, tmp_path):
+        report = self.make_report(tmp_path)
+        assert report["version"] == "2.1.0"
+        assert report["$schema"] == SARIF_SCHEMA_URI
+        (run,) = report["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == ["D001"]
+
+    def test_suppressions_and_fingerprints(self, tmp_path):
+        report = self.make_report(tmp_path)
+        results = report["runs"][0]["results"]
+        assert len(results) == 2
+        active = [r for r in results if "suppressions" not in r]
+        suppressed = [r for r in results if "suppressions" in r]
+        assert len(active) == 1 and len(suppressed) == 1
+        assert suppressed[0]["suppressions"] == [{"kind": "external"}]
+        for result in results:
+            assert result["ruleIndex"] == 0
+            fingerprint = result["partialFingerprints"]["reproLint/v1"]
+            assert len(fingerprint) == 16
+
+    def test_clean_tree_emits_an_empty_run(self, tmp_path):
+        write_module(tmp_path, "src/ok.py", CLEAN)
+        lines = []
+        assert (
+            run_lint(["src"], root=tmp_path, output_format="sarif", emit=lines.append)
+            == 0
+        )
+        report = json.loads("\n".join(lines))
+        assert report["runs"][0]["results"] == []
+
+
+class TestExplain:
+    def test_known_rule_prints_doc_and_fixtures(self):
+        lines = []
+        assert run_explain("S301", root=REPO_ROOT, emit=lines.append) == 0
+        text = "\n".join(lines)
+        assert text.startswith("S301 — ")
+        assert "transitively pure" in text
+        assert "violating example (s301_violations.py)" in text
+        assert "clean example (s301_clean.py)" in text
+        assert "_analysis_memo_attrs" in text
+
+    def test_rule_id_is_case_insensitive(self):
+        assert run_explain("r403", root=REPO_ROOT, emit=lambda line: None) == 0
+
+    def test_unknown_rule_lists_the_catalog(self):
+        lines = []
+        assert run_explain("Z999", root=REPO_ROOT, emit=lines.append) == 2
+        assert "unknown rule" in lines[0]
+        for rule_id in ("D001", "S301", "R401"):
+            assert rule_id in lines[0]
+
+    def test_every_cataloged_rule_explains_cleanly(self):
+        for rule_id in rule_catalog():
+            assert run_explain(rule_id, root=REPO_ROOT, emit=lambda line: None) == 0
+
+
+class TestPrune:
+    def test_prune_drops_stale_entries(self, tmp_path):
+        write_module(tmp_path, "src/bad.py", DIRTY)
+        run_lint(
+            ["src"],
+            root=tmp_path,
+            baseline_path="baseline.json",
+            update_baseline=True,
+            emit=lambda line: None,
+        )
+        write_module(tmp_path, "src/bad.py", CLEAN)  # the finding is gone
+        lines = []
+        code = run_lint(
+            ["src"],
+            root=tmp_path,
+            baseline_path="baseline.json",
+            prune_baseline=True,
+            emit=lines.append,
+        )
+        assert code == 0
+        assert any("1 stale entry removed, 0 kept" in line for line in lines)
+        assert len(Baseline.load(tmp_path / "baseline.json")) == 0
+
+    def test_prune_keeps_live_suppressions(self, tmp_path):
+        write_module(tmp_path, "src/bad.py", DIRTY)
+        run_lint(
+            ["src"],
+            root=tmp_path,
+            baseline_path="baseline.json",
+            update_baseline=True,
+            emit=lambda line: None,
+        )
+        lines = []
+        run_lint(
+            ["src"],
+            root=tmp_path,
+            baseline_path="baseline.json",
+            prune_baseline=True,
+            emit=lines.append,
+        )
+        assert any("nothing stale" in line for line in lines)
+        assert len(Baseline.load(tmp_path / "baseline.json")) == 1
+
+    def test_prune_requires_a_baseline(self, tmp_path):
+        write_module(tmp_path, "src/ok.py", CLEAN)
+        lines = []
+        assert (
+            run_lint(["src"], root=tmp_path, prune_baseline=True, emit=lines.append)
+            == 2
+        )
+        assert any("--prune requires --baseline" in line for line in lines)
+
+    def test_prune_rejects_a_missing_baseline_file(self, tmp_path):
+        write_module(tmp_path, "src/ok.py", CLEAN)
+        code = run_lint(
+            ["src"],
+            root=tmp_path,
+            baseline_path="no-such.json",
+            prune_baseline=True,
+            emit=lambda line: None,
+        )
+        assert code == 2
+
+    def test_prune_and_update_are_exclusive(self, tmp_path):
+        write_module(tmp_path, "src/ok.py", CLEAN)
+        code = run_lint(
+            ["src"],
+            root=tmp_path,
+            baseline_path="baseline.json",
+            prune_baseline=True,
+            update_baseline=True,
+            emit=lambda line: None,
+        )
+        assert code == 2
+
+
 class TestCli:
     def test_lint_subcommand(self, tmp_path, capsys, monkeypatch):
         from repro.cli import main
@@ -376,6 +663,33 @@ class TestCli:
 
         monkeypatch.chdir(tmp_path)
         assert main(["lint", "no-such-dir"]) == 2
+
+    def test_lint_explain_flag(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "--explain", "S301"]) == 0
+        assert "S301 — " in capsys.readouterr().out
+        assert main(["lint", "--explain", "nope"]) == 2
+
+    def test_lint_sarif_flag(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        write_module(tmp_path, "src/bad.py", DIRTY)
+        assert main(["lint", "src", "--format", "sarif"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == "2.1.0"
+
+    def test_lint_prune_flag(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        write_module(tmp_path, "src/bad.py", DIRTY)
+        assert main(["lint", "src", "--baseline", "b.json", "--update-baseline"]) == 0
+        write_module(tmp_path, "src/bad.py", CLEAN)
+        assert main(["lint", "src", "--baseline", "b.json", "--prune"]) == 0
+        assert "stale entry removed" in capsys.readouterr().out
 
 
 # ---------------------------------------------------------------------------
@@ -428,6 +742,52 @@ class TestProductionRun:
             "        return {'members': self.members}\n",
         )
         assert run_lint(["src"], root=tmp_path, emit=lambda line: None) == 1
+
+    SNEAKY_MEMO = (
+        "from repro.registry import register_algorithm\n"
+        "\n"
+        "_MEMO = {}\n"
+        "\n"
+        "\n"
+        "def _cached_minimum(states):\n"
+        "    key = tuple(states)\n"
+        "    if key not in _MEMO:\n"
+        "        _MEMO[key] = min(states)\n"
+        "    return _MEMO[key]\n"
+        "\n"
+        "\n"
+        "def _step(states, rng):\n"
+        "    return [_cached_minimum(states)] * len(states)\n"
+        "\n"
+        "\n"
+        "@register_algorithm('sneaky-min')\n"
+        "def sneaky_minimum():\n"
+        "    return dict(group_step=_step)\n"
+    )
+
+    def test_synthetic_pr_with_impure_step_helper_fails(self, tmp_path):
+        """A registered step whose *helper* memoizes into module state must
+        fail the lint job — the effect summary follows the call."""
+        write_module(tmp_path, "src/repro/sneaky_algo.py", self.SNEAKY_MEMO)
+        lines = []
+        assert run_lint(["src"], root=tmp_path, emit=lines.append) == 1
+        text = "\n".join(lines)
+        assert "S301" in text and "via _cached_minimum" in text
+
+    def test_the_syntax_rules_alone_miss_the_impure_helper(self, tmp_path):
+        """The pre-effect-analysis rule set (D/P/C) cannot see the hidden
+        memo — pinning exactly what S301 adds."""
+        from repro.analysis.rules_determinism import determinism_rules
+        from repro.analysis.rules_protocol import protocol_rules
+
+        write_module(tmp_path, "src/repro/sneaky_algo.py", self.SNEAKY_MEMO)
+        code = run_lint(
+            ["src"],
+            root=tmp_path,
+            rules=[*determinism_rules(), *protocol_rules()],
+            emit=lambda line: None,
+        )
+        assert code == 0
 
 
 # ---------------------------------------------------------------------------
