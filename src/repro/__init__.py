@@ -26,7 +26,12 @@ The library has five layers:
   environment, scheduler and topology, and the frozen JSON-round-trippable
   :class:`ExperimentSpec` that names them, executed one run at a time or
   fanned out across a process pool by
-  :class:`~repro.simulation.batch.BatchRunner`.
+  :class:`~repro.simulation.batch.BatchRunner`;
+* :mod:`repro.faults` — deterministic fault injection (seeded
+  :class:`FaultPlan` crash/corruption/flaky-transport schedules) and the
+  self-healing it proves out: stamped checkpoints with verified
+  fallback, retry policies with deterministic jitter, and the
+  ``repro chaos`` byte-identical-recovery harness.
 
 Quickstart (declarative — experiments as data)::
 
@@ -107,6 +112,13 @@ from .simulation import (
     sweep,
 )
 from .experiment import Experiment, ExperimentBuilder, ExperimentSpec, expand_grid
+from .faults import (
+    FaultCrashProbe,
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+    run_chaos,
+)
 from .registry import (
     ALGORITHMS as ALGORITHM_REGISTRY,
     ENVIRONMENTS as ENVIRONMENT_REGISTRY,
@@ -168,6 +180,11 @@ __all__ = [
     "ExperimentBuilder",
     "ExperimentSpec",
     "expand_grid",
+    "FaultCrashProbe",
+    "FaultPlan",
+    "InjectedFault",
+    "RetryPolicy",
+    "run_chaos",
     "ALGORITHM_REGISTRY",
     "ENVIRONMENT_REGISTRY",
     "GRAPH_REGISTRY",

@@ -22,6 +22,12 @@ The experiment service (see :mod:`repro.service`) rides the same specs::
     python -m repro submit spec.json --events      # live probe payloads
     python -m repro status run-0001 --json
 
+Fault injection (see :mod:`repro.faults`) verifies that recovery is
+byte-identical to an unfaulted run, under a seeded, replayable plan::
+
+    python -m repro chaos examples/specs/minimum_chaos.json --fault-seed 7
+    python -m repro chaos spec.json --mode service --kinds http-flaky,sse-disconnect
+
 The static determinism/protocol linter (see :mod:`repro.analysis`) ships
 as a subcommand too, so CI and pre-commit hooks need no extra tooling::
 
@@ -76,7 +82,17 @@ ALGORITHMS = (
 ENVIRONMENTS = ("static", "churn", "line", "partition", "blackout", "mobility")
 
 #: Spec-driven subcommands (anything else falls through to the legacy parser).
-SUBCOMMANDS = ("run", "list", "sweep", "resume", "serve", "submit", "status", "lint")
+SUBCOMMANDS = (
+    "run",
+    "list",
+    "sweep",
+    "resume",
+    "serve",
+    "submit",
+    "status",
+    "lint",
+    "chaos",
+)
 
 #: ``repro list`` sections, in display order.
 _LIST_KINDS = (
@@ -357,6 +373,41 @@ def build_spec_parser() -> argparse.ArgumentParser:
     lint.add_argument("--explain", metavar="RULE", default=None,
                       help="print a rule's rationale and its golden "
                            "violating/clean fixture pair, then exit")
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="inject a seeded fault plan into a spec's execution and "
+             "verify recovery is byte-identical to the unfaulted run",
+    )
+    chaos.add_argument("spec", type=pathlib.Path,
+                       help="path to an ExperimentSpec JSON file")
+    chaos.add_argument("--fault-seed", type=int, default=0, metavar="S",
+                       help="seed of the generated fault plan (same seed = "
+                            "same faults everywhere; default 0)")
+    chaos.add_argument("--plan", type=pathlib.Path, default=None, metavar="FILE",
+                       help="load an explicit fault-plan JSON file instead "
+                            "of generating one from --fault-seed")
+    chaos.add_argument("--kinds", type=str, default=None,
+                       metavar="KIND[,KIND...]",
+                       help="restrict the generated plan to these fault "
+                            "kinds (crash, checkpoint-corrupt, cache-corrupt, "
+                            "http-flaky, sse-disconnect)")
+    chaos.add_argument("--mode", choices=("batch", "service", "all"),
+                       default="all",
+                       help="which seams to attack: a durable batch sweep, "
+                            "a live service, or both (default)")
+    chaos.add_argument("--dir", type=pathlib.Path, default=None, metavar="DIR",
+                       help="working directory for the chaos run's state "
+                            "(default: a fresh chaos-<fault seed>/ directory)")
+    chaos.add_argument("--checkpoint-every", type=int, default=5, metavar="N",
+                       help="rolling checkpoint cadence during the run "
+                            "(default 5 — tight, so crashes land between "
+                            "checkpoints)")
+    chaos.add_argument("--plan-out", type=pathlib.Path, default=None,
+                       metavar="FILE",
+                       help="also write the effective fault plan JSON here")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the full chaos report as JSON")
 
     status = subparsers.add_parser(
         "status", help="query a run (or the whole service) by URL"
@@ -673,6 +724,60 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import FAULT_KINDS, FaultPlan, run_chaos
+
+    spec = _load_spec(args.spec)
+    try:
+        if args.plan is not None:
+            plan = FaultPlan.load(args.plan)
+        else:
+            kinds = FAULT_KINDS
+            if args.kinds:
+                kinds = tuple(
+                    part.strip() for part in args.kinds.split(",") if part.strip()
+                )
+            plan = FaultPlan.generate(args.fault_seed, kinds=kinds)
+    except (OSError, SpecificationError) as error:
+        raise SystemExit(f"cannot build fault plan: {error}")
+    if args.plan_out is not None:
+        args.plan_out.parent.mkdir(parents=True, exist_ok=True)
+        args.plan_out.write_text(plan.to_json() + "\n")
+
+    directory = args.dir if args.dir is not None else pathlib.Path(
+        f"chaos-{plan.seed}"
+    )
+    try:
+        report = run_chaos(
+            spec,
+            plan,
+            directory,
+            mode=args.mode,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except SpecificationError as error:
+        raise SystemExit(str(error))
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"chaos: {spec.label} under fault plan seed {plan.seed} "
+              f"({len(plan.entries)} faults)")
+        for mode_name, mode_report in report["modes"].items():
+            verdict = "byte-identical" if mode_report["match"] else "DIVERGED"
+            print(f"  {mode_name}: {verdict} "
+                  f"({mode_report['units']} units, "
+                  f"{len(mode_report['corrupted'])} corruptions, "
+                  f"{len(mode_report['quarantined'])} quarantined)")
+            for failure in mode_report.get("first_attempt_failures", []):
+                summary = (failure["error"] or "").strip().splitlines()
+                print(f"    crash: {failure['label']} seed {failure['seed']}: "
+                      f"{summary[-1] if summary else 'failed'}")
+        print("replay: repro chaos "
+              f"{args.spec} --fault-seed {plan.seed} --mode {args.mode}")
+    return 0 if report["match"] else 1
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     from .service import ServiceClient, ServiceError
 
@@ -690,7 +795,8 @@ def _cmd_status(args: argparse.Namespace) -> int:
                       + (" (draining)" if health["draining"] else ""))
                 print(f"  jobs: {jobs or '(none)'}")
                 print(f"  cache: {cache['entries']} entries, "
-                      f"{cache['hits']} hits, {cache['misses']} misses")
+                      f"{cache['hits']} hits, {cache['misses']} misses, "
+                      f"{cache.get('corrupt', 0)} corrupt")
                 for job in runs:
                     print(f"  {job['id']}: {job['status']}"
                           + (" [cached]" if job["cached"] else ""))
@@ -737,6 +843,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_status(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         return _cmd_sweep(args)
     return _legacy_main(argv)
 

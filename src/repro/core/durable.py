@@ -1,0 +1,78 @@
+"""Durable file primitives shared by every layer that persists state.
+
+Three operations recur across checkpoints, job records and the result
+cache, and they must behave identically everywhere or the recovery story
+fragments:
+
+* :func:`atomic_write_text` — the one true atomic write.  ``write_text``
+  + ``replace`` alone is atomic against *readers* but not against power
+  loss: without an ``fsync`` the rename can land on disk before the data
+  blocks do, leaving a correctly-named file full of garbage.  Every
+  persisted artifact (run checkpoints, batch results, job records, cache
+  entries) goes through this helper — a test pins that.
+* :func:`sha256_hex` — the digest used for integrity stamps and content
+  addresses, in one place so formats cannot drift.
+* :func:`quarantine` — what to do with a file that failed to parse or
+  verify: move it aside (``<name>.corrupt``) with a logged reason instead
+  of deleting evidence or crashing the reader.  Recovery code treats a
+  quarantined artifact as absent and falls back to the next-best source
+  (an older checkpoint generation, a cache miss, a fresh run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import pathlib
+
+__all__ = ["atomic_write_text", "sha256_hex", "quarantine", "QUARANTINE_SUFFIX"]
+
+#: Appended to a corrupt file's name when it is moved aside.
+QUARANTINE_SUFFIX = ".corrupt"
+
+_LOGGER = logging.getLogger("repro.durable")
+
+
+def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
+    """Write ``text`` to ``path`` atomically *and* durably.
+
+    The data is written to a sibling temporary file, flushed and
+    ``fsync``-ed, then ``os.replace``-d over the target: a reader never
+    observes a partial file, and a crash (or power loss) immediately
+    after the rename cannot leave a correctly-named file whose data
+    blocks never reached the disk.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.with_name(path.name + ".tmp")
+    with open(temporary, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, path)
+    return path
+
+
+def sha256_hex(data: str | bytes) -> str:
+    """Lowercase hex SHA-256 of ``data`` (text is digested as UTF-8)."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def quarantine(path: str | pathlib.Path, reason: str) -> pathlib.Path | None:
+    """Move a corrupt file aside as ``<name>.corrupt`` and log why.
+
+    Returns the quarantined path, or None when the file vanished first
+    (another recovering process may have quarantined it already — both
+    outcomes leave the original name free, which is all callers need).
+    """
+    path = pathlib.Path(path)
+    quarantined = path.with_name(path.name + QUARANTINE_SUFFIX)
+    try:
+        os.replace(path, quarantined)
+    except OSError:
+        return None
+    _LOGGER.warning("quarantined %s: %s", quarantined, reason)
+    return quarantined

@@ -1,0 +1,52 @@
+"""Deterministic file corruption — the disk-failure half of the harness.
+
+Three damage modes cover the disk failures a recovery path actually
+meets: a write cut short (``truncate``), silent media rot (``bitflip``)
+and a file created but never filled (``empty``).  Every mode draws from
+a caller-provided ``random.Random``, so a fault plan corrupts the exact
+same bytes on every replay.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+
+from ..core.errors import SpecificationError
+
+__all__ = ["CORRUPTION_MODES", "corrupt_file"]
+
+#: The damage modes :func:`corrupt_file` knows, in documentation order.
+CORRUPTION_MODES = ("truncate", "bitflip", "empty")
+
+
+def corrupt_file(
+    path: str | pathlib.Path, mode: str, rng: random.Random
+) -> str:
+    """Damage ``path`` in place; returns a human-readable description.
+
+    ``truncate`` keeps a seeded prefix of under half the file (possibly
+    zero bytes), ``bitflip`` flips one seeded bit, ``empty`` leaves a
+    zero-byte file.  The file must exist — corrupting nothing would make
+    a fault plan silently weaker than declared.
+    """
+    path = pathlib.Path(path)
+    data = path.read_bytes()
+    if mode == "empty":
+        path.write_bytes(b"")
+        return f"emptied {path.name} ({len(data)} bytes dropped)"
+    if mode == "truncate":
+        keep = rng.randrange(0, max(1, len(data) // 2))
+        path.write_bytes(data[:keep])
+        return f"truncated {path.name} from {len(data)} to {keep} bytes"
+    if mode == "bitflip":
+        if not data:
+            path.write_bytes(b"\x01")
+            return f"wrote a stray byte into empty {path.name}"
+        index = rng.randrange(len(data))
+        flipped = data[index] ^ (1 << rng.randrange(8))
+        path.write_bytes(data[:index] + bytes([flipped]) + data[index + 1 :])
+        return f"flipped one bit at byte {index} of {path.name}"
+    raise SpecificationError(
+        f"unknown corruption mode {mode!r}; known: {CORRUPTION_MODES}"
+    )

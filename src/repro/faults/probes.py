@@ -1,0 +1,100 @@
+"""Crash injection as a registered probe: ``fault-crash``.
+
+This generalizes the armed test-only probe from ``tests/test_batch.py``
+into a spec-addressable building block: any experiment can declare
+
+.. code-block:: json
+
+    {"probe": "fault-crash", "at_round": 8, "times": 1, "token": "demo"}
+
+and its worker will die with :class:`InjectedFault` at round 8 — once.
+A run that ends before the scheduled round crashes at the finish line
+instead (after its last round, before the result is persisted), so an
+armed probe always spends its budget.
+The ``times`` budget is tracked per process and per ``token`` (an
+arming key), which is exactly how real crashes behave under retry: the
+unit that died restores from its latest checkpoint, re-executes, and
+this time survives.  The probe publishes **no payload** (``on_finish``
+returns None), so a run that completes under injected crashes is
+byte-identical to a run of the same spec without the probe — the
+harness's headline guarantee.
+"""
+
+from __future__ import annotations
+
+from ..registry import register_probe
+from ..simulation.protocol import Probe
+
+__all__ = ["InjectedFault", "FaultCrashProbe", "reset_crash_counters"]
+
+
+class InjectedFault(RuntimeError):
+    """A failure raised on purpose by the fault-injection harness."""
+
+
+#: Crashes already fired in this process, by arming token.  Module-level
+#: on purpose: a retried unit runs in the same worker process, and the
+#: budget must survive the probe being rebuilt from its spec entry.
+_FIRED: dict[str, int] = {}
+
+
+def reset_crash_counters(token: str | None = None) -> None:
+    """Re-arm crash budgets (all tokens, or one) — chaos runs call this
+    so a plan replays identically within one long-lived process."""
+    if token is None:
+        _FIRED.clear()
+    else:
+        _FIRED.pop(token, None)
+
+
+@register_probe("fault-crash")
+class FaultCrashProbe(Probe):
+    """Kill the run at round ``at_round``, at most ``times`` times per
+    process per ``token``."""
+
+    name = "fault-crash"
+
+    def __init__(self, at_round: int = 5, times: int = 1, token: str = "fault"):
+        if int(at_round) < 1:
+            raise ValueError(f"fault-crash needs at_round >= 1, got {at_round!r}")
+        if int(times) < 0:
+            raise ValueError(f"fault-crash needs times >= 0, got {times!r}")
+        self.at_round = int(at_round)
+        self.times = int(times)
+        self.token = str(token)
+        self._seen = 0
+
+    def on_start(self, engine) -> None:
+        self._seen = 0
+
+    def _fire(self, where: str) -> None:
+        _FIRED[self.token] = _FIRED.get(self.token, 0) + 1
+        raise InjectedFault(
+            f"injected crash {where} "
+            f"(token {self.token!r}, "
+            f"{_FIRED[self.token]}/{self.times} fired)"
+        )
+
+    def on_round(self, record) -> None:
+        self._seen += 1
+        if self._seen >= self.at_round and _FIRED.get(self.token, 0) < self.times:
+            self._fire(f"at round {self._seen}")
+
+    def state_dict(self) -> dict:
+        return {"seen": self._seen}
+
+    def load_state(self, state: dict) -> None:
+        self._seen = state["seen"]
+
+    def on_finish(self) -> None:
+        # A run that converges before ``at_round`` still crashes — at the
+        # finish line, after the last round but before its result lands —
+        # so an armed probe *always* spends its budget: the crash a plan
+        # schedules is a guarantee, not a lottery ticket on convergence
+        # speed.  Recovery re-executes from the newest checkpoint (or
+        # from scratch) and, with the budget spent, completes.
+        if _FIRED.get(self.token, 0) < self.times:
+            self._fire(f"at finish (after round {self._seen})")
+        # No payload: a recovered run must stay byte-identical to the
+        # same spec run without fault injection.
+        return None

@@ -1,0 +1,68 @@
+"""Deterministic retry with exponential backoff + seeded jitter.
+
+One :class:`RetryPolicy` serves every self-healing seam — the service
+client's transport retries, its status-poll backoff, and the batch
+layer's between-attempt delays — so the *shape* of recovery is uniform
+and, crucially, **deterministic**: the jitter for attempt ``k`` of
+operation ``key`` is drawn from ``random.Random(f"{namespace}:{key}:{k}")``,
+never from the global RNG or the clock, so a replayed fault plan sees
+the exact same delays (and the determinism linter sees no global draw).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to wait between attempts.
+
+    ``delay(attempt, key)`` for attempt ``1..retries`` is
+    ``min(max_delay, base_delay * 2**(attempt-1))`` scaled by a
+    deterministic jitter factor in ``[0.5, 1.0]`` — full exponential
+    growth, capped, never synchronized across concurrent retriers with
+    different keys.
+    """
+
+    retries: int = 3
+    base_delay: float = 0.1
+    max_delay: float = 2.0
+    namespace: str = "repro-retry"
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError(
+                f"delays must be >= 0, got base_delay={self.base_delay}, "
+                f"max_delay={self.max_delay}"
+            )
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """The backoff before retry ``attempt`` (1-based) of operation ``key``."""
+        if attempt < 1:
+            return 0.0
+        base = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        jitter = random.Random(f"{self.namespace}:{key}:{attempt}")
+        return base * (0.5 + 0.5 * jitter.random())
+
+    def sleep_before(
+        self,
+        attempt: int,
+        key: str = "",
+        deadline: float | None = None,
+        sleep=time.sleep,
+    ) -> float:
+        """Sleep the attempt's backoff (clipped to ``deadline``, a
+        ``time.monotonic`` instant); returns the seconds actually slept."""
+        pause = self.delay(attempt, key)
+        if deadline is not None:
+            pause = min(pause, max(0.0, deadline - time.monotonic()))
+        if pause > 0:
+            sleep(pause)
+        return pause

@@ -10,11 +10,19 @@ the per-seed result dictionaries a completed job produced:
   a hit answers with byte-identical result JSON and *zero* engine
   rounds, turning repeat traffic into O(1) disk lookups;
 * **write-behind** — the job queue stores every successful run's results
-  after completion, atomically (``.tmp`` + ``rename``), so a crash
-  mid-write never leaves a readable-but-corrupt entry.
+  after completion, atomically and durably
+  (:func:`~repro.core.durable.atomic_write_text`), so a crash mid-write
+  never leaves a readable-but-corrupt entry.
 
 Entries are sharded two hex characters deep (``cache/ab/abcdef....json``)
 so a hot cache never piles a million files into one directory.
+
+A cache is allowed to forget; it is never allowed to lie or to crash its
+reader.  An entry that no longer parses — truncated, bit-flipped, emptied
+— is treated as a miss: the file is quarantined (``.corrupt``) with a
+logged reason, the ``corrupt`` counter ticks, and the submission simply
+re-executes (determinism guarantees the re-computed entry is
+byte-identical to what the corrupt file should have held).
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import pathlib
 import threading
 from typing import Any
 
+from ..core.durable import atomic_write_text, quarantine
 from ..core.errors import SpecificationError
 
 __all__ = ["ResultCache"]
@@ -40,6 +49,7 @@ class ResultCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def _path(self, fingerprint: str) -> pathlib.Path:
         if not fingerprint or any(c not in "0123456789abcdef" for c in fingerprint):
@@ -53,7 +63,13 @@ class ResultCache:
         return self._path(fingerprint).exists()
 
     def get(self, fingerprint: str) -> dict | None:
-        """The stored entry for ``fingerprint``, or None (counts hit/miss)."""
+        """The stored entry for ``fingerprint``, or None (counts hit/miss).
+
+        A file that does not parse as a cache entry — disk corruption,
+        a foreign file under the cache's name — is quarantined, counted
+        under ``corrupt`` and reported as a miss, never raised: one bad
+        sector must cost one re-execution, not the service.
+        """
         path = self._path(fingerprint)
         try:
             text = path.read_text()
@@ -61,12 +77,17 @@ class ResultCache:
             with self._lock:
                 self.misses += 1
             return None
-        entry = json.loads(text)
-        if entry.get("format") != ENTRY_FORMAT:
-            raise SpecificationError(
-                f"{path} is not a result cache entry "
-                f"(format {entry.get('format')!r})"
-            )
+        try:
+            entry = json.loads(text)
+            if not isinstance(entry, dict) or entry.get("format") != ENTRY_FORMAT:
+                found = entry.get("format") if isinstance(entry, dict) else entry
+                raise ValueError(f"not a result cache entry (format {found!r})")
+        except ValueError as error:
+            quarantine(path, f"corrupt result-cache entry: {error}")
+            with self._lock:
+                self.corrupt += 1
+                self.misses += 1
+            return None
         with self._lock:
             self.hits += 1
         return entry
@@ -85,16 +106,18 @@ class ResultCache:
             "results": results,
         }
         path = self._path(fingerprint)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        temporary = path.with_name(path.name + ".tmp")
-        temporary.write_text(json.dumps(entry))
-        temporary.replace(path)
+        atomic_write_text(path, json.dumps(entry))
         return entry
 
     def stats(self) -> dict[str, Any]:
-        """Hit/miss counters plus the number of persisted entries."""
+        """Hit/miss/corruption counters plus the number of persisted entries."""
         entries = 0
         if self.directory.exists():
             entries = sum(1 for _ in self.directory.glob("*/*.json"))
         with self._lock:
-            return {"entries": entries, "hits": self.hits, "misses": self.misses}
+            return {
+                "entries": entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "corrupt": self.corrupt,
+            }

@@ -14,20 +14,47 @@ service through this module; programmatic users can too::
 
 Everything is ``urllib.request``; errors the server reports as JSON come
 back as :class:`ServiceError` carrying the HTTP status and payload.
+
+The client self-heals over a flaky transport:
+
+* :meth:`_request` retries transient failures — connection errors,
+  timeouts and retryable statuses (502/503/504) — with the exponential
+  backoff + deterministic jitter of a
+  :class:`~repro.faults.retry.RetryPolicy`, under an optional overall
+  deadline;
+* :meth:`wait` polls with exponential backoff (``poll`` doubling up to
+  ``poll_cap``) instead of a fixed-rate hammer;
+* :meth:`events` reconnects a dropped SSE stream with ``Last-Event-ID``
+  so a mid-stream disconnect replays from exactly the next event — the
+  iterator's output is identical to an uninterrupted stream.
+
+``fault_hook`` is the injection seam: a callable ``hook(method, path)``
+invoked before each request that may raise to simulate transport
+failure (see :class:`~repro.faults.plan.ClientFaultHook`).
 """
 
 from __future__ import annotations
 
 import json
 import time
-from typing import Any, Iterator, Mapping
+from http.client import HTTPException
+from typing import Any, Callable, Iterator, Mapping
 from urllib.error import HTTPError, URLError
+from urllib.parse import urlsplit
 from urllib.request import Request, urlopen
 
 from ..core.errors import SpecificationError
 from ..experiment import ExperimentSpec
+from ..faults.retry import RetryPolicy
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["ServiceClient", "ServiceError", "RETRYABLE_STATUSES"]
+
+#: HTTP statuses worth retrying: transient unavailability, not client error.
+RETRYABLE_STATUSES = frozenset({502, 503, 504})
+
+#: Transport-level failures worth retrying (HTTPError is *not* here — it
+#: subclasses URLError but carries a status and is decided separately).
+_TRANSIENT_ERRORS = (URLError, ConnectionError, TimeoutError, HTTPException)
 
 
 class ServiceError(Exception):
@@ -42,35 +69,76 @@ class ServiceError(Exception):
 class ServiceClient:
     """Blocking JSON-over-HTTP client for one :class:`ExperimentService`."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+        fault_hook: Callable[[str, str], None] | None = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.retry = (
+            retry
+            if retry is not None
+            else RetryPolicy(
+                retries=3, base_delay=0.05, max_delay=1.0, namespace="repro-client"
+            )
+        )
+        self.fault_hook = fault_hook
 
     # -- transport ---------------------------------------------------------------
 
-    def _request(self, method: str, path: str, body: Any = None) -> Any:
+    def _open(self, request: Request):
+        """One raw attempt; the fault hook fires before any bytes move."""
+        if self.fault_hook is not None:
+            self.fault_hook(request.get_method(), urlsplit(request.full_url).path)
+        return urlopen(request, timeout=self.timeout)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        deadline: float | None = None,
+    ) -> Any:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = Request(self.base_url + path, data=data, headers=headers, method=method)
-        try:
-            with urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except HTTPError as error:
-            payload: Any = None
-            message = f"{method} {path} -> HTTP {error.code}"
+        last_error: ServiceError | None = None
+        for attempt in range(self.retry.retries + 1):
+            if attempt:
+                self.retry.sleep_before(
+                    attempt, key=f"{method} {path}", deadline=deadline
+                )
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+            request = Request(
+                self.base_url + path, data=data, headers=headers, method=method
+            )
             try:
-                payload = json.loads(error.read().decode("utf-8"))
-                message = f"{message}: {payload.get('error', payload)}"
-            except Exception:  # pragma: no cover - non-JSON error body
-                pass
-            raise ServiceError(message, status=error.code, payload=payload) from error
-        except URLError as error:
-            raise ServiceError(
-                f"cannot reach service at {self.base_url}: {error.reason}"
-            ) from error
+                with self._open(request) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except HTTPError as error:
+                payload: Any = None
+                message = f"{method} {path} -> HTTP {error.code}"
+                try:
+                    payload = json.loads(error.read().decode("utf-8"))
+                    message = f"{message}: {payload.get('error', payload)}"
+                except Exception:  # pragma: no cover - non-JSON error body
+                    pass
+                last_error = ServiceError(message, status=error.code, payload=payload)
+                if error.code not in RETRYABLE_STATUSES:
+                    raise last_error from error
+            except _TRANSIENT_ERRORS as error:
+                reason = getattr(error, "reason", error)
+                last_error = ServiceError(
+                    f"cannot reach service at {self.base_url}: {reason}"
+                )
+        assert last_error is not None
+        raise last_error
 
     # -- API ---------------------------------------------------------------------
 
@@ -96,7 +164,9 @@ class ServiceClient:
 
         The record's ``deduplicated`` flag reports a joined in-flight
         job, ``cached`` a run answered from the result cache without
-        executing a single engine round.
+        executing a single engine round.  Submission is idempotent
+        server-side (in-flight dedup + content-addressed cache), so the
+        transport retry in :meth:`_request` is safe here.
         """
         if isinstance(spec, ExperimentSpec):
             spec_data = spec.to_dict()
@@ -117,18 +187,32 @@ class ServiceClient:
         """One job's status; includes ``results`` once the job is done."""
         return self._request("GET", f"/runs/{run_id}")
 
-    def wait(self, run_id: str, timeout: float = 60.0, poll: float = 0.05) -> dict:
-        """Block until the job reaches a terminal status (or raise)."""
+    def wait(
+        self,
+        run_id: str,
+        timeout: float = 60.0,
+        poll: float = 0.05,
+        poll_cap: float = 1.0,
+    ) -> dict:
+        """Block until the job reaches a terminal status (or raise).
+
+        The poll interval starts at ``poll`` and doubles up to
+        ``poll_cap`` — fast answers stay fast, long runs stop hammering
+        the service with fixed-rate status requests.
+        """
         deadline = time.monotonic() + timeout
+        pause = float(poll)
         while True:
-            record = self.status(run_id)
+            record = self._request("GET", f"/runs/{run_id}", deadline=deadline)
             if record["status"] in ("done", "failed"):
                 return record
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise ServiceError(
                     f"run {run_id} still {record['status']!r} after {timeout:.1f}s"
                 )
-            time.sleep(poll)
+            time.sleep(min(pause, remaining))
+            pause = min(pause * 2, float(poll_cap))
 
     def results(self, run_id: str, timeout: float = 60.0) -> list[dict]:
         """Wait for the job and return its per-unit result records."""
@@ -147,30 +231,83 @@ class ServiceClient:
         the stream live and ends when the server sends its ``end`` event.
         ``offset`` resumes mid-stream (``"unit:line"``, or a line number
         in unit 0).
+
+        A connection cut mid-stream (or a stream that ends without the
+        terminal ``end`` event) is reconnected with ``Last-Event-ID`` set
+        to the last event seen, so the server replays from exactly the
+        next line: the concatenated output across reconnects is identical
+        to one uninterrupted stream.  The reconnect budget is
+        ``retry.retries`` consecutive attempts without progress.
         """
         path = f"/runs/{run_id}/events"
-        if offset is not None:
-            path += f"?offset={offset}"
-        request = Request(self.base_url + path, headers={"Accept": "text/event-stream"})
-        try:
-            response = urlopen(request, timeout=self.timeout)
-        except HTTPError as error:
-            raise ServiceError(
-                f"GET {path} -> HTTP {error.code}", status=error.code
-            ) from error
-        with response:
-            name, event_id, data = "message", None, []
-            for raw in response:
-                line = raw.decode("utf-8").rstrip("\r\n")
-                if line.startswith("event:"):
-                    name = line[len("event:") :].strip()
-                elif line.startswith("id:"):
-                    event_id = line[len("id:") :].strip()
-                elif line.startswith("data:"):
-                    data.append(line[len("data:") :].strip())
-                elif not line:
-                    if name == "end":
-                        return
-                    if data:
-                        yield {"id": event_id, "data": json.loads("\n".join(data))}
+        last_id: str | None = None
+        attempts = 0
+        while True:
+            headers = {"Accept": "text/event-stream"}
+            request_path = path
+            if last_id is not None:
+                headers["Last-Event-ID"] = last_id
+            elif offset is not None:
+                request_path += f"?offset={offset}"
+            request = Request(self.base_url + request_path, headers=headers)
+            try:
+                response = self._open(request)
+            except HTTPError as error:
+                raise ServiceError(
+                    f"GET {request_path} -> HTTP {error.code}", status=error.code
+                ) from error
+            except _TRANSIENT_ERRORS as error:
+                attempts += 1
+                if attempts > self.retry.retries:
+                    reason = getattr(error, "reason", error)
+                    raise ServiceError(
+                        f"event stream for run {run_id} unreachable after "
+                        f"{attempts} attempts: {reason}"
+                    ) from error
+                self.retry.sleep_before(attempts, key=f"events {run_id}")
+                continue
+            ended = False
+            progressed = False
+            try:
+                with response:
                     name, event_id, data = "message", None, []
+                    for raw in response:
+                        line = raw.decode("utf-8").rstrip("\r\n")
+                        if line.startswith("event:"):
+                            name = line[len("event:") :].strip()
+                        elif line.startswith("id:"):
+                            event_id = line[len("id:") :].strip()
+                        elif line.startswith("data:"):
+                            data.append(line[len("data:") :].strip())
+                        elif not line:
+                            if name == "end":
+                                ended = True
+                                break
+                            if data:
+                                if event_id is not None:
+                                    last_id = event_id
+                                    progressed = True
+                                yield {
+                                    "id": event_id,
+                                    "data": json.loads("\n".join(data)),
+                                }
+                            name, event_id, data = "message", None, []
+            except (OSError, HTTPException) as error:
+                if ended:  # pragma: no cover - error racing the end event
+                    return
+                last_disconnect: Exception | None = error
+            else:
+                if ended:
+                    return
+                last_disconnect = None
+            # The stream dropped before its "end" event: reconnect after
+            # the last event seen, resetting the budget on any progress.
+            if progressed:
+                attempts = 0
+            attempts += 1
+            if attempts > self.retry.retries:
+                raise ServiceError(
+                    f"event stream for run {run_id} dropped without an 'end' "
+                    f"event after {attempts} consecutive stalled attempts"
+                ) from last_disconnect
+            self.retry.sleep_before(attempts, key=f"events {run_id}")

@@ -34,6 +34,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from ..core.durable import atomic_write_text, quarantine
 from ..core.errors import SpecificationError
 from ..experiment import ExperimentSpec, expand_grid
 from ..simulation.batch import MANIFEST_NAME, BatchRunner
@@ -201,13 +202,6 @@ class Job:
         }
 
 
-def _atomic_write(path: pathlib.Path, text: str) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    temporary = path.with_name(path.name + ".tmp")
-    temporary.write_text(text)
-    temporary.replace(path)
-
-
 class JobStore:
     """Persisted jobs under one directory; the single process-local index.
 
@@ -215,7 +209,12 @@ class JobStore:
     ``.../results.json`` (per-seed results once done) and ``.../batch/``
     (the durable BatchRunner directory the run executes in).  Records are
     loaded once at construction — the service owns its data directory
-    exclusively — and every mutation is saved back atomically.
+    exclusively — and every mutation is saved back atomically and durably
+    (:func:`~repro.core.durable.atomic_write_text`).
+
+    A record that no longer parses is quarantined (``.corrupt``) with a
+    logged reason instead of aborting the whole service start: one
+    damaged job must not hold every other job's results hostage.
     """
 
     def __init__(self, directory: str | pathlib.Path):
@@ -224,7 +223,11 @@ class JobStore:
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         for record in sorted(self.directory.glob("*/job.json")):
-            job = Job.from_dict(json.loads(record.read_text()))
+            try:
+                job = Job.from_dict(json.loads(record.read_text()))
+            except (OSError, ValueError, KeyError, SpecificationError) as error:
+                quarantine(record, f"corrupt service job record: {error}")
+                continue
             self._jobs[job.id] = job
 
     # -- paths -------------------------------------------------------------------
@@ -269,7 +272,7 @@ class JobStore:
             raise SpecificationError(
                 f"unknown job status {job.status!r}; known: {JOB_STATUSES}"
             )
-        _atomic_write(
+        atomic_write_text(
             self.job_dir(job.id) / "job.json", json.dumps(job.to_dict(), indent=2)
         )
 
@@ -311,12 +314,16 @@ class JobStore:
     # -- results -----------------------------------------------------------------
 
     def save_results(self, job_id: str, results: list[dict]) -> None:
-        _atomic_write(self.results_path(job_id), json.dumps(results))
+        atomic_write_text(self.results_path(job_id), json.dumps(results))
 
     def load_results(self, job_id: str) -> list[dict] | None:
+        path = self.results_path(job_id)
         try:
-            return json.loads(self.results_path(job_id).read_text())
+            return json.loads(path.read_text())
         except OSError:
+            return None
+        except ValueError as error:
+            quarantine(path, f"corrupt service job results: {error}")
             return None
 
 
@@ -339,6 +346,7 @@ class JobQueue:
         broker: EventBroker | None = None,
         checkpoint_every: int = 25,
         retries: int = 1,
+        retry_backoff: float = 0.0,
     ):
         self.store = store
         self.cache = cache
@@ -346,6 +354,7 @@ class JobQueue:
         self.broker = broker if broker is not None else BROKER
         self.checkpoint_every = int(checkpoint_every)
         self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
         self._queue: queue.Queue[str | None] = queue.Queue()
         self._worker: threading.Thread | None = None
         self._draining = threading.Event()
@@ -495,7 +504,9 @@ class JobQueue:
             if (batch_dir / f"unit-{index:04d}" / "result.json").exists():
                 self.broker.close(channel)
 
-        runner = BatchRunner(backend="serial", retries=self.retries)
+        runner = BatchRunner(
+            backend="serial", retries=self.retries, retry_backoff=self.retry_backoff
+        )
         try:
             if (batch_dir / MANIFEST_NAME).exists():
                 batch = runner.resume(batch_dir)

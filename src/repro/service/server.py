@@ -39,7 +39,9 @@ from __future__ import annotations
 import hashlib
 import json
 import pathlib
+import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlsplit
 
@@ -67,6 +69,9 @@ def _parse_offset(text: str) -> tuple[int, int]:
 
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
+
+    #: Injected SSE budget: cut the stream after this many events (None = off).
+    _sse_event_budget: int | None = None
 
     @property
     def service(self) -> "ExperimentService":
@@ -97,11 +102,49 @@ class _Handler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise SpecificationError(f"request body is not JSON: {error}") from error
 
+    # -- fault injection ---------------------------------------------------------
+
+    def _injected_fault(self, method: str, path: str) -> bool:
+        """Consult the service's fault hook; True consumes the request.
+
+        The hook (see :class:`~repro.faults.plan.HTTPFaultHook`) returns
+        one action per request from a finite, seeded schedule: ``status``
+        answers with an error status, ``reset`` cuts the socket without a
+        response, ``delay`` stalls then serves normally, ``close-after``
+        arms an SSE event budget that drops the stream mid-flight.
+        """
+        hook = self.service.fault_hook
+        if hook is None:
+            return False
+        action = hook(method, path)
+        if action is None:
+            return False
+        kind = action.get("action")
+        if kind == "status":
+            self._error(int(action.get("status", 503)), "injected fault: unavailable")
+            return True
+        if kind == "reset":
+            self.close_connection = True
+            try:
+                self.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:  # pragma: no cover - peer already gone
+                pass
+            return True
+        if kind == "delay":
+            time.sleep(float(action.get("seconds", 0.05)))
+            return False
+        if kind == "close-after":
+            self._sse_event_budget = int(action.get("events", 1))
+            return False
+        raise SpecificationError(f"unknown fault action {kind!r}")
+
     # -- routes ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path = urlsplit(self.path).path.rstrip("/")
         try:
+            if self._injected_fault("GET", path):
+                return
             if path == "/healthz":
                 self._send_json(200, self.service.health())
             elif path == "/cache":
@@ -122,6 +165,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = urlsplit(self.path).path.rstrip("/")
+        try:
+            if self._injected_fault("POST", path):
+                return
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            return
         if path != "/runs":
             self._error(404, f"unknown path {path!r}")
             return
@@ -158,6 +206,12 @@ class _Handler(BaseHTTPRequestHandler):
     # -- server-sent events ------------------------------------------------------
 
     def _write_event(self, event_id: str | None, data: str, name: str | None = None) -> None:
+        if self._sse_event_budget is not None:
+            if self._sse_event_budget <= 0:
+                # Injected disconnect: drop the stream exactly as a dead
+                # peer would, so the client's Last-Event-ID resume runs.
+                raise BrokenPipeError("injected SSE disconnect")
+            self._sse_event_budget -= 1
         parts = []
         if name is not None:
             parts.append(f"event: {name}\n")
@@ -251,13 +305,18 @@ class ExperimentService:
         port: int = 0,
         checkpoint_every: int = 25,
         retries: int = 1,
+        retry_backoff: float = 0.0,
         broker: EventBroker | None = None,
         verbose: bool = False,
+        fault_hook=None,
     ):
         self.data_dir = pathlib.Path(data_dir)
         self.host = host
         self.requested_port = int(port)
         self.verbose = bool(verbose)
+        #: Fault-injection seam: ``hook(method, path) -> action | None``
+        #: consulted before routing every request (chaos testing only).
+        self.fault_hook = fault_hook
         self.broker = broker if broker is not None else BROKER
         #: Channel-namespace prefix: several services in one process (the
         #: test suite) must not share drain flags or event channels.
@@ -273,6 +332,7 @@ class ExperimentService:
             broker=self.broker,
             checkpoint_every=checkpoint_every,
             retries=retries,
+            retry_backoff=retry_backoff,
         )
         self._server: _Server | None = None
         self._thread: threading.Thread | None = None

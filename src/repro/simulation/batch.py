@@ -33,8 +33,9 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
+from ..core.durable import atomic_write_text, quarantine
 from ..core.errors import SpecificationError
-from .checkpoint import RunCheckpoint
+from .checkpoint import load_newest_verified
 from .metrics import (
     RunStatistics,
     aggregate_records,
@@ -80,13 +81,18 @@ def _execute_durable_payload(payload: tuple[dict, int, str]) -> dict:
 
     * a persisted ``result.json`` means the unit already completed — load
       and return it, byte for byte (resume skips completed units);
-    * otherwise, a ``latest.json`` engine checkpoint means the unit was
-      in flight when the batch died — restore and finish it (the result
-      is byte-identical to an uninterrupted run of the unit);
+    * otherwise, the newest engine checkpoint that *verifies* (stamp +
+      parse; see
+      :func:`~repro.simulation.checkpoint.load_newest_verified`) means
+      the unit was in flight when the batch died — restore and finish it
+      (the result is byte-identical to an uninterrupted run of the
+      unit), with anything corrupt quarantined along the way;
     * otherwise, run the unit from the start.
 
     The completed result is persisted atomically before it is returned,
-    so a retry or a batch resume can always trust what it finds.
+    so a retry or a batch resume can always trust what it finds — and a
+    result file that stopped parsing is quarantined and the unit re-run,
+    never served.
     """
     spec_data, seed, unit_dir_text = payload
     from ..experiment import ExperimentSpec
@@ -94,19 +100,19 @@ def _execute_durable_payload(payload: tuple[dict, int, str]) -> dict:
     unit_dir = pathlib.Path(unit_dir_text)
     result_path = unit_dir / "result.json"
     if result_path.exists():
-        return json.loads(result_path.read_text())
+        try:
+            return json.loads(result_path.read_text())
+        except (OSError, ValueError) as error:
+            quarantine(result_path, f"corrupt persisted unit result: {error}")
 
     spec = ExperimentSpec.from_dict(spec_data)
-    latest = sorted((unit_dir / "engine").glob("*/latest.json"))
-    if latest:
-        result = spec.resume(RunCheckpoint.load(latest[0]))
+    checkpoint = load_newest_verified(unit_dir / "engine")
+    if checkpoint is not None:
+        result = spec.resume(checkpoint)
     else:
         result = spec.run(seed)
     data = result.to_dict()
-    unit_dir.mkdir(parents=True, exist_ok=True)
-    temporary = result_path.with_name(result_path.name + ".tmp")
-    temporary.write_text(json.dumps(data))
-    temporary.replace(result_path)
+    atomic_write_text(result_path, json.dumps(data))
     return data
 
 
@@ -165,6 +171,18 @@ class BatchResult:
     def failures(self) -> list[BatchItem]:
         """Work units that raised instead of completing."""
         return [item for item in self.items if not item.ok]
+
+    def completed(self) -> list[BatchItem]:
+        """Work units that finished (graceful degradation keeps these)."""
+        return [item for item in self.items if item.ok]
+
+    def failure_records(self) -> list[dict]:
+        """Per-unit failure summaries — the degradation report a partial
+        batch ships alongside its completed results."""
+        return [
+            {"label": item.label, "seed": item.seed, "error": item.error}
+            for item in self.failures()
+        ]
 
     def statistics(self) -> dict[str, RunStatistics]:
         """Per-experiment summary statistics over the completed runs."""
@@ -246,6 +264,12 @@ class BatchRunner:
         failure is recorded (default 0 — fail on first error, the classic
         behaviour).  With a checkpoint directory, a retried unit restores
         from its latest engine checkpoint instead of starting over.
+    retry_backoff:
+        Base delay (seconds) of the exponential per-unit backoff between
+        retry attempts, with deterministic jitter (default 0.0 — retry
+        immediately).  A transient failure shared by many units — a full
+        disk, an overloaded host — deserves breathing room before the
+        whole pool hammers it again.
     """
 
     def __init__(
@@ -253,14 +277,18 @@ class BatchRunner:
         max_workers: int | None = None,
         backend: str = "process",
         retries: int = 0,
+        retry_backoff: float = 0.0,
     ):
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self.max_workers = max_workers
         self.backend = backend
         self.retries = retries
+        self.retry_backoff = float(retry_backoff)
 
     # -- execution -------------------------------------------------------------
 
@@ -437,22 +465,36 @@ class BatchRunner:
                     "use a fresh checkpoint directory"
                 )
             return
-        temporary = path.with_name(path.name + ".tmp")
-        temporary.write_text(json.dumps(manifest, indent=2))
-        temporary.replace(path)
+        atomic_write_text(path, json.dumps(manifest, indent=2))
 
     def _map(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
     ) -> list[tuple[Any, str | None]]:
         """Apply ``fn`` to every payload, capturing per-unit failures."""
+        policy = self._retry_policy()
         if self.backend == "serial" or len(payloads) <= 1:
-            return [_guard(fn, payload, self.retries) for payload in payloads]
+            return [_guard(fn, payload, self.retries, policy) for payload in payloads]
         with self._executor() as pool:
             futures = [
-                pool.submit(_guard, fn, payload, self.retries)
+                pool.submit(_guard, fn, payload, self.retries, policy)
                 for payload in payloads
             ]
             return [future.result() for future in futures]
+
+    def _retry_policy(self):
+        """The between-attempt backoff policy (None = classic immediate
+        retry).  Imported lazily: the faults layer is optional machinery
+        for the hot path, and a plain frozen dataclass, so it pickles to
+        process workers like any other payload."""
+        if self.retry_backoff <= 0.0:
+            return None
+        from ..faults.retry import RetryPolicy
+
+        return RetryPolicy(
+            retries=self.retries,
+            base_delay=self.retry_backoff,
+            max_delay=max(self.retry_backoff * 8, self.retry_backoff),
+        )
 
     def _executor(self) -> Executor:
         if self.backend == "process":
@@ -461,20 +503,35 @@ class BatchRunner:
 
 
 def _guard(
-    fn: Callable[[Any], Any], payload: Any, retries: int = 0
+    fn: Callable[[Any], Any], payload: Any, retries: int = 0, policy=None
 ) -> tuple[Any, str | None]:
     """Run one unit, converting an exception into a recorded traceback.
 
     ``retries`` extra attempts run before the failure is recorded; the
-    traceback kept is the last attempt's.
+    traceback kept is the last attempt's.  ``policy`` (a
+    :class:`~repro.faults.retry.RetryPolicy`) spaces the attempts with
+    exponential, deterministically-jittered backoff, keyed per unit so
+    concurrent retriers never thunder in step.
     """
     error = None
-    for _ in range(retries + 1):
+    for attempt in range(retries + 1):
+        if attempt and policy is not None:
+            policy.sleep_before(attempt, key=_payload_key(payload))
         try:
             return fn(payload), None
         except Exception:  # noqa: BLE001 - any worker failure becomes data
             error = traceback.format_exc()
     return None, error
+
+
+def _payload_key(payload: Any) -> str:
+    """A stable per-unit jitter key: the seed plus (when durable) the
+    unit directory — unique within a batch, identical across replays."""
+    if isinstance(payload, tuple) and len(payload) == 3:
+        return f"{payload[1]}:{payload[2]}"
+    if isinstance(payload, tuple) and len(payload) == 2:
+        return str(payload[1])
+    return ""
 
 
 def run_callables(

@@ -51,6 +51,7 @@ from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import Any, Hashable, Iterable, Mapping
 
+from ..core.durable import atomic_write_text, quarantine, sha256_hex
 from ..core.errors import SpecificationError
 from ..core.multiset import Multiset, MutableMultiset
 from ..geometry.point import Point
@@ -59,6 +60,7 @@ __all__ = [
     "CHECKPOINT_FORMAT",
     "CODEC_SCALARS",
     "CODEC_TAGS",
+    "STAMP_SUFFIX",
     "codec_types",
     "encode_state",
     "decode_state",
@@ -69,6 +71,10 @@ __all__ = [
     "DriverState",
     "RunCheckpoint",
     "resume_run",
+    "stamp_path",
+    "write_checkpoint_text",
+    "verify_checkpoint_file",
+    "load_newest_verified",
 ]
 
 #: Identifies run-checkpoint files (the ``format`` key of the JSON object).
@@ -76,6 +82,9 @@ CHECKPOINT_FORMAT = "repro-run-checkpoint"
 
 #: Current checkpoint schema version.
 CHECKPOINT_VERSION = 1
+
+#: Suffix of a checkpoint's integrity-stamp sidecar file.
+STAMP_SUFFIX = ".sha256"
 
 
 # -- the state codec ------------------------------------------------------------
@@ -393,12 +402,10 @@ class RunCheckpoint:
         return cls.from_dict(data)
 
     def save(self, path: str | pathlib.Path) -> pathlib.Path:
-        """Write the checkpoint atomically (write-then-replace)."""
+        """Write the checkpoint atomically and durably, with an integrity
+        stamp sidecar (see :func:`write_checkpoint_text`)."""
         path = pathlib.Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        temporary = path.with_name(path.name + ".tmp")
-        temporary.write_text(self.to_json())
-        temporary.replace(path)
+        write_checkpoint_text(path, self.to_json())
         return path
 
     @classmethod
@@ -428,6 +435,93 @@ def resume_run(source: RunCheckpoint | str | pathlib.Path):
     from ..experiment import ExperimentSpec
 
     return ExperimentSpec.from_dict(checkpoint.spec).resume(checkpoint)
+
+
+# -- checkpoint integrity: stamps, verification, generation fallback ------------
+#
+# A checkpoint that parses is not necessarily the checkpoint that was
+# written: truncation usually breaks the JSON, but a flipped bit in a
+# number does not.  Every checkpoint file therefore gets a ``.sha256``
+# sidecar stamping the exact bytes, written through the same durable
+# helper; resume verifies stamp + parse and falls back, newest first,
+# through the retained generations — quarantining (never deleting) what
+# fails, so one bad sector costs one generation of progress, not the run.
+
+
+def stamp_path(path: str | pathlib.Path) -> pathlib.Path:
+    """The integrity-stamp sidecar of a checkpoint file."""
+    path = pathlib.Path(path)
+    return path.with_name(path.name + STAMP_SUFFIX)
+
+
+def write_checkpoint_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
+    """Persist checkpoint JSON durably plus its ``.sha256`` stamp.
+
+    The stamp is written *after* the data: a crash between the two
+    writes leaves a checkpoint without a stamp, which verification
+    accepts (stamps harden against silent corruption, not against the
+    checkpoint simply being the older generation).
+    """
+    path = pathlib.Path(path)
+    atomic_write_text(path, text)
+    atomic_write_text(stamp_path(path), sha256_hex(text) + "\n")
+    return path
+
+
+def verify_checkpoint_file(path: str | pathlib.Path) -> RunCheckpoint:
+    """Load one checkpoint file, verifying its integrity stamp if present.
+
+    Raises :class:`SpecificationError` on a stamp mismatch or unparseable
+    content (and lets ``OSError`` escape for an unreadable file); callers
+    that can fall back catch both.
+    """
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except UnicodeDecodeError as error:
+        raise SpecificationError(
+            f"checkpoint {path} is not valid UTF-8: {error}"
+        ) from error
+    stamp = stamp_path(path)
+    if stamp.exists():
+        recorded = stamp.read_text().strip()
+        if recorded and recorded != sha256_hex(text):
+            raise SpecificationError(
+                f"integrity stamp mismatch for {path} (the file's bytes "
+                "are not the bytes that were written)"
+            )
+    return RunCheckpoint.from_json(text)
+
+
+def load_newest_verified(
+    directory: str | pathlib.Path, quarantine_corrupt: bool = True
+) -> RunCheckpoint | None:
+    """The newest checkpoint under a run directory tree that verifies.
+
+    ``directory`` is a :class:`~repro.simulation.probes.CheckpointProbe`
+    target (or the batch layer's ``<unit>/engine``): run subdirectories
+    holding ``latest.json`` plus rolling ``round-NNNNNNNN.json``
+    generations.  Candidates are tried newest first — ``latest.json``,
+    then the round files in descending round order; the first one that
+    reads, verifies and parses wins.  Anything that fails is quarantined
+    (with its stamp, so a stale stamp can never damn a future file of
+    the same name) and the search falls back a generation.  Returns None
+    when nothing verifies — the caller starts the run over.
+    """
+    directory = pathlib.Path(directory)
+    candidates = sorted(directory.glob("*/latest.json")) + sorted(
+        directory.glob("*/round-*.json"), reverse=True
+    )
+    for path in candidates:
+        try:
+            return verify_checkpoint_file(path)
+        except (OSError, SpecificationError) as error:
+            if quarantine_corrupt:
+                quarantine(path, f"corrupt checkpoint: {error}")
+                stamp = stamp_path(path)
+                if stamp.exists():
+                    quarantine(stamp, f"stamp of quarantined {path.name}")
+    return None
 
 
 def engine_checkpoint_of(data: Mapping[str, Any] | EngineCheckpoint) -> EngineCheckpoint:

@@ -43,7 +43,13 @@ from ..core.errors import SpecificationError
 from ..core.multiset import Multiset
 from ..registry import register_probe
 from ..temporal.online import OnlineFormula, OPERATORS, online
-from .checkpoint import RunCheckpoint, decode_state, encode_state
+from .checkpoint import (
+    RunCheckpoint,
+    decode_state,
+    encode_state,
+    stamp_path,
+    write_checkpoint_text,
+)
 from .protocol import Engine, HistoryProbe, Probe, RoundRecord, RunContext
 from .result import jsonify
 
@@ -729,10 +735,18 @@ class CheckpointProbe(Probe):
 
     Files land in ``<directory>/<algorithm>-seed<seed>/`` as
     ``round-<NNNNNNNN>.json`` plus a ``latest.json`` copy (both written
-    atomically), so per-seed runs of a batch never collide and "the most
+    atomically and durably, each with a ``.sha256`` integrity-stamp
+    sidecar), so per-seed runs of a batch never collide and "the most
     recent checkpoint" is always one known filename.  A final checkpoint
     is written when the run completes (``final=False`` disables it), which
     makes every finished run resumable into exactly itself.
+
+    ``generations`` bounds how many rolling ``round-*.json`` files are
+    retained (oldest pruned first; 0 keeps everything).  Keeping more
+    than one is what makes corruption survivable:
+    :func:`~repro.simulation.checkpoint.load_newest_verified` falls back
+    through the retained generations when the newest file fails its
+    stamp or does not parse.
     """
 
     name = "checkpoint"
@@ -743,15 +757,21 @@ class CheckpointProbe(Probe):
         directory: str | pathlib.Path = "checkpoints",
         final: bool = True,
         publish: bool = True,
+        generations: int = 0,
     ):
         if int(every) < 1:
             raise SpecificationError(
                 f"checkpoint probe needs every >= 1, got {every!r}"
             )
+        if int(generations) < 0:
+            raise SpecificationError(
+                f"checkpoint probe needs generations >= 0, got {generations!r}"
+            )
         self.every = int(every)
         self.directory = pathlib.Path(str(directory))
         self.final = bool(final)
         self.publish = bool(publish)
+        self.generations = int(generations)
         self._context: RunContext | None = None
         self._spec_data: dict | None = None
         self._run_dir: pathlib.Path | None = None
@@ -844,11 +864,25 @@ class CheckpointProbe(Probe):
     def _store(self, checkpoint: RunCheckpoint, rounds_executed: int) -> None:
         """Persist one checkpoint (tests override this to capture in memory)."""
         # Serialize once, write twice: the latest.json copy is the same
-        # bytes, and serialization dominates the write cost.
+        # bytes, and serialization dominates the write cost.  Each write
+        # is durable (fsync before replace) and stamped with the SHA-256
+        # of its bytes, so resume can tell silent corruption from a
+        # merely-older generation.
         text = checkpoint.to_json()
         self._run_dir.mkdir(parents=True, exist_ok=True)
         for name in (f"round-{rounds_executed:08d}.json", "latest.json"):
-            path = self._run_dir / name
-            temporary = path.with_name(path.name + ".tmp")
-            temporary.write_text(text)
-            temporary.replace(path)
+            write_checkpoint_text(self._run_dir / name, text)
+        self._prune_generations()
+
+    def _prune_generations(self) -> None:
+        """Drop rolling round files beyond the retention budget, oldest
+        first (``latest.json`` and quarantined files are never touched)."""
+        if self.generations < 1:
+            return
+        rounds = sorted(self._run_dir.glob("round-*.json"))
+        for stale in rounds[: -self.generations]:
+            for path in (stale, stamp_path(stale)):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass

@@ -195,7 +195,7 @@ class TestResultCache:
         entry = cache.put(fingerprint, {"spec": {}}, [{"result": 1}])
         assert fingerprint in cache
         assert cache.get(fingerprint) == entry
-        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1, "corrupt": 0}
 
     def test_rejects_non_fingerprint_keys(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
