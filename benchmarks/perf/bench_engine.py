@@ -18,6 +18,15 @@ while the collective state stays large.
   and a dense complete-graph Markov-churn case where deletions inside one
   giant component dominate (the incremental tracker's worst case, kept
   honest in the report).
+* **Array engine**: two workloads cover the struct-of-arrays scale path.
+  ``array_vs_reference_10k`` races the :class:`ArrayEngine` against the
+  reference engine's best mode at n=10k on the flagship scenario (its
+  "speedup" column is the array engine's gain over the reference).
+  ``array_sparse_churn_100k`` measures the array engine at n=100k — the
+  regime object-per-agent simulation cannot reach — against its own
+  pure-Python fallback, so the ratio stays hardware-independent while
+  the absolute rounds/sec documents the 100k-agents-at-interactive-speed
+  contract.
 * **Environment share**: for each workload, an instrumented pass records
   the fraction of round time spent in the environment layer (environment
   advance + connectivity maintenance + scheduling) in both engine modes,
@@ -64,6 +73,8 @@ from repro.environment.dynamics import (
     RandomChurnEnvironment,
 )
 from repro.environment.graphs import complete_graph, ring_graph
+from repro.simulation import array_engine as array_engine_module
+from repro.simulation.array_engine import ArrayEngine
 from repro.simulation.engine import Simulator
 
 DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_engine.json"
@@ -168,11 +179,64 @@ def build_dense_markov(num_agents: int, incremental: bool = True) -> Simulator:
     )
 
 
+def _build_array_engine(num_agents: int) -> ArrayEngine:
+    return ArrayEngine(
+        minimum_algorithm(),
+        RandomChurnEnvironment(
+            ring_graph(num_agents), edge_up_probability=EDGE_UP_PROBABILITY
+        ),
+        initial_values=_values(num_agents),
+        seed=SEED,
+        record_trace=False,
+    )
+
+
+def build_array_vs_reference(num_agents: int, incremental: bool = True):
+    """The array engine raced against the reference engine's best mode.
+
+    ``incremental=True`` builds the :class:`ArrayEngine` (its vectorized
+    backend when numpy is available); ``incremental=False`` builds the
+    reference ``Simulator`` in its fastest (fully incremental)
+    configuration, so the reported "speedup" is the array engine's gain
+    over the best the object-per-agent engine can do on the identical
+    workload and random stream.
+    """
+    if incremental:
+        return _build_array_engine(num_agents)
+    return build_simulator(num_agents, incremental=True)
+
+
+def build_array_sparse_churn(num_agents: int, incremental: bool = True):
+    """The array engine at 100k agents — the regime this engine exists for.
+
+    Both arms are the array engine: ``incremental=False`` forces the
+    pure-Python ``array('q')`` fallback (``HAVE_NUMPY`` off during
+    construction), so the "speedup" column is the vectorization gain —
+    a same-machine ratio the regression gate can rely on — while the
+    absolute ``incremental_rounds_per_sec`` documents the n=100k
+    throughput contract (>=50 rounds/sec on the committed baseline).
+    """
+    saved = array_engine_module.HAVE_NUMPY
+    if not incremental:
+        array_engine_module.HAVE_NUMPY = False
+    try:
+        return _build_array_engine(num_agents)
+    finally:
+        array_engine_module.HAVE_NUMPY = saved
+
+
 #: name -> (builder, (num_agents, rounds), (quick_num_agents, quick_rounds))
 WORKLOADS = {
     "sparse_churn_random_pair": (build_random_pair, (10_000, 30), (10_000, 12)),
     "duty_cycle_maximal": (build_duty_cycle, (10_000, 30), (10_000, 12)),
     "dense_complete_markov": (build_dense_markov, (300, 60), (300, 20)),
+    "array_vs_reference_10k": (build_array_vs_reference, (10_000, 30), (10_000, 12)),
+    # Quick mode deliberately measures the same 60-round window as full
+    # mode: the first ~10 rounds carry the bulk of the state churn, so a
+    # shorter window reads a different workload profile (lower speedup)
+    # and the CI gate would compare apples to oranges against the
+    # committed full-mode baseline.
+    "array_sparse_churn_100k": (build_array_sparse_churn, (100_000, 60), (100_000, 60)),
 }
 
 

@@ -99,6 +99,7 @@ def maximum_algorithm(upper_bound: int) -> SelfSimilarAlgorithm:
         environment_requirement="connected",
         singleton_stutters=True,
         description="consensus on the maximum of the initial values (dual of §4.1)",
+        kernel="maximum",
     )
 
 

@@ -169,6 +169,9 @@ def minimum_algorithm(partial: bool = False) -> SelfSimilarAlgorithm:
         singleton_stutters=True,
         fast_judge=_minimum_fast_judge,
         description="consensus on the minimum of the initial values (§4.1)",
+        # The partial variant draws randomness in its step rule, so only
+        # the full-adoption step is a vectorizable kernel.
+        kernel=None if partial else "minimum",
     )
 
 

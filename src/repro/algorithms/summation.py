@@ -158,4 +158,7 @@ def summation_algorithm(partial: bool = False) -> SelfSimilarAlgorithm:
         environment_requirement="complete",
         singleton_stutters=True,
         description="concentrate the sum of the initial values in one agent (§4.2)",
+        # Only the concentrate step ships as a vectorized kernel; the
+        # pairwise-transfer variant stays a reference-engine exercise.
+        kernel=None if partial else "sum",
     )

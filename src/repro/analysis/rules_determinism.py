@@ -351,6 +351,12 @@ class D004FloatInExactPath(Rule):
 
     rule_id: str = "D004"
     title: str = "float in exact path"
+    # Only the exact-arithmetic core is listed.  The array engine
+    # (src/repro/simulation/array_engine.py) stays outside this scope on
+    # purpose: its numpy kernels are integer-only by construction
+    # (int64-range proofs in _select_backend), and its cross-check path
+    # compares against the reference engine value-for-value, which is a
+    # stronger guarantee than this syntactic rule provides.
     include: tuple[str, ...] = (
         "src/repro/algorithms/average.py",
         "src/repro/algorithms/kth_smallest.py",

@@ -17,8 +17,8 @@ codec :mod:`repro.simulation.checkpoint` exposes for introspection.
   ``on_resume``), and restore-side overrides without ``state_dict`` can
   never receive state.
 * **P102** — registry/doc drift.  Every name referenced by
-  ``examples/specs/*.json`` (algorithm, environment, scheduler, value
-  generator, topology, probes) and by the README's spec snippets /
+  ``examples/specs/*.json`` (algorithm, environment, scheduler, engine,
+  value generator, topology, probes) and by the README's spec snippets /
   ``--probe`` flags / spec-file paths must exist in the registries /
   repository.
 * **C201** — codec coverage.  Every value a ``state_dict`` persists ends
@@ -227,6 +227,7 @@ _SPEC_REGISTRY_KEYS = (
     ("algorithm", "algorithms"),
     ("environment", "environments"),
     ("scheduler", "schedulers"),
+    ("engine", "engines"),
     ("value_generator", "value_generators"),
 )
 
@@ -235,6 +236,7 @@ _README_PATTERNS = (
     (re.compile(r'"algorithm"\s*:\s*"([\w-]+)"'), "algorithms"),
     (re.compile(r'"environment"\s*:\s*"([\w-]+)"'), "environments"),
     (re.compile(r'"scheduler"\s*:\s*"([\w-]+)"'), "schedulers"),
+    (re.compile(r'"engine"\s*:\s*"([\w-]+)"'), "engines"),
     (re.compile(r'"value_generator"\s*:\s*"([\w-]+)"'), "value_generators"),
     (re.compile(r"--probe\s+([\w-]+)"), "probes"),
 )

@@ -99,6 +99,7 @@ _LIST_KINDS = (
     "algorithms",
     "environments",
     "schedulers",
+    "engines",
     "graphs",
     "value_generators",
     "probes",
@@ -263,6 +264,9 @@ def build_spec_parser() -> argparse.ArgumentParser:
                      help="process-pool size (default: in-process serial execution)")
     run.add_argument("--history", choices=("full", "objective", "none"), default=None,
                      help="override the run's retention mode (none = O(1) memory)")
+    run.add_argument("--engine", choices=("reference", "array"), default=None,
+                     help="override the spec's execution engine (array = "
+                          "struct-of-arrays backend for large agent counts)")
     run.add_argument("--probe", action="append", dest="probes", default=None,
                      metavar="NAME[:JSON]",
                      help="attach a registered probe, e.g. temporal or "
@@ -467,6 +471,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["max_rounds"] = args.max_rounds
     if args.history is not None:
         overrides["history"] = args.history
+    if args.engine is not None:
+        overrides["engine"] = args.engine
     probe_entries = [_parse_probe_flag(text) for text in (args.probes or [])]
     if args.jsonl is not None:
         probe_entries.append({"probe": "jsonl", "path": args.jsonl})

@@ -113,6 +113,20 @@ class SelfSimilarAlgorithm:
         Judging draws no randomness, so the shortcut never affects the
         random stream; the engine's full-recompute reference mode ignores
         it entirely, which is how the parity suite pins the equivalence.
+    kernel:
+        Optional name of the vectorizable kernel this algorithm's step
+        rule implements (``"minimum"``, ``"maximum"``, ``"sum"``,
+        ``"average"``, ``"kth-smallest"``).  Declaring a kernel is a
+        three-part contract the struct-of-arrays engine
+        (:class:`repro.simulation.array_engine.ArrayEngine`) relies on:
+        the step rule (a) draws no randomness at any group size, (b) is a
+        deterministic pure function of the ordered state list, and (c)
+        changes at least one element *iff* the step is an improvement
+        (so the engine can classify steps without running the relation
+        judge).  Leave it None (the default) for step rules that draw
+        randomness, depend on instance data beyond the states, or can
+        produce non-improving changes — those run on the reference
+        engine only.
     """
 
     name: str
@@ -127,6 +141,7 @@ class SelfSimilarAlgorithm:
     singleton_stutters: bool = False
     fast_judge: Callable[[Sequence[Hashable], Sequence[Hashable]], StepJudgement | None] | None = None
     description: str = ""
+    kernel: str | None = None
     relation: OptimizationRelation = field(init=False)
 
     def __post_init__(self) -> None:

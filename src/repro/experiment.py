@@ -41,6 +41,7 @@ from typing import Any, Mapping, Sequence
 from .core.errors import SpecificationError
 from .registry import (
     ALGORITHMS,
+    ENGINES,
     ENVIRONMENTS,
     GRAPHS,
     PROBES,
@@ -58,6 +59,7 @@ from .simulation.result import SimulationResult
 from . import algorithms as _algorithms  # noqa: F401  (registration side effect)
 from . import environment as _environment  # noqa: F401  (registration side effect)
 from .agents import scheduler as _scheduler  # noqa: F401  (registration side effect)
+from .simulation import array_engine as _array_engine  # noqa: F401  (registration side effect)
 from .simulation import probes as _probes  # noqa: F401  (registration side effect)
 
 __all__ = [
@@ -129,6 +131,11 @@ class ExperimentSpec:
     ``record_trace`` semantics).  Both are plain data, so specs with
     probes still round-trip through JSON and fan out across worker
     processes — every worker constructs its own probe instances.
+
+    ``engine`` selects the execution backend (``"reference"`` — the
+    default, byte-identical object-per-agent simulator — or ``"array"``,
+    the struct-of-arrays vectorized engine for kernel algorithms at
+    100k–1M agents); results are value-identical either way.
     """
 
     algorithm: str
@@ -147,6 +154,7 @@ class ExperimentSpec:
     record_trace: bool = True
     probes: tuple = ()
     history: str | None = None
+    engine: str = "reference"
     name: str | None = None
 
     def __post_init__(self):
@@ -182,6 +190,7 @@ class ExperimentSpec:
         ALGORITHMS.entry(self.algorithm)
         ENVIRONMENTS.entry(self.environment)
         SCHEDULERS.entry(self.scheduler)
+        ENGINES.entry(self.engine)
         if (self.initial_values is None) == (self.value_generator is None):
             raise SpecificationError(
                 "an experiment needs exactly one of initial_values or "
@@ -362,7 +371,15 @@ class ExperimentSpec:
         return list(VALUE_GENERATORS.build(self.value_generator, **params))
 
     def build(self, seed: int | None = None) -> Simulator:
-        """Materialize the spec into a ready-to-run :class:`Simulator`.
+        """Materialize the spec into a ready-to-run engine.
+
+        The ``engine`` field selects the execution backend through the
+        engine registry: ``"reference"`` (the default) builds the classic
+        object-per-agent :class:`Simulator`, ``"array"`` the
+        struct-of-arrays
+        :class:`~repro.simulation.array_engine.ArrayEngine`.  Both
+        implement the same ``Engine`` protocol and produce
+        value-identical results for kernel algorithms.
 
         ``seed`` defaults to the spec's first seed.  Environments whose
         constructor accepts a ``seed`` receive the run seed unless the
@@ -403,7 +420,8 @@ class ExperimentSpec:
 
         scheduler = SCHEDULERS.build(self.scheduler, **dict(self.scheduler_params))
 
-        return Simulator(
+        return ENGINES.build(
+            self.engine,
             algorithm=algorithm,
             environment=environment,
             initial_values=values,
@@ -713,6 +731,10 @@ class ExperimentBuilder:
     def history(self, mode: str) -> "ExperimentBuilder":
         """Choose the run's retention mode (``full``/``objective``/``none``)."""
         return self._set(history=mode)
+
+    def engine(self, name: str) -> "ExperimentBuilder":
+        """Choose the execution backend (``reference``/``array``)."""
+        return self._set(engine=name)
 
     def build(self) -> ExperimentSpec:
         """Validate and freeze the spec."""

@@ -55,12 +55,14 @@ __all__ = [
     "GRAPHS",
     "VALUE_GENERATORS",
     "PROBES",
+    "ENGINES",
     "register_algorithm",
     "register_environment",
     "register_scheduler",
     "register_graph",
     "register_value_generator",
     "register_probe",
+    "register_engine",
     "available",
     "load_plugins",
     "PLUGIN_GROUP",
@@ -228,6 +230,10 @@ VALUE_GENERATORS = Registry("value generator")
 #: Observation probes attachable to any engine run
 #: (see :mod:`repro.simulation.probes`).
 PROBES = Registry("probe")
+#: Execution engines implementing the :class:`repro.simulation.Engine`
+#: protocol ("reference" = the byte-identical object-per-agent
+#: Simulator, "array" = the struct-of-arrays vectorized engine).
+ENGINES = Registry("engine")
 
 register_algorithm = ALGORITHMS.register
 register_environment = ENVIRONMENTS.register
@@ -235,6 +241,7 @@ register_scheduler = SCHEDULERS.register
 register_graph = GRAPHS.register
 register_value_generator = VALUE_GENERATORS.register
 register_probe = PROBES.register
+register_engine = ENGINES.register
 
 
 def available() -> dict[str, list[str]]:
@@ -246,6 +253,7 @@ def available() -> dict[str, list[str]]:
         "graphs": GRAPHS.available(),
         "value_generators": VALUE_GENERATORS.available(),
         "probes": PROBES.available(),
+        "engines": ENGINES.available(),
     }
 
 

@@ -8,6 +8,7 @@ from .checkpoint import (
     RunCheckpoint,
     resume_run,
 )
+from .array_engine import ArrayEngine, ArrayRoundRecord
 from .engine import Simulator
 from .messaging import MergeMessagePassingSimulator
 from .metrics import (
@@ -54,6 +55,8 @@ __all__ = [
     "run_engine",
     "RoundRecord",
     "Simulator",
+    "ArrayEngine",
+    "ArrayRoundRecord",
     "MergeMessagePassingSimulator",
     "RunStatistics",
     "aggregate",

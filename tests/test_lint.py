@@ -710,9 +710,10 @@ class TestProductionRun:
 
     def test_baseline_is_small_and_justified(self):
         baseline = Baseline.load(REPO_ROOT / "lint_baseline.json")
-        # Exactly the three draw-an-effective-seed sites; every entry is a
-        # standing exception, so growth here needs review.
-        assert len(baseline) == 3
+        # Exactly the four draw-an-effective-seed sites (the three
+        # reference-engine entry points plus the array engine's); every
+        # entry is a standing exception, so growth here needs review.
+        assert len(baseline) == 4
         assert len(baseline) <= 10
         assert all(entry["rule"] == "D001" for entry in baseline.entries)
         assert all(

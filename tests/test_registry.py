@@ -74,6 +74,7 @@ class TestPopulation:
             "algorithms",
             "environments",
             "schedulers",
+            "engines",
             "graphs",
             "value_generators",
             "probes",
